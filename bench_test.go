@@ -1,0 +1,157 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§4-§5). Each benchmark regenerates its artifact at
+// reduced fidelity and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The resparc-bench command runs the same
+// drivers at full fidelity and prints the tables.
+package resparc
+
+import (
+	"testing"
+
+	"resparc/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	c := experiments.QuickConfig()
+	c.Steps = 16
+	return c
+}
+
+// BenchmarkFig08Params regenerates the RESPARC parameter/metric tables.
+func BenchmarkFig08Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		params, metrics := experiments.Fig8()
+		if len(params.Rows) == 0 || len(metrics.Rows) == 0 {
+			b.Fatal("empty Fig 8 tables")
+		}
+	}
+}
+
+// BenchmarkFig09Params regenerates the CMOS baseline parameter/metric
+// tables.
+func BenchmarkFig09Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		params, metrics := experiments.Fig9()
+		if len(params.Rows) == 0 || len(metrics.Rows) == 0 {
+			b.Fatal("empty Fig 9 tables")
+		}
+	}
+}
+
+// BenchmarkFig10Benchmarks builds all six SNN benchmarks and checks their
+// totals against the published table.
+func BenchmarkFig10Benchmarks(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			if r.SynErr > worst {
+				worst = r.SynErr
+			}
+			if r.NeuronErr > worst {
+				worst = r.NeuronErr
+			}
+		}
+		b.ReportMetric(worst*100, "%worst-deviation")
+	}
+}
+
+// BenchmarkFig11EnergySpeedup runs the six-benchmark comparison of Fig 11
+// and reports the four family averages the paper quotes (paper: MLP 513x
+// energy / 382x speedup, CNN 12x / 60x).
+func BenchmarkFig11EnergySpeedup(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MLPAvgGain, "MLP-energy-gain-x")
+		b.ReportMetric(r.MLPAvgSpeedup, "MLP-speedup-x")
+		b.ReportMetric(r.CNNAvgGain, "CNN-energy-gain-x")
+		b.ReportMetric(r.CNNAvgSpeedup, "CNN-speedup-x")
+	}
+}
+
+// BenchmarkFig12Breakdown runs the MCA-size breakdown sweep of Fig 12 and
+// reports the CNN size-optimum (paper: 64).
+func BenchmarkFig12Breakdown(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, bestE := 0, 0.0
+		for _, size := range experiments.Fig12Sizes {
+			e, ok := r.EnergyOf(r.RESPARCCNN, "mnist-cnn", size)
+			if !ok {
+				b.Fatal("missing entry")
+			}
+			if best == 0 || e.Energy.Total() < bestE {
+				best, bestE = size, e.Energy.Total()
+			}
+		}
+		b.ReportMetric(float64(best), "CNN-optimal-MCA-size")
+	}
+}
+
+// BenchmarkFig13EventDriven runs the event-drivenness study of Fig 13 and
+// reports the savings ratio on the smallest MCA (where the paper finds the
+// largest benefit).
+func BenchmarkFig13EventDriven(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, mlp32 := experiments.Savings(r.MLP, 32)
+		_, _, cnn32 := experiments.Savings(r.CNN, 32)
+		b.ReportMetric(mlp32, "MLP-savings-32-x")
+		b.ReportMetric(cnn32, "CNN-savings-32-x")
+	}
+}
+
+// BenchmarkFig14aAccuracy trains and converts one network per dataset and
+// reports the 4-bit-vs-8-bit accuracy ratio (paper: ~1, the reason 4-bit
+// weights suffice).
+func BenchmarkFig14aAccuracy(b *testing.B) {
+	cfg := experiments.DefaultFig14a()
+	cfg.TrainSamples, cfg.TestSamples, cfg.Epochs, cfg.Steps = 300, 50, 6, 60
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig14a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst4 float64 = 2
+		for _, r := range rows {
+			if r.Norm[4] < worst4 {
+				worst4 = r.Norm[4]
+			}
+		}
+		b.ReportMetric(worst4, "worst-4bit/8bit-accuracy")
+	}
+}
+
+// BenchmarkFig14bEnergy sweeps weight precision on both architectures and
+// reports the CMOS 8-bit/1-bit energy growth (paper: ~2x) and the RESPARC
+// growth (paper: ~1, precision-independent).
+func BenchmarkFig14bEnergy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig14b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].CMOS/rows[0].CMOS, "CMOS-8b/1b-energy")
+		b.ReportMetric(rows[len(rows)-1].RESPARC/rows[0].RESPARC, "RESPARC-8b/1b-energy")
+	}
+}

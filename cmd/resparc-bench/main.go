@@ -1,0 +1,199 @@
+// Command resparc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist] [-quick] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"resparc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-bench: ")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity")
+	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
+	outPath := flag.String("out", "", "also write the output to this file")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("fig %s: %v", name, err)
+		}
+	}
+	run("8", func() error {
+		a, b := experiments.Fig8()
+		a.Render(out)
+		fmt.Fprintln(out)
+		b.Render(out)
+		fmt.Fprintln(out)
+		return nil
+	})
+	run("9", func() error {
+		a, b := experiments.Fig9()
+		a.Render(out)
+		fmt.Fprintln(out)
+		b.Render(out)
+		fmt.Fprintln(out)
+		return nil
+	})
+	run("10", func() error {
+		_, t, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		return nil
+	})
+	run("11", func() error {
+		r, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		for _, t := range r.NormalizedTables() {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "CNN avg: %.0fx energy, %.0fx speedup (paper: 12x, 60x)\n", r.CNNAvgGain, r.CNNAvgSpeedup)
+		fmt.Fprintf(out, "MLP avg: %.0fx energy, %.0fx speedup (paper: 513x, 382x)\n\n", r.MLPAvgGain, r.MLPAvgSpeedup)
+		return nil
+	})
+	run("12", func() error {
+		r, err := experiments.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		for _, t := range r.NormalizedTables() {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		return nil
+	})
+	run("13", func() error {
+		r, err := experiments.Fig13(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		return nil
+	})
+	run("14a", func() error {
+		fc := experiments.DefaultFig14a()
+		if *quick {
+			fc.TrainSamples, fc.TestSamples, fc.Epochs, fc.Steps = 300, 50, 6, 60
+		}
+		_, t, err := experiments.Fig14a(fc)
+		if err != nil {
+			return err
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		return nil
+	})
+	run("14b", func() error {
+		_, t, err := experiments.Fig14b(cfg)
+		if err != nil {
+			return err
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		return nil
+	})
+	// The checklist re-runs every driver, so it only fires when asked for
+	// explicitly (not under -fig all).
+	if *fig == "checklist" {
+		_, t, err := experiments.Checklist(cfg)
+		if err != nil {
+			log.Fatalf("checklist: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+	}
+	// Calibration sensitivity is explicit-only too (21 paired simulations).
+	if *fig == "sensitivity" {
+		_, t, err := experiments.Sensitivity(cfg, 1.5)
+		if err != nil {
+			log.Fatalf("sensitivity: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+	}
+	run("ablations", func() error {
+		if _, t, err := experiments.AblationPacketWidth(cfg); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		isCfg := cfg
+		if isCfg.Steps > 16 {
+			isCfg.Steps = 16 // the naive mapping is slow to simulate
+		}
+		if _, t, err := experiments.AblationInputSharing(isCfg); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		if _, t, err := experiments.AblationSwitchContention(cfg.Seed); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		if _, t, err := experiments.AblationColumnGating(isCfg); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		if _, t, err := experiments.AblationEarlyExit(isCfg); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		if _, t, err := experiments.AblationNonIdealityAccuracy(400, 60, 80, cfg.Seed); err != nil {
+			return err
+		} else {
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+		return nil
+	})
+}

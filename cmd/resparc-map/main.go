@@ -1,0 +1,106 @@
+// Command resparc-map prints the mapping report for one benchmark at one
+// crossbar size: per-layer MCA counts, time-multiplexing degrees,
+// utilizations and placements, plus the technology-aware best-size search
+// (paper contribution 3).
+//
+// Usage:
+//
+//	resparc-map [-bench mnist-cnn] [-mca 64] [-tech Ag-Si] [-best]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"resparc/internal/bench"
+	"resparc/internal/device"
+	"resparc/internal/experiments"
+	"resparc/internal/mapping"
+	"resparc/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-map: ")
+	name := flag.String("bench", "mnist-cnn", "benchmark name (see resparc-sim)")
+	mca := flag.Int("mca", 64, "MCA (crossbar) size")
+	techName := flag.String("tech", "Ag-Si", "memristive technology: PCM|Ag-Si|Spintronic")
+	best := flag.Bool("best", false, "also search the energy-optimal MCA size for the technology")
+	floorplan := flag.Bool("floorplan", false, "render the NeuroCell floorplan (first 8 NCs)")
+	flag.Parse()
+
+	tech, err := techByName(*techName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bench.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := b.Build(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mapping.DefaultConfig()
+	cfg.MCASize = *mca
+	cfg.Tech = tech
+	m, err := mapping.Map(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s mapped on RESPARC-%d (%s, max reliable size %d)\n\n", b.Name, *mca, tech.Name, tech.MaxSize)
+	t := report.NewTable("Per-layer mapping", "Layer", "Kind", "Neurons", "Synapses", "MCAs", "Groups", "Mux", "Util", "mPEs", "NCs", "Input via")
+	for li, lm := range m.Layers {
+		t.Add(lm.Layer.Name, lm.Layer.Kind.String(),
+			fmt.Sprintf("%d", lm.Layer.OutSize()), fmt.Sprintf("%d", lm.Layer.Synapses()),
+			fmt.Sprintf("%d", len(lm.MCAs)), fmt.Sprintf("%d", lm.Groups), fmt.Sprintf("%d", lm.MuxDegree),
+			report.Pct(lm.Utilization),
+			fmt.Sprintf("%d-%d", lm.MPEFirst, lm.MPELast),
+			fmt.Sprintf("%d-%d", lm.NCFirst, lm.NCLast),
+			m.TransportOf(li).String())
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\nTotals: %d MCAs, %d mPEs, %d NeuroCells, utilization %s\n",
+		m.MCAs, m.MPEs, m.NCs, report.Pct(m.TotalUtilization()))
+	pe, pt := m.ProgramCost()
+	fmt.Printf("One-off configuration cost (%s write-verify): %s J in %s s\n",
+		tech.Name, report.Sci(pe), report.Sci(pt))
+
+	if *floorplan {
+		fmt.Println()
+		fmt.Print(m.Floorplan(8))
+	}
+
+	if *best {
+		cfgE := experiments.DefaultConfig()
+		cfgE.Tech = tech
+		cfgE.Steps = 24
+		cfgE.Samples = 1
+		sizes := []int{32, 64, 128, 256}
+		bestSize, cost, err := mapping.BestMCASize(sizes, tech, func(size int) (float64, error) {
+			res, _, _, err := experiments.RunRESPARC(b, size, cfgE, true, 0)
+			if err != nil {
+				return 0, err
+			}
+			return res.Energy, nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nTechnology-aware best MCA size on %s (candidates %v, those above %d skipped): %d (%.3e J/classification)\n",
+			tech.Name, sizes, tech.MaxSize, bestSize, cost)
+	}
+}
+
+func techByName(name string) (device.Technology, error) {
+	for _, t := range device.All() {
+		if strings.EqualFold(t.Name, name) {
+			return t, nil
+		}
+	}
+	return device.Technology{}, fmt.Errorf("unknown technology %q (want PCM, Ag-Si or Spintronic)", name)
+}

@@ -1,0 +1,88 @@
+// Command resparc-noc explores the NeuroCell programmable-switch fabric
+// (Fig 6) at packet granularity: pick a traffic pattern, packet count and
+// cell dimension, and compare the simulated cycles against the ideal
+// parallel-transfer bound the architecture model uses.
+//
+// Usage:
+//
+//	resparc-noc [-dim 4] [-packets 72] [-pattern neighbor|random|hotspot|all] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"resparc/internal/neurocell"
+	"resparc/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-noc: ")
+	dim := flag.Int("dim", 4, "NeuroCell mPE grid dimension (4 = the Fig 8 cell)")
+	packets := flag.Int("packets", 72, "spike packets injected at cycle 0")
+	pattern := flag.String("pattern", "all", "traffic pattern: neighbor, random, hotspot, all")
+	seed := flag.Int64("seed", 1, "PRNG seed for random traffic")
+	flag.Parse()
+
+	sw, err := neurocell.NewSwitchNet(*dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpes := *dim * *dim
+	rng := rand.New(rand.NewSource(*seed))
+	gen := map[string]func(int) []neurocell.Transfer{
+		"neighbor": func(n int) []neurocell.Transfer {
+			out := make([]neurocell.Transfer, n)
+			for i := range out {
+				src := i % mpes
+				out[i] = neurocell.Transfer{SrcMPE: src, DstMPE: (src + 1) % mpes}
+			}
+			return out
+		},
+		"random": func(n int) []neurocell.Transfer {
+			out := make([]neurocell.Transfer, n)
+			for i := range out {
+				out[i] = neurocell.Transfer{SrcMPE: rng.Intn(mpes), DstMPE: rng.Intn(mpes)}
+			}
+			return out
+		},
+		"hotspot": func(n int) []neurocell.Transfer {
+			out := make([]neurocell.Transfer, n)
+			for i := range out {
+				out[i] = neurocell.Transfer{SrcMPE: i % (mpes - 1), DstMPE: mpes - 1}
+			}
+			return out
+		},
+	}
+	names := []string{"neighbor", "random", "hotspot"}
+	if *pattern != "all" {
+		if _, ok := gen[*pattern]; !ok {
+			log.Fatalf("unknown pattern %q", *pattern)
+		}
+		names = []string{*pattern}
+	}
+
+	fmt.Printf("%dx%d NeuroCell, %d switches, %d packets\n\n", *dim, *dim, sw.Switches(), *packets)
+	t := report.NewTable("switch-fabric simulation",
+		"Pattern", "Ideal cycles", "Simulated", "Slowdown", "Hops", "Max queue")
+	for _, name := range names {
+		st, err := sw.Simulate(gen[name](*packets))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ideal := sw.IdealCycles(*packets)
+		t.Add(name, fmt.Sprintf("%d", ideal), fmt.Sprintf("%d", st.Cycles),
+			report.F(float64(st.Cycles)/float64(ideal)),
+			fmt.Sprintf("%d", st.Hops), fmt.Sprintf("%d", st.MaxQueue))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nload balance (forwards per switch, last pattern):")
+	st, _ := sw.Simulate(gen[names[len(names)-1]](*packets))
+	for i, f := range st.Forwards {
+		fmt.Printf("  switch %d: %d\n", i, f)
+	}
+}

@@ -1,0 +1,125 @@
+// Command resparc-sim runs one Fig 10 benchmark on RESPARC and the CMOS
+// baseline and prints the per-classification comparison.
+//
+// Usage:
+//
+//	resparc-sim [-bench mnist-mlp] [-mca 64] [-steps 48] [-samples 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"resparc/internal/bench"
+	"resparc/internal/core"
+	"resparc/internal/dataset"
+	"resparc/internal/experiments"
+	"resparc/internal/report"
+	"resparc/internal/snn"
+	"resparc/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-sim: ")
+	name := flag.String("bench", "mnist-mlp", "benchmark: mnist-mlp|svhn-mlp|cifar-mlp|mnist-cnn|svhn-cnn|cifar-cnn")
+	mca := flag.Int("mca", 64, "MCA (crossbar) size")
+	steps := flag.Int("steps", 48, "SNN timesteps per classification")
+	samples := flag.Int("samples", 3, "dataset samples to average over")
+	traceFile := flag.String("trace", "", "write a per-(step,layer) JSONL event trace of one classification to this file")
+	flag.Parse()
+
+	b, err := bench.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Steps = *steps
+	cfg.Samples = *samples
+	p, err := experiments.RunPair(b, *mca, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s, %s) on RESPARC-%d vs CMOS baseline\n\n", b.Name, b.App, b.Connectivity, *mca)
+	t := report.NewTable("Per-classification results", "Metric", "RESPARC", "CMOS")
+	t.Add("Energy (J)", report.Sci(p.RESPARC.Energy), report.Sci(p.CMOS.Energy))
+	t.Add("Latency (s)", report.Sci(p.RESPARC.Latency), report.Sci(p.CMOS.Latency))
+	t.Add("Throughput (cls/s)", report.F(p.RESPARC.Throughput()), report.F(p.CMOS.Throughput()))
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	bd := report.NewTable("RESPARC energy breakdown", "Component", "Energy (J)", "Share")
+	total := p.RRep.Energy.Total()
+	bd.Add("Neuron", report.Sci(p.RRep.Energy.Neuron), report.Pct(p.RRep.Energy.Neuron/total))
+	bd.Add("Crossbar", report.Sci(p.RRep.Energy.Crossbar), report.Pct(p.RRep.Energy.Crossbar/total))
+	bd.Add("Peripherals", report.Sci(p.RRep.Energy.Peripherals), report.Pct(p.RRep.Energy.Peripherals/total))
+	bd.Render(os.Stdout)
+	fmt.Println()
+
+	cd := report.NewTable("CMOS energy breakdown", "Component", "Energy (J)", "Share")
+	ct := p.CRep.Energy.Total()
+	cd.Add("Core", report.Sci(p.CRep.Energy.Core), report.Pct(p.CRep.Energy.Core/ct))
+	cd.Add("Memory Access", report.Sci(p.CRep.Energy.MemoryAccess), report.Pct(p.CRep.Energy.MemoryAccess/ct))
+	cd.Add("Memory Leakage", report.Sci(p.CRep.Energy.MemoryLeakage), report.Pct(p.CRep.Energy.MemoryLeakage/ct))
+	cd.Render(os.Stdout)
+	fmt.Println()
+
+	bkd := p.RRep.Breakdown
+	lt := report.NewTable("RESPARC latency breakdown (cycles)", "Phase", "Cycles", "Share")
+	totalCyc := float64(bkd.Total())
+	lt.Add("Global control sync", fmt.Sprintf("%d", bkd.Sync), report.Pct(float64(bkd.Sync)/totalCyc))
+	lt.Add("IO bus broadcast", fmt.Sprintf("%d", bkd.Bus), report.Pct(float64(bkd.Bus)/totalCyc))
+	lt.Add("Switch delivery", fmt.Sprintf("%d", bkd.Delivery), report.Pct(float64(bkd.Delivery)/totalCyc))
+	lt.Add("Mux integration", fmt.Sprintf("%d", bkd.Integrate), report.Pct(float64(bkd.Integrate)/totalCyc))
+	lt.Add("Spike drain", fmt.Sprintf("%d", bkd.Drain), report.Pct(float64(bkd.Drain)/totalCyc))
+	lt.Render(os.Stdout)
+	fmt.Printf("bottleneck: %s; pipelined throughput %.3g cls/s (interval %d cycles/step)\n\n",
+		bkd.Bottleneck(),
+		p.RRep.PipelinedThroughput(*steps**samples, cfg.Params.NCCycle())*float64(*samples),
+		p.RRep.PipelineInterval(*steps**samples))
+
+	fmt.Printf("Energy gain: %s   Speedup: %s\n",
+		report.Gain(p.Compared.EnergyGain), report.Gain(p.Compared.Speedup))
+	fmt.Printf("Mapping: %d MCAs, %d mPEs, %d NeuroCells, utilization %s\n",
+		p.Mapping.MCAs, p.Mapping.MPEs, p.Mapping.NCs, report.Pct(p.Mapping.TotalUtilization()))
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, b, p, cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceFile)
+	}
+}
+
+// writeTrace re-runs one classification with tracing enabled and writes the
+// JSONL event stream.
+func writeTrace(path string, b bench.Benchmark, p experiments.Pair, cfg experiments.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	net := p.Mapping.Net
+	opt := core.DefaultOptions()
+	opt.Params = cfg.Params
+	opt.Steps = cfg.Steps
+	opt.Trace = w
+	chip, err := core.New(net, p.Mapping, opt)
+	if err != nil {
+		return err
+	}
+	set := dataset.Generate(b.Dataset, 1, cfg.Seed+100)
+	img, err := bench.PrepareInput(set.Samples[0].Input, set.Shape, net.Input)
+	if err != nil {
+		return err
+	}
+	_, rep := chip.Classify(bench.NormalizeIntensity(img), snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	if rep.TraceError != nil {
+		return rep.TraceError
+	}
+	return w.Flush()
+}

@@ -1,0 +1,163 @@
+// Command resparc-train runs the full software pipeline for one synthetic
+// dataset: train an ANN, convert it to a spiking network (weight/threshold
+// balancing), quantize to memristor precision, and report ANN/SNN accuracy
+// across precisions — the per-dataset slice of Fig 14(a).
+//
+// Usage:
+//
+//	resparc-train [-dataset digits] [-hidden 64] [-epochs 10] [-train 500] [-test 100] [-steps 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"resparc/internal/ann"
+	"resparc/internal/dataset"
+	"resparc/internal/quant"
+	"resparc/internal/report"
+	"resparc/internal/snn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-train: ")
+	dsName := flag.String("dataset", "digits", "dataset: digits|streetdigits|objects")
+	hidden := flag.Int("hidden", 64, "hidden layer width")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	trainN := flag.Int("train", 500, "training samples")
+	testN := flag.Int("test", 100, "test samples")
+	steps := flag.Int("steps", 100, "SNN timesteps per classification")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	dump := flag.String("dump", "", "directory to export the first 10 test images as PGM/PPM")
+	save := flag.String("save", "", "write the converted SNN to this file (gob)")
+	load := flag.String("load", "", "skip training and load a previously saved SNN")
+	flag.Parse()
+
+	var kind dataset.Kind
+	switch *dsName {
+	case "digits":
+		kind = dataset.Digits
+	case "streetdigits":
+		kind = dataset.StreetDigits
+	case "objects":
+		kind = dataset.Objects
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+
+	train := dataset.Generate(kind, *trainN, *seed)
+	test := dataset.Generate(kind, *testN, *seed+1)
+	if *dump != "" {
+		if err := dumpImages(*dump, test); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote sample images to %s\n", *dump)
+	}
+
+	var net *snn.Network
+	annAcc := 1.0
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err = snn.ReadNetwork(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %q (%d neurons, %d synapses) from %s\n",
+			net.Name, net.HiddenNeurons(), net.Synapses(), *load)
+	} else {
+		rng := rand.New(rand.NewSource(*seed + 2))
+		mlp := ann.NewMLP(train.Shape.Size(), []int{*hidden}, train.Classes, rng)
+		tc := ann.DefaultTrainConfig()
+		tc.Epochs = *epochs
+		tc.LR = 0.01
+		tc.Seed = *seed
+		fmt.Printf("training %d-%d-%d MLP on %s (%d samples, %d epochs)...\n",
+			train.Shape.Size(), *hidden, train.Classes, kind, *trainN, *epochs)
+		loss := mlp.Train(train, tc)
+		annAcc = mlp.Evaluate(test)
+		fmt.Printf("final epoch loss %.4f, ANN test accuracy %s\n\n", loss, report.Pct(annAcc))
+
+		calib, _ := train.Split(minInt(100, *trainN))
+		var err error
+		net, err = snn.FromANN(kind.String(), mlp, calib)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = snn.WriteNetwork(f, net)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved converted SNN to %s\n", *save)
+	}
+
+	t := report.NewTable("SNN accuracy vs weight precision (Fig 14a slice)",
+		"Precision", "Accuracy", "Relative to ANN")
+	for _, bits := range []int{1, 2, 4, 8} {
+		q, err := quant.QuantizeNetwork(net, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := snn.Evaluate(q, test, snn.NewPoissonEncoder(0.9, *seed+5), *steps)
+		t.Add(fmt.Sprintf("%d-bit", bits), report.Pct(acc), report.F(acc/annAcc))
+	}
+	accFull := snn.Evaluate(net, test, snn.NewPoissonEncoder(0.9, *seed+5), *steps)
+	t.Add("full", report.Pct(accFull), report.F(accFull/annAcc))
+	t.Render(os.Stdout)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dumpImages writes the first samples as PGM (grayscale) or PPM (RGB).
+func dumpImages(dir string, set *dataset.Set) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := minInt(10, len(set.Samples))
+	for i := 0; i < n; i++ {
+		s := set.Samples[i]
+		ext := "pgm"
+		if set.Shape.C == 3 {
+			ext = "ppm"
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%02d-label%d.%s", set.Name, i, s.Label, ext))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if set.Shape.C == 3 {
+			err = dataset.WritePPM(f, s.Input, set.Shape)
+		} else {
+			err = dataset.WritePGM(f, s.Input, set.Shape)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package resparc reproduces "RESPARC: A Reconfigurable and Energy-Efficient
+// Architecture with Memristive Crossbars for Deep Spiking Neural Networks"
+// (Ankit et al., DAC 2017).
+//
+// The library lives under internal/: the spiking-network model and its
+// training/conversion substrates, the memristive-crossbar and device models,
+// the three-tier reconfigurable architecture simulator (mPE, NeuroCell,
+// RESPARC core), the mapper, the optimized CMOS baseline, and an experiment
+// harness regenerating every figure and table of the paper's evaluation.
+// See README.md, DESIGN.md and EXPERIMENTS.md, the runnable programs in
+// cmd/ and examples/, and bench_test.go for the per-figure benchmark
+// harness.
+package resparc

@@ -1,0 +1,3 @@
+module resparc
+
+go 1.22

@@ -1,0 +1,123 @@
+package resparc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resparc/internal/ann"
+	"resparc/internal/bench"
+	"resparc/internal/cmosbase"
+	"resparc/internal/core"
+	"resparc/internal/dataset"
+	"resparc/internal/mapping"
+	"resparc/internal/quant"
+	"resparc/internal/snn"
+	"resparc/internal/trace"
+)
+
+// TestEndToEndPipeline exercises the full downstream-user flow across every
+// public package: generate data, train an ANN, convert to an SNN, quantize
+// to memristor precision, serialize and reload, map onto the hierarchy,
+// simulate on both architectures with tracing, and inspect the floorplan.
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end flow; skipped with -short")
+	}
+	// 1. Data + training.
+	train := dataset.Generate(dataset.Digits, 250, 1)
+	test := dataset.Generate(dataset.Digits, 50, 2)
+	rng := rand.New(rand.NewSource(3))
+	mlp := ann.NewMLP(train.Shape.Size(), []int{32}, 10, rng)
+	tc := ann.DefaultTrainConfig()
+	tc.Epochs = 5
+	tc.LR = 0.01
+	tc.Momentum = 0.5
+	mlp.Train(train, tc)
+	annAcc := mlp.Evaluate(test)
+	if annAcc < 0.6 {
+		t.Fatalf("training failed: %.2f", annAcc)
+	}
+
+	// 2. Conversion + quantization.
+	calib, _ := train.Split(60)
+	net, err := snn.FromANN("e2e", mlp, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet, err := quant.QuantizeNetwork(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snnAcc := snn.Evaluate(qnet, test, snn.NewPoissonEncoder(0.9, 4), 80)
+	if snnAcc < annAcc-0.2 {
+		t.Fatalf("conversion lost too much: ANN %.2f SNN %.2f", annAcc, snnAcc)
+	}
+
+	// 3. Serialize, reload, verify identity.
+	var buf bytes.Buffer
+	if err := snn.WriteNetwork(&buf, qnet); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := snn.ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Map and inspect.
+	m, err := mapping.Map(loaded, mapping.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := m.Floorplan(2); !strings.Contains(fp, "NC 0:") {
+		t.Fatal("floorplan malformed")
+	}
+	if e, tm := m.ProgramCost(); e <= 0 || tm <= 0 {
+		t.Fatal("program cost malformed")
+	}
+
+	// 5. Simulate on RESPARC with a trace, and on the CMOS baseline.
+	var traceBuf bytes.Buffer
+	opt := core.DefaultOptions()
+	opt.Steps = 24
+	opt.Trace = trace.NewWriter(&traceBuf)
+	chip, err := core.New(loaded, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := bench.NormalizeIntensity(test.Samples[0].Input)
+	rRes, rRep := chip.Classify(img, snn.NewPoissonEncoder(0.8, 5))
+	if rRep.TraceError != nil {
+		t.Fatal(rRep.TraceError)
+	}
+	if err := opt.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Read(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != opt.Steps*len(loaded.Layers) {
+		t.Fatalf("%d trace events", len(events))
+	}
+
+	bopt := cmosbase.DefaultOptions()
+	bopt.Steps = 24
+	base, err := cmosbase.New(loaded, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, cRep := base.Classify(img, snn.NewPoissonEncoder(0.8, 5))
+
+	// 6. The cross-architecture invariants.
+	if rRep.Predicted != cRep.Predicted {
+		t.Fatalf("architectures disagree: %d vs %d", rRep.Predicted, cRep.Predicted)
+	}
+	if cRes.Energy <= rRes.Energy {
+		t.Fatalf("RESPARC must win on energy: %.3g vs %.3g", rRes.Energy, cRes.Energy)
+	}
+	if cRes.Latency <= rRes.Latency {
+		t.Fatalf("RESPARC must win on latency: %.3g vs %.3g", rRes.Latency, cRes.Latency)
+	}
+}

@@ -1,0 +1,388 @@
+// Package ann implements the offline supervised-training substrate the
+// paper relies on ("RESPARC has been trained offline using supervised
+// training algorithms [4]"). It provides plain-Go stochastic-gradient
+// backpropagation for the two network families RESPARC accelerates:
+// multi-layer perceptrons (Dense layers) and convolutional networks
+// (Conv + AvgPool layers).
+//
+// Networks trained here are converted to spiking networks by
+// internal/snn using the weight/threshold-balancing method of Diehl et
+// al. (the paper's reference [4]); to keep that conversion faithful the
+// trainable layers use ReLU activations and no biases.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resparc/internal/tensor"
+)
+
+// Layer is one differentiable network stage. Forward caches whatever state
+// Backward needs; Backward consumes the gradient w.r.t. the layer output,
+// applies an SGD update with the given learning rate, and returns the
+// gradient w.r.t. the layer input.
+type Layer interface {
+	// InSize and OutSize are the flattened input/output lengths.
+	InSize() int
+	OutSize() int
+	Forward(in tensor.Vec) tensor.Vec
+	Backward(grad tensor.Vec, lr float64) tensor.Vec
+}
+
+// Dense is a fully connected layer with optional ReLU activation.
+// Weights are stored as an Out x In matrix (row = output neuron), the same
+// connectivity-matrix orientation that is mapped onto crossbar columns.
+type Dense struct {
+	W    *tensor.Mat // Out x In
+	ReLU bool
+	// Momentum in [0, 1) accumulates a velocity term per weight; 0 is
+	// plain SGD.
+	Momentum float64
+
+	vel     *tensor.Mat
+	lastIn  tensor.Vec
+	lastPre tensor.Vec
+	gradIn  tensor.Vec
+}
+
+// NewDense returns a Dense layer with He-initialized weights drawn from rng.
+func NewDense(in, out int, relu bool, rng *rand.Rand) *Dense {
+	d := &Dense{W: tensor.NewMat(out, in), ReLU: relu}
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// InSize returns the input length.
+func (d *Dense) InSize() int { return d.W.Cols }
+
+// OutSize returns the number of output neurons.
+func (d *Dense) OutSize() int { return d.W.Rows }
+
+// Forward computes ReLU(W*in) (or W*in when ReLU is disabled).
+func (d *Dense) Forward(in tensor.Vec) tensor.Vec {
+	d.lastIn = in
+	d.lastPre = d.W.MulVec(in, d.lastPre)
+	out := d.lastPre.Clone()
+	if d.ReLU {
+		for i, v := range out {
+			if v < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+// Backward applies the SGD update and returns dLoss/dIn.
+func (d *Dense) Backward(grad tensor.Vec, lr float64) tensor.Vec {
+	if len(grad) != d.OutSize() {
+		panic(fmt.Sprintf("ann: Dense.Backward grad len %d != %d", len(grad), d.OutSize()))
+	}
+	local := grad
+	if d.ReLU {
+		local = grad.Clone()
+		for i := range local {
+			if d.lastPre[i] <= 0 {
+				local[i] = 0
+			}
+		}
+	}
+	if d.gradIn == nil {
+		d.gradIn = tensor.NewVec(d.InSize())
+	}
+	d.gradIn.Fill(0)
+	if d.Momentum > 0 && d.vel == nil {
+		d.vel = tensor.NewMat(d.W.Rows, d.W.Cols)
+	}
+	for r := 0; r < d.W.Rows; r++ {
+		g := local[r]
+		if g == 0 && d.Momentum == 0 {
+			continue
+		}
+		row := d.W.Row(r)
+		if d.Momentum > 0 {
+			vrow := d.vel.Row(r)
+			for c, w := range row {
+				d.gradIn[c] += w * g
+				vrow[c] = d.Momentum*vrow[c] - lr*g*d.lastIn[c]
+				row[c] = w + vrow[c]
+			}
+			continue
+		}
+		for c, w := range row {
+			d.gradIn[c] += w * g
+			row[c] = w - lr*g*d.lastIn[c]
+		}
+	}
+	return d.gradIn
+}
+
+// SetMomentum configures the momentum coefficient.
+func (d *Dense) SetMomentum(m float64) { d.Momentum = m }
+
+// Conv is a 2-D convolution layer with shared kernels and optional ReLU.
+// Weights are stored as an OutC x (K*K*InC) matrix: one kernel per row,
+// indexed exactly as tensor.ConvGeom's kIdx.
+type Conv struct {
+	Geom tensor.ConvGeom
+	W    *tensor.Mat // OutC x K*K*InC
+	ReLU bool
+	// Momentum in [0, 1); 0 is plain SGD.
+	Momentum float64
+
+	vel     *tensor.Mat
+	out     tensor.Shape3
+	lastIn  tensor.Vec
+	lastPre tensor.Vec
+	gradIn  tensor.Vec
+}
+
+// NewConv returns a Conv layer for the geometry with He-initialized kernels.
+// It panics on inconsistent geometry (construction-time programming error).
+func NewConv(geom tensor.ConvGeom, relu bool, rng *rand.Rand) *Conv {
+	out, err := geom.OutShape()
+	if err != nil {
+		panic("ann: " + err.Error())
+	}
+	c := &Conv{Geom: geom, W: tensor.NewMat(geom.OutC, geom.FanIn()), ReLU: relu, out: out}
+	std := math.Sqrt(2.0 / float64(geom.FanIn()))
+	for i := range c.W.Data {
+		c.W.Data[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+// InSize returns the flattened input volume size.
+func (c *Conv) InSize() int { return c.Geom.In.Size() }
+
+// OutSize returns the flattened output volume size.
+func (c *Conv) OutSize() int { return c.out.Size() }
+
+// OutShape returns the output volume.
+func (c *Conv) OutShape() tensor.Shape3 { return c.out }
+
+// Forward computes the convolution (channel-minor layout).
+func (c *Conv) Forward(in tensor.Vec) tensor.Vec {
+	if len(in) != c.InSize() {
+		panic(fmt.Sprintf("ann: Conv.Forward input len %d != %d", len(in), c.InSize()))
+	}
+	c.lastIn = in
+	if c.lastPre == nil {
+		c.lastPre = tensor.NewVec(c.OutSize())
+	}
+	c.lastPre.Fill(0)
+	outC := c.out.C
+	// Walk taps once; outIdx encodes the output channel as outIdx % outC.
+	_ = c.Geom.ForEachTap(func(outIdx, inIdx, kIdx int) {
+		if inIdx < 0 {
+			return
+		}
+		oc := outIdx % outC
+		c.lastPre[outIdx] += c.W.At(oc, kIdx) * in[inIdx]
+	})
+	out := c.lastPre.Clone()
+	if c.ReLU {
+		for i, v := range out {
+			if v < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+// Backward applies the SGD update to the shared kernels and returns
+// dLoss/dIn.
+func (c *Conv) Backward(grad tensor.Vec, lr float64) tensor.Vec {
+	if len(grad) != c.OutSize() {
+		panic(fmt.Sprintf("ann: Conv.Backward grad len %d != %d", len(grad), c.OutSize()))
+	}
+	local := grad
+	if c.ReLU {
+		local = grad.Clone()
+		for i := range local {
+			if c.lastPre[i] <= 0 {
+				local[i] = 0
+			}
+		}
+	}
+	if c.gradIn == nil {
+		c.gradIn = tensor.NewVec(c.InSize())
+	}
+	c.gradIn.Fill(0)
+	outC := c.out.C
+	gradW := tensor.NewMat(c.W.Rows, c.W.Cols)
+	_ = c.Geom.ForEachTap(func(outIdx, inIdx, kIdx int) {
+		if inIdx < 0 {
+			return
+		}
+		g := local[outIdx]
+		if g == 0 {
+			return
+		}
+		oc := outIdx % outC
+		c.gradIn[inIdx] += c.W.At(oc, kIdx) * g
+		gradW.Set(oc, kIdx, gradW.At(oc, kIdx)+g*c.lastIn[inIdx])
+	})
+	if c.Momentum > 0 {
+		if c.vel == nil {
+			c.vel = tensor.NewMat(c.W.Rows, c.W.Cols)
+		}
+		for i := range c.W.Data {
+			c.vel.Data[i] = c.Momentum*c.vel.Data[i] - lr*gradW.Data[i]
+			c.W.Data[i] += c.vel.Data[i]
+		}
+		return c.gradIn
+	}
+	for i := range c.W.Data {
+		c.W.Data[i] -= lr * gradW.Data[i]
+	}
+	return c.gradIn
+}
+
+// SetMomentum configures the momentum coefficient.
+func (c *Conv) SetMomentum(m float64) { c.Momentum = m }
+
+// AvgPool is a K x K average-pooling (sub-sampling) layer with stride K.
+// Average pooling is the SNN-friendly sub-sampling used by converted deep
+// SNNs: it is a fixed linear layer with weight 1/K² and therefore maps onto
+// crossbars like any other connectivity matrix.
+type AvgPool struct {
+	Geom tensor.ConvGeom // OutC == In.C, K == Stride, Pad == 0
+	out  tensor.Shape3
+
+	gradIn tensor.Vec
+}
+
+// NewAvgPool returns a K x K, stride-K average pooling layer over the input
+// volume.
+func NewAvgPool(in tensor.Shape3, k int) *AvgPool {
+	geom := tensor.ConvGeom{In: in, K: k, Stride: k, Pad: 0, OutC: in.C}
+	out, err := geom.OutShape()
+	if err != nil {
+		panic("ann: " + err.Error())
+	}
+	return &AvgPool{Geom: geom, out: out}
+}
+
+// InSize returns the flattened input volume size.
+func (p *AvgPool) InSize() int { return p.Geom.In.Size() }
+
+// OutSize returns the flattened output volume size.
+func (p *AvgPool) OutSize() int { return p.out.Size() }
+
+// OutShape returns the output volume.
+func (p *AvgPool) OutShape() tensor.Shape3 { return p.out }
+
+// Forward averages each K x K window per channel.
+func (p *AvgPool) Forward(in tensor.Vec) tensor.Vec {
+	if len(in) != p.InSize() {
+		panic(fmt.Sprintf("ann: AvgPool.Forward input len %d != %d", len(in), p.InSize()))
+	}
+	out := tensor.NewVec(p.OutSize())
+	inv := 1.0 / float64(p.Geom.K*p.Geom.K)
+	k, s := p.Geom.K, p.Geom.Stride
+	for oy := 0; oy < p.out.H; oy++ {
+		for ox := 0; ox < p.out.W; ox++ {
+			for c := 0; c < p.out.C; c++ {
+				var sum float64
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						sum += in[p.Geom.In.Index(oy*s+ky, ox*s+kx, c)]
+					}
+				}
+				out[p.out.Index(oy, ox, c)] = sum * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward distributes gradients uniformly over each pooling window.
+func (p *AvgPool) Backward(grad tensor.Vec, _ float64) tensor.Vec {
+	if p.gradIn == nil {
+		p.gradIn = tensor.NewVec(p.InSize())
+	}
+	p.gradIn.Fill(0)
+	inv := 1.0 / float64(p.Geom.K*p.Geom.K)
+	k, s := p.Geom.K, p.Geom.Stride
+	for oy := 0; oy < p.out.H; oy++ {
+		for ox := 0; ox < p.out.W; ox++ {
+			for c := 0; c < p.out.C; c++ {
+				g := grad[p.out.Index(oy, ox, c)] * inv
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						p.gradIn[p.Geom.In.Index(oy*s+ky, ox*s+kx, c)] += g
+					}
+				}
+			}
+		}
+	}
+	return p.gradIn
+}
+
+// Network is an ordered stack of layers trained with softmax cross-entropy
+// on the final layer's output.
+type Network struct {
+	Input  tensor.Shape3
+	Layers []Layer
+}
+
+// NewNetwork validates that consecutive layer sizes agree and returns the
+// network.
+func NewNetwork(input tensor.Shape3, layers ...Layer) (*Network, error) {
+	size := input.Size()
+	for i, l := range layers {
+		if l.InSize() != size {
+			return nil, fmt.Errorf("ann: layer %d expects input %d, previous produces %d", i, l.InSize(), size)
+		}
+		size = l.OutSize()
+	}
+	return &Network{Input: input, Layers: layers}, nil
+}
+
+// Forward runs the full stack and returns the final (pre-softmax) output.
+func (n *Network) Forward(in tensor.Vec) tensor.Vec {
+	x := in
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Predict returns the argmax class for the input.
+func (n *Network) Predict(in tensor.Vec) int { return n.Forward(in).ArgMax() }
+
+// Softmax returns the softmax of logits (numerically stabilized).
+func Softmax(logits tensor.Vec) tensor.Vec {
+	out := tensor.NewVec(len(logits))
+	m := logits.Max()
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TrainSample runs one SGD step on (in, label) and returns the
+// cross-entropy loss before the update.
+func (n *Network) TrainSample(in tensor.Vec, label int, lr float64) float64 {
+	logits := n.Forward(in)
+	probs := Softmax(logits)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	grad := probs.Clone()
+	grad[label] -= 1
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad, lr)
+	}
+	return loss
+}

@@ -1,0 +1,299 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/dataset"
+	"resparc/internal/tensor"
+)
+
+func TestDenseForward(t *testing.T) {
+	d := &Dense{W: tensor.NewMat(2, 3), ReLU: false}
+	copy(d.W.Data, []float64{1, 0, 0, 0, 1, 0})
+	out := d.Forward(tensor.Vec{3, -4, 5})
+	if out[0] != 3 || out[1] != -4 {
+		t.Fatalf("Forward = %v", out)
+	}
+	d.ReLU = true
+	out = d.Forward(tensor.Vec{3, -4, 5})
+	if out[0] != 3 || out[1] != 0 {
+		t.Fatalf("ReLU Forward = %v", out)
+	}
+}
+
+func TestDenseSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(5, 3, true, rng)
+	if d.InSize() != 5 || d.OutSize() != 3 {
+		t.Fatalf("sizes %d %d", d.InSize(), d.OutSize())
+	}
+}
+
+// Numeric-gradient check for Dense backward.
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(4, 3, true, rng)
+	in := tensor.Vec{0.5, -0.3, 0.8, 0.1}
+	loss := func() float64 {
+		out := d.Forward(in)
+		var s float64
+		for _, v := range out {
+			s += v * v
+		}
+		return 0.5 * s
+	}
+	base := d.W.Clone()
+	// Analytic input gradient with lr=0 (no update).
+	out := d.Forward(in)
+	gradIn := d.Backward(out, 0)
+	copy(d.W.Data, base.Data)
+	const eps = 1e-6
+	for i := range in {
+		in[i] += eps
+		lp := loss()
+		in[i] -= 2 * eps
+		lm := loss()
+		in[i] += eps
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-gradIn[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("input grad %d: analytic %v numeric %v", i, gradIn[i], num)
+		}
+	}
+}
+
+// Dense weight update must move the loss downhill.
+func TestDenseUpdateReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(6, 4, false, rng)
+	in := tensor.NewVec(6)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	lossOf := func() float64 {
+		out := d.Forward(in)
+		var s float64
+		for _, v := range out {
+			s += v * v
+		}
+		return 0.5 * s
+	}
+	before := lossOf()
+	out := d.Forward(in)
+	d.Backward(out, 0.05)
+	after := lossOf()
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestConvForwardKnown(t *testing.T) {
+	// 3x3 single-channel input, 2x2 kernel of all ones, stride 1:
+	// output[oy][ox] = sum of the 2x2 window.
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 3, W: 3, C: 1}, K: 2, Stride: 1, Pad: 0, OutC: 1}
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv(geom, false, rng)
+	c.W.Data.Fill(1)
+	in := tensor.Vec{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := c.Forward(in)
+	want := tensor.Vec{12, 16, 24, 28}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestConvGradCheck(t *testing.T) {
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 4, W: 4, C: 2}, K: 3, Stride: 1, Pad: 1, OutC: 2}
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv(geom, true, rng)
+	in := tensor.NewVec(c.InSize())
+	for i := range in {
+		in[i] = rng.NormFloat64() * 0.5
+	}
+	loss := func() float64 {
+		out := c.Forward(in)
+		var s float64
+		for _, v := range out {
+			s += v * v
+		}
+		return 0.5 * s
+	}
+	out := c.Forward(in)
+	gradIn := c.Backward(out, 0)
+	const eps = 1e-6
+	for _, i := range []int{0, 5, 13, 31} {
+		in[i] += eps
+		lp := loss()
+		in[i] -= 2 * eps
+		lm := loss()
+		in[i] += eps
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-gradIn[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("conv input grad %d: analytic %v numeric %v", i, gradIn[i], num)
+		}
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	p := NewAvgPool(tensor.Shape3{H: 4, W: 4, C: 1}, 2)
+	in := tensor.Vec{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	out := p.Forward(in)
+	want := tensor.Vec{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pool out = %v, want %v", out, want)
+		}
+	}
+	if p.OutSize() != 4 || p.InSize() != 16 {
+		t.Fatalf("sizes %d %d", p.InSize(), p.OutSize())
+	}
+	// Backward spreads gradient equally: each input gets grad/4.
+	grad := tensor.Vec{4, 8, 12, 16}
+	gin := p.Backward(grad, 0)
+	if gin[0] != 1 || gin[3] != 2 || gin[15] != 4 {
+		t.Fatalf("pool grad = %v", gin)
+	}
+}
+
+func TestAvgPoolMultiChannel(t *testing.T) {
+	p := NewAvgPool(tensor.Shape3{H: 2, W: 2, C: 2}, 2)
+	in := tensor.Vec{1, 10, 2, 20, 3, 30, 4, 40}
+	out := p.Forward(in)
+	if out[0] != 2.5 || out[1] != 25 {
+		t.Fatalf("multichannel pool = %v", out)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, err := NewNetwork(tensor.Shape3{H: 1, W: 1, C: 4},
+		NewDense(4, 3, true, rng), NewDense(5, 2, false, rng))
+	if err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	n, err := NewNetwork(tensor.Shape3{H: 1, W: 1, C: 4},
+		NewDense(4, 3, true, rng), NewDense(3, 2, false, rng))
+	if err != nil || len(n.Layers) != 2 {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax(tensor.Vec{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	// Stability with huge logits.
+	p = Softmax(tensor.Vec{1000, 0})
+	if math.IsNaN(p[0]) || p[0] < 0.999 {
+		t.Fatalf("softmax unstable: %v", p)
+	}
+}
+
+// Property: softmax output is a probability distribution.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.Abs(a) > 1e6 || math.Abs(b) > 1e6 || math.Abs(c) > 1e6 {
+			return true
+		}
+		p := Softmax(tensor.Vec{a, b, c})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainSampleReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewMLP(8, []int{16}, 3, rng)
+	in := tensor.NewVec(8)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	first := n.TrainSample(in, 1, 0.1)
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = n.TrainSample(in, 1, 0.1)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+// End-to-end: a small MLP must learn the digit dataset well above chance.
+func TestMLPLearnsDigits(t *testing.T) {
+	train := dataset.Generate(dataset.Digits, 300, 10)
+	test := dataset.Generate(dataset.Digits, 100, 11)
+	rng := rand.New(rand.NewSource(6))
+	n := NewMLP(train.Shape.Size(), []int{48}, 10, rng)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 6
+	n.Train(train, cfg)
+	acc := n.Evaluate(test)
+	if acc < 0.7 {
+		t.Fatalf("MLP accuracy %.2f < 0.7", acc)
+	}
+}
+
+// End-to-end: a small CNN must learn digits above chance.
+func TestCNNLearnsDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training is slow; skipped with -short")
+	}
+	train := dataset.Generate(dataset.Digits, 200, 12)
+	test := dataset.Generate(dataset.Digits, 60, 13)
+	rng := rand.New(rand.NewSource(7))
+	shape := train.Shape
+	conv := NewConv(tensor.ConvGeom{In: shape, K: 5, Stride: 2, Pad: 0, OutC: 6}, true, rng)
+	pool := NewAvgPool(conv.OutShape(), 2)
+	fc := NewDense(pool.OutSize(), 10, false, rng)
+	n, err := NewNetwork(shape, conv, pool, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.LR = 0.01
+	n.Train(train, cfg)
+	acc := n.Evaluate(test)
+	if acc < 0.5 {
+		t.Fatalf("CNN accuracy %.2f < 0.5", acc)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewMLP(4, nil, 2, rng)
+	if got := n.Evaluate(&dataset.Set{}); got != 0 {
+		t.Fatalf("Evaluate on empty set = %v", got)
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewMLP(4, []int{5}, 3, rng)
+	p := n.Predict(tensor.Vec{0.1, 0.2, 0.3, 0.4})
+	if p < 0 || p > 2 {
+		t.Fatalf("Predict = %d", p)
+	}
+}

@@ -1,0 +1,92 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resparc/internal/dataset"
+	"resparc/internal/tensor"
+)
+
+// With momentum, a constant gradient accumulates velocity: the second step
+// moves farther than the first.
+func TestMomentumAccumulates(t *testing.T) {
+	d := &Dense{W: tensor.NewMat(1, 1), Momentum: 0.9}
+	d.W.Set(0, 0, 0)
+	in := tensor.Vec{1}
+	// dLoss/dOut = 1 constantly.
+	d.Forward(in)
+	d.Backward(tensor.Vec{1}, 0.1)
+	w1 := d.W.At(0, 0)
+	step1 := math.Abs(w1) // lr*grad = 0.1
+	d.Forward(in)
+	d.Backward(tensor.Vec{1}, 0.1)
+	step2 := math.Abs(d.W.At(0, 0) - w1) // 0.9*0.1 + 0.1 = 0.19
+	if math.Abs(step1-0.1) > 1e-12 {
+		t.Fatalf("first step %v, want 0.1", step1)
+	}
+	if math.Abs(step2-0.19) > 1e-12 {
+		t.Fatalf("second step %v, want 0.19 (velocity accumulation)", step2)
+	}
+}
+
+// Momentum 0 must be bit-identical to the plain SGD path.
+func TestZeroMomentumMatchesPlainSGD(t *testing.T) {
+	mk := func(momentum float64) *Dense {
+		rng := rand.New(rand.NewSource(1))
+		d := NewDense(4, 3, true, rng)
+		d.Momentum = momentum
+		return d
+	}
+	a, b := mk(0), mk(0)
+	b.SetMomentum(0)
+	in := tensor.Vec{0.5, -0.2, 0.8, 0.1}
+	for i := 0; i < 5; i++ {
+		ga := a.Forward(in)
+		gb := b.Forward(in)
+		a.Backward(ga, 0.05)
+		b.Backward(gb, 0.05)
+	}
+	for i := range a.W.Data {
+		if a.W.Data[i] != b.W.Data[i] {
+			t.Fatal("paths diverged")
+		}
+	}
+}
+
+// Conv momentum mechanics: velocity accumulates on shared kernels too.
+func TestConvMomentum(t *testing.T) {
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 2, W: 2, C: 1}, K: 2, Stride: 1, Pad: 0, OutC: 1}
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv(geom, false, rng)
+	c.SetMomentum(0.9)
+	in := tensor.Vec{1, 1, 1, 1}
+	c.Forward(in)
+	before := c.W.Data.Clone()
+	c.Backward(tensor.Vec{1}, 0.01)
+	d1 := math.Abs(c.W.Data[0] - before[0])
+	mid := c.W.Data.Clone()
+	c.Forward(in)
+	c.Backward(tensor.Vec{1}, 0.01)
+	d2 := math.Abs(c.W.Data[0] - mid[0])
+	if d2 <= d1 {
+		t.Fatalf("conv momentum did not accumulate: %v then %v", d1, d2)
+	}
+}
+
+// Training with momentum must still learn (end-to-end sanity).
+func TestTrainWithMomentum(t *testing.T) {
+	train := dataset.Generate(dataset.Digits, 200, 50)
+	test := dataset.Generate(dataset.Digits, 60, 51)
+	rng := rand.New(rand.NewSource(52))
+	n := NewMLP(train.Shape.Size(), []int{32}, 10, rng)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.LR = 0.005
+	cfg.Momentum = 0.9
+	n.Train(train, cfg)
+	if acc := n.Evaluate(test); acc < 0.6 {
+		t.Fatalf("momentum training accuracy %.2f", acc)
+	}
+}

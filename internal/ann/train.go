@@ -1,0 +1,92 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resparc/internal/dataset"
+	"resparc/internal/tensor"
+)
+
+// TrainConfig controls the SGD trainer.
+type TrainConfig struct {
+	Epochs   int
+	LR       float64 // initial learning rate
+	LRDecay  float64 // multiplicative decay per epoch (1 = none)
+	Momentum float64 // velocity coefficient in [0,1); 0 = plain SGD
+	Seed     int64   // sample-shuffle seed
+	Verbose  bool
+}
+
+// momentumSetter is implemented by trainable layers.
+type momentumSetter interface{ SetMomentum(float64) }
+
+// DefaultTrainConfig is a reasonable starting point for the synthetic
+// datasets.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 5, LR: 0.02, LRDecay: 0.8, Seed: 1}
+}
+
+// Train runs epoch-wise SGD over the set and returns the mean loss of the
+// final epoch.
+func (n *Network) Train(set *dataset.Set, cfg TrainConfig) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lr := cfg.LR
+	if cfg.Momentum > 0 {
+		for _, l := range n.Layers {
+			if ms, ok := l.(momentumSetter); ok {
+				ms.SetMomentum(cfg.Momentum)
+			}
+		}
+	}
+	order := make([]int, len(set.Samples))
+	for i := range order {
+		order[i] = i
+	}
+	var meanLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			s := set.Samples[idx]
+			total += n.TrainSample(s.Input, s.Label, lr)
+		}
+		meanLoss = total / float64(len(order))
+		if cfg.Verbose {
+			fmt.Printf("epoch %d: loss=%.4f lr=%.4f\n", e, meanLoss, lr)
+		}
+		lr *= cfg.LRDecay
+	}
+	return meanLoss
+}
+
+// Evaluate returns classification accuracy of the network on the set.
+func (n *Network) Evaluate(set *dataset.Set) float64 {
+	if len(set.Samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range set.Samples {
+		if n.Predict(s.Input) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(set.Samples))
+}
+
+// NewMLP builds a ReLU MLP with the given hidden sizes and a linear output
+// layer of size classes, suitable for SNN conversion.
+func NewMLP(input int, hidden []int, classes int, rng *rand.Rand) *Network {
+	layers := make([]Layer, 0, len(hidden)+1)
+	prev := input
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, true, rng))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, classes, false, rng))
+	n, err := NewNetwork(tensor.Shape3{H: 1, W: 1, C: input}, layers...)
+	if err != nil {
+		panic("ann: " + err.Error()) // sizes are constructed consistently above
+	}
+	return n
+}

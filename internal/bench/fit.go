@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology fitting: the paper's Fig 10 publishes only per-network totals
+// (layers / neurons / synapses). The functions here search layer shapes
+// matching those totals under this repository's counting convention —
+// they are the tool that produced the shapes hard-coded in this package
+// (DESIGN.md §5), shipped so the reconstruction is reproducible and so
+// users can fit their own paper-style benchmark specs.
+
+// FitMLP finds hidden-layer widths (hidden layers count = layers-1, plus
+// the 10-wide classifier) whose neuron total equals wantNeurons exactly and
+// whose synapse count is as close as possible to wantSynapses. It returns
+// the hidden widths and the achieved synapse count.
+func FitMLP(input, layers, classes, wantNeurons, wantSynapses int) ([]int, int, error) {
+	nHidden := layers - 1
+	if nHidden < 1 || nHidden > 4 {
+		return nil, 0, fmt.Errorf("bench: FitMLP supports 2-5 weight layers, got %d", layers)
+	}
+	hsum := wantNeurons - classes
+	if hsum < nHidden {
+		return nil, 0, fmt.Errorf("bench: %d neurons cannot fill %d hidden layers", wantNeurons, nHidden)
+	}
+	synapses := func(hs []int) int {
+		s := 0
+		prev := input
+		for _, h := range hs {
+			s += prev * h
+			prev = h
+		}
+		return s + prev*classes
+	}
+	best := math.MaxInt
+	var bestHS []int
+	consider := func(hs []int) {
+		s := synapses(hs)
+		d := s - wantSynapses
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best = d
+			bestHS = append([]int(nil), hs...)
+		}
+	}
+	const step = 2
+	switch nHidden {
+	case 1:
+		consider([]int{hsum})
+	case 2:
+		for h1 := 1; h1 < hsum; h1 += step {
+			consider([]int{h1, hsum - h1})
+		}
+	case 3:
+		for h1 := step; h1 < hsum; h1 += step {
+			for h2 := step; h1+h2 < hsum; h2 += step {
+				consider([]int{h1, h2, hsum - h1 - h2})
+			}
+		}
+	case 4:
+		for h1 := step; h1 < hsum; h1 += 4 {
+			for h2 := step; h1+h2 < hsum; h2 += 4 {
+				for h3 := step; h1+h2+h3 < hsum; h3 += 4 {
+					consider([]int{h1, h2, h3, hsum - h1 - h2 - h3})
+				}
+			}
+		}
+	}
+	if bestHS == nil {
+		return nil, 0, fmt.Errorf("bench: no MLP shape found")
+	}
+	return bestHS, synapses(bestHS), nil
+}
+
+// CNNFit is the result of FitCNN for the 6-layer family used by every CNN
+// benchmark: conv3x3 (same pad) x C1 -> pool2 -> conv3x3 (same pad) x C2 ->
+// pool2 -> fc F -> fc 10.
+type CNNFit struct {
+	C1, C2, F         int
+	Neurons, Synapses int
+}
+
+// FitCNN searches channel counts and classifier width for a square HxW
+// grayscale input. The classifier width F is solved exactly from the neuron
+// total for each (C1, C2), so the search is O(C1max * C2max).
+func FitCNN(hw, wantNeurons, wantSynapses int) (CNNFit, error) {
+	if hw < 8 || hw%4 != 0 {
+		return CNNFit{}, fmt.Errorf("bench: FitCNN wants an input size divisible by 4, got %d", hw)
+	}
+	h2 := hw / 2
+	h4 := hw / 4
+	bestErr := math.MaxFloat64
+	var bestFit CNNFit
+	for c1 := 4; c1 <= 256; c1++ {
+		for c2 := 4; c2 <= 256; c2++ {
+			fixed := hw*hw*c1 + h2*h2*c1 + h2*h2*c2 + h4*h4*c2 + 10
+			fExact := wantNeurons - fixed
+			if fExact < 10 {
+				continue
+			}
+			// Sweep the classifier width around the neuron-exact value:
+			// widening trades a small neuron error for synapse accuracy.
+			lo := fExact - 256
+			if lo < 10 {
+				lo = 10
+			}
+			for f := lo; f <= fExact+256; f++ {
+				s := hw*hw*c1*9 + h2*h2*c1*4 + h2*h2*c2*9*c1 + h4*h4*c2*4 + h4*h4*c2*f + 10*f
+				n := fixed + f
+				en := math.Abs(float64(n-wantNeurons)) / float64(wantNeurons)
+				es := math.Abs(float64(s-wantSynapses)) / float64(wantSynapses)
+				e := math.Max(en, es)
+				if e < bestErr {
+					bestErr = e
+					bestFit = CNNFit{C1: c1, C2: c2, F: f, Neurons: n, Synapses: s}
+				}
+			}
+		}
+	}
+	if bestErr == math.MaxFloat64 {
+		return CNNFit{}, fmt.Errorf("bench: no CNN shape found")
+	}
+	return bestFit, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// The solver must reproduce shapes matching every published MLP total.
+func TestFitMLPReproducesFig10(t *testing.T) {
+	cases := []struct {
+		name              string
+		input, layers     int
+		neurons, synapses int
+	}{
+		{"mnist-mlp", 784, 4, 2378, 1902400},
+		{"svhn-mlp", 1024, 4, 2778, 2778000},
+		{"cifar-mlp", 1024, 5, 3778, 3778000},
+	}
+	for _, c := range cases {
+		hs, syn, err := FitMLP(c.input, c.layers, 10, c.neurons, c.synapses)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(hs) != c.layers-1 {
+			t.Fatalf("%s: %d hidden layers", c.name, len(hs))
+		}
+		total := 10
+		for _, h := range hs {
+			if h < 1 {
+				t.Fatalf("%s: non-positive width in %v", c.name, hs)
+			}
+			total += h
+		}
+		if total != c.neurons {
+			t.Fatalf("%s: neurons %d != %d", c.name, total, c.neurons)
+		}
+		if rel := math.Abs(float64(syn-c.synapses)) / float64(c.synapses); rel > 0.001 {
+			t.Fatalf("%s: synapses %d deviate %.4f from %d", c.name, syn, rel, c.synapses)
+		}
+	}
+}
+
+// The solver must reproduce the CNN family fits within 0.1%.
+func TestFitCNNReproducesFig10(t *testing.T) {
+	cases := []struct {
+		name              string
+		hw                int
+		neurons, synapses int
+	}{
+		{"mnist-cnn", 28, 66778, 1484288},
+		{"svhn-cnn", 32, 124570, 2941952},
+		{"cifar-cnn", 32, 231066, 5524480},
+	}
+	for _, c := range cases {
+		fit, err := FitCNN(c.hw, c.neurons, c.synapses)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		en := math.Abs(float64(fit.Neurons-c.neurons)) / float64(c.neurons)
+		es := math.Abs(float64(fit.Synapses-c.synapses)) / float64(c.synapses)
+		if en > 0.001 || es > 0.001 {
+			t.Fatalf("%s: fit %+v deviates %.4f/%.4f", c.name, fit, en, es)
+		}
+	}
+}
+
+// The shipped mnist-cnn shape must be (one of) the solver's answers: the
+// fit achieves at least the shipped shape's accuracy.
+func TestFitMatchesShippedShapes(t *testing.T) {
+	fit, err := FitCNN(28, 66778, 1484288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.C1 != 66 || fit.C2 != 8 || fit.F != 86 {
+		// A different optimum is acceptable only if strictly better.
+		shippedN, shippedS := 66736, 1484972
+		en := math.Abs(float64(fit.Neurons - 66778))
+		es := math.Abs(float64(fit.Synapses - 1484288))
+		if en > math.Abs(float64(shippedN-66778)) || es > math.Abs(float64(shippedS-1484288)) {
+			t.Fatalf("fit %+v worse than the shipped shape", fit)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, _, err := FitMLP(784, 1, 10, 2378, 1902400); err == nil {
+		t.Fatal("1 layer accepted")
+	}
+	if _, _, err := FitMLP(784, 4, 10, 5, 100); err == nil {
+		t.Fatal("impossible neuron budget accepted")
+	}
+	if _, err := FitCNN(30, 1000, 1000); err == nil {
+		t.Fatal("non-divisible input accepted")
+	}
+}

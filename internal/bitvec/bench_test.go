@@ -1,0 +1,49 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBits(b *testing.B, n int, density float64) *Bits {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bits := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			bits.Set(i)
+		}
+	}
+	return bits
+}
+
+// BenchmarkForEachSet walks a 15%-dense 4096-bit spike vector — the inner
+// loop of event-driven propagation.
+func BenchmarkForEachSet(b *testing.B) {
+	bits := benchBits(b, 4096, 0.15)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits.ForEachSet(func(j int) { sink += j })
+	}
+	_ = sink
+}
+
+// BenchmarkZeroPackets measures the zero-check scan used by the
+// event-driven transfer gating.
+func BenchmarkZeroPackets(b *testing.B) {
+	bits := benchBits(b, 4096, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits.ZeroPackets(64)
+	}
+}
+
+// BenchmarkCount measures popcount over a 4096-bit vector.
+func BenchmarkCount(b *testing.B) {
+	bits := benchBits(b, 4096, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits.Count()
+	}
+}

@@ -1,0 +1,156 @@
+// Package bitvec provides a compact bit vector used for spike trains: one
+// bit per neuron per timestep. Spike-based (0/1) information transfer is the
+// defining property of SNN computation (paper §2.1), and the zero-run
+// statistics of these vectors drive the event-driven energy optimizations of
+// §3.2 and Fig 13.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bits is a fixed-length bit vector.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bit vector of length n.
+func New(n int) *Bits {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bits) Set(i int) {
+	b.check(i)
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear sets bit i to 0.
+func (b *Bits) Clear(i int) {
+	b.check(i)
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (b *Bits) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Reset clears every bit.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits (the spike count).
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of b.
+func (b *Bits) Clone() *Bits {
+	c := New(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEachSet calls fn(i) for every set bit in ascending order. This is the
+// hot path of the event-driven SNN simulator, so it walks words and uses
+// trailing-zero counts rather than testing every bit.
+func (b *Bits) ForEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set-bit indices as a slice (test convenience).
+func (b *Bits) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEachSet(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ZeroPackets returns how many aligned packets of the given bit width are
+// all zero, and the total number of packets. This models the "zero-check
+// logic" of §3.2: a spike packet whose bits are all zero is insignificant
+// and its transfer can be suppressed. Packet widths are expected to be
+// powers of two up to 64 in the hardware (a packet is at most one bus word),
+// but any positive width is accepted; the final partial packet counts as a
+// packet and is zero-checked over its valid bits only.
+func (b *Bits) ZeroPackets(width int) (zero, total int) {
+	if width <= 0 {
+		panic(fmt.Sprintf("bitvec: packet width %d", width))
+	}
+	for start := 0; start < b.n; start += width {
+		end := start + width
+		if end > b.n {
+			end = b.n
+		}
+		total++
+		if b.rangeZero(start, end) {
+			zero++
+		}
+	}
+	return zero, total
+}
+
+// rangeZero reports whether bits [start, end) are all zero.
+func (b *Bits) rangeZero(start, end int) bool {
+	for i := start; i < end; {
+		if i&63 == 0 && end-i >= 64 {
+			if b.words[i>>6] != 0 {
+				return false
+			}
+			i += 64
+			continue
+		}
+		if b.Get(i) {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Density returns the fraction of set bits (0 for an empty vector).
+func (b *Bits) Density() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.Count()) / float64(b.n)
+}

@@ -1,0 +1,32 @@
+package bitvec_test
+
+import (
+	"fmt"
+
+	"resparc/internal/bitvec"
+)
+
+// Zero-check gating in one picture: a sparse spike vector packs into
+// packets, and all-zero packets can be suppressed before transfer (§3.2).
+func ExampleBits_ZeroPackets() {
+	spikes := bitvec.New(128)
+	spikes.Set(3)
+	spikes.Set(70)
+	zero, total := spikes.ZeroPackets(32)
+	fmt.Printf("%d of %d packets suppressed, %d spikes survive\n",
+		zero, total, spikes.Count())
+	// Output:
+	// 2 of 4 packets suppressed, 2 spikes survive
+}
+
+func ExampleBits_ForEachSet() {
+	b := bitvec.New(100)
+	b.Set(2)
+	b.Set(64)
+	b.Set(99)
+	b.ForEachSet(func(i int) { fmt.Println(i) })
+	// Output:
+	// 2
+	// 64
+	// 99
+}

@@ -1,0 +1,37 @@
+package cmosbase
+
+import (
+	"testing"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// Parallel batches reduce deterministically to the single-worker result.
+func TestClassifyBatchParallelDeterministic(t *testing.T) {
+	net := mlp(t, 61)
+	b, err := New(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []tensor.Vec{
+		denseIntensity(net.Input.Size(), 62),
+		denseIntensity(net.Input.Size(), 63),
+		denseIntensity(net.Input.Size(), 64),
+	}
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 200+int64(i)) }
+	serial, sRep, err := b.ClassifyBatchParallel(inputs, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, pRep, err := b.ClassifyBatchParallel(inputs, factory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Energy != par.Energy || serial.Latency != par.Latency || sRep.Counts != pRep.Counts {
+		t.Fatalf("parallel diverged: %+v vs %+v", sRep.Counts, pRep.Counts)
+	}
+	if _, _, err := b.ClassifyBatchParallel(nil, factory, 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

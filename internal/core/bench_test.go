@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/mapping"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// BenchmarkClassify measures one full transaction-level classification of a
+// 784-512-10 MLP (16 timesteps) on RESPARC.
+func BenchmarkClassify(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := tensor.NewMat(512, 784)
+	w2 := tensor.NewMat(10, 512)
+	for i := range w1.Data {
+		w1.Data[i] = rng.NormFloat64() * 0.02
+	}
+	for i := range w2.Data {
+		w2.Data[i] = rng.NormFloat64() * 0.02
+	}
+	l1, err := snn.NewDense("h", 784, 512, w1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l2, err := snn.NewDense("o", 512, 10, w2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := snn.NewNetwork("bench", tensor.Shape3{H: 28, W: 28, C: 1}, l1, l2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := mapping.DefaultConfig()
+	mc.Tech = device.PCM
+	m, err := mapping.Map(net, mc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Steps = 16
+	chip, err := New(net, m, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := tensor.NewVec(784)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Classify(img, snn.NewPoissonEncoder(0.8, 2))
+	}
+}

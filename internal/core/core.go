@@ -1,0 +1,630 @@
+// Package core implements RESPARC itself — the paper's primary
+// contribution: the reconfigurable core that pools NeuroCells on a global IO
+// bus with an SRAM input memory and a global control unit (§3.1.3, Fig 3),
+// and its transaction-level performance/energy simulator.
+//
+// The simulator composes RTL-calibrated per-event energies (internal/energy)
+// over event counts extracted from the functional SNN simulation — exactly
+// the paper's methodology (§4.2). It scales to the largest Fig 10 benchmark
+// (231k neurons, 5.5M synapses) because it never materializes crossbar
+// weights: it walks the mapping's MCA input lists against the spike vectors
+// of each timestep.
+//
+// Its event counts (and cycle counts) are validated against the cycle-level
+// NeuroCell simulator (internal/neurocell) on small networks.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/energy"
+	"resparc/internal/mapping"
+	"resparc/internal/perf"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/trace"
+)
+
+// Options configure one simulation.
+type Options struct {
+	Params energy.Params
+	// EventDriven enables the zero-check gating of §3.2 (Fig 13's "w/"
+	// configuration). When false, every packet and bus word transfers and
+	// every mapped MCA is activated and integrated each timestep.
+	EventDriven bool
+	// PacketWidth is the spike-packet width in bits (64 in Fig 8; Fig 13's
+	// run-length discussion motivates sweeping it).
+	PacketWidth int
+	// Steps is the number of SNN timesteps per classification.
+	Steps int
+	// Trace, when non-nil, receives one event per (timestep, layer) — see
+	// internal/trace. Classification results are unaffected.
+	Trace *trace.Writer
+}
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{Params: energy.Default45nm(), EventDriven: true, PacketWidth: 64, Steps: 64}
+}
+
+// Counters are the raw event counts of one classification.
+type Counters struct {
+	Cycles             int
+	BusWords           int
+	BusWordsSuppressed int
+	PacketsDelivered   int
+	PacketsSuppressed  int
+	MCAActivations     int
+	RowsDriven         int
+	Integrations       int
+	Spikes             int
+	ExtTransfers       int
+}
+
+// CycleBreakdown splits the cycle count by pipeline phase — the latency
+// "roofline" showing whether a benchmark is bound by global control, the
+// shared bus, switch delivery, time-multiplexed integration or spike
+// drain.
+type CycleBreakdown struct {
+	Sync, Bus, Delivery, Integrate, Drain int
+}
+
+// Total sums the phases.
+func (c CycleBreakdown) Total() int {
+	return c.Sync + c.Bus + c.Delivery + c.Integrate + c.Drain
+}
+
+// Bottleneck names the dominant phase.
+func (c CycleBreakdown) Bottleneck() string {
+	names := []string{"sync", "bus", "delivery", "integrate", "drain"}
+	vals := []int{c.Sync, c.Bus, c.Delivery, c.Integrate, c.Drain}
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return names[best]
+}
+
+// Report is the full outcome of one classification on RESPARC.
+type Report struct {
+	Energy    perf.RESPARCEnergy
+	Latency   float64 // seconds
+	Counts    Counters
+	Predicted int
+	// LayerCycles accumulates cycles per layer stage over the run — the
+	// basis of the pipelined-throughput analysis (Fig 7a: layers inside
+	// NeuroCells process different timesteps concurrently).
+	LayerCycles []int
+	// BusCycles is the portion of Cycles spent on the shared global bus;
+	// bus phases of different stages cannot overlap.
+	BusCycles int
+	// Breakdown splits the total cycles by pipeline phase.
+	Breakdown CycleBreakdown
+	// TraceError records the first trace-write failure, if tracing was
+	// enabled (the simulation itself is unaffected).
+	TraceError error
+}
+
+// PipelineInterval returns the steady-state initiation interval (cycles per
+// timestep) when layer stages are pipelined as in Fig 7(a): bounded below
+// by the slowest stage and by the serialization of the shared bus.
+func (r Report) PipelineInterval(steps int) int {
+	if steps <= 0 {
+		return 0
+	}
+	max := r.BusCycles
+	for _, c := range r.LayerCycles {
+		if c > max {
+			max = c
+		}
+	}
+	return (max + steps - 1) / steps
+}
+
+// PipelinedThroughput returns classifications per second in pipelined
+// steady state, given the NeuroCell cycle time.
+func (r Report) PipelinedThroughput(steps int, cycleSeconds float64) float64 {
+	ii := r.PipelineInterval(steps)
+	if ii == 0 {
+		return 0
+	}
+	return 1 / (float64(ii*steps) * cycleSeconds)
+}
+
+// Chip is a mapped network ready for simulation.
+type Chip struct {
+	Net *snn.Network
+	Map *mapping.Mapping
+	Opt Options
+
+	sram energy.SRAM
+	// ownerMPE per layer per group: the mPE holding the group's neurons.
+	owner [][]int32
+}
+
+// New validates and prepares a chip for the mapped network.
+func New(net *snn.Network, m *mapping.Mapping, opt Options) (*Chip, error) {
+	if m.Net != net {
+		return nil, fmt.Errorf("core: mapping belongs to a different network")
+	}
+	if opt.PacketWidth < 1 || opt.PacketWidth > 64 {
+		return nil, fmt.Errorf("core: packet width %d out of [1,64]", opt.PacketWidth)
+	}
+	if opt.Steps < 1 {
+		return nil, fmt.Errorf("core: steps %d", opt.Steps)
+	}
+	c := &Chip{Net: net, Map: m, Opt: opt}
+	// Input SRAM sized for the largest spike vector staged between layers.
+	maxBits := net.Input.Size()
+	for _, l := range net.Layers {
+		if n := l.OutSize(); n > maxBits {
+			maxBits = n
+		}
+	}
+	bytes := maxBits / 8
+	if bytes < 1024 {
+		bytes = 1024
+	}
+	c.sram = energy.NewSRAM(bytes)
+	c.owner = make([][]int32, len(m.Layers))
+	for li := range m.Layers {
+		lm := &m.Layers[li]
+		owner := make([]int32, lm.Groups)
+		for i := range owner {
+			owner[i] = -1
+		}
+		for ai := range lm.MCAs {
+			g := lm.MCAs[ai].Group
+			if owner[g] < 0 {
+				owner[g] = int32(lm.MCAs[ai].MPE)
+			}
+		}
+		c.owner[li] = owner
+	}
+	return c, nil
+}
+
+// observer accumulates events and energy during a run.
+type observer struct {
+	chip        *Chip
+	cnt         Counters
+	e           perf.RESPARCEnergy
+	layerCycles []int
+	busCycles   int
+	breakdown   CycleBreakdown
+	scratch     [][]int32 // per-layer active-MCA count per group
+	traceErr    error
+}
+
+func (o *observer) groupScratch(li, groups int) []int32 {
+	if o.scratch == nil {
+		o.scratch = make([][]int32, len(o.chip.Map.Layers))
+	}
+	if o.scratch[li] == nil {
+		o.scratch[li] = make([]int32, groups)
+	}
+	return o.scratch[li]
+}
+
+// ObserveStep implements snn.Observer: it charges one timestep's events.
+func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	c := o.chip
+	p := c.Opt.Params
+	w := c.Opt.PacketWidth
+	ed := c.Opt.EventDriven
+	if o.layerCycles == nil {
+		o.layerCycles = make([]int, len(c.Map.Layers))
+	}
+	cur := input
+	for li := range c.Map.Layers {
+		lm := &c.Map.Layers[li]
+		prevCnt := o.cnt
+		prevE := o.e
+
+		// ---- Global control: event-flag synchronization (flags are read
+		// eight NeuroCells per access) ----
+		syncCycles := p.SyncCyclesPerNC * ((lm.NCLast - lm.NCFirst + 1 + 7) / 8)
+		o.cnt.Cycles += syncCycles
+		o.breakdown.Sync += syncCycles
+
+		// ---- Global bus & SRAM (§3.1.3) ----
+		if c.Map.CrossNC(li) {
+			zero, total := cur.ZeroPackets(w)
+			sent := total - zero
+			if !ed {
+				sent = total
+				zero = 0
+			}
+			o.e.Peripherals += float64(total) * p.ZeroCheck
+			// Producer write to SRAM + broadcast read: two bus transactions
+			// and two SRAM accesses per surviving word (layer 0 is loaded by
+			// the host, so only the broadcast read applies).
+			per := 2.0
+			if li == 0 {
+				per = 1.0
+			}
+			o.e.Peripherals += float64(sent) * per * (p.BusWord + c.sram.AccessEnergy())
+			o.cnt.BusWords += sent
+			o.cnt.BusWordsSuppressed += zero
+			// Broadcast serializes on the bus, several words per cycle.
+			busCycles := (sent + p.BusWordsPerCycle - 1) / p.BusWordsPerCycle
+			o.cnt.Cycles += busCycles
+			o.busCycles += busCycles
+			o.breakdown.Bus += busCycles
+		}
+
+		// ---- Switch network delivery + MCA activity ----
+		// Spike packets are the width-bit aligned words of the producer
+		// layer's spike vector, zero-checked at the sending switch (§3.2)
+		// and delivered once per target mPE (the mPE's buffers fan a word
+		// out to its resident MCAs). Precompute word occupancy once.
+		nonzeroWord := wordOccupancy(cur, w)
+		delivered := 0
+		maxMux := int32(0)
+		ga := o.groupScratch(li, lm.Groups)
+		for i := range ga {
+			ga[i] = 0
+		}
+		// Per-mPE delivery accounting: MCAs of one mPE are contiguous in
+		// allocation order.
+		curMPE := -1
+		mpeWords := map[int]bool{}
+		flushMPE := func() {
+			for word := range mpeWords {
+				o.e.Peripherals += p.ZeroCheck
+				if nonzeroWord[word] || !ed {
+					delivered++
+					o.e.Peripherals += p.SwitchHop + 2*p.BufferAccess
+				} else {
+					o.cnt.PacketsSuppressed++
+				}
+			}
+			mpeWords = map[int]bool{}
+		}
+		for ai := range lm.MCAs {
+			mca := &lm.MCAs[ai]
+			if mca.MPE != curMPE {
+				flushMPE()
+				curMPE = mca.MPE
+			}
+			rows := 0
+			ins := mca.Inputs
+			lastWord := -1
+			for _, in := range ins {
+				word := int(in) / w
+				if word != lastWord {
+					lastWord = word
+					mpeWords[word] = true
+				}
+				if cur.Get(int(in)) {
+					rows++
+				}
+			}
+
+			active := rows > 0
+			if !ed {
+				active = true
+			}
+			if !active {
+				continue
+			}
+			o.cnt.MCAActivations++
+			o.cnt.RowsDriven += rows
+			o.e.Peripherals += p.MPEControl
+			// Crossbar: every cross-point on a driven row conducts; used
+			// cells at programmed conductance, idle cells at the GMin pair
+			// (unless the counterfactual column gating is enabled).
+			usedPerRow := 0.0
+			if len(ins) > 0 {
+				usedPerRow = float64(mca.Taps) / float64(len(ins))
+			}
+			idlePerRow := float64(c.Map.Cfg.MCASize) - usedPerRow
+			if p.GateIdleColumns {
+				idlePerRow = 0
+			}
+			o.e.Crossbar += float64(rows) * (usedPerRow*p.XbarCellActive + idlePerRow*p.XbarCellActive*p.XbarIdleFrac)
+			// Neuron integration of this MCA's columns.
+			o.cnt.Integrations += len(mca.Outputs)
+			o.e.Neuron += float64(len(mca.Outputs)) * p.NeuronIntegrate
+			if int32(mca.MPE) != c.owner[li][mca.Group] {
+				o.cnt.ExtTransfers++
+			}
+			if ga[mca.Group]++; ga[mca.Group] > maxMux {
+				maxMux = ga[mca.Group]
+			}
+		}
+		flushMPE()
+		o.cnt.PacketsDelivered += delivered
+		sw := lm.Switches(c.Map.Cfg)
+		deliveryCycles := (delivered + sw - 1) / sw
+		o.cnt.Cycles += deliveryCycles
+		o.breakdown.Delivery += deliveryCycles
+		integrateCycles := int(maxMux) * p.IntegrateCycles
+		o.cnt.Cycles += integrateCycles
+		o.breakdown.Integrate += integrateCycles
+
+		// ---- Fire ----
+		out := layers[li]
+		spikes := out.Count()
+		o.cnt.Spikes += spikes
+		o.e.Neuron += float64(spikes) * p.NeuronSpike
+		// Every spike is handled by the peripherals: oBUFF write, tBUFF
+		// target lookup, packet assembly.
+		o.e.Peripherals += float64(spikes) * p.SpikeHandling
+		// Spikes drain through the mPEs' output ports in parallel, one per
+		// mPE per cycle.
+		if spikes > 0 || maxMux > 0 {
+			mpes := lm.MPELast - lm.MPEFirst + 1
+			drainCycles := (spikes + mpes - 1) / mpes
+			if spikes == 0 {
+				drainCycles++ // threshold-check cycle with no spikes
+			}
+			o.cnt.Cycles += drainCycles
+			o.breakdown.Drain += drainCycles
+		}
+		o.layerCycles[li] += o.cnt.Cycles - prevCnt.Cycles
+
+		// Optional trace: per-(step, layer) deltas.
+		if c.Opt.Trace != nil {
+			dc := o.cnt
+			de := o.e.Total() - prevE.Total()
+			err := c.Opt.Trace.Write(trace.Event{
+				Step: step, Layer: li, Name: lm.Layer.Name,
+				InputSpikes:  cur.Count(),
+				OutputSpikes: out.Count(),
+				Packets:      dc.PacketsDelivered - prevCnt.PacketsDelivered,
+				Suppressed:   dc.PacketsSuppressed - prevCnt.PacketsSuppressed,
+				BusWords:     dc.BusWords - prevCnt.BusWords,
+				Activations:  dc.MCAActivations - prevCnt.MCAActivations,
+				RowsDriven:   dc.RowsDriven - prevCnt.RowsDriven,
+				EnergyJ:      de,
+			})
+			if err != nil && o.traceErr == nil {
+				o.traceErr = err
+			}
+		}
+		cur = out
+	}
+}
+
+// Classify simulates one classification and returns the result plus the
+// detailed report.
+func (c *Chip) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
+	st := snn.NewState(c.Net)
+	obs := &observer{chip: c}
+	run := st.RunObserved(intensity, enc, c.Opt.Steps, obs)
+	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
+	rep := Report{
+		Energy: obs.e, Latency: lat, Counts: obs.cnt, Predicted: run.Prediction,
+		LayerCycles: obs.layerCycles, BusCycles: obs.busCycles,
+		Breakdown: obs.breakdown, TraceError: obs.traceErr,
+	}
+	res := perf.Result{
+		Arch:    "resparc",
+		Network: c.Net.Name,
+		Energy:  obs.e.Total(),
+		Latency: lat,
+		Steps:   c.Opt.Steps,
+	}
+	return res, rep
+}
+
+// ClassifyBatch averages energy/latency over several inputs (the paper
+// reports per-classification averages).
+func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result, Report, error) {
+	if len(inputs) == 0 {
+		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
+	}
+	var total Report
+	for _, in := range inputs {
+		_, rep := c.Classify(in, enc)
+		total.Energy.Neuron += rep.Energy.Neuron
+		total.Energy.Crossbar += rep.Energy.Crossbar
+		total.Energy.Peripherals += rep.Energy.Peripherals
+		total.Latency += rep.Latency
+		total.Counts = addCounters(total.Counts, rep.Counts)
+		total.BusCycles += rep.BusCycles
+		total.Breakdown = addBreakdown(total.Breakdown, rep.Breakdown)
+		if total.LayerCycles == nil {
+			total.LayerCycles = make([]int, len(rep.LayerCycles))
+		}
+		for li, cyc := range rep.LayerCycles {
+			total.LayerCycles[li] += cyc
+		}
+	}
+	n := float64(len(inputs))
+	avg := Report{
+		Energy: perf.RESPARCEnergy{
+			Neuron:      total.Energy.Neuron / n,
+			Crossbar:    total.Energy.Crossbar / n,
+			Peripherals: total.Energy.Peripherals / n,
+		},
+		Latency:     total.Latency / n,
+		Counts:      total.Counts,
+		BusCycles:   total.BusCycles,
+		Breakdown:   total.Breakdown,
+		LayerCycles: total.LayerCycles,
+	}
+	res := perf.Result{
+		Arch:    "resparc",
+		Network: c.Net.Name,
+		Energy:  avg.Energy.Total(),
+		Latency: avg.Latency,
+		Steps:   c.Opt.Steps,
+	}
+	return res, avg, nil
+}
+
+// ClassifyEarlyExit classifies with time-to-first-spike decoding and stops
+// simulating the moment an output neuron fires (or after Opt.Steps if none
+// does) — the event-driven early-exit a spiking accelerator gets for free.
+// It returns the result over the steps actually simulated, the TTFS
+// prediction (-1 if silent), and the number of steps executed.
+func (c *Chip) ClassifyEarlyExit(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report, int) {
+	st := snn.NewState(c.Net)
+	obs := &observer{chip: c}
+	in := bitvec.New(c.Net.Input.Size())
+	counts := make([]int, c.Net.OutSize())
+	first := -1
+	steps := 0
+	for t := 0; t < c.Opt.Steps; t++ {
+		enc.Encode(intensity, in)
+		out := st.Step(in)
+		obs.ObserveStep(t, st.InputSpikes(), stepSpikes(st, c))
+		steps++
+		fired := false
+		out.ForEachSet(func(i int) {
+			counts[i]++
+			fired = true
+		})
+		if fired {
+			first = bestOf(counts)
+			break
+		}
+	}
+	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
+	rep := Report{
+		Energy: obs.e, Latency: lat, Counts: obs.cnt, Predicted: first,
+		LayerCycles: obs.layerCycles, BusCycles: obs.busCycles,
+		Breakdown: obs.breakdown,
+	}
+	res := perf.Result{
+		Arch: "resparc", Network: c.Net.Name,
+		Energy: obs.e.Total(), Latency: lat, Steps: steps,
+	}
+	return res, rep, steps
+}
+
+// stepSpikes adapts the state's per-layer spike vectors for the observer.
+func stepSpikes(st *snn.State, c *Chip) []*bitvec.Bits {
+	out := make([]*bitvec.Bits, len(c.Net.Layers))
+	for i := range out {
+		out[i] = st.LayerSpikes(i)
+	}
+	return out
+}
+
+func bestOf(counts []int) int {
+	best, bestN := -1, 0
+	for i, n := range counts {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// EncoderFactory builds a deterministic per-sample encoder (typically
+// snn.NewPoissonEncoder(p, seed+int64(i))), making parallel batches
+// reproducible regardless of scheduling.
+type EncoderFactory func(sample int) snn.Encoder
+
+// ClassifyBatchParallel is ClassifyBatch across worker goroutines: each
+// sample gets its own simulation state and encoder, results are reduced in
+// sample order, so the outcome is deterministic. Tracing is not supported
+// in parallel mode.
+func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
+	if len(inputs) == 0 {
+		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
+	}
+	if c.Opt.Trace != nil {
+		return perf.Result{}, Report{}, fmt.Errorf("core: tracing is not supported with parallel batches")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	reps := make([]Report, len(inputs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				_, reps[i] = c.Classify(inputs[i], enc(i))
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var total Report
+	for _, rep := range reps {
+		total.Energy.Neuron += rep.Energy.Neuron
+		total.Energy.Crossbar += rep.Energy.Crossbar
+		total.Energy.Peripherals += rep.Energy.Peripherals
+		total.Latency += rep.Latency
+		total.Counts = addCounters(total.Counts, rep.Counts)
+		total.BusCycles += rep.BusCycles
+		total.Breakdown = addBreakdown(total.Breakdown, rep.Breakdown)
+		if total.LayerCycles == nil {
+			total.LayerCycles = make([]int, len(rep.LayerCycles))
+		}
+		for li, cyc := range rep.LayerCycles {
+			total.LayerCycles[li] += cyc
+		}
+	}
+	n := float64(len(inputs))
+	avg := Report{
+		Energy: perf.RESPARCEnergy{
+			Neuron:      total.Energy.Neuron / n,
+			Crossbar:    total.Energy.Crossbar / n,
+			Peripherals: total.Energy.Peripherals / n,
+		},
+		Latency:     total.Latency / n,
+		Counts:      total.Counts,
+		LayerCycles: total.LayerCycles,
+		BusCycles:   total.BusCycles,
+		Breakdown:   total.Breakdown,
+	}
+	res := perf.Result{
+		Arch:    "resparc",
+		Network: c.Net.Name,
+		Energy:  avg.Energy.Total(),
+		Latency: avg.Latency,
+		Steps:   c.Opt.Steps,
+	}
+	return res, avg, nil
+}
+
+// wordOccupancy returns, per width-bit aligned word of the spike vector,
+// whether it contains at least one spike.
+func wordOccupancy(v *bitvec.Bits, width int) []bool {
+	n := (v.Len() + width - 1) / width
+	out := make([]bool, n)
+	v.ForEachSet(func(i int) { out[i/width] = true })
+	return out
+}
+
+func addBreakdown(a, b CycleBreakdown) CycleBreakdown {
+	a.Sync += b.Sync
+	a.Bus += b.Bus
+	a.Delivery += b.Delivery
+	a.Integrate += b.Integrate
+	a.Drain += b.Drain
+	return a
+}
+
+func addCounters(a, b Counters) Counters {
+	a.Cycles += b.Cycles
+	a.BusWords += b.BusWords
+	a.BusWordsSuppressed += b.BusWordsSuppressed
+	a.PacketsDelivered += b.PacketsDelivered
+	a.PacketsSuppressed += b.PacketsSuppressed
+	a.MCAActivations += b.MCAActivations
+	a.RowsDriven += b.RowsDriven
+	a.Integrations += b.Integrations
+	a.Spikes += b.Spikes
+	a.ExtTransfers += b.ExtTransfers
+	return a
+}

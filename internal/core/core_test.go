@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/mapping"
+	"resparc/internal/mpe"
+	"resparc/internal/neurocell"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/xbar"
+)
+
+func randDense(t *testing.T, rng *rand.Rand, in, out int, th float64) *snn.Layer {
+	t.Helper()
+	w := tensor.NewMat(out, in)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.3
+	}
+	l, err := snn.NewDense("d", in, out, w, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func smallMLP(t *testing.T, seed int64) *snn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l1 := randDense(t, rng, 40, 24, 1)
+	l2 := randDense(t, rng, 24, 10, 1)
+	net, err := snn.NewNetwork("mlp", tensor.Shape3{H: 1, W: 1, C: 40}, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func smallCNN(t *testing.T, seed int64) *snn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 8, W: 8, C: 1}, K: 3, Stride: 1, Pad: 0, OutC: 4}
+	w := tensor.NewMat(4, 9)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.4
+	}
+	conv, err := snn.NewConv("c", geom, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := snn.NewPool("p", tensor.Shape3{H: 6, W: 6, C: 4}, 2, 0.499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := randDense(t, rng, 36, 5, 1)
+	net, err := snn.NewNetwork("cnn", geom.In, conv, pool, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func mapped(t *testing.T, net *snn.Network, size int) *mapping.Mapping {
+	t.Helper()
+	cfg := mapping.DefaultConfig()
+	cfg.MCASize = size
+	cfg.Tech = device.PCM
+	m, err := mapping.Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The transaction-level model must count exactly the events the cycle-level
+// NeuroCell simulator observes — including cycles — for MLPs and CNNs.
+func TestCountsMatchCycleLevelSim(t *testing.T) {
+	for name, net := range map[string]*snn.Network{"mlp": smallMLP(t, 1), "cnn": smallCNN(t, 2)} {
+		for _, size := range []int{8, 16, 64} {
+			m := mapped(t, net, size)
+			opt := DefaultOptions()
+			opt.Steps = 25
+			chip, err := New(net, m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cyc, err := neurocell.New(net, m, mpe.Ideal, xbar.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drive both with identical spike trains.
+			intensity := tensor.NewVec(net.Input.Size())
+			rng := rand.New(rand.NewSource(3))
+			for i := range intensity {
+				intensity[i] = rng.Float64()
+			}
+			_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.8, 7))
+
+			cyc.Reset()
+			enc := snn.NewPoissonEncoder(0.8, 7)
+			in := bitvec.New(net.Input.Size())
+			for s := 0; s < opt.Steps; s++ {
+				enc.Encode(intensity, in)
+				cyc.Step(in)
+			}
+			cs := cyc.Stats
+			got := rep.Counts
+			if got.BusWords != cs.BusWords || got.BusWordsSuppressed != cs.BusWordsSuppressed {
+				t.Fatalf("%s/%d bus: %+v vs %+v", name, size, got, cs)
+			}
+			if got.PacketsDelivered != cs.PacketsDelivered || got.PacketsSuppressed != cs.PacketsSuppressed {
+				t.Fatalf("%s/%d packets: %+v vs %+v", name, size, got, cs)
+			}
+			if got.MCAActivations != cs.MCAActivations || got.RowsDriven != cs.RowsDriven {
+				t.Fatalf("%s/%d activations: %+v vs %+v", name, size, got, cs)
+			}
+			if got.Integrations != cs.Integrations || got.Spikes != cs.Spikes {
+				t.Fatalf("%s/%d integrations/spikes: %+v vs %+v", name, size, got, cs)
+			}
+			if got.ExtTransfers != cs.ExtTransfers {
+				t.Fatalf("%s/%d ext: %d vs %d", name, size, got.ExtTransfers, cs.ExtTransfers)
+			}
+			if got.Cycles != cs.Cycles {
+				t.Fatalf("%s/%d cycles: %d vs %d", name, size, got.Cycles, cs.Cycles)
+			}
+		}
+	}
+}
+
+func TestSilenceCostsOnlyZeroChecks(t *testing.T) {
+	net := smallMLP(t, 4)
+	m := mapped(t, net, 16)
+	chip, err := New(net, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensity := tensor.NewVec(net.Input.Size()) // all zero -> no spikes ever
+	_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.9, 1))
+	if rep.Counts.MCAActivations != 0 || rep.Counts.Spikes != 0 || rep.Counts.BusWords != 0 {
+		t.Fatalf("events from silence: %+v", rep.Counts)
+	}
+	if rep.Energy.Crossbar != 0 || rep.Energy.Neuron != 0 {
+		t.Fatalf("compute energy from silence: %+v", rep.Energy)
+	}
+	if rep.Energy.Peripherals <= 0 {
+		t.Fatal("zero-check energy must still be charged")
+	}
+	if rep.Counts.BusWordsSuppressed == 0 || rep.Counts.PacketsSuppressed == 0 {
+		t.Fatal("suppression counters empty")
+	}
+}
+
+// Disabling event-drivenness must increase energy (Fig 13's w/o bar) and
+// never change the classification.
+func TestEventDrivenSavesEnergy(t *testing.T) {
+	net := smallMLP(t, 5)
+	m := mapped(t, net, 16)
+	intensity := tensor.NewVec(net.Input.Size())
+	rng := rand.New(rand.NewSource(6))
+	for i := range intensity {
+		intensity[i] = 0.3 * rng.Float64() // sparse activity
+	}
+	optOn := DefaultOptions()
+	optOn.Steps = 30
+	chipOn, err := New(net, m, optOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOff := optOn
+	optOff.EventDriven = false
+	chipOff, err := New(net, m, optOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOn, repOn := chipOn.Classify(intensity, snn.NewPoissonEncoder(0.8, 9))
+	resOff, repOff := chipOff.Classify(intensity, snn.NewPoissonEncoder(0.8, 9))
+	if resOff.Energy <= resOn.Energy {
+		t.Fatalf("event-drivenness saved nothing: %v vs %v", resOn.Energy, resOff.Energy)
+	}
+	if repOn.Predicted != repOff.Predicted {
+		t.Fatal("event-drivenness changed the classification")
+	}
+	if repOff.Counts.PacketsSuppressed != 0 || repOff.Counts.BusWordsSuppressed != 0 {
+		t.Fatal("w/o mode must not suppress")
+	}
+	// Neuron energy also rises w/o event-drivenness (all MCAs integrate
+	// every step) — the Fig 13 breakdown.
+	if repOff.Energy.Neuron <= repOn.Energy.Neuron {
+		t.Fatalf("neuron energy: %v vs %v", repOn.Energy.Neuron, repOff.Energy.Neuron)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	net := smallMLP(t, 7)
+	m := mapped(t, net, 16)
+	bad := DefaultOptions()
+	bad.PacketWidth = 0
+	if _, err := New(net, m, bad); err == nil {
+		t.Fatal("packet width 0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.Steps = 0
+	if _, err := New(net, m, bad); err == nil {
+		t.Fatal("steps 0 accepted")
+	}
+	other := smallMLP(t, 8)
+	if _, err := New(other, m, DefaultOptions()); err == nil {
+		t.Fatal("foreign mapping accepted")
+	}
+}
+
+// Narrower packets suppress more often on sparse data (§5.3: zeros with
+// smaller run-lengths are more probable).
+func TestNarrowPacketsSuppressMore(t *testing.T) {
+	net := smallMLP(t, 9)
+	m := mapped(t, net, 16)
+	intensity := tensor.NewVec(net.Input.Size())
+	rng := rand.New(rand.NewSource(10))
+	for i := range intensity {
+		if rng.Float64() < 0.3 {
+			intensity[i] = 0.5
+		}
+	}
+	fracFor := func(width int) float64 {
+		opt := DefaultOptions()
+		opt.PacketWidth = width
+		opt.Steps = 40
+		chip, err := New(net, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.7, 11))
+		total := rep.Counts.PacketsDelivered + rep.Counts.PacketsSuppressed
+		if total == 0 {
+			t.Fatal("no packets at all")
+		}
+		return float64(rep.Counts.PacketsSuppressed) / float64(total)
+	}
+	if f8, f64 := fracFor(8), fracFor(64); f8 <= f64 {
+		t.Fatalf("8-bit packets should suppress more often: %v vs %v", f8, f64)
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	net := smallMLP(t, 12)
+	m := mapped(t, net, 16)
+	chip, err := New(net, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chip.ClassifyBatch(nil, snn.NewPoissonEncoder(0.5, 1)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	inputs := make([]tensor.Vec, 3)
+	rng := rand.New(rand.NewSource(13))
+	for i := range inputs {
+		inputs[i] = tensor.NewVec(net.Input.Size())
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()
+		}
+	}
+	res, rep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy <= 0 || res.Latency <= 0 || rep.Energy.Total() <= 0 {
+		t.Fatalf("batch result %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/mapping"
+	"resparc/internal/mpe"
+	"resparc/internal/neurocell"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/xbar"
+)
+
+// randomNet builds a random small network: 1-3 layers drawn from dense,
+// conv and pool kinds with consistent shapes.
+func randomNet(rng *rand.Rand) (*snn.Network, error) {
+	shape := tensor.Shape3{H: 4 + 2*rng.Intn(3), W: 4 + 2*rng.Intn(3), C: 1 + rng.Intn(2)}
+	input := shape
+	var layers []*snn.Layer
+	nLayers := 1 + rng.Intn(3)
+	for i := 0; i < nLayers; i++ {
+		switch rng.Intn(3) {
+		case 0: // dense
+			out := 4 + rng.Intn(24)
+			w := tensor.NewMat(out, shape.Size())
+			for j := range w.Data {
+				w.Data[j] = rng.NormFloat64() * 0.4
+			}
+			l, err := snn.NewDense("d", shape.Size(), out, w, 0.5+rng.Float64())
+			if err != nil {
+				return nil, err
+			}
+			l.In = shape
+			shape = tensor.Shape3{H: 1, W: 1, C: out}
+			l.Out = shape
+			layers = append(layers, l)
+		case 1: // conv
+			k := 1 + rng.Intn(3)
+			geom := tensor.ConvGeom{In: shape, K: k, Stride: 1, Pad: rng.Intn(k), OutC: 1 + rng.Intn(6)}
+			if _, err := geom.OutShape(); err != nil {
+				continue
+			}
+			w := tensor.NewMat(geom.OutC, geom.FanIn())
+			for j := range w.Data {
+				w.Data[j] = rng.NormFloat64() * 0.4
+			}
+			l, err := snn.NewConv("c", geom, w, 0.5+rng.Float64())
+			if err != nil {
+				return nil, err
+			}
+			shape = l.Out
+			layers = append(layers, l)
+		default: // pool (only if divisible)
+			if shape.H%2 != 0 || shape.W%2 != 0 || shape.H < 2 || shape.W < 2 {
+				continue
+			}
+			l, err := snn.NewPool("p", shape, 2, 0.499)
+			if err != nil {
+				return nil, err
+			}
+			shape = l.Out
+			layers = append(layers, l)
+		}
+	}
+	if len(layers) == 0 {
+		w := tensor.NewMat(8, shape.Size())
+		l, err := snn.NewDense("d", shape.Size(), 8, w, 1)
+		if err != nil {
+			return nil, err
+		}
+		l.In = shape
+		layers = append(layers, l)
+	}
+	return snn.NewNetwork("fuzz", input, layers...)
+}
+
+// Fuzz: for random topologies, random MCA sizes and random spike trains,
+// the transaction-level chip model and the cycle-level NeuroCell simulator
+// must agree on every event counter, including cycles.
+func TestFuzzCountersMatchCycleLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := randomNet(rng)
+		if err != nil {
+			return true // un-constructible random draw; skip
+		}
+		size := []int{8, 16, 32}[rng.Intn(3)]
+		mc := mapping.DefaultConfig()
+		mc.MCASize = size
+		mc.Tech = device.PCM
+		m, err := mapping.Map(net, mc)
+		if err != nil {
+			return false
+		}
+		steps := 5 + rng.Intn(10)
+		opt := DefaultOptions()
+		opt.Steps = steps
+		chip, err := New(net, m, opt)
+		if err != nil {
+			return false
+		}
+		cyc, err := neurocell.New(net, m, mpe.Ideal, xbar.Config{})
+		if err != nil {
+			return false
+		}
+		intensity := tensor.NewVec(net.Input.Size())
+		for i := range intensity {
+			intensity[i] = rng.Float64()
+		}
+		encSeed := rng.Int63()
+		_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.7, encSeed))
+
+		enc := snn.NewPoissonEncoder(0.7, encSeed)
+		in := bitvec.New(net.Input.Size())
+		for s := 0; s < steps; s++ {
+			enc.Encode(intensity, in)
+			cyc.Step(in)
+		}
+		a, b := rep.Counts, cyc.Stats
+		return a.Cycles == b.Cycles &&
+			a.BusWords == b.BusWords && a.BusWordsSuppressed == b.BusWordsSuppressed &&
+			a.PacketsDelivered == b.PacketsDelivered && a.PacketsSuppressed == b.PacketsSuppressed &&
+			a.MCAActivations == b.MCAActivations && a.RowsDriven == b.RowsDriven &&
+			a.Integrations == b.Integrations && a.Spikes == b.Spikes &&
+			a.ExtTransfers == b.ExtTransfers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

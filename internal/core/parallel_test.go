@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+func batchInputs(net *snn.Network, n int, seed int64) []tensor.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tensor.Vec, n)
+	for i := range out {
+		out[i] = tensor.NewVec(net.Input.Size())
+		for j := range out[i] {
+			out[i][j] = rng.Float64()
+		}
+	}
+	return out
+}
+
+// Parallel batches must be deterministic and equal to a single-worker run.
+func TestClassifyBatchParallelDeterministic(t *testing.T) {
+	net := smallMLP(t, 41)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 20
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(net, 6, 42)
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 100+int64(i)) }
+
+	serial, serialRep, err := chip.ClassifyBatchParallel(inputs, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parRep, err := chip.ClassifyBatchParallel(inputs, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Energy != par.Energy || serial.Latency != par.Latency {
+		t.Fatalf("parallel diverged: %v/%v vs %v/%v", serial.Energy, serial.Latency, par.Energy, par.Latency)
+	}
+	if serialRep.Counts != parRep.Counts {
+		t.Fatalf("counters diverged: %+v vs %+v", serialRep.Counts, parRep.Counts)
+	}
+	if serialRep.BusCycles != parRep.BusCycles {
+		t.Fatal("bus cycles diverged")
+	}
+	for i := range serialRep.LayerCycles {
+		if serialRep.LayerCycles[i] != parRep.LayerCycles[i] {
+			t.Fatal("layer cycles diverged")
+		}
+	}
+}
+
+func TestClassifyBatchParallelValidation(t *testing.T) {
+	net := smallMLP(t, 43)
+	m := mapped(t, net, 16)
+	chip, err := New(net, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chip.ClassifyBatchParallel(nil, func(int) snn.Encoder { return nil }, 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// Pipelined throughput: the initiation interval is bounded by the slowest
+// stage and never exceeds the sequential per-step latency.
+func TestPipelineInterval(t *testing.T) {
+	net := smallMLP(t, 44)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 20
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensity := batchInputs(net, 1, 45)[0]
+	res, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.8, 46))
+	if len(rep.LayerCycles) != len(net.Layers) {
+		t.Fatalf("LayerCycles %d", len(rep.LayerCycles))
+	}
+	sum := 0
+	for _, c := range rep.LayerCycles {
+		sum += c
+	}
+	if sum != rep.Counts.Cycles {
+		t.Fatalf("layer cycles %d don't sum to total %d", sum, rep.Counts.Cycles)
+	}
+	ii := rep.PipelineInterval(opt.Steps)
+	seqPerStep := (rep.Counts.Cycles + opt.Steps - 1) / opt.Steps
+	if ii <= 0 || ii > seqPerStep {
+		t.Fatalf("interval %d outside (0, %d]", ii, seqPerStep)
+	}
+	// Pipelined throughput must beat (or match) the sequential rate.
+	seq := res.Throughput()
+	pipe := rep.PipelinedThroughput(opt.Steps, opt.Params.NCCycle())
+	if pipe < seq {
+		t.Fatalf("pipelined throughput %v below sequential %v", pipe, seq)
+	}
+	// Degenerate inputs.
+	if rep.PipelineInterval(0) != 0 || rep.PipelinedThroughput(0, 5e-9) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+// Early exit must stop at the first output spike, costing a fraction of the
+// full run's energy and latency, and must agree with TTFS decoding of the
+// full functional run.
+func TestClassifyEarlyExit(t *testing.T) {
+	net := smallMLP(t, 81)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 40
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensity := batchInputs(net, 1, 82)[0]
+	fullRes, _ := chip.Classify(intensity, snn.NewPoissonEncoder(0.9, 83))
+	eeRes, eeRep, steps := chip.ClassifyEarlyExit(intensity, snn.NewPoissonEncoder(0.9, 83))
+	if steps <= 0 || steps > opt.Steps {
+		t.Fatalf("steps %d", steps)
+	}
+	if steps < opt.Steps {
+		if eeRes.Energy >= fullRes.Energy || eeRes.Latency >= fullRes.Latency {
+			t.Fatalf("early exit saved nothing: %v/%v vs %v/%v",
+				eeRes.Energy, eeRes.Latency, fullRes.Energy, fullRes.Latency)
+		}
+	}
+	// Agreement with the functional model's TTFS decode at the exit step.
+	st := snn.NewState(net)
+	ref := st.Run(intensity, snn.NewPoissonEncoder(0.9, 83), steps)
+	if eeRep.Predicted != ref.TTFSPrediction() {
+		t.Fatalf("early-exit predicted %d, functional TTFS %d", eeRep.Predicted, ref.TTFSPrediction())
+	}
+
+	// Silent input: runs the full budget, predicts -1.
+	silent := tensor.NewVec(net.Input.Size())
+	_, rep2, steps2 := chip.ClassifyEarlyExit(silent, snn.NewPoissonEncoder(0.9, 84))
+	if steps2 != opt.Steps || rep2.Predicted != -1 {
+		t.Fatalf("silent early exit: steps %d predicted %d", steps2, rep2.Predicted)
+	}
+}

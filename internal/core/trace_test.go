@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/trace"
+)
+
+// Tracing must record one event per (step, layer), sum to the report's
+// totals, and leave the classification untouched.
+func TestClassifyWithTrace(t *testing.T) {
+	net := smallMLP(t, 31)
+	m := mapped(t, net, 16)
+	intensity := tensor.NewVec(net.Input.Size())
+	rng := rand.New(rand.NewSource(32))
+	for i := range intensity {
+		intensity[i] = rng.Float64()
+	}
+
+	plain, err := New(net, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantRep := plain.Classify(intensity, snn.NewPoissonEncoder(0.8, 33))
+
+	var buf bytes.Buffer
+	opt := DefaultOptions()
+	opt.Trace = trace.NewWriter(&buf)
+	traced, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep := traced.Classify(intensity, snn.NewPoissonEncoder(0.8, 33))
+	if rep.TraceError != nil {
+		t.Fatal(rep.TraceError)
+	}
+	if err := opt.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted != wantRep.Predicted || rep.Counts != wantRep.Counts {
+		t.Fatal("tracing changed the simulation")
+	}
+
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != opt.Steps*len(net.Layers) {
+		t.Fatalf("%d events, want %d", len(events), opt.Steps*len(net.Layers))
+	}
+	var packets, suppressed, activations, rows, bus int
+	var energy float64
+	for _, e := range events {
+		packets += e.Packets
+		suppressed += e.Suppressed
+		activations += e.Activations
+		rows += e.RowsDriven
+		bus += e.BusWords
+		energy += e.EnergyJ
+	}
+	if packets != rep.Counts.PacketsDelivered || suppressed != rep.Counts.PacketsSuppressed ||
+		activations != rep.Counts.MCAActivations || rows != rep.Counts.RowsDriven ||
+		bus != rep.Counts.BusWords {
+		t.Fatalf("trace sums diverge from report: %+v", rep.Counts)
+	}
+	if math.Abs(energy-res.Energy) > 1e-15+1e-9*res.Energy {
+		t.Fatalf("trace energy %v != report %v", energy, res.Energy)
+	}
+	// Summaries group per layer.
+	sums := trace.Summarize(events)
+	if len(sums) != len(net.Layers) {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, s := range sums {
+		if s.Steps != opt.Steps {
+			t.Fatalf("summary steps %d", s.Steps)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindShapeAndClasses(t *testing.T) {
+	if s := Digits.Shape(); s.H != 28 || s.W != 28 || s.C != 1 {
+		t.Fatalf("Digits shape = %v", s)
+	}
+	if s := StreetDigits.Shape(); s.H != 32 || s.W != 32 || s.C != 3 {
+		t.Fatalf("StreetDigits shape = %v", s)
+	}
+	if s := Objects.Shape(); s.H != 32 || s.W != 32 || s.C != 3 {
+		t.Fatalf("Objects shape = %v", s)
+	}
+	for _, k := range []Kind{Digits, StreetDigits, Objects} {
+		if k.Classes() != 10 {
+			t.Fatalf("%v classes = %d", k, k.Classes())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Digits.String() != "digits" || StreetDigits.String() != "streetdigits" || Objects.String() != "objects" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatalf("unknown kind String = %q", Kind(42).String())
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	for _, k := range []Kind{Digits, StreetDigits, Objects} {
+		set := Generate(k, 20, 1)
+		if len(set.Samples) != 20 {
+			t.Fatalf("%v: %d samples", k, len(set.Samples))
+		}
+		shape := k.Shape()
+		counts := make(map[int]int)
+		for i, s := range set.Samples {
+			if len(s.Input) != shape.Size() {
+				t.Fatalf("%v sample %d: len %d != %d", k, i, len(s.Input), shape.Size())
+			}
+			if s.Label < 0 || s.Label >= 10 {
+				t.Fatalf("%v sample %d: label %d", k, i, s.Label)
+			}
+			counts[s.Label]++
+			for j, v := range s.Input {
+				if v < 0 || v > 1 {
+					t.Fatalf("%v sample %d pixel %d out of range: %v", k, i, j, v)
+				}
+			}
+		}
+		// Labels cycle, so with 20 samples each class appears exactly twice.
+		for c := 0; c < 10; c++ {
+			if counts[c] != 2 {
+				t.Fatalf("%v: class %d count %d, want 2", k, c, counts[c])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Digits, 5, 7)
+	b := Generate(Digits, 5, 7)
+	for i := range a.Samples {
+		for j := range a.Samples[i].Input {
+			if a.Samples[i].Input[j] != b.Samples[i].Input[j] {
+				t.Fatal("same seed must give identical samples")
+			}
+		}
+	}
+	c := Generate(Digits, 5, 8)
+	same := true
+	for i := range a.Samples {
+		for j := range a.Samples[i].Input {
+			if a.Samples[i].Input[j] != c.Samples[i].Input[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	set := Generate(Digits, 10, 1)
+	train, test := set.Split(7)
+	if len(train.Samples) != 7 || len(test.Samples) != 3 {
+		t.Fatalf("split sizes %d/%d", len(train.Samples), len(test.Samples))
+	}
+	if train.Classes != 10 || test.Classes != 10 {
+		t.Fatal("split must preserve Classes")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Digits, 2, 1).Split(5)
+}
+
+// Digit images must be sparse (mostly black background) while street digits
+// and objects are dense — this is the statistic behind Fig 13's event-driven
+// savings (MLPs on digit data find long zero run-lengths).
+func TestSparsityOrdering(t *testing.T) {
+	digits := Generate(Digits, 50, 2).MeanActivity()
+	street := Generate(StreetDigits, 50, 2).MeanActivity()
+	if digits >= 0.35 {
+		t.Fatalf("digit images too dense: mean activity %.3f", digits)
+	}
+	if street <= digits {
+		t.Fatalf("street digits (%.3f) should be denser than digits (%.3f)", street, digits)
+	}
+}
+
+// Property: every generated sample stays in [0,1] and has some foreground.
+func TestSampleRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		set := Generate(Objects, 10, seed)
+		for _, s := range set.Samples {
+			nonzero := 0
+			for _, v := range s.Input {
+				if v < 0 || v > 1 {
+					return false
+				}
+				if v > 0 {
+					nonzero++
+				}
+			}
+			if nonzero == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanActivityEmpty(t *testing.T) {
+	s := &Set{}
+	if s.MeanActivity() != 0 {
+		t.Fatal("empty set MeanActivity should be 0")
+	}
+}
+
+// Classes must be visually distinct enough that nearest-mean classification
+// on raw pixels beats chance — a sanity floor for trainability.
+func TestClassesSeparable(t *testing.T) {
+	train := Generate(Digits, 200, 3)
+	test := Generate(Digits, 50, 4)
+	shape := Digits.Shape()
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range means {
+		means[i] = make([]float64, shape.Size())
+	}
+	for _, s := range train.Samples {
+		counts[s.Label]++
+		for j, v := range s.Input {
+			means[s.Label][j] += v
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for _, s := range test.Samples {
+		best, bestD := -1, 1e18
+		for c := range means {
+			var d float64
+			for j, v := range s.Input {
+				diff := v - means[c][j]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD, best = d, c
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test.Samples))
+	if acc < 0.3 {
+		t.Fatalf("nearest-mean accuracy %.2f — classes not separable", acc)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := Generate(Digits, 30, 5)
+	b := Generate(Digits, 30, 5)
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("shuffles with the same seed diverged")
+		}
+	}
+	c := Generate(Digits, 30, 5)
+	c.Shuffle(10)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i].Label != c.Samples[i].Label {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different shuffle seeds produced identical order")
+	}
+}
+
+func TestFilterClasses(t *testing.T) {
+	s := Generate(Digits, 30, 6)
+	f := s.FilterClasses(0, 7)
+	if len(f.Samples) != 6 { // 3 per class over 30 cycled samples
+		t.Fatalf("%d filtered samples", len(f.Samples))
+	}
+	for _, smp := range f.Samples {
+		if smp.Label != 0 && smp.Label != 7 {
+			t.Fatalf("label %d leaked through filter", smp.Label)
+		}
+	}
+	if f.Classes != s.Classes {
+		t.Fatal("filter must keep the class space")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	s := Generate(Digits, 25, 7)
+	counts := s.ClassCounts()
+	total := 0
+	for c, n := range counts {
+		if c < 5 && n != 3 {
+			t.Fatalf("class %d count %d, want 3", c, n)
+		}
+		if c >= 5 && n != 2 {
+			t.Fatalf("class %d count %d, want 2", c, n)
+		}
+		total += n
+	}
+	if total != 25 {
+		t.Fatalf("total %d", total)
+	}
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"resparc/internal/tensor"
+)
+
+// WritePGM writes a single-channel image as a binary PGM (P5), and
+// WritePPM writes a three-channel image as a binary PPM (P6) — the
+// plainest formats every image viewer opens, used to eyeball the synthetic
+// datasets. Intensities in [0,1] map to [0,255].
+
+// WritePGM encodes a grayscale image (shape.C == 1).
+func WritePGM(w io.Writer, img tensor.Vec, shape tensor.Shape3) error {
+	if shape.C != 1 {
+		return fmt.Errorf("dataset: WritePGM wants 1 channel, got %d", shape.C)
+	}
+	if len(img) != shape.Size() {
+		return fmt.Errorf("dataset: image length %d != %v", len(img), shape)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", shape.W, shape.H)
+	for _, v := range img {
+		if err := bw.WriteByte(quantByte(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePPM encodes an RGB image (shape.C == 3, channel-minor).
+func WritePPM(w io.Writer, img tensor.Vec, shape tensor.Shape3) error {
+	if shape.C != 3 {
+		return fmt.Errorf("dataset: WritePPM wants 3 channels, got %d", shape.C)
+	}
+	if len(img) != shape.Size() {
+		return fmt.Errorf("dataset: image length %d != %v", len(img), shape)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", shape.W, shape.H)
+	for _, v := range img {
+		if err := bw.WriteByte(quantByte(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a binary PGM back into an intensity vector (round-trip
+// testing and external-image import).
+func ReadPGM(r io.Reader) (tensor.Vec, tensor.Shape3, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxv); err != nil {
+		return nil, tensor.Shape3{}, fmt.Errorf("dataset: bad PGM header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, tensor.Shape3{}, fmt.Errorf("dataset: unsupported magic %q", magic)
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 255 {
+		return nil, tensor.Shape3{}, fmt.Errorf("dataset: bad PGM dimensions %dx%d max %d", w, h, maxv)
+	}
+	// Single whitespace byte after the header.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, tensor.Shape3{}, err
+	}
+	shape := tensor.Shape3{H: h, W: w, C: 1}
+	img := tensor.NewVec(shape.Size())
+	buf := make([]byte, shape.Size())
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, tensor.Shape3{}, fmt.Errorf("dataset: short PGM payload: %w", err)
+	}
+	for i, b := range buf {
+		img[i] = float64(b) / float64(maxv)
+	}
+	return img, shape, nil
+}
+
+func quantByte(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return byte(v*255 + 0.5)
+}

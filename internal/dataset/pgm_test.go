@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"resparc/internal/tensor"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	set := Generate(Digits, 3, 1)
+	for _, s := range set.Samples {
+		var buf bytes.Buffer
+		if err := WritePGM(&buf, s.Input, set.Shape); err != nil {
+			t.Fatal(err)
+		}
+		img, shape, err := ReadPGM(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shape != set.Shape {
+			t.Fatalf("shape %v != %v", shape, set.Shape)
+		}
+		for i := range img {
+			if math.Abs(img[i]-s.Input[i]) > 1.0/255+1e-9 {
+				t.Fatalf("pixel %d: %v vs %v", i, img[i], s.Input[i])
+			}
+		}
+	}
+}
+
+func TestPGMHeader(t *testing.T) {
+	var buf bytes.Buffer
+	img := tensor.Vec{0, 0.5, 1, 0.25}
+	if err := WritePGM(&buf, img, tensor.Shape3{H: 2, W: 2, C: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n2 2\n255\n") {
+		t.Fatalf("header: %q", buf.String()[:12])
+	}
+	// Payload bytes quantized with rounding, extremes clamped.
+	payload := buf.Bytes()[len("P5\n2 2\n255\n"):]
+	if payload[0] != 0 || payload[2] != 255 {
+		t.Fatalf("payload %v", payload)
+	}
+}
+
+func TestPPM(t *testing.T) {
+	set := Generate(Objects, 1, 2)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, set.Samples[0].Input, set.Shape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n32 32\n255\n") {
+		t.Fatalf("header: %q", buf.String()[:14])
+	}
+	want := len("P6\n32 32\n255\n") + 32*32*3
+	if buf.Len() != want {
+		t.Fatalf("size %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestPGMValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, tensor.NewVec(12), tensor.Shape3{H: 2, W: 2, C: 3}); err == nil {
+		t.Fatal("3-channel PGM accepted")
+	}
+	if err := WritePGM(&buf, tensor.NewVec(3), tensor.Shape3{H: 2, W: 2, C: 1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := WritePPM(&buf, tensor.NewVec(4), tensor.Shape3{H: 2, W: 2, C: 1}); err == nil {
+		t.Fatal("1-channel PPM accepted")
+	}
+	if _, _, err := ReadPGM(strings.NewReader("P6\n2 2\n255\nxxxx")); err == nil {
+		t.Fatal("PPM magic accepted by ReadPGM")
+	}
+	if _, _, err := ReadPGM(strings.NewReader("P5\n2 2\n255\nxx")); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, _, err := ReadPGM(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package device models the memristive synapse technologies that determine
+// a crossbar's electrical parameters and the maximum array size that still
+// operates reliably. MCA size is a strong function of technology (paper §1):
+// large arrays suffer sneak paths, process variation and parasitic voltage
+// drops, so each technology caps the usable crossbar dimension — the
+// constraint behind RESPARC's "technology-aware" mapping (contribution 3).
+package device
+
+import "fmt"
+
+// Technology describes one memristive synapse technology.
+type Technology struct {
+	Name string
+	// RMin and RMax bound the programmable resistance range in ohms. The
+	// paper's working range is 20 kΩ–200 kΩ (§4.2), typical of PCM and
+	// Ag-Si.
+	RMin, RMax float64
+	// Levels is the number of programmable conductance levels per device
+	// (16 levels = 4-bit weights in the paper).
+	Levels int
+	// MaxSize is the largest reliable square crossbar dimension for the
+	// technology (rows == cols). Crossbars larger than this suffer
+	// compounding non-idealities (§1, [11]).
+	MaxSize int
+	// VariationSigma is the lognormal sigma of programmed-conductance
+	// variation used by the non-ideality model.
+	VariationSigma float64
+	// StuckFraction is the fraction of devices stuck at a rail (fabrication
+	// defects) injected by the non-ideality model.
+	StuckFraction float64
+	// WritePulseEnergy is the energy of one programming pulse (J). The
+	// paper excludes programming from its per-classification numbers
+	// (§4.2: training is offline and configuration is infrequent); the
+	// configuration-cost model uses it to quantify that one-off cost.
+	WritePulseEnergy float64
+	// WritePulseTime is the duration of one programming pulse (s).
+	WritePulseTime float64
+}
+
+// WritePulsesPerDevice is the average number of write-verify pulses needed
+// to land a device on its target level: half the level range.
+func (t Technology) WritePulsesPerDevice() int {
+	p := t.Levels / 2
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// GMin returns the minimum programmable conductance in siemens.
+func (t Technology) GMin() float64 { return 1 / t.RMax }
+
+// GMax returns the maximum programmable conductance in siemens.
+func (t Technology) GMax() float64 { return 1 / t.RMin }
+
+// Bits returns the weight precision the technology supports (log2 Levels).
+func (t Technology) Bits() int {
+	b := 0
+	for l := t.Levels; l > 1; l >>= 1 {
+		b++
+	}
+	return b
+}
+
+// WithLevels returns a copy of the technology with the level count replaced
+// (used by the bit-discretization sweep of Fig 14).
+func (t Technology) WithLevels(levels int) Technology {
+	t.Levels = levels
+	return t
+}
+
+// Validate reports whether the technology parameters are self-consistent.
+func (t Technology) Validate() error {
+	switch {
+	case t.RMin <= 0 || t.RMax <= t.RMin:
+		return fmt.Errorf("device %s: resistance range [%g, %g] invalid", t.Name, t.RMin, t.RMax)
+	case t.Levels < 2:
+		return fmt.Errorf("device %s: %d levels (need >= 2)", t.Name, t.Levels)
+	case t.MaxSize < 2:
+		return fmt.Errorf("device %s: max size %d (need >= 2)", t.Name, t.MaxSize)
+	case t.VariationSigma < 0 || t.StuckFraction < 0 || t.StuckFraction >= 1:
+		return fmt.Errorf("device %s: bad non-ideality parameters", t.Name)
+	}
+	return nil
+}
+
+// The paper's §4.2 parameters: 20 kΩ–200 kΩ with 16 levels. Per-technology
+// maximum sizes follow the reliability discussion of [11]/[16]: PCM scales
+// furthest, Ag-Si is the paper's default-size technology, spintronic devices
+// are constrained to small arrays.
+var (
+	// PCM is a phase-change-memory synapse ([9]).
+	PCM = Technology{
+		Name: "PCM", RMin: 20e3, RMax: 200e3, Levels: 16,
+		MaxSize: 256, VariationSigma: 0.05, StuckFraction: 0.001,
+		WritePulseEnergy: 25e-12, WritePulseTime: 100e-9,
+	}
+	// AgSi is an Ag-Si memristor synapse ([6]); the paper's default 64x64
+	// evaluation size is within its reliable range.
+	AgSi = Technology{
+		Name: "Ag-Si", RMin: 20e3, RMax: 200e3, Levels: 16,
+		MaxSize: 128, VariationSigma: 0.08, StuckFraction: 0.002,
+		WritePulseEnergy: 10e-12, WritePulseTime: 50e-9,
+	}
+	// Spintronic is a domain-wall-motion synapse ([10]); low resistance
+	// makes large arrays lossy, capping size early.
+	Spintronic = Technology{
+		Name: "Spintronic", RMin: 5e3, RMax: 50e3, Levels: 16,
+		MaxSize: 64, VariationSigma: 0.04, StuckFraction: 0.0005,
+		WritePulseEnergy: 2e-12, WritePulseTime: 10e-9,
+	}
+)
+
+// All lists the built-in technologies.
+func All() []Technology { return []Technology{PCM, AgSi, Spintronic} }

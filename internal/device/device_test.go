@@ -1,0 +1,92 @@
+package device
+
+import "testing"
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, tech := range All() {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%s: %v", tech.Name, err)
+		}
+	}
+	if len(All()) != 3 {
+		t.Fatalf("expected 3 technologies, got %d", len(All()))
+	}
+}
+
+func TestConductanceRange(t *testing.T) {
+	// Paper §4.2: 20 kΩ–200 kΩ.
+	if PCM.GMin() != 1.0/200e3 || PCM.GMax() != 1.0/20e3 {
+		t.Fatalf("PCM conductances %g %g", PCM.GMin(), PCM.GMax())
+	}
+	if PCM.GMax() <= PCM.GMin() {
+		t.Fatal("GMax must exceed GMin")
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		levels, bits int
+	}{{2, 1}, {4, 2}, {16, 4}, {256, 8}}
+	for _, c := range cases {
+		tech := PCM.WithLevels(c.levels)
+		if got := tech.Bits(); got != c.bits {
+			t.Errorf("levels %d: Bits = %d, want %d", c.levels, got, c.bits)
+		}
+	}
+	// Paper default: 16 levels = 4 bits.
+	if PCM.Bits() != 4 {
+		t.Fatalf("default Bits = %d", PCM.Bits())
+	}
+}
+
+func TestWithLevelsDoesNotMutate(t *testing.T) {
+	orig := AgSi.Levels
+	_ = AgSi.WithLevels(4)
+	if AgSi.Levels != orig {
+		t.Fatal("WithLevels mutated the original")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Technology{
+		{Name: "r", RMin: 0, RMax: 1, Levels: 4, MaxSize: 64},
+		{Name: "r", RMin: 2, RMax: 1, Levels: 4, MaxSize: 64},
+		{Name: "l", RMin: 1, RMax: 2, Levels: 1, MaxSize: 64},
+		{Name: "s", RMin: 1, RMax: 2, Levels: 4, MaxSize: 1},
+		{Name: "v", RMin: 1, RMax: 2, Levels: 4, MaxSize: 64, VariationSigma: -1},
+		{Name: "f", RMin: 1, RMax: 2, Levels: 4, MaxSize: 64, StuckFraction: 1},
+	}
+	for i, tech := range bad {
+		if tech.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, tech)
+		}
+	}
+}
+
+func TestSizeOrdering(t *testing.T) {
+	// Reliability ordering motivates the tech-aware mapper: PCM supports
+	// the largest arrays, spintronic the smallest.
+	if !(PCM.MaxSize > AgSi.MaxSize && AgSi.MaxSize > Spintronic.MaxSize) {
+		t.Fatalf("size ordering broken: %d %d %d", PCM.MaxSize, AgSi.MaxSize, Spintronic.MaxSize)
+	}
+	// The paper's default 64x64 must be reliable on the default (Ag-Si)
+	// technology, and 128 must also be mappable (Fig 12 explores it).
+	if AgSi.MaxSize < 128 {
+		t.Fatalf("Ag-Si must support the Fig 12 sweep up to 128, max %d", AgSi.MaxSize)
+	}
+}
+
+func TestWritePulsesPerDevice(t *testing.T) {
+	if PCM.WritePulsesPerDevice() != 8 { // 16 levels / 2
+		t.Fatalf("PCM pulses = %d", PCM.WritePulsesPerDevice())
+	}
+	two := PCM.WithLevels(2)
+	if two.WritePulsesPerDevice() != 1 {
+		t.Fatalf("2-level pulses = %d", two.WritePulsesPerDevice())
+	}
+	for _, tech := range All() {
+		if tech.WritePulseEnergy <= 0 || tech.WritePulseTime <= 0 {
+			t.Fatalf("%s: write parameters unset", tech.Name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Area model. The paper notes (§5.4) that while RESPARC's energy is
+// independent of weight precision, "the area of the memristive device will
+// increase with increasing precision that will increase the MCA area
+// resulting in an area overhead". This first-order model quantifies that
+// trade-off, anchored to Fig 8's published NeuroCell area (0.29 mm² of
+// 45 nm CMOS peripherals).
+
+// AreaParams holds the silicon-area constants.
+type AreaParams struct {
+	// FeatureM is the feature size F in meters (45 nm).
+	FeatureM float64
+	// CellF2 is the cross-point cell footprint in F² units; a 1T1R
+	// memristor cell is ~4F², and the differential pair doubles it.
+	CellF2 float64
+	// BitRef is the precision the base cell is specified at (4 bits).
+	BitRef int
+	// CellBitGrowth is the fractional cell-area growth per additional
+	// weight bit beyond BitRef (multi-level cells need larger devices and
+	// tighter write/verify margins, [16]).
+	CellBitGrowth float64
+	// NCPeripheralM2 is the CMOS area of one NeuroCell's peripherals
+	// (buffers, switches, control) — Fig 8's 0.29 mm².
+	NCPeripheralM2 float64
+}
+
+// DefaultAreaParams returns the 45 nm anchor values.
+func DefaultAreaParams() AreaParams {
+	return AreaParams{
+		FeatureM:       45e-9,
+		CellF2:         8, // 4F² device + differential pair
+		BitRef:         4,
+		CellBitGrowth:  0.35,
+		NCPeripheralM2: 0.29e-6, // 0.29 mm² in m²
+	}
+}
+
+// CellArea returns one logical cross-point's area in m² at the given weight
+// precision.
+func (a AreaParams) CellArea(bits int) float64 {
+	if bits < 1 {
+		panic(fmt.Sprintf("energy: bits %d", bits))
+	}
+	base := a.CellF2 * a.FeatureM * a.FeatureM
+	extra := float64(bits - a.BitRef)
+	if extra < 0 {
+		extra = 0 // smaller devices don't shrink the pitch below 4F²
+	}
+	return base * (1 + a.CellBitGrowth*extra)
+}
+
+// MCAArea returns the area of one n x n crossbar at the given precision.
+func (a AreaParams) MCAArea(n, bits int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("energy: MCA size %d", n))
+	}
+	return float64(n) * float64(n) * a.CellArea(bits)
+}
+
+// ChipArea returns the total silicon area of a RESPARC configuration:
+// NeuroCell peripherals plus all crossbars.
+func (a AreaParams) ChipArea(ncs, mcas, mcaSize, bits int) float64 {
+	if ncs < 0 || mcas < 0 {
+		panic("energy: negative chip dimensions")
+	}
+	return float64(ncs)*a.NCPeripheralM2 + float64(mcas)*a.MCAArea(mcaSize, bits)
+}
+
+// MM2 converts m² to mm² for reporting.
+func MM2(m2 float64) float64 { return m2 * 1e6 }
+
+// AreaOverheadVsBits returns the chip-area ratio at the given precision
+// relative to the 4-bit reference configuration — the §5.4 trade-off in one
+// number.
+func (a AreaParams) AreaOverheadVsBits(ncs, mcas, mcaSize, bits int) float64 {
+	ref := a.ChipArea(ncs, mcas, mcaSize, a.BitRef)
+	if ref == 0 {
+		return math.NaN()
+	}
+	return a.ChipArea(ncs, mcas, mcaSize, bits) / ref
+}

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellAreaGrowsWithBits(t *testing.T) {
+	a := DefaultAreaParams()
+	c4 := a.CellArea(4)
+	c8 := a.CellArea(8)
+	if c8 <= c4 {
+		t.Fatal("multi-level cells must be larger")
+	}
+	// Below the reference precision the pitch does not shrink.
+	if a.CellArea(1) != c4 || a.CellArea(2) != c4 {
+		t.Fatal("sub-reference precision should keep the 4F² pitch")
+	}
+	// 4F² + pair at 45nm: 8 * (45nm)^2 = 1.62e-14 m².
+	want := 8 * 45e-9 * 45e-9
+	if math.Abs(c4-want) > 1e-20 {
+		t.Fatalf("base cell %g, want %g", c4, want)
+	}
+}
+
+func TestMCAAndChipArea(t *testing.T) {
+	a := DefaultAreaParams()
+	mca := a.MCAArea(64, 4)
+	if mca != 64*64*a.CellArea(4) {
+		t.Fatal("MCA area wrong")
+	}
+	// One NeuroCell with 64 crossbars: peripherals dominate (the paper's
+	// 0.29 mm² is CMOS only; crossbars are tiny in comparison).
+	chip := a.ChipArea(1, 64, 64, 4)
+	if chip <= a.NCPeripheralM2 {
+		t.Fatal("chip must include peripherals")
+	}
+	if mca*64 > 0.2*a.NCPeripheralM2 {
+		t.Fatalf("crossbars (%g) should be small next to peripherals (%g)", mca*64, a.NCPeripheralM2)
+	}
+	if MM2(a.NCPeripheralM2) != 0.29 {
+		t.Fatalf("anchor %v mm², want 0.29", MM2(a.NCPeripheralM2))
+	}
+}
+
+func TestAreaOverheadVsBits(t *testing.T) {
+	a := DefaultAreaParams()
+	// §5.4: higher precision costs area, not energy.
+	r4 := a.AreaOverheadVsBits(8, 500, 64, 4)
+	r8 := a.AreaOverheadVsBits(8, 500, 64, 8)
+	if math.Abs(r4-1) > 1e-12 {
+		t.Fatalf("4-bit overhead %v, want 1", r4)
+	}
+	if r8 <= 1 {
+		t.Fatalf("8-bit overhead %v, want > 1", r8)
+	}
+	// Overhead stays modest because peripherals dominate.
+	if r8 > 1.5 {
+		t.Fatalf("8-bit overhead %v implausibly large", r8)
+	}
+}
+
+func TestAreaValidation(t *testing.T) {
+	a := DefaultAreaParams()
+	for _, f := range []func(){
+		func() { a.CellArea(0) },
+		func() { a.MCAArea(0, 4) },
+		func() { a.ChipArea(-1, 0, 64, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,235 @@
+// Package energy is the calibrated component library behind both
+// architecture simulators: per-event energies and timing for RESPARC's
+// crossbar datapath and for the optimized CMOS digital baseline, plus a
+// CACTI-style analytic SRAM model.
+//
+// The paper obtains these constants from RTL synthesis (Synopsys Design
+// Compiler / Power Compiler, IBM 45 nm) and CACTI 6.0; this package plays
+// the same role with analytic constants anchored to the published
+// implementation metrics (Fig 8: 0.29 mm², 53.2 mW, 200 MHz per NeuroCell;
+// Fig 9: 0.19 mm², 35.1 mW, 1 GHz for the baseline). Absolute joules are
+// stand-ins; all reported results are normalized ratios, as in the paper.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params bundles every per-event energy (joules) and clock used by the
+// simulators. One Params value is threaded through a whole experiment so
+// ablations can perturb individual components.
+type Params struct {
+	// ---- RESPARC (NeuroCell, Fig 8) ----
+
+	// NCClockHz is the NeuroCell clock (200 MHz).
+	NCClockHz float64
+	// XbarCellActive is the read energy of one driven cross-point at the
+	// mean programmed conductance (V² G t with V = Vdd/2).
+	XbarCellActive float64
+	// XbarIdleFrac is the energy of an un-utilized cross-point on a driven
+	// row (both devices at GMin) as a fraction of XbarCellActive. Idle
+	// cells still conduct — the CNN utilization penalty of Fig 12(c).
+	XbarIdleFrac float64
+	// GateIdleColumns is a counterfactual design knob: a crossbar whose
+	// unused columns can be power-gated pays nothing for idle cross-points,
+	// removing the Fig 12(c) utilization penalty. Off in the paper's design
+	// (and by default); the ablation experiment quantifies what the feature
+	// would buy.
+	GateIdleColumns bool
+	// NeuronIntegrate is the energy of integrating one MCA column current
+	// into a neuron's membrane capacitance (one time-multiplexing step).
+	NeuronIntegrate float64
+	// NeuronSpike is the energy of generating and latching one output spike.
+	NeuronSpike float64
+	// SpikeHandling is the peripheral cost per emitted spike: oBUFF write,
+	// tBUFF target lookup and packet assembly in the local control unit.
+	SpikeHandling float64
+	// BufferAccess is one iBUFF/oBUFF/tBUFF 64-bit push or pop.
+	BufferAccess float64
+	// SwitchHop is one spike packet traversing a programmable switch
+	// (decoder + arbitration + output drive).
+	SwitchHop float64
+	// BusWord is one 64-bit word broadcast on the global IO bus.
+	BusWord float64
+	// MPEControl is the local-control energy per MCA activation.
+	MPEControl float64
+	// ZeroCheck is the cost of zero-checking one packet (paid even when the
+	// transfer is suppressed).
+	ZeroCheck float64
+	// IntegrateCycles is the NeuroCell cycles one time-multiplexed MCA
+	// current integration takes (analog settle + transfer + sample).
+	IntegrateCycles int
+	// SyncCyclesPerNC is the global-control-unit cost of synchronizing one
+	// NeuroCell's event flag at a layer boundary (§3.1.3): every timestep,
+	// each layer pays SyncCyclesPerNC times the number of NeuroCells it
+	// spans.
+	SyncCyclesPerNC int
+	// BusWordsPerCycle is the global IO bus width in 64-bit words (a wide
+	// bus broadcasts several spike words per NeuroCell cycle; §3.1.3 notes
+	// single-cycle broadcast to a variable number of NeuroCells).
+	BusWordsPerCycle int
+
+	// ---- CMOS baseline (Fig 9) ----
+
+	// CMOSClockHz is the baseline clock (1 GHz).
+	CMOSClockHz float64
+	// CoreOp is one synaptic accumulation in a neuron unit at 4-bit weights
+	// (datapath + pipeline control).
+	CoreOp float64
+	// FIFOAccess is one input/weight FIFO push or pop.
+	FIFOAccess float64
+	// NeuronUnitUpdate is one membrane-potential read-modify-write.
+	NeuronUnitUpdate float64
+	// BitRefWidth is the weight precision the Core/FIFO constants are
+	// calibrated at (4 bits, the paper's default).
+	BitRefWidth int
+	// CoreBitExp scales core energy with precision: E(b) =
+	// CoreOp*(b/4)^CoreBitExp. Wider adders/buffers grow superlinearly.
+	CoreBitExp float64
+}
+
+// Default45nm returns the calibration used for all paper-reproduction
+// experiments.
+func Default45nm() Params {
+	return Params{
+		NCClockHz:        200e6,
+		XbarCellActive:   40e-15,  // read pulse at mean level incl. drivers
+		XbarIdleFrac:     0.35,    // GMin pair + sneak paths on driven rows
+		NeuronIntegrate:  120e-15, // analog integration onto Cmem + sample
+		NeuronSpike:      2.2e-12, // comparator fire + reset
+		SpikeHandling:    2.5e-12, // oBUFF write + tBUFF lookup + packetize
+		BufferAccess:     4.5e-12, // 64-bit buffer access incl. control
+		SwitchHop:        8.5e-12, // decode + arbitrate + drive
+		BusWord:          24e-12,  // long-wire broadcast, 64 bits
+		MPEControl:       6e-12,   // LCU + CCU sequencing per activation
+		ZeroCheck:        40e-15,  // 64-input OR-tree
+		IntegrateCycles:  3,       // analog settle + transfer + sample
+		SyncCyclesPerNC:  2,       // poll + arm per 8-flag group
+		BusWordsPerCycle: 8,       // 512-bit global bus
+
+		CMOSClockHz:      1e9,
+		CoreOp:           1.2e-12, // 4-bit accumulate + pipeline overhead
+		FIFOAccess:       0.5e-12,
+		NeuronUnitUpdate: 6e-12, // 16-bit Vmem SRAM read-modify-write
+		BitRefWidth:      4,
+		CoreBitExp:       1.25,
+	}
+}
+
+// CoreOpAt returns the baseline per-op core energy at the given weight
+// precision.
+func (p Params) CoreOpAt(bits int) float64 {
+	return p.CoreOp * math.Pow(float64(bits)/float64(p.BitRefWidth), p.CoreBitExp)
+}
+
+// NCCycle returns the NeuroCell cycle time in seconds.
+func (p Params) NCCycle() float64 { return 1 / p.NCClockHz }
+
+// CMOSCycle returns the baseline cycle time in seconds.
+func (p Params) CMOSCycle() float64 { return 1 / p.CMOSClockHz }
+
+// SRAM is the CACTI-style analytic memory model: access energy and leakage
+// power scale with capacity by the usual sub-linear/near-linear exponents.
+// Reference point: a 32 KiB, 64-bit-word array at 45 nm.
+type SRAM struct {
+	Bytes    int
+	WordBits int
+}
+
+// Reference constants for the 32 KiB anchor array.
+const (
+	sramRefBytes   = 32 * 1024
+	sramRefAccess  = 15e-12  // J per 64-bit access
+	sramRefLeakage = 0.58e-3 // W
+	sramAccessExp  = 0.55    // access energy vs capacity
+	sramLeakExp    = 0.97    // leakage vs capacity
+	sramRefLatency = 1.2e-9  // s
+	sramLatencyExp = 0.35
+)
+
+// NewSRAM returns a memory model of the given capacity with 64-bit words.
+func NewSRAM(bytes int) SRAM {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("energy: SRAM size %d", bytes))
+	}
+	return SRAM{Bytes: bytes, WordBits: 64}
+}
+
+func (s SRAM) ratio() float64 { return float64(s.Bytes) / sramRefBytes }
+
+// AccessEnergy returns the energy of one word read or write.
+func (s SRAM) AccessEnergy() float64 {
+	return sramRefAccess * math.Pow(s.ratio(), sramAccessExp)
+}
+
+// LeakagePower returns the standby leakage power in watts.
+func (s SRAM) LeakagePower() float64 {
+	return sramRefLeakage * math.Pow(s.ratio(), sramLeakExp)
+}
+
+// AccessLatency returns the read latency in seconds.
+func (s SRAM) AccessLatency() float64 {
+	return sramRefLatency * math.Pow(s.ratio(), sramLatencyExp)
+}
+
+// WordsFor returns how many memory words hold n items of the given bit
+// width (items are packed, never split across words).
+func (s SRAM) WordsFor(items, bits int) int {
+	if bits <= 0 || bits > s.WordBits {
+		panic(fmt.Sprintf("energy: item width %d", bits))
+	}
+	perWord := s.WordBits / bits
+	return (items + perWord - 1) / perWord
+}
+
+// Metrics are the published implementation numbers used as calibration
+// anchors (paper Figs 8 and 9).
+type Metrics struct {
+	FeatureNM int
+	AreaMM2   float64
+	PowerMW   float64
+	GateCount int
+	FreqMHz   int
+}
+
+// NeuroCellMetrics reproduces Fig 8's metrics table for one NeuroCell.
+func NeuroCellMetrics() Metrics {
+	return Metrics{FeatureNM: 45, AreaMM2: 0.29, PowerMW: 53.2, GateCount: 67643, FreqMHz: 200}
+}
+
+// BaselineMetrics reproduces Fig 9's metrics table for the CMOS baseline.
+func BaselineMetrics() Metrics {
+	return Metrics{FeatureNM: 45, AreaMM2: 0.19, PowerMW: 35.1, GateCount: 44798, FreqMHz: 1000}
+}
+
+// NeuroCellParams reproduces Fig 8's micro-architectural parameter table.
+type NeuroCellParams struct {
+	ArchitectureBits int
+	NCDim            int // NC is NCDim x NCDim mPEs
+	MPEs             int
+	Switches         int
+	MCAsPerMPE       int
+}
+
+// DefaultNeuroCellParams returns Fig 8's values: 64-bit architecture, 4x4
+// NC, 16 mPEs, 9 switches, 4 MCAs per mPE.
+func DefaultNeuroCellParams() NeuroCellParams {
+	return NeuroCellParams{ArchitectureBits: 64, NCDim: 4, MPEs: 16, Switches: 9, MCAsPerMPE: 4}
+}
+
+// BaselineParams reproduces Fig 9's micro-architectural parameter table.
+type BaselineParams struct {
+	NeuronUnits int
+	InputFIFOs  int
+	WeightFIFOs int
+	FIFODepth   int
+	FIFOWidth   int // bits
+	NUWidth     int // bits
+}
+
+// DefaultBaselineParams returns Fig 9's values: 16 NUs, 16 input FIFOs, one
+// weight FIFO, depth 32, width 4.
+func DefaultBaselineParams() BaselineParams {
+	return BaselineParams{NeuronUnits: 16, InputFIFOs: 16, WeightFIFOs: 1, FIFODepth: 32, FIFOWidth: 4, NUWidth: 4}
+}

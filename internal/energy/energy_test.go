@@ -1,0 +1,159 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsPositive(t *testing.T) {
+	p := Default45nm()
+	vals := map[string]float64{
+		"NCClockHz": p.NCClockHz, "XbarCellActive": p.XbarCellActive,
+		"XbarIdleFrac": p.XbarIdleFrac, "NeuronIntegrate": p.NeuronIntegrate,
+		"NeuronSpike": p.NeuronSpike, "BufferAccess": p.BufferAccess,
+		"SwitchHop": p.SwitchHop, "BusWord": p.BusWord,
+		"MPEControl": p.MPEControl, "ZeroCheck": p.ZeroCheck,
+		"CMOSClockHz": p.CMOSClockHz, "CoreOp": p.CoreOp,
+		"FIFOAccess": p.FIFOAccess, "NeuronUnitUpdate": p.NeuronUnitUpdate,
+		"CoreBitExp": p.CoreBitExp,
+	}
+	for name, v := range vals {
+		if v <= 0 {
+			t.Errorf("%s = %v, want positive", name, v)
+		}
+	}
+	if p.XbarIdleFrac >= 1 {
+		t.Error("idle cells must cost less than programmed cells")
+	}
+}
+
+func TestClockAnchors(t *testing.T) {
+	p := Default45nm()
+	// Fig 8: 200 MHz NeuroCell; Fig 9: 1 GHz baseline.
+	if p.NCClockHz != 200e6 || p.CMOSClockHz != 1e9 {
+		t.Fatalf("clocks %v %v", p.NCClockHz, p.CMOSClockHz)
+	}
+	if p.NCCycle() != 5e-9 || p.CMOSCycle() != 1e-9 {
+		t.Fatalf("cycles %v %v", p.NCCycle(), p.CMOSCycle())
+	}
+}
+
+func TestCoreOpAtScaling(t *testing.T) {
+	p := Default45nm()
+	if p.CoreOpAt(4) != p.CoreOp {
+		t.Fatal("4-bit must be the reference")
+	}
+	if !(p.CoreOpAt(8) > p.CoreOp && p.CoreOpAt(1) < p.CoreOp) {
+		t.Fatal("core op energy must grow with precision")
+	}
+	// Superlinear growth (Fig 14b: CMOS energy rises with bits).
+	if p.CoreOpAt(8) < 2*p.CoreOp {
+		t.Fatalf("8-bit op %v should be at least 2x the 4-bit op %v", p.CoreOpAt(8), p.CoreOp)
+	}
+}
+
+func TestSRAMScaling(t *testing.T) {
+	small := NewSRAM(32 * 1024)
+	big := NewSRAM(1024 * 1024)
+	if big.AccessEnergy() <= small.AccessEnergy() {
+		t.Fatal("bigger SRAM must cost more per access")
+	}
+	if big.LeakagePower() <= small.LeakagePower() {
+		t.Fatal("bigger SRAM must leak more")
+	}
+	if big.AccessLatency() <= small.AccessLatency() {
+		t.Fatal("bigger SRAM must be slower")
+	}
+	// Leakage is near-linear; access is strongly sublinear.
+	ratio := float64(big.Bytes) / float64(small.Bytes)
+	leakRatio := big.LeakagePower() / small.LeakagePower()
+	accRatio := big.AccessEnergy() / small.AccessEnergy()
+	if leakRatio < 0.8*ratio*math.Pow(ratio, -0.1) {
+		t.Fatalf("leakage ratio %v too sublinear", leakRatio)
+	}
+	if accRatio > math.Sqrt(ratio)*1.5 {
+		t.Fatalf("access ratio %v too linear", accRatio)
+	}
+}
+
+func TestSRAMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero size")
+		}
+	}()
+	NewSRAM(0)
+}
+
+func TestWordsFor(t *testing.T) {
+	s := NewSRAM(1024)
+	if s.WordsFor(16, 4) != 1 {
+		t.Fatalf("16 4-bit items = %d words", s.WordsFor(16, 4))
+	}
+	if s.WordsFor(17, 4) != 2 {
+		t.Fatalf("17 4-bit items = %d words", s.WordsFor(17, 4))
+	}
+	if s.WordsFor(3, 64) != 3 {
+		t.Fatalf("3 64-bit items = %d words", s.WordsFor(3, 64))
+	}
+	if s.WordsFor(0, 8) != 0 {
+		t.Fatal("0 items need 0 words")
+	}
+}
+
+func TestWordsForValidation(t *testing.T) {
+	s := NewSRAM(1024)
+	for _, bits := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bits=%d accepted", bits)
+				}
+			}()
+			s.WordsFor(1, bits)
+		}()
+	}
+}
+
+// Property: WordsFor never splits items across words and is monotone.
+func TestWordsForProperty(t *testing.T) {
+	f := func(items uint16, bits uint8) bool {
+		b := int(bits%64) + 1
+		n := int(items % 10000)
+		s := NewSRAM(1024)
+		w := s.WordsFor(n, b)
+		perWord := 64 / b
+		return w == (n+perWord-1)/perWord
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishedMetrics(t *testing.T) {
+	// Fig 8.
+	nc := NeuroCellMetrics()
+	if nc.AreaMM2 != 0.29 || nc.PowerMW != 53.2 || nc.GateCount != 67643 || nc.FreqMHz != 200 || nc.FeatureNM != 45 {
+		t.Fatalf("NeuroCell metrics %+v", nc)
+	}
+	// Fig 9.
+	bl := BaselineMetrics()
+	if bl.AreaMM2 != 0.19 || bl.PowerMW != 35.1 || bl.GateCount != 44798 || bl.FreqMHz != 1000 {
+		t.Fatalf("baseline metrics %+v", bl)
+	}
+}
+
+func TestPublishedParams(t *testing.T) {
+	ncp := DefaultNeuroCellParams()
+	if ncp.ArchitectureBits != 64 || ncp.NCDim != 4 || ncp.MPEs != 16 || ncp.Switches != 9 || ncp.MCAsPerMPE != 4 {
+		t.Fatalf("NC params %+v", ncp)
+	}
+	if ncp.NCDim*ncp.NCDim != ncp.MPEs {
+		t.Fatal("NC dimension inconsistent with mPE count")
+	}
+	blp := DefaultBaselineParams()
+	if blp.NeuronUnits != 16 || blp.InputFIFOs != 16 || blp.WeightFIFOs != 1 || blp.FIFODepth != 32 || blp.FIFOWidth != 4 {
+		t.Fatalf("baseline params %+v", blp)
+	}
+}

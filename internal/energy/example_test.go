@@ -1,0 +1,28 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"resparc/internal/energy"
+)
+
+// The CACTI-style SRAM model: access energy grows sublinearly with
+// capacity, leakage nearly linearly — the scaling behind the CMOS
+// baseline's memory domination on MLPs (Fig 12b).
+func ExampleSRAM() {
+	small := energy.NewSRAM(32 * 1024)
+	big := energy.NewSRAM(1024 * 1024)
+	fmt.Printf("access: %.1fx  leakage: %.1fx for 32x the capacity\n",
+		big.AccessEnergy()/small.AccessEnergy(),
+		big.LeakagePower()/small.LeakagePower())
+	// Output:
+	// access: 6.7x  leakage: 28.8x for 32x the capacity
+}
+
+// Fig 8's published implementation metrics anchor the calibration.
+func ExampleNeuroCellMetrics() {
+	m := energy.NeuroCellMetrics()
+	fmt.Printf("%d nm, %.2f mm2, %.1f mW @ %d MHz\n", m.FeatureNM, m.AreaMM2, m.PowerMW, m.FreqMHz)
+	// Output:
+	// 45 nm, 0.29 mm2, 53.2 mW @ 200 MHz
+}

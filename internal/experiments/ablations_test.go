@@ -1,0 +1,170 @@
+package experiments
+
+import "testing"
+
+// §5.3: narrower packets find zero runs more often.
+func TestAblationPacketWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep; skipped with -short")
+	}
+	rows, table, err := AblationPacketWidth(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PacketWidths) || table == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Suppression fraction decreases monotonically with width.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Suppressed >= rows[i-1].Suppressed {
+			t.Errorf("suppression should fall with width: %+v", rows)
+		}
+	}
+	for _, r := range rows {
+		if r.Energy <= 0 {
+			t.Fatalf("bad energy: %+v", r)
+		}
+	}
+}
+
+// §3.1.1: input sharing improves utilization and cuts arrays and energy.
+func TestAblationInputSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep; skipped with -short")
+	}
+	cfg := testConfig()
+	cfg.Steps = 8
+	rows, table, err := AblationInputSharing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.SharedMCAs > r.NaiveMCAs {
+			t.Errorf("size %d: sharing used more arrays (%d vs %d)", r.Size, r.SharedMCAs, r.NaiveMCAs)
+		}
+		if r.SharedUtil < r.NaiveUtil {
+			t.Errorf("size %d: sharing reduced utilization (%.3f vs %.3f)", r.Size, r.SharedUtil, r.NaiveUtil)
+		}
+		if r.SharedEnergy >= r.NaiveEnergy {
+			t.Errorf("size %d: sharing did not save energy (%.3g vs %.3g)", r.Size, r.SharedEnergy, r.NaiveEnergy)
+		}
+	}
+}
+
+// The switch fabric stays near the ideal bound for spread traffic and
+// degrades gracefully on hotspots.
+func TestAblationSwitchContention(t *testing.T) {
+	rows, table, err := AblationSwitchContention(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || table == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var neighbor, hotspot ContentionRow
+	for _, r := range rows {
+		if r.RealCycles < r.IdealCycles {
+			t.Errorf("%s: simulated %d beats the ideal bound %d", r.Pattern, r.RealCycles, r.IdealCycles)
+		}
+		switch r.Pattern {
+		case "neighbor":
+			neighbor = r
+		case "hotspot":
+			hotspot = r
+		}
+	}
+	if hotspot.RealCycles <= neighbor.RealCycles {
+		t.Errorf("hotspot (%d) should be slower than neighbor traffic (%d)",
+			hotspot.RealCycles, neighbor.RealCycles)
+	}
+	// Spread traffic should be within a small factor of ideal.
+	if float64(neighbor.RealCycles) > 4*float64(neighbor.IdealCycles) {
+		t.Errorf("neighbor traffic %dx ideal — fabric model broken", neighbor.RealCycles/neighbor.IdealCycles)
+	}
+}
+
+// Idle-column gating must always save energy, save more at larger sizes
+// (lower utilization => more idle cells), and leave the gated crossbar cost
+// monotone-decreasing with size.
+func TestAblationColumnGating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep; skipped with -short")
+	}
+	rows, table, err := AblationColumnGating(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || table == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prevSaving := -1.0
+	for _, r := range rows {
+		if r.Gated >= r.Normal {
+			t.Errorf("size %d: gating did not save (%.3g vs %.3g)", r.Size, r.Gated, r.Normal)
+		}
+		saving := 1 - r.Gated/r.Normal
+		if saving < prevSaving {
+			t.Errorf("savings should grow with size: %v then %v", prevSaving, saving)
+		}
+		prevSaving = saving
+	}
+}
+
+// §1's reliability argument end to end: accuracy through perturbed physical
+// crossbars degrades. (The deterministic size trend of the raw dot-product
+// error is asserted in internal/xbar's TestIRDropGrowsWithSize; the
+// end-to-end accuracy ordering between two sizes is too noisy at small test
+// sets to assert.)
+func TestAblationNonIdealityAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training + physical sim; skipped with -short")
+	}
+	rows, table, err := AblationNonIdealityAccuracy(300, 40, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || table == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var idealSum, physSum float64
+	for _, r := range rows {
+		if r.Ideal < 0.5 {
+			t.Fatalf("size %d: ideal accuracy %.2f too low to be meaningful", r.Size, r.Ideal)
+		}
+		if r.Physical > r.Ideal+0.05 {
+			t.Errorf("size %d: non-idealities should not help (%.2f vs %.2f)", r.Size, r.Physical, r.Ideal)
+		}
+		idealSum += r.Ideal
+		physSum += r.Physical
+	}
+	if physSum >= idealSum {
+		t.Errorf("non-idealities caused no degradation at all: ideal %v physical %v", idealSum, physSum)
+	}
+}
+
+// Early exit always costs at most the full run; on live inputs it exits
+// well before the budget.
+func TestAblationEarlyExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep; skipped with -short")
+	}
+	rows, table, err := AblationEarlyExit(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || table == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.EEEnergy > r.FullEnergy || r.EELatency > r.FullLatency {
+			t.Errorf("%s: early exit cost more (%.3g/%.3g vs %.3g/%.3g)",
+				r.Bench, r.EEEnergy, r.EELatency, r.FullEnergy, r.FullLatency)
+		}
+		if r.MeanSteps <= 0 {
+			t.Errorf("%s: bad mean steps %v", r.Bench, r.MeanSteps)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resparc/internal/report"
+)
+
+// Verdict is one reproduction check outcome.
+type Verdict struct {
+	Artifact string
+	Claim    string
+	Measured string
+	Pass     bool
+}
+
+// Checklist runs the core reproduction checks at the given configuration
+// and returns live verdicts — the runtime form of EXPERIMENTS.md's
+// checklist. It covers the quantitative claims; the tabular artifacts
+// (Figs 8-10) are asserted exactly by their own drivers.
+func Checklist(cfg Config) ([]Verdict, *report.Table, error) {
+	var out []Verdict
+	add := func(artifact, claim, measured string, pass bool) {
+		out = append(out, Verdict{Artifact: artifact, Claim: claim, Measured: measured, Pass: pass})
+	}
+
+	// Fig 10.
+	rows, _, err := Fig10(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.NeuronErr > worst {
+			worst = r.NeuronErr
+		}
+		if r.SynErr > worst {
+			worst = r.SynErr
+		}
+	}
+	add("Fig 10", "benchmark totals match within 0.1%",
+		fmt.Sprintf("worst deviation %.3f%%", 100*worst), worst <= 0.001)
+
+	// Fig 11.
+	f11, err := Fig11(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	add("Fig 11", "MLP energy gain ~513x (paper range 331-659x)",
+		fmt.Sprintf("%.0fx avg", f11.MLPAvgGain), f11.MLPAvgGain >= 250 && f11.MLPAvgGain <= 900)
+	add("Fig 11", "CNN energy gain ~12x (paper range 10-15x)",
+		fmt.Sprintf("%.0fx avg", f11.CNNAvgGain), f11.CNNAvgGain >= 5 && f11.CNNAvgGain <= 25)
+	add("Fig 11", "MLP speedup ~382x (paper range 360-415x)",
+		fmt.Sprintf("%.0fx avg", f11.MLPAvgSpeedup), f11.MLPAvgSpeedup >= 250 && f11.MLPAvgSpeedup <= 600)
+	add("Fig 11", "CNN speedup ~60x (paper range 33-95x)",
+		fmt.Sprintf("%.0fx avg", f11.CNNAvgSpeedup), f11.CNNAvgSpeedup >= 25 && f11.CNNAvgSpeedup <= 110)
+
+	// Fig 12.
+	f12, err := Fig12(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mlpMonotone := true
+	for _, b := range []string{"mnist-mlp", "svhn-mlp", "cifar-mlp"} {
+		e32, _ := f12.EnergyOf(f12.RESPARCMLP, b, 32)
+		e64, _ := f12.EnergyOf(f12.RESPARCMLP, b, 64)
+		e128, _ := f12.EnergyOf(f12.RESPARCMLP, b, 128)
+		if !(e32.Energy.Total() > e64.Energy.Total() && e64.Energy.Total() > e128.Energy.Total()) {
+			mlpMonotone = false
+		}
+	}
+	add("Fig 12a", "MLP energy falls monotonically with MCA size", verdictWord(mlpMonotone), mlpMonotone)
+	cnnOpt := true
+	for _, b := range []string{"mnist-cnn", "svhn-cnn", "cifar-cnn"} {
+		e32, _ := f12.EnergyOf(f12.RESPARCCNN, b, 32)
+		e64, _ := f12.EnergyOf(f12.RESPARCCNN, b, 64)
+		e128, _ := f12.EnergyOf(f12.RESPARCCNN, b, 128)
+		if !(e64.Energy.Total() < e32.Energy.Total() && e64.Energy.Total() < e128.Energy.Total()) {
+			cnnOpt = false
+		}
+	}
+	add("Fig 12c", "RESPARC-64 is the CNN optimum", verdictWord(cnnOpt), cnnOpt)
+	memDominated := true
+	for _, e := range f12.CMOSMLP {
+		if e.MemoryAccess+e.MemoryLeakage <= e.Core {
+			memDominated = false
+		}
+	}
+	add("Fig 12b", "CMOS MLP energy is memory-dominated", verdictWord(memDominated), memDominated)
+	coreLed := true
+	for _, e := range f12.CMOSCNN {
+		if !(e.Core > e.MemoryAccess && e.Core > e.MemoryLeakage) {
+			coreLed = false
+		}
+	}
+	add("Fig 12d", "CMOS CNN core is the largest component", verdictWord(coreLed), coreLed)
+
+	// Fig 13.
+	f13, err := Fig13(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, _, mlp32 := Savings(f13.MLP, 32)
+	_, _, mlp128 := Savings(f13.MLP, 128)
+	_, _, cnn32 := Savings(f13.CNN, 32)
+	eventOK := mlp32 > 1 && cnn32 > 1 && mlp32 > mlp128
+	add("Fig 13", "event-drivenness saves energy, most on the smallest MCA",
+		fmt.Sprintf("MLP %.2fx@32 %.2fx@128, CNN %.2fx@32", mlp32, mlp128, cnn32), eventOK)
+
+	// Fig 14b.
+	f14b, _, err := Fig14b(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	growth := f14b[len(f14b)-1].CMOS / f14b[0].CMOS
+	flat := f14b[len(f14b)-1].RESPARC == f14b[0].RESPARC
+	add("Fig 14b", "CMOS energy grows ~2x from 1 to 8 bits; RESPARC flat",
+		fmt.Sprintf("CMOS %.2fx, RESPARC flat=%v", growth, flat),
+		growth > 1.5 && growth < 5 && flat)
+
+	t := report.NewTable("Reproduction checklist", "Artifact", "Claim", "Measured", "Verdict")
+	for _, v := range out {
+		t.Add(v.Artifact, v.Claim, v.Measured, verdictWord(v.Pass))
+	}
+	return out, t, nil
+}
+
+func verdictWord(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

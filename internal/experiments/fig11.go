@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"resparc/internal/bench"
+	"resparc/internal/perf"
+	"resparc/internal/report"
+)
+
+// Fig11Result holds the four panels of Fig 11: per-benchmark normalized
+// energies and speedups for the CNN and MLP families, plus the raw
+// comparisons whose annotations ("15x", "415x", ...) the paper prints above
+// the bars.
+type Fig11Result struct {
+	CNN []Pair // mnist, svhn, cifar
+	MLP []Pair
+
+	// Normalized series (paper conventions: energies normalized to
+	// MNIST-on-RESPARC within the family; speedups normalized to
+	// CIFAR-10-on-CMOS).
+	CNNEnergyCMOS, CNNEnergyRESPARC []float64
+	MLPEnergyCMOS, MLPEnergyRESPARC []float64
+	CNNSpeedup, MLPSpeedup          []float64
+
+	// Family averages quoted in §5.1 / the abstract.
+	CNNAvgGain, MLPAvgGain       float64
+	CNNAvgSpeedup, MLPAvgSpeedup float64
+}
+
+// Fig11 runs the six benchmarks on both architectures at the default MCA
+// size (64).
+func Fig11(cfg Config) (*Fig11Result, error) {
+	res := &Fig11Result{}
+	for _, b := range bench.CNNs() {
+		p, err := RunPair(b, cfg.MCASize, cfg)
+		if err != nil {
+			return nil, fmtErr("fig11", err)
+		}
+		res.CNN = append(res.CNN, p)
+	}
+	for _, b := range bench.MLPs() {
+		p, err := RunPair(b, cfg.MCASize, cfg)
+		if err != nil {
+			return nil, fmtErr("fig11", err)
+		}
+		res.MLP = append(res.MLP, p)
+	}
+	norm := func(pairs []Pair) (eC, eR, sp []float64) {
+		ref := pairs[0].RESPARC.Energy // MNIST on RESPARC
+		spRef := pairs[len(pairs)-1].CMOS.Latency
+		for _, p := range pairs {
+			eC = append(eC, p.CMOS.Energy/ref)
+			eR = append(eR, p.RESPARC.Energy/ref)
+			sp = append(sp, spRef/p.RESPARC.Latency)
+		}
+		return
+	}
+	res.CNNEnergyCMOS, res.CNNEnergyRESPARC, res.CNNSpeedup = norm(res.CNN)
+	res.MLPEnergyCMOS, res.MLPEnergyRESPARC, res.MLPSpeedup = norm(res.MLP)
+
+	var err error
+	if res.CNNAvgGain, err = perf.GeoMean(gains(res.CNN)); err != nil {
+		return nil, fmtErr("fig11", err)
+	}
+	if res.MLPAvgGain, err = perf.GeoMean(gains(res.MLP)); err != nil {
+		return nil, fmtErr("fig11", err)
+	}
+	if res.CNNAvgSpeedup, err = perf.GeoMean(speedups(res.CNN)); err != nil {
+		return nil, fmtErr("fig11", err)
+	}
+	if res.MLPAvgSpeedup, err = perf.GeoMean(speedups(res.MLP)); err != nil {
+		return nil, fmtErr("fig11", err)
+	}
+	return res, nil
+}
+
+func gains(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Compared.EnergyGain
+	}
+	return out
+}
+
+func speedups(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Compared.Speedup
+	}
+	return out
+}
+
+// NormalizedTables renders the series exactly as the paper's axes plot
+// them: panel (a)/(b) energies normalized to MNIST-on-RESPARC within the
+// family (the paper draws them on log scales), panels (c)/(d) speedups
+// normalized to CIFAR-10-on-CMOS.
+func (r *Fig11Result) NormalizedTables() []*report.Table {
+	names := func(pairs []Pair) []string {
+		out := make([]string, len(pairs))
+		for i, p := range pairs {
+			out[i] = p.Bench.Name
+		}
+		return out
+	}
+	mkE := func(title string, names []string, cmos, resparc []float64) *report.Table {
+		t := report.NewTable(title, "Benchmark", "CMOS (norm)", "RESPARC (norm)", "Gain")
+		for i := range names {
+			t.Add(names[i], report.F(cmos[i]), report.F(resparc[i]), report.Gain(cmos[i]/resparc[i]))
+		}
+		return t
+	}
+	mkS := func(title string, names []string, sp []float64) *report.Table {
+		t := report.NewTable(title, "Benchmark", "RESPARC speedup (norm to CIFAR-10 CMOS)")
+		for i := range names {
+			t.Add(names[i], report.F(sp[i]))
+		}
+		return t
+	}
+	return []*report.Table{
+		mkE("Fig 11(a) normalized: CNN energy (ref = MNIST on RESPARC)", names(r.CNN), r.CNNEnergyCMOS, r.CNNEnergyRESPARC),
+		mkE("Fig 11(b) normalized: MLP energy (ref = MNIST on RESPARC)", names(r.MLP), r.MLPEnergyCMOS, r.MLPEnergyRESPARC),
+		mkS("Fig 11(c) normalized: CNN speedup", names(r.CNN), r.CNNSpeedup),
+		mkS("Fig 11(d) normalized: MLP speedup", names(r.MLP), r.MLPSpeedup),
+	}
+}
+
+// Tables renders the four panels.
+func (r *Fig11Result) Tables() []*report.Table {
+	mk := func(title string, pairs []Pair) *report.Table {
+		t := report.NewTable(title, "Benchmark", "CMOS E (J)", "RESPARC E (J)", "Energy gain", "Speedup")
+		for _, p := range pairs {
+			t.Add(p.Bench.Name, report.Sci(p.CMOS.Energy), report.Sci(p.RESPARC.Energy),
+				report.Gain(p.Compared.EnergyGain), report.Gain(p.Compared.Speedup))
+		}
+		return t
+	}
+	return []*report.Table{
+		mk("Fig 11(a,c): CNN benchmarks, energy and speedup (MCA 64)", r.CNN),
+		mk("Fig 11(b,d): MLP benchmarks, energy and speedup (MCA 64)", r.MLP),
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"resparc/internal/bench"
+	"resparc/internal/perf"
+	"resparc/internal/report"
+)
+
+// Fig12Sizes are the MCA sizes swept by Fig 12 (RESPARC-32/64/128).
+var Fig12Sizes = []int{32, 64, 128}
+
+// Fig12Entry is one benchmark at one MCA size.
+type Fig12Entry struct {
+	Bench       bench.Benchmark
+	Size        int
+	Energy      perf.RESPARCEnergy
+	Utilization float64
+	MCAs        int
+}
+
+// Fig12Result holds the four panels: the RESPARC breakdowns across MCA
+// sizes for MLPs (a) and CNNs (c), and the CMOS breakdowns for MLPs (b) and
+// CNNs (d).
+type Fig12Result struct {
+	RESPARCMLP []Fig12Entry // index = benchmark*len(sizes)+size
+	RESPARCCNN []Fig12Entry
+	CMOSMLP    map[string]perf.CMOSEnergy
+	CMOSCNN    map[string]perf.CMOSEnergy
+}
+
+// Fig12 runs the breakdown sweep.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	res := &Fig12Result{CMOSMLP: map[string]perf.CMOSEnergy{}, CMOSCNN: map[string]perf.CMOSEnergy{}}
+	run := func(fams []bench.Benchmark, out *[]Fig12Entry, cmos map[string]perf.CMOSEnergy) error {
+		for _, b := range fams {
+			for _, size := range Fig12Sizes {
+				r, rep, m, err := RunRESPARC(b, size, cfg, true, 0)
+				if err != nil {
+					return err
+				}
+				_ = r
+				*out = append(*out, Fig12Entry{
+					Bench: b, Size: size, Energy: rep.Energy,
+					Utilization: m.TotalUtilization(), MCAs: m.MCAs,
+				})
+			}
+			// CMOS breakdown once per benchmark (no MCA dependence).
+			p, err := RunPair(b, cfg.MCASize, cfg)
+			if err != nil {
+				return err
+			}
+			cmos[b.Name] = p.CRep.Energy
+		}
+		return nil
+	}
+	if err := run(bench.MLPs(), &res.RESPARCMLP, res.CMOSMLP); err != nil {
+		return nil, fmtErr("fig12", err)
+	}
+	if err := run(bench.CNNs(), &res.RESPARCCNN, res.CMOSCNN); err != nil {
+		return nil, fmtErr("fig12", err)
+	}
+	return res, nil
+}
+
+// EnergyOf returns the RESPARC total for a benchmark/size pair.
+func (r *Fig12Result) EnergyOf(entries []Fig12Entry, name string, size int) (Fig12Entry, bool) {
+	for _, e := range entries {
+		if e.Bench.Name == name && e.Size == size {
+			return e, true
+		}
+	}
+	return Fig12Entry{}, false
+}
+
+// NormalizedTables renders the RESPARC panels the way the paper's y-axes
+// plot them: every entry normalized to the family's first configuration
+// (MNIST at MCA 32).
+func (r *Fig12Result) NormalizedTables() []*report.Table {
+	mk := func(title string, entries []Fig12Entry) *report.Table {
+		t := report.NewTable(title, "Benchmark", "MCA", "Neuron", "Crossbar", "Peripherals", "Total")
+		if len(entries) == 0 {
+			return t
+		}
+		ref := entries[0].Energy.Total()
+		for _, e := range entries {
+			t.Add(e.Bench.Name, report.F(float64(e.Size)),
+				report.F(e.Energy.Neuron/ref), report.F(e.Energy.Crossbar/ref),
+				report.F(e.Energy.Peripherals/ref), report.F(e.Energy.Total()/ref))
+		}
+		return t
+	}
+	return []*report.Table{
+		mk("Fig 12(a) normalized: RESPARC MLP energy (ref = first row)", r.RESPARCMLP),
+		mk("Fig 12(c) normalized: RESPARC CNN energy (ref = first row)", r.RESPARCCNN),
+	}
+}
+
+// Tables renders the four panels.
+func (r *Fig12Result) Tables() []*report.Table {
+	mkR := func(title string, entries []Fig12Entry) *report.Table {
+		t := report.NewTable(title, "Benchmark", "MCA", "Neuron (J)", "Crossbar (J)", "Peripherals (J)", "Total (J)", "Util", "MCAs")
+		for _, e := range entries {
+			t.Add(e.Bench.Name, report.F(float64(e.Size)),
+				report.Sci(e.Energy.Neuron), report.Sci(e.Energy.Crossbar), report.Sci(e.Energy.Peripherals),
+				report.Sci(e.Energy.Total()), report.Pct(e.Utilization), report.F(float64(e.MCAs)))
+		}
+		return t
+	}
+	mkC := func(title string, fams []bench.Benchmark, m map[string]perf.CMOSEnergy) *report.Table {
+		t := report.NewTable(title, "Benchmark", "Core (J)", "Mem Access (J)", "Mem Leakage (J)", "Total (J)")
+		for _, b := range fams {
+			e := m[b.Name]
+			t.Add(b.Name, report.Sci(e.Core), report.Sci(e.MemoryAccess), report.Sci(e.MemoryLeakage), report.Sci(e.Total()))
+		}
+		return t
+	}
+	return []*report.Table{
+		mkR("Fig 12(a): RESPARC energy breakdown, MLPs", r.RESPARCMLP),
+		mkC("Fig 12(b): CMOS energy breakdown, MLPs", bench.MLPs(), r.CMOSMLP),
+		mkR("Fig 12(c): RESPARC energy breakdown, CNNs", r.RESPARCCNN),
+		mkC("Fig 12(d): CMOS energy breakdown, CNNs", bench.CNNs(), r.CMOSCNN),
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"resparc/internal/bench"
+	"resparc/internal/perf"
+	"resparc/internal/report"
+)
+
+// Fig13Entry is one (topology, MCA size, event-drivenness) configuration of
+// the MNIST study.
+type Fig13Entry struct {
+	Bench       bench.Benchmark
+	Size        int
+	EventDriven bool
+	Energy      perf.RESPARCEnergy
+	Suppressed  float64 // fraction of packets suppressed by zero-check
+}
+
+// Fig13Result holds the MLP panel (a) and the CNN panel (b).
+type Fig13Result struct {
+	MLP []Fig13Entry
+	CNN []Fig13Entry
+}
+
+// Fig13 studies event-drivenness on the MNIST benchmarks across MCA sizes
+// (the paper reports MNIST and notes similar improvements on the others).
+func Fig13(cfg Config) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, name := range []string{"mnist-mlp", "mnist-cnn"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, fmtErr("fig13", err)
+		}
+		for _, size := range Fig12Sizes {
+			for _, ed := range []bool{false, true} {
+				_, rep, _, err := RunRESPARC(b, size, cfg, ed, 0)
+				if err != nil {
+					return nil, fmtErr("fig13", err)
+				}
+				total := rep.Counts.PacketsDelivered + rep.Counts.PacketsSuppressed
+				frac := 0.0
+				if total > 0 {
+					frac = float64(rep.Counts.PacketsSuppressed) / float64(total)
+				}
+				e := Fig13Entry{Bench: b, Size: size, EventDriven: ed, Energy: rep.Energy, Suppressed: frac}
+				if b.Connectivity == "MLP" {
+					res.MLP = append(res.MLP, e)
+				} else {
+					res.CNN = append(res.CNN, e)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Savings returns with/without energy for a size, and the ratio.
+func Savings(entries []Fig13Entry, size int) (with, without, ratio float64) {
+	for _, e := range entries {
+		if e.Size != size {
+			continue
+		}
+		if e.EventDriven {
+			with = e.Energy.Total()
+		} else {
+			without = e.Energy.Total()
+		}
+	}
+	if with > 0 {
+		ratio = without / with
+	}
+	return
+}
+
+// Tables renders both panels.
+func (r *Fig13Result) Tables() []*report.Table {
+	mk := func(title string, entries []Fig13Entry) *report.Table {
+		t := report.NewTable(title, "MCA", "Mode", "Neuron (J)", "Crossbar (J)", "Peripherals (J)", "Total (J)", "Suppressed")
+		for _, e := range entries {
+			mode := "w/o"
+			if e.EventDriven {
+				mode = "w/"
+			}
+			t.Add(report.F(float64(e.Size)), mode,
+				report.Sci(e.Energy.Neuron), report.Sci(e.Energy.Crossbar), report.Sci(e.Energy.Peripherals),
+				report.Sci(e.Energy.Total()), report.Pct(e.Suppressed))
+		}
+		return t
+	}
+	return []*report.Table{
+		mk("Fig 13(a): event-drivenness, MNIST MLP", r.MLP),
+		mk("Fig 13(b): event-drivenness, MNIST CNN", r.CNN),
+	}
+}

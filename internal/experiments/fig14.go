@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"resparc/internal/ann"
+	"resparc/internal/bench"
+	"resparc/internal/cmosbase"
+	"resparc/internal/core"
+	"resparc/internal/dataset"
+	"resparc/internal/energy"
+	"resparc/internal/mapping"
+	"resparc/internal/quant"
+	"resparc/internal/report"
+	"resparc/internal/snn"
+)
+
+// Fig14Bits is the precision sweep of Fig 14 (1, 2, 4, 8 bits).
+var Fig14Bits = []int{1, 2, 4, 8}
+
+// Fig14aConfig controls the accuracy experiment's training workload.
+type Fig14aConfig struct {
+	TrainSamples int
+	TestSamples  int
+	Hidden       []int
+	Epochs       int
+	LR           float64
+	Steps        int // SNN evaluation timesteps
+	Seed         int64
+}
+
+// DefaultFig14a returns a configuration that trains in seconds per dataset.
+func DefaultFig14a() Fig14aConfig {
+	return Fig14aConfig{TrainSamples: 500, TestSamples: 100, Hidden: []int{64}, Epochs: 10, LR: 0.01, Steps: 100, Seed: 1}
+}
+
+// Fig14aRow is one dataset's accuracy across precisions, normalized to the
+// 8-bit accuracy (the paper plots normalized accuracy).
+type Fig14aRow struct {
+	Dataset  dataset.Kind
+	Accuracy map[int]float64 // bits -> raw SNN accuracy
+	Norm     map[int]float64 // bits -> accuracy / accuracy(8)
+}
+
+// Fig14a trains one network per dataset family, converts it to an SNN, and
+// measures classification accuracy at each weight precision.
+func Fig14a(cfg Fig14aConfig) ([]Fig14aRow, *report.Table, error) {
+	var rows []Fig14aRow
+	t := report.NewTable("Fig 14(a): normalized accuracy vs weight bit-discretization",
+		"Dataset", "1-bit", "2-bit", "4-bit", "8-bit", "raw 8-bit acc")
+	for _, kind := range []dataset.Kind{dataset.Digits, dataset.StreetDigits, dataset.Objects} {
+		train := dataset.Generate(kind, cfg.TrainSamples, cfg.Seed+int64(kind)*13)
+		test := dataset.Generate(kind, cfg.TestSamples, cfg.Seed+int64(kind)*13+1)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(kind)))
+		mlp := ann.NewMLP(train.Shape.Size(), cfg.Hidden, train.Classes, rng)
+		tc := ann.DefaultTrainConfig()
+		tc.Epochs = cfg.Epochs
+		if cfg.LR > 0 {
+			tc.LR = cfg.LR
+		}
+		tc.Seed = cfg.Seed
+		mlp.Train(train, tc)
+		calib, _ := train.Split(min(80, cfg.TrainSamples))
+		net, err := snn.FromANN(kind.String(), mlp, calib)
+		if err != nil {
+			return nil, nil, fmtErr("fig14a", err)
+		}
+		row := Fig14aRow{Dataset: kind, Accuracy: map[int]float64{}, Norm: map[int]float64{}}
+		for _, bits := range Fig14Bits {
+			qnet, err := quant.QuantizeNetwork(net, bits)
+			if err != nil {
+				return nil, nil, fmtErr("fig14a", err)
+			}
+			row.Accuracy[bits] = snn.Evaluate(qnet, test, snn.NewPoissonEncoder(0.9, cfg.Seed+5), cfg.Steps)
+		}
+		ref := row.Accuracy[8]
+		if ref == 0 {
+			ref = 1e-9
+		}
+		for _, bits := range Fig14Bits {
+			row.Norm[bits] = row.Accuracy[bits] / ref
+		}
+		rows = append(rows, row)
+		t.Add(kind.String(),
+			report.F(row.Norm[1]), report.F(row.Norm[2]), report.F(row.Norm[4]), report.F(row.Norm[8]),
+			report.Pct(row.Accuracy[8]))
+	}
+	return rows, t, nil
+}
+
+// Fig14bRow is the normalized energy of both architectures at one
+// precision, plus RESPARC's area overhead (§5.4: the precision cost shows
+// up in area, not energy).
+type Fig14bRow struct {
+	Bits          int
+	CMOS, RESPARC float64 // joules
+	NormC, NormR  float64 // normalized to the 1-bit CMOS energy
+	AreaOverhead  float64 // RESPARC chip area relative to 4-bit
+}
+
+// Fig14b sweeps weight precision on the MNIST MLP benchmark: the CMOS
+// baseline's memory and core grow with precision while RESPARC's crossbars
+// store multi-bit weights in the same cells (§5.4).
+func Fig14b(cfg Config) ([]Fig14bRow, *report.Table, error) {
+	b, err := bench.ByName("mnist-mlp")
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+	net, err := b.Build(cfg.Seed)
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+	inputs, err := inputsFor(b, net, cfg)
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+	// RESPARC energy does not depend on stored precision (same cells, same
+	// events); simulate once.
+	mc := cfg.mapConfig(cfg.MCASize)
+	m, err := mapping.Map(net, mc)
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+	copt := core.DefaultOptions()
+	copt.Params = cfg.Params
+	copt.Steps = cfg.Steps
+	chip, err := core.New(net, m, copt)
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+	rRes, _, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	if err != nil {
+		return nil, nil, fmtErr("fig14b", err)
+	}
+
+	var rows []Fig14bRow
+	for _, bits := range Fig14Bits {
+		bopt := cmosbase.DefaultOptions()
+		bopt.Params = cfg.Params
+		bopt.Steps = cfg.Steps
+		bopt.Bits = bits
+		base, err := cmosbase.New(net, bopt)
+		if err != nil {
+			return nil, nil, fmtErr("fig14b", err)
+		}
+		cRes, _, err := base.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+		if err != nil {
+			return nil, nil, fmtErr("fig14b", err)
+		}
+		area := energy.DefaultAreaParams()
+		rows = append(rows, Fig14bRow{
+			Bits: bits, CMOS: cRes.Energy, RESPARC: rRes.Energy,
+			AreaOverhead: area.AreaOverheadVsBits(m.NCs, m.MCAs, cfg.MCASize, bits),
+		})
+	}
+	ref := rows[0].CMOS
+	t := report.NewTable("Fig 14(b): normalized energy vs weight bit-discretization (MNIST MLP)",
+		"Bits", "CMOS (norm)", "RESPARC (norm)", "RESPARC area (vs 4-bit)")
+	for i := range rows {
+		rows[i].NormC = rows[i].CMOS / ref
+		rows[i].NormR = rows[i].RESPARC / ref
+		t.Add(report.F(float64(rows[i].Bits)), report.F(rows[i].NormC), report.F(rows[i].NormR),
+			report.F(rows[i].AreaOverhead))
+	}
+	return rows, t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resparc/internal/bench"
+	"resparc/internal/energy"
+	"resparc/internal/report"
+)
+
+// Fig8 reproduces the RESPARC parameter/metric tables.
+func Fig8() (*report.Table, *report.Table) {
+	p := energy.DefaultNeuroCellParams()
+	m := energy.NeuroCellMetrics()
+	t1 := report.NewTable("Fig 8 (left): RESPARC micro-architectural parameters", "Parameter", "Value")
+	t1.Add("Architecture", fmt.Sprintf("%d bit", p.ArchitectureBits))
+	t1.Add("NC Dimension", fmt.Sprintf("%dx%d", p.NCDim, p.NCDim))
+	t1.Add("No. of mPE (Switches)", fmt.Sprintf("%d (%d)", p.MPEs, p.Switches))
+	t1.Add("No. of MCAs per mPE", fmt.Sprintf("%d", p.MCAsPerMPE))
+	t2 := report.NewTable("Fig 8 (right): RESPARC implementation metrics (one NeuroCell)", "Metric", "Value")
+	t2.Add("Feature Size", fmt.Sprintf("%dnm", m.FeatureNM))
+	t2.Add("Area", fmt.Sprintf("%.2f mm2", m.AreaMM2))
+	t2.Add("Power", fmt.Sprintf("%.1f mW", m.PowerMW))
+	t2.Add("Gate Count", fmt.Sprintf("%d", m.GateCount))
+	t2.Add("Frequency", fmt.Sprintf("%d MHz", m.FreqMHz))
+	return t1, t2
+}
+
+// Fig9 reproduces the CMOS baseline parameter/metric tables.
+func Fig9() (*report.Table, *report.Table) {
+	p := energy.DefaultBaselineParams()
+	m := energy.BaselineMetrics()
+	t1 := report.NewTable("Fig 9 (left): CMOS baseline micro-architectural parameters", "Parameter", "Value")
+	t1.Add("NU count", fmt.Sprintf("%d", p.NeuronUnits))
+	t1.Add("FIFO(s): Input (Weight)", fmt.Sprintf("%d (%d)", p.InputFIFOs, p.WeightFIFOs))
+	t1.Add("FIFO depth", fmt.Sprintf("%d", p.FIFODepth))
+	t1.Add("Width: FIFO (NU)", fmt.Sprintf("%d (%d)", p.FIFOWidth, p.NUWidth))
+	t2 := report.NewTable("Fig 9 (right): CMOS baseline implementation metrics", "Metric", "Value")
+	t2.Add("Feature Size", fmt.Sprintf("%dnm", m.FeatureNM))
+	t2.Add("Area", fmt.Sprintf("%.2f mm2", m.AreaMM2))
+	t2.Add("Power", fmt.Sprintf("%.1f mW", m.PowerMW))
+	t2.Add("Gate Count", fmt.Sprintf("%d", m.GateCount))
+	t2.Add("Frequency", fmt.Sprintf("%d MHz", m.FreqMHz))
+	return t1, t2
+}
+
+// Fig10Row is one benchmark row with published and reconstructed totals.
+type Fig10Row struct {
+	Bench             bench.Benchmark
+	Layers            int
+	Neurons, Synapses int
+	NeuronErr, SynErr float64 // relative deviation from the published totals
+}
+
+// Fig10 builds every benchmark and tabulates its totals against Fig 10.
+func Fig10(cfg Config) ([]Fig10Row, *report.Table, error) {
+	t := report.NewTable("Fig 10: SNN benchmarks",
+		"Application", "Dataset", "Connectivity", "Layers", "Neurons", "Synapses", "dN", "dS")
+	var rows []Fig10Row
+	for _, b := range bench.All() {
+		net, err := b.Build(cfg.Seed)
+		if err != nil {
+			return nil, nil, fmtErr("fig10", err)
+		}
+		r := Fig10Row{
+			Bench:    b,
+			Layers:   len(net.Layers),
+			Neurons:  net.HiddenNeurons(),
+			Synapses: net.Synapses(),
+		}
+		r.NeuronErr = relErr(r.Neurons, b.PubNeurons)
+		r.SynErr = relErr(r.Synapses, b.PubSynapses)
+		rows = append(rows, r)
+		t.Add(b.App, b.Dataset.String(), b.Connectivity,
+			fmt.Sprintf("%d", r.Layers), fmt.Sprintf("%d", r.Neurons), fmt.Sprintf("%d", r.Synapses),
+			report.Pct(r.NeuronErr), report.Pct(r.SynErr))
+	}
+	return rows, t, nil
+}
+
+func relErr(got, want int) float64 {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"resparc/internal/energy"
+)
+
+// Consistency anchor: the average power a simulated classification draws
+// per NeuroCell must stay below Fig 8's published 53.2 mW (that figure is
+// the synthesized peak; event-driven operation idles most of the fabric)
+// and above a sanity floor.
+func TestPowerPerNeuroCellWithinAnchor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation; skipped with -short")
+	}
+	cfg := testConfig()
+	peakW := energy.NeuroCellMetrics().PowerMW / 1e3
+	for _, name := range []string{"mnist-mlp", "mnist-cnn"} {
+		p, err := RunPair(mustBench(t, name), cfg.MCASize, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncs := p.Mapping.NCs
+		avgPower := p.RESPARC.Energy / p.RESPARC.Latency / float64(ncs)
+		if avgPower > peakW {
+			t.Errorf("%s: %.1f mW per NC exceeds the published %.1f mW peak",
+				name, avgPower*1e3, peakW*1e3)
+		}
+		if avgPower < 1e-5 {
+			t.Errorf("%s: %.3g W per NC implausibly low", name, avgPower)
+		}
+	}
+	// The CMOS baseline's average power must similarly respect its 35.1 mW
+	// synthesis anchor... loosely: leakage-dominated MLP runs can exceed the
+	// core's dynamic anchor because the weight SRAM is modeled separately,
+	// so only check the core component.
+	p, err := RunPair(mustBench(t, "mnist-mlp"), cfg.MCASize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corePower := p.CRep.Energy.Core / p.CMOS.Latency
+	basePeak := energy.BaselineMetrics().PowerMW / 1e3
+	if corePower > basePeak {
+		t.Errorf("baseline core power %.1f mW exceeds the published %.1f mW",
+			corePower*1e3, basePeak*1e3)
+	}
+}

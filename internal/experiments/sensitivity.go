@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resparc/internal/bench"
+	"resparc/internal/energy"
+	"resparc/internal/report"
+)
+
+// Sensitivity analysis: the per-event constants in internal/energy are
+// calibration stand-ins for the paper's RTL extraction (DESIGN.md §5). The
+// reproduction is only meaningful if its conclusions do not hinge on any
+// single fitted constant, so this driver perturbs each energy parameter by
+// a factor in both directions and re-measures the Fig 11 family averages.
+
+// SensitivityRow is the effect of perturbing one parameter.
+type SensitivityRow struct {
+	Param            string
+	Factor           float64
+	MLPGain, CNNGain float64
+}
+
+// perturbations lists the individually perturbable RESPARC/CMOS energy
+// constants.
+var perturbations = []struct {
+	name  string
+	apply func(*energy.Params, float64)
+}{
+	{"XbarCellActive", func(p *energy.Params, f float64) { p.XbarCellActive *= f }},
+	{"NeuronIntegrate", func(p *energy.Params, f float64) { p.NeuronIntegrate *= f }},
+	{"NeuronSpike", func(p *energy.Params, f float64) { p.NeuronSpike *= f }},
+	{"SpikeHandling", func(p *energy.Params, f float64) { p.SpikeHandling *= f }},
+	{"BufferAccess", func(p *energy.Params, f float64) { p.BufferAccess *= f }},
+	{"SwitchHop", func(p *energy.Params, f float64) { p.SwitchHop *= f }},
+	{"BusWord", func(p *energy.Params, f float64) { p.BusWord *= f }},
+	{"MPEControl", func(p *energy.Params, f float64) { p.MPEControl *= f }},
+	{"CoreOp", func(p *energy.Params, f float64) { p.CoreOp *= f }},
+	{"NeuronUnitUpdate", func(p *energy.Params, f float64) { p.NeuronUnitUpdate *= f }},
+}
+
+// Sensitivity measures the Fig 11 energy-gain averages on one MLP and one
+// CNN benchmark while perturbing each constant by 1/factor and factor.
+func Sensitivity(cfg Config, factor float64) ([]SensitivityRow, *report.Table, error) {
+	if factor <= 1 {
+		return nil, nil, fmt.Errorf("experiments: sensitivity factor %v must exceed 1", factor)
+	}
+	mlpB, err := bench.ByName("mnist-mlp")
+	if err != nil {
+		return nil, nil, fmtErr("sensitivity", err)
+	}
+	cnnB, err := bench.ByName("mnist-cnn")
+	if err != nil {
+		return nil, nil, fmtErr("sensitivity", err)
+	}
+	measure := func(c Config) (float64, float64, error) {
+		pm, err := RunPair(mlpB, c.MCASize, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		pc, err := RunPair(cnnB, c.MCASize, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		return pm.Compared.EnergyGain, pc.Compared.EnergyGain, nil
+	}
+	var rows []SensitivityRow
+	base := cfg
+	mlp0, cnn0, err := measure(base)
+	if err != nil {
+		return nil, nil, fmtErr("sensitivity", err)
+	}
+	rows = append(rows, SensitivityRow{Param: "(baseline)", Factor: 1, MLPGain: mlp0, CNNGain: cnn0})
+	for _, p := range perturbations {
+		for _, f := range []float64{1 / factor, factor} {
+			c := cfg
+			c.Params = cfg.Params
+			p.apply(&c.Params, f)
+			mlp, cnn, err := measure(c)
+			if err != nil {
+				return nil, nil, fmtErr("sensitivity", err)
+			}
+			rows = append(rows, SensitivityRow{Param: p.name, Factor: f, MLPGain: mlp, CNNGain: cnn})
+		}
+	}
+	t := report.NewTable(fmt.Sprintf("Calibration sensitivity (each constant x%.2g and /%.2g)", factor, factor),
+		"Parameter", "Factor", "MLP gain", "CNN gain")
+	for _, r := range rows {
+		t.Add(r.Param, report.F(r.Factor), report.Gain(r.MLPGain), report.Gain(r.CNNGain))
+	}
+	return rows, t, nil
+}
+
+// RobustConclusions checks the paper's structural conclusions over
+// sensitivity rows: RESPARC always wins both families, and MLP gains dwarf
+// CNN gains, under every perturbation.
+func RobustConclusions(rows []SensitivityRow) error {
+	for _, r := range rows {
+		if r.MLPGain <= 1 || r.CNNGain <= 1 {
+			return fmt.Errorf("experiments: %s x%.2g: RESPARC no longer wins (%v / %v)",
+				r.Param, r.Factor, r.MLPGain, r.CNNGain)
+		}
+		if r.MLPGain < 5*r.CNNGain {
+			return fmt.Errorf("experiments: %s x%.2g: MLP gain (%v) no longer dwarfs CNN gain (%v)",
+				r.Param, r.Factor, r.MLPGain, r.CNNGain)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resparc/internal/bench"
+	"resparc/internal/core"
+	"resparc/internal/report"
+)
+
+// SweepRow is one (benchmark, MCA size) measurement in long format —
+// analysis-friendly raw data behind the Fig 12 panels.
+type SweepRow struct {
+	Bench       string
+	Size        int
+	EnergyJ     float64
+	LatencyS    float64
+	Neuron      float64
+	Crossbar    float64
+	Peripherals float64
+	Utilization float64
+	MCAs, NCs   int
+}
+
+// SweepSizes simulates every named benchmark at every MCA size and returns
+// long-format rows plus a table.
+func SweepSizes(cfg Config, names []string, sizes []int) ([]SweepRow, *report.Table, error) {
+	t := report.NewTable("MCA size sweep (long format)",
+		"Benchmark", "MCA", "Energy (J)", "Latency (s)", "Neuron (J)", "Crossbar (J)", "Peripherals (J)", "Util", "MCAs", "NCs")
+	var rows []SweepRow
+	for _, name := range names {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, nil, fmtErr("sweep", err)
+		}
+		for _, size := range sizes {
+			res, rep, m, err := RunRESPARC(b, size, cfg, true, 0)
+			if err != nil {
+				return nil, nil, fmtErr("sweep", err)
+			}
+			row := SweepRow{
+				Bench: name, Size: size,
+				EnergyJ: res.Energy, LatencyS: res.Latency,
+				Neuron: rep.Energy.Neuron, Crossbar: rep.Energy.Crossbar, Peripherals: rep.Energy.Peripherals,
+				Utilization: m.TotalUtilization(), MCAs: m.MCAs, NCs: m.NCs,
+			}
+			rows = append(rows, row)
+			t.Add(name, fmt.Sprintf("%d", size), report.Sci(row.EnergyJ), report.Sci(row.LatencyS),
+				report.Sci(row.Neuron), report.Sci(row.Crossbar), report.Sci(row.Peripherals),
+				report.Pct(row.Utilization), fmt.Sprintf("%d", row.MCAs), fmt.Sprintf("%d", row.NCs))
+		}
+	}
+	return rows, t, nil
+}
+
+// BottleneckRow is one benchmark's latency phase profile.
+type BottleneckRow struct {
+	Bench      string
+	Breakdown  core.CycleBreakdown
+	Bottleneck string
+}
+
+// Bottlenecks profiles where each benchmark's cycles go — the latency
+// roofline across the six Fig 10 networks.
+func Bottlenecks(cfg Config, names []string) ([]BottleneckRow, *report.Table, error) {
+	t := report.NewTable("Latency bottleneck analysis (cycles by phase)",
+		"Benchmark", "Sync", "Bus", "Delivery", "Integrate", "Drain", "Bottleneck")
+	var rows []BottleneckRow
+	for _, name := range names {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, nil, fmtErr("bottlenecks", err)
+		}
+		_, rep, _, err := RunRESPARC(b, cfg.MCASize, cfg, true, 0)
+		if err != nil {
+			return nil, nil, fmtErr("bottlenecks", err)
+		}
+		row := BottleneckRow{Bench: name, Breakdown: rep.Breakdown, Bottleneck: rep.Breakdown.Bottleneck()}
+		rows = append(rows, row)
+		bd := rep.Breakdown
+		t.Add(name, fmt.Sprintf("%d", bd.Sync), fmt.Sprintf("%d", bd.Bus),
+			fmt.Sprintf("%d", bd.Delivery), fmt.Sprintf("%d", bd.Integrate),
+			fmt.Sprintf("%d", bd.Drain), row.Bottleneck)
+	}
+	return rows, t, nil
+}
+
+// WriteSweepCSV runs SweepSizes and writes the result as CSV.
+func WriteSweepCSV(w io.Writer, cfg Config, names []string, sizes []int) error {
+	_, t, err := SweepSizes(cfg, names, sizes)
+	if err != nil {
+		return err
+	}
+	return t.RenderCSV(w)
+}

@@ -1,0 +1,54 @@
+package mapping
+
+import (
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// BenchmarkMapDense measures tiling a 784x1024 dense layer onto 64x64
+// arrays.
+func BenchmarkMapDense(b *testing.B) {
+	w := tensor.NewMat(1024, 784)
+	l, err := snn.NewDense("d", 784, 1024, w, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := snn.NewNetwork("bench", tensor.Shape3{H: 1, W: 1, C: 784}, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tech = device.PCM
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapConv measures the input-sharing sparse packer on a
+// 28x28 3x3x32 convolution.
+func BenchmarkMapConv(b *testing.B) {
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 28, W: 28, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 32}
+	w := tensor.NewMat(32, 9)
+	l, err := snn.NewConv("c", geom, w, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := snn.NewNetwork("bench", geom.In, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tech = device.PCM
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

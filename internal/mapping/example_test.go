@@ -1,0 +1,36 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"resparc/internal/mapping"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// Mapping a 128x128 dense layer onto the default 64x64 crossbars tiles it
+// into a 2x2 grid: two output groups, each time-multiplexing two row
+// blocks (Fig 5b).
+func ExampleMap() {
+	w := tensor.NewMat(128, 128)
+	layer, err := snn.NewDense("fc", 128, 128, w, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := snn.NewNetwork("example", tensor.Shape3{H: 1, W: 1, C: 128}, layer)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := mapping.Map(net, mapping.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lm := m.Layers[0]
+	fmt.Printf("%d MCAs, %d groups, mux degree %d, utilization %.0f%%\n",
+		len(lm.MCAs), lm.Groups, lm.MuxDegree, 100*lm.Utilization)
+	// Output:
+	// 4 MCAs, 2 groups, mux degree 2, utilization 100%
+}

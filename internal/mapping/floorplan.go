@@ -1,0 +1,63 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Floorplan renders the placement as ASCII NeuroCell grids: one box per NC,
+// one cell per mPE, labeled with the index of the layer occupying it ("--"
+// for unused mPEs). maxNCs caps the output for chips with hundreds of
+// NeuroCells (0 means all).
+func (m *Mapping) Floorplan(maxNCs int) string {
+	dim := 1
+	for dim*dim < m.Cfg.MPEsPerNC {
+		dim++
+	}
+	// mPE -> layer index.
+	layerOf := make(map[int]int)
+	for li := range m.Layers {
+		lm := &m.Layers[li]
+		for mpe := lm.MPEFirst; mpe <= lm.MPELast; mpe++ {
+			layerOf[mpe] = li
+		}
+	}
+	ncs := m.NCs
+	truncated := false
+	if maxNCs > 0 && ncs > maxNCs {
+		ncs = maxNCs
+		truncated = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "floorplan: %d NeuroCell(s), %d mPEs, %d MCAs (MCA size %d)\n",
+		m.NCs, m.MPEs, m.MCAs, m.Cfg.MCASize)
+	for nc := 0; nc < ncs; nc++ {
+		fmt.Fprintf(&sb, "NC %d:\n", nc)
+		for y := 0; y < dim; y++ {
+			sb.WriteString("  ")
+			for x := 0; x < dim; x++ {
+				local := y*dim + x
+				if local >= m.Cfg.MPEsPerNC {
+					continue
+				}
+				mpe := nc*m.Cfg.MPEsPerNC + local
+				if li, ok := layerOf[mpe]; ok {
+					fmt.Fprintf(&sb, "[L%-2d]", li)
+				} else {
+					sb.WriteString("[-- ]")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "... (%d more NeuroCells)\n", m.NCs-ncs)
+	}
+	// Legend.
+	sb.WriteString("legend:")
+	for li := range m.Layers {
+		fmt.Fprintf(&sb, " L%d=%s", li, m.Layers[li].Layer.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

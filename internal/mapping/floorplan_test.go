@@ -1,0 +1,73 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+func TestFloorplan(t *testing.T) {
+	w1 := tensor.NewMat(128, 128)
+	l1, err := snn.NewDense("hidden", 128, 128, w1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := tensor.NewMat(10, 128)
+	l2, err := snn.NewDense("out", 128, 10, w2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 128}, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Floorplan(0)
+	if !strings.Contains(fp, "NC 0:") {
+		t.Fatalf("missing NC header:\n%s", fp)
+	}
+	if !strings.Contains(fp, "[L0 ]") || !strings.Contains(fp, "[L1 ]") {
+		t.Fatalf("missing layer cells:\n%s", fp)
+	}
+	if !strings.Contains(fp, "[-- ]") {
+		t.Fatalf("missing empty mPEs:\n%s", fp)
+	}
+	if !strings.Contains(fp, "L0=hidden") || !strings.Contains(fp, "L1=out") {
+		t.Fatalf("missing legend:\n%s", fp)
+	}
+	// Occupied cells match the mPE count ("[L" appears only in grid cells).
+	if got := strings.Count(fp, "[L"); got != m.MPEs {
+		t.Fatalf("occupied cells %d, want %d:\n%s", got, m.MPEs, fp)
+	}
+}
+
+func TestFloorplanTruncation(t *testing.T) {
+	w := tensor.NewMat(2048, 2048)
+	l, err := snn.NewDense("big", 2048, 2048, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 2048}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NCs < 3 {
+		t.Skipf("net too small: %d NCs", m.NCs)
+	}
+	fp := m.Floorplan(2)
+	if !strings.Contains(fp, "more NeuroCells") {
+		t.Fatalf("missing truncation notice:\n%s", fp[:200])
+	}
+	if strings.Contains(fp, "NC 2:") {
+		t.Fatal("truncation did not stop at 2 NCs")
+	}
+}

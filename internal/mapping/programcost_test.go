@@ -1,0 +1,69 @@
+package mapping
+
+import (
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+func TestProgramCost(t *testing.T) {
+	w := tensor.NewMat(64, 64)
+	l, err := snn.NewDense("d", 64, 64, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 64}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tech = device.AgSi
+	m, err := Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, tm := m.ProgramCost()
+	// 64*64 taps, 8 pulses each, 10 pJ per pulse.
+	wantE := 64.0 * 64 * 8 * 10e-12
+	if e != wantE {
+		t.Fatalf("energy %g, want %g", e, wantE)
+	}
+	// 64 rows x 8 pulses x 50 ns.
+	wantT := 64.0 * 8 * 50e-9
+	if tm != wantT {
+		t.Fatalf("time %g, want %g", tm, wantT)
+	}
+
+	// The configuration cost is a one-off: even for this small network it
+	// exceeds a single classification's energy budget, which is why the
+	// paper scopes it out of the per-classification numbers (§4.2).
+	if e < 1e-9 {
+		t.Fatal("programming energy implausibly low")
+	}
+}
+
+func TestProgramCostScalesWithTaps(t *testing.T) {
+	build := func(out int) *Mapping {
+		w := tensor.NewMat(out, 64)
+		l, err := snn.NewDense("d", 64, out, w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 64}, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Map(net, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	small, _ := build(32).ProgramCost()
+	big, _ := build(128).ProgramCost()
+	if big <= small {
+		t.Fatalf("programming energy must scale with synapses: %g vs %g", small, big)
+	}
+}

@@ -1,0 +1,174 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// prunedDense builds a dense layer with the given non-zero fraction.
+func prunedDense(t *testing.T, in, out int, fill float64, seed int64) *snn.Layer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.NewMat(out, in)
+	for i := range w.Data {
+		if rng.Float64() < fill {
+			w.Data[i] = 0.1 + rng.Float64()
+		}
+	}
+	l, err := snn.NewDense("pruned", in, out, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// blockDense builds a block-diagonal dense layer: structured sparsity
+// where groups of outputs share exactly one block of inputs.
+func blockDense(t *testing.T, n, blocks int, seed int64) *snn.Layer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.NewMat(n, n)
+	bs := n / blocks
+	for b := 0; b < blocks; b++ {
+		for o := b * bs; o < (b+1)*bs; o++ {
+			for i := b * bs; i < (b+1)*bs; i++ {
+				w.Set(o, i, 0.1+rng.Float64())
+			}
+		}
+	}
+	l, err := snn.NewDense("block", n, n, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// Structured (block) sparsity is where input sharing pays: a block-diagonal
+// 256x256 matrix with 32x32 blocks packs two blocks per 64x64 array instead
+// of tiling 16 mostly-empty arrays.
+func TestSparseDensePackingStructured(t *testing.T) {
+	l := blockDense(t, 256, 8, 1)
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 256}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Map(net, cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := cfg(64)
+	sparse.SparseDenseMaxFill = 0.3
+	ms, err := Map(net, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MCAs >= md.MCAs {
+		t.Fatalf("structured sparse packing used %d arrays vs dense %d", ms.MCAs, md.MCAs)
+	}
+	// Taps must cover exactly the non-zero weights.
+	nz := l.W.Data.CountNonZero(0)
+	taps := 0
+	for _, a := range ms.Layers[0].MCAs {
+		taps += a.Taps
+		if len(a.Inputs) > 64 || len(a.Outputs) > 64 {
+			t.Fatal("array bounds violated")
+		}
+	}
+	if taps != nz {
+		t.Fatalf("sparse taps %d != non-zeros %d", taps, nz)
+	}
+	// Two 32x32 blocks fit per 64x64 array: exactly 4 arrays for 8 blocks
+	// (dense tiling burns 16 arrays whose cross-points are mostly zero
+	// weights).
+	if ms.MCAs != 4 {
+		t.Fatalf("expected 4 arrays for the block-diagonal layer, got %d", ms.MCAs)
+	}
+}
+
+// Unstructured random pruning has no input locality: per-output units share
+// almost nothing, so sparse packing does NOT beat dense tiling — the
+// classic argument for structured pruning on crossbars. The mapping must
+// still be correct (exact tap coverage).
+func TestSparseDenseUnstructuredIsNotBetter(t *testing.T) {
+	l := prunedDense(t, 256, 256, 0.1, 1)
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 256}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Map(net, cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := cfg(64)
+	sparse.SparseDenseMaxFill = 0.3
+	ms, err := Map(net, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MCAs < md.MCAs {
+		t.Fatalf("unexpected: unstructured sparse packing beat dense tiling (%d vs %d arrays)", ms.MCAs, md.MCAs)
+	}
+	nz := l.W.Data.CountNonZero(0)
+	taps := 0
+	for _, a := range ms.Layers[0].MCAs {
+		taps += a.Taps
+	}
+	if taps != nz {
+		t.Fatalf("sparse taps %d != non-zeros %d", taps, nz)
+	}
+}
+
+// A dense layer above the fill threshold keeps the dense tiling.
+func TestSparseDenseThresholdRespected(t *testing.T) {
+	l := prunedDense(t, 128, 128, 0.9, 2)
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 128}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(64)
+	c.SparseDenseMaxFill = 0.3
+	m, err := Map(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense tiling of 128x128 on 64: exactly 4 full tiles.
+	if len(m.Layers[0].MCAs) != 4 {
+		t.Fatalf("dense layer above threshold should tile densely, got %d MCAs", len(m.Layers[0].MCAs))
+	}
+}
+
+// An output pruned to zero fan-in must still appear in the mapping (its
+// neuron exists even if it can never fire).
+func TestSparseDenseZeroFanInOutput(t *testing.T) {
+	w := tensor.NewMat(3, 8)
+	w.Set(0, 1, 0.5)
+	w.Set(2, 7, 0.5) // output 1 has no inputs
+	l, err := snn.NewDense("d", 8, 3, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 8}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(8)
+	c.SparseDenseMaxFill = 1.0
+	m, err := Map(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int32]bool{}
+	for _, a := range m.Layers[0].MCAs {
+		for _, o := range a.Outputs {
+			covered[o] = true
+		}
+	}
+	for o := int32(0); o < 3; o++ {
+		if !covered[o] {
+			t.Fatalf("output %d missing from sparse-dense mapping", o)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package mpe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/mapping"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/xbar"
+)
+
+func slotFixture(t *testing.T, size int, mode Mode) (*MCASlot, *snn.Layer, *mapping.MCA) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.NewMat(4, 6)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	layer, err := snn.NewDense("d", 6, 4, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &mapping.MCA{
+		Inputs:  []int32{0, 1, 2, 3, 4, 5},
+		Outputs: []int32{0, 1, 2, 3},
+		Taps:    24,
+	}
+	var xb *xbar.Crossbar
+	if mode == Physical {
+		xb, err = xbar.New(size, size, device.PCM, w.MaxAbs())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSlot(layer, alloc, size, mode, xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, layer, alloc
+}
+
+func TestNewSlotValidation(t *testing.T) {
+	_, layer, alloc := slotFixture(t, 8, Ideal)
+	if _, err := NewSlot(layer, alloc, 4, Ideal, nil); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+	if _, err := NewSlot(layer, alloc, 8, Physical, nil); err == nil {
+		t.Fatal("physical mode without crossbar accepted")
+	}
+}
+
+func TestIdealCurrentsMatchWeights(t *testing.T) {
+	s, layer, _ := slotFixture(t, 8, Ideal)
+	in := bitvec.New(6)
+	in.Set(0)
+	in.Set(3)
+	s.DeliverFrom(in, 64)
+	out := s.Currents(xbar.Config{})
+	for c := 0; c < 4; c++ {
+		w0, _ := layer.Weight(c, 0)
+		w3, _ := layer.Weight(c, 3)
+		if math.Abs(out[c]-(w0+w3)) > 1e-12 {
+			t.Fatalf("col %d: %v want %v", c, out[c], w0+w3)
+		}
+	}
+}
+
+func TestPhysicalCurrentsMatchReadback(t *testing.T) {
+	s, _, alloc := slotFixture(t, 8, Physical)
+	in := bitvec.New(6)
+	in.Set(1)
+	in.Set(5)
+	s.DeliverFrom(in, 64)
+	out := s.Currents(xbar.Config{})
+	for c, o := range alloc.Outputs {
+		w1, _ := s.ReadbackWeight(o, 1)
+		w5, _ := s.ReadbackWeight(o, 5)
+		if math.Abs(out[c]-(w1+w5)) > 1e-9 {
+			t.Fatalf("col %d: %v want %v", c, out[c], w1+w5)
+		}
+	}
+}
+
+func TestZeroPacketSuppression(t *testing.T) {
+	s, _, _ := slotFixture(t, 8, Ideal)
+	s.DeliverPacket(0, 0)
+	if s.PacketsZero != 1 || s.PacketsIn != 0 {
+		t.Fatalf("counters %d %d", s.PacketsZero, s.PacketsIn)
+	}
+	if s.Active() {
+		t.Fatal("zero packet activated slot")
+	}
+	s.DeliverPacket(0, 0b101)
+	if s.PacketsIn != 1 || !s.Active() || s.ActiveRows() != 2 {
+		t.Fatalf("delivery broken: in=%d active=%v rows=%d", s.PacketsIn, s.Active(), s.ActiveRows())
+	}
+}
+
+func TestResetTimestepAndCounters(t *testing.T) {
+	s, _, _ := slotFixture(t, 8, Ideal)
+	s.DeliverPacket(0, 0xF)
+	s.Currents(xbar.Config{})
+	s.ResetTimestep()
+	if s.Active() {
+		t.Fatal("ResetTimestep failed")
+	}
+	if s.Activations != 1 || s.RowsDriven != 4 {
+		t.Fatalf("counters: %d %d", s.Activations, s.RowsDriven)
+	}
+	s.ResetCounters()
+	if s.Activations != 0 || s.RowsDriven != 0 || s.PacketsIn != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+}
+
+func TestDeliverFromSourceWords(t *testing.T) {
+	s, _, _ := slotFixture(t, 8, Ideal)
+	// 6 inputs (indices 0..5) live in one 64-bit source word; a spike
+	// anywhere in the word delivers exactly one packet.
+	in := bitvec.New(6)
+	in.Set(2)
+	if got := s.DeliverFrom(in, 64); got != 1 {
+		t.Fatalf("delivered %d packets, want 1", got)
+	}
+	if !s.Active() || s.ActiveRows() != 1 {
+		t.Fatalf("active=%v rows=%d", s.Active(), s.ActiveRows())
+	}
+	// With 4-bit words the inputs span 2 words; spikes in both deliver 2.
+	s.ResetTimestep()
+	s.ResetCounters()
+	in.Set(5)
+	if got := s.DeliverFrom(in, 4); got != 2 {
+		t.Fatalf("delivered %d packets with 4-bit words, want 2", got)
+	}
+	// An all-zero word is suppressed.
+	s.ResetTimestep()
+	s.ResetCounters()
+	empty := bitvec.New(6)
+	if got := s.DeliverFrom(empty, 4); got != 0 {
+		t.Fatalf("delivered %d packets from silence", got)
+	}
+	if s.PacketsZero != 2 {
+		t.Fatalf("suppressed %d, want 2", s.PacketsZero)
+	}
+}
+
+func TestMPECounters(t *testing.T) {
+	s1, _, _ := slotFixture(t, 8, Ideal)
+	s2, _, _ := slotFixture(t, 8, Ideal)
+	m := &MPE{ID: 0, Slots: []*MCASlot{s1, s2}}
+	s1.DeliverPacket(0, 1)
+	s1.Currents(xbar.Config{})
+	s2.DeliverPacket(0, 0)
+	c := m.Counters()
+	if c.Activations != 1 || c.PacketsIn != 1 || c.PacketsZero != 1 || c.RowsDriven != 1 {
+		t.Fatalf("aggregate counters %+v", c)
+	}
+}
+
+func TestReadbackWeightMisses(t *testing.T) {
+	s, _, _ := slotFixture(t, 8, Ideal)
+	if _, ok := s.ReadbackWeight(0, 99); ok {
+		t.Fatal("unknown input accepted")
+	}
+	if _, ok := s.ReadbackWeight(99, 0); ok {
+		t.Fatal("unknown output accepted")
+	}
+}
+
+func TestMarkActiveAndInputWords(t *testing.T) {
+	s, _, _ := slotFixture(t, 8, Ideal)
+	in := bitvec.New(6)
+	in.Set(0)
+	in.Set(4)
+	s.MarkActive(in)
+	if !s.Active() || s.ActiveRows() != 2 {
+		t.Fatalf("MarkActive: active=%v rows=%d", s.Active(), s.ActiveRows())
+	}
+	// Inputs 0..5 at width 4 span source words 0 and 1.
+	words := s.InputWords(4)
+	if len(words) != 2 || words[0] != 0 || words[1] != 1 {
+		t.Fatalf("InputWords = %v", words)
+	}
+	// At width 64 they fit one word.
+	if w := s.InputWords(64); len(w) != 1 || w[0] != 0 {
+		t.Fatalf("InputWords(64) = %v", w)
+	}
+}

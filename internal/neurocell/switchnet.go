@@ -1,0 +1,169 @@
+package neurocell
+
+import (
+	"fmt"
+
+	"resparc/internal/packet"
+)
+
+// SwitchNet models the programmable-switch fabric of one NeuroCell at
+// packet granularity (Fig 6): a (d-1)x(d-1) switch grid serving the d x d
+// mPE array. Each switch connects to its four neighboring mPEs, and
+// dedicated links join every pair of switches sharing a row or a column, so
+// any two switches are at most two hops apart (one row hop plus one column
+// hop) and mPEs attached to the same switch are one hop apart.
+//
+// Each switch forwards one packet per cycle through its decoder/arbitration
+// logic; input-line buffers queue the rest (Fig 6's iData/iAddress
+// buffers). The main simulators use the ideal bound ceil(packets/switches)
+// per §3.1.2's "high throughput parallel transfer"; SwitchNet measures how
+// close real traffic gets to that bound and is exposed through the
+// contention ablation experiment.
+type SwitchNet struct {
+	dim   int // mPE grid dimension (4 for the Fig 8 NeuroCell)
+	swDim int // switch grid dimension (dim-1)
+
+	queues [][]flit // one FIFO per switch
+	stats  SwitchStats
+}
+
+type flit struct {
+	dst    int // destination switch
+	dstMPE int
+	hops   int
+}
+
+// SwitchStats summarizes one traffic simulation.
+type SwitchStats struct {
+	Cycles    int   // cycles until every packet was delivered
+	Delivered int   // packets delivered
+	Hops      int   // total switch-to-switch + switch-to-mPE hops
+	MaxQueue  int   // deepest input queue observed
+	Forwards  []int // per-switch forward counts (load balance)
+}
+
+// Transfer is one spike-packet movement between two mPEs of the NeuroCell
+// (local ids in [0, dim*dim)).
+type Transfer struct {
+	SrcMPE, DstMPE int
+}
+
+// NewSwitchNet builds the fabric for a d x d mPE NeuroCell (d >= 2).
+func NewSwitchNet(dim int) (*SwitchNet, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("neurocell: switch net needs dim >= 2, got %d", dim)
+	}
+	n := &SwitchNet{dim: dim, swDim: dim - 1}
+	n.queues = make([][]flit, n.swDim*n.swDim)
+	return n, nil
+}
+
+// Switches returns the number of switches in the fabric. For the Fig 8
+// NeuroCell (4x4 mPEs) this is 9, matching the published parameter table.
+func (n *SwitchNet) Switches() int { return n.swDim * n.swDim }
+
+// switchOf returns the primary switch an mPE attaches to: the grid corner
+// switch closest to the array origin (mPE (x,y) -> switch (min(x,d-2),
+// min(y,d-2))), so every switch serves its four neighboring mPEs.
+func (n *SwitchNet) switchOf(mpe int) int {
+	x, y := mpe%n.dim, mpe/n.dim
+	sx, sy := x, y
+	if sx > n.swDim-1 {
+		sx = n.swDim - 1
+	}
+	if sy > n.swDim-1 {
+		sy = n.swDim - 1
+	}
+	return sy*n.swDim + sx
+}
+
+// route returns the next switch on the path from s to dst: first align the
+// row over the dedicated column link, then the column over the row link —
+// at most two hops thanks to the full row/column connectivity.
+func (n *SwitchNet) route(s, dst int) int {
+	sx, sy := s%n.swDim, s/n.swDim
+	dx, dy := dst%n.swDim, dst/n.swDim
+	if sy != dy {
+		return dy*n.swDim + sx // dedicated column link: any row in one hop
+	}
+	if sx != dx {
+		return sy*n.swDim + dx // dedicated row link: any column in one hop
+	}
+	return s
+}
+
+// Simulate runs the traffic to completion and returns the statistics. All
+// packets are injected at cycle zero (the worst case within one timestep's
+// distribution phase). The address format of Fig 6 (SW_ID | mPE_ID |
+// MCA_ID) determines routing; MCA fan-out inside the destination mPE is
+// local and free.
+func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
+	for i := range n.queues {
+		n.queues[i] = n.queues[i][:0]
+	}
+	n.stats = SwitchStats{Forwards: make([]int, n.Switches())}
+	for _, t := range transfers {
+		if t.SrcMPE < 0 || t.SrcMPE >= n.dim*n.dim || t.DstMPE < 0 || t.DstMPE >= n.dim*n.dim {
+			return SwitchStats{}, fmt.Errorf("neurocell: transfer %+v out of the %dx%d array", t, n.dim, n.dim)
+		}
+		src := n.switchOf(t.SrcMPE)
+		// Encode the destination in the Fig 6 address format; the wire
+		// format round-trips through the packet package to keep the two
+		// views consistent.
+		addr := packet.Address{SW: uint8(n.switchOf(t.DstMPE)), MPE: uint8(t.DstMPE)}
+		dec := packet.DecodeAddress(addr.Encode())
+		n.queues[src] = append(n.queues[src], flit{dst: int(dec.SW), dstMPE: int(dec.MPE)})
+	}
+	pending := len(transfers)
+	for cycle := 0; pending > 0; cycle++ {
+		if cycle > 64*len(transfers)+64 {
+			return SwitchStats{}, fmt.Errorf("neurocell: switch simulation did not converge")
+		}
+		n.stats.Cycles = cycle + 1
+		// Snapshot heads; each switch forwards one flit per cycle.
+		type move struct {
+			to   int
+			f    flit
+			done bool
+		}
+		var moves []move
+		for s := range n.queues {
+			if len(n.queues[s]) > n.stats.MaxQueue {
+				n.stats.MaxQueue = len(n.queues[s])
+			}
+			if len(n.queues[s]) == 0 {
+				continue
+			}
+			f := n.queues[s][0]
+			n.queues[s] = n.queues[s][1:]
+			n.stats.Forwards[s]++
+			n.stats.Hops++
+			if f.dst == s {
+				// Egress to the destination mPE.
+				moves = append(moves, move{done: true})
+				continue
+			}
+			next := n.route(s, f.dst)
+			f.hops++
+			moves = append(moves, move{to: next, f: f})
+		}
+		for _, m := range moves {
+			if m.done {
+				n.stats.Delivered++
+				pending--
+				continue
+			}
+			n.queues[m.to] = append(n.queues[m.to], m.f)
+		}
+	}
+	return n.stats, nil
+}
+
+// IdealCycles is the contention-free bound the architecture model uses:
+// every switch forwards one packet per cycle in parallel.
+func (n *SwitchNet) IdealCycles(packets int) int {
+	if packets == 0 {
+		return 0
+	}
+	return (packets + n.Switches() - 1) / n.Switches()
+}

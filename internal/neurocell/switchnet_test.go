@@ -1,0 +1,225 @@
+package neurocell
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/mpe"
+	"resparc/internal/xbar"
+)
+
+func TestSwitchNetGeometry(t *testing.T) {
+	n, err := NewSwitchNet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 8: the 4x4 NeuroCell has 9 switches.
+	if n.Switches() != 9 {
+		t.Fatalf("switches = %d, want 9", n.Switches())
+	}
+	if _, err := NewSwitchNet(1); err == nil {
+		t.Fatal("dim 1 accepted")
+	}
+	// Every mPE attaches to a valid switch.
+	for m := 0; m < 16; m++ {
+		s := n.switchOf(m)
+		if s < 0 || s >= 9 {
+			t.Fatalf("mPE %d -> switch %d", m, s)
+		}
+	}
+}
+
+// Row/column dedicated links: any switch pair is at most 2 route steps
+// apart.
+func TestSwitchNetRouteLength(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	for a := 0; a < n.Switches(); a++ {
+		for b := 0; b < n.Switches(); b++ {
+			s, hops := a, 0
+			for s != b {
+				s = n.route(s, b)
+				hops++
+				if hops > 2 {
+					t.Fatalf("route %d->%d took more than 2 hops", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchNetSingleTransfer(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	st, err := n.Simulate([]Transfer{{SrcMPE: 0, DstMPE: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 {
+		t.Fatalf("delivered %d", st.Delivered)
+	}
+	// 0 attaches to switch (0,0); 15 to switch (2,2): two fabric hops plus
+	// the egress forward = at most 3 cycles, uncontended.
+	if st.Cycles > 3 {
+		t.Fatalf("uncontended transfer took %d cycles", st.Cycles)
+	}
+}
+
+func TestSwitchNetLocalTransferIsOneHop(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	// mPEs 2 and 3 attach to the same switch (x clamps to the grid edge):
+	// a single egress forward.
+	st, err := n.Simulate([]Transfer{{SrcMPE: 2, DstMPE: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 1 || st.Hops != 1 {
+		t.Fatalf("local transfer: %+v", st)
+	}
+}
+
+// Hotspot traffic must serialize at the destination switch; uniform traffic
+// must stay near the ideal parallel bound.
+func TestSwitchNetContention(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	// 32 packets from all mPEs to mPE 15 (switch 8).
+	var hot []Transfer
+	for i := 0; i < 32; i++ {
+		hot = append(hot, Transfer{SrcMPE: i % 15, DstMPE: 15})
+	}
+	hotStats, err := n.Simulate(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotStats.Delivered != 32 {
+		t.Fatalf("delivered %d", hotStats.Delivered)
+	}
+	// All egress forwards funnel through switch 8: at least 32 cycles.
+	if hotStats.Cycles < 32 {
+		t.Fatalf("hotspot finished in %d cycles — impossible", hotStats.Cycles)
+	}
+
+	// Uniform neighbor traffic: mPE i -> i (self-free local) spread across
+	// switches.
+	var uniform []Transfer
+	for i := 0; i < 32; i++ {
+		uniform = append(uniform, Transfer{SrcMPE: i % 16, DstMPE: (i + 1) % 16})
+	}
+	uniStats, err := n.Simulate(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniStats.Cycles >= hotStats.Cycles {
+		t.Fatalf("uniform (%d) should beat hotspot (%d)", uniStats.Cycles, hotStats.Cycles)
+	}
+	if uniStats.Cycles < n.IdealCycles(32) {
+		t.Fatalf("uniform %d cycles beat the ideal bound %d", uniStats.Cycles, n.IdealCycles(32))
+	}
+}
+
+func TestSwitchNetValidation(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	if _, err := n.Simulate([]Transfer{{SrcMPE: -1, DstMPE: 0}}); err == nil {
+		t.Fatal("negative mPE accepted")
+	}
+	if _, err := n.Simulate([]Transfer{{SrcMPE: 0, DstMPE: 16}}); err == nil {
+		t.Fatal("out-of-array mPE accepted")
+	}
+}
+
+func TestSwitchNetIdealCycles(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	if n.IdealCycles(0) != 0 || n.IdealCycles(9) != 1 || n.IdealCycles(10) != 2 {
+		t.Fatal("ideal bound wrong")
+	}
+}
+
+// Property: every packet is always delivered, hop counts are bounded, and
+// the cycle count is at least the per-switch serialization bound of the
+// busiest egress.
+func TestSwitchNetConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, _ := NewSwitchNet(4)
+		count := 1 + rng.Intn(60)
+		transfers := make([]Transfer, count)
+		egress := map[int]int{}
+		for i := range transfers {
+			transfers[i] = Transfer{SrcMPE: rng.Intn(16), DstMPE: rng.Intn(16)}
+			egress[n.switchOf(transfers[i].DstMPE)]++
+		}
+		st, err := n.Simulate(transfers)
+		if err != nil || st.Delivered != count {
+			return false
+		}
+		busiest := 0
+		for _, c := range egress {
+			if c > busiest {
+				busiest = c
+			}
+		}
+		if st.Cycles < busiest {
+			return false
+		}
+		// Each packet takes 1..3 forwards; total hops bounded accordingly.
+		return st.Hops >= count && st.Hops <= 3*count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reusing a SwitchNet for several simulations must not leak state.
+func TestSwitchNetReuse(t *testing.T) {
+	n, _ := NewSwitchNet(4)
+	a, err := n.Simulate([]Transfer{{SrcMPE: 0, DstMPE: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Simulate([]Transfer{{SrcMPE: 0, DstMPE: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Hops != b.Hops || a.Delivered != b.Delivered {
+		t.Fatalf("state leaked between runs: %+v vs %+v", a, b)
+	}
+}
+
+// Contention-aware simulation must produce the same spikes as the ideal
+// mode, never run faster, and still terminate.
+func TestContentionMode(t *testing.T) {
+	net := smallMLP(t, 99)
+	m := mapped(t, net, 16)
+	ideal, err := New(net, m, mpe.Ideal, xbar.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := New(net, m, mpe.Ideal, xbar.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont.Contention = true
+	rng := rand.New(rand.NewSource(100))
+	in := bitvec.New(net.Input.Size())
+	for step := 0; step < 20; step++ {
+		in.Reset()
+		for i := 0; i < in.Len(); i++ {
+			if rng.Float64() < 0.4 {
+				in.Set(i)
+			}
+		}
+		a := ideal.Step(in)
+		b := cont.Step(in)
+		for i := 0; i < a.Len(); i++ {
+			if a.Get(i) != b.Get(i) {
+				t.Fatalf("contention mode changed spikes at step %d", step)
+			}
+		}
+	}
+	if cont.Stats.Cycles < ideal.Stats.Cycles {
+		t.Fatalf("contended cycles %d below ideal %d", cont.Stats.Cycles, ideal.Stats.Cycles)
+	}
+	if cont.Stats.PacketsDelivered != ideal.Stats.PacketsDelivered {
+		t.Fatal("packet counts must not change")
+	}
+}

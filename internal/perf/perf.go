@@ -1,0 +1,100 @@
+// Package perf defines the result structures shared by the two architecture
+// simulators: per-classification energy broken into the paper's reporting
+// components (Fig 12) plus latency, and the derived comparison metrics
+// (energy gain, speedup) of Fig 11.
+package perf
+
+import (
+	"fmt"
+	"math"
+)
+
+// RESPARCEnergy is the Fig 12(a,c) breakdown for one classification.
+type RESPARCEnergy struct {
+	Neuron      float64 // integration + spike generation
+	Crossbar    float64 // MCA reads (used and idle cross-points)
+	Peripherals float64 // buffers, control, switch/bus communication, SRAM
+}
+
+// Total returns the summed energy in joules.
+func (e RESPARCEnergy) Total() float64 { return e.Neuron + e.Crossbar + e.Peripherals }
+
+// CMOSEnergy is the Fig 12(b,d) breakdown for one classification.
+type CMOSEnergy struct {
+	Core          float64 // buffers, compute, control
+	MemoryAccess  float64 // weight/activation SRAM accesses
+	MemoryLeakage float64 // leakage power x runtime
+}
+
+// Total returns the summed energy in joules.
+func (e CMOSEnergy) Total() float64 { return e.Core + e.MemoryAccess + e.MemoryLeakage }
+
+// Result is one simulated classification on one architecture.
+type Result struct {
+	Arch    string  // "resparc" or "cmos"
+	Network string  // benchmark name
+	Energy  float64 // joules per classification
+	Latency float64 // seconds per classification
+	Steps   int     // SNN timesteps simulated
+}
+
+// Throughput returns classifications per second.
+func (r Result) Throughput() float64 {
+	if r.Latency == 0 {
+		return 0
+	}
+	return 1 / r.Latency
+}
+
+// Comparison is one Fig 11 data point: RESPARC vs the CMOS baseline on one
+// benchmark.
+type Comparison struct {
+	Network    string
+	EnergyGain float64 // CMOS energy / RESPARC energy
+	Speedup    float64 // CMOS latency / RESPARC latency
+}
+
+// Compare derives the Fig 11 metrics from a pair of results.
+func Compare(resparc, cmos Result) (Comparison, error) {
+	if resparc.Network != cmos.Network {
+		return Comparison{}, fmt.Errorf("perf: comparing different networks %q vs %q", resparc.Network, cmos.Network)
+	}
+	if resparc.Energy <= 0 || resparc.Latency <= 0 {
+		return Comparison{}, fmt.Errorf("perf: non-positive RESPARC result %+v", resparc)
+	}
+	return Comparison{
+		Network:    resparc.Network,
+		EnergyGain: cmos.Energy / resparc.Energy,
+		Speedup:    cmos.Latency / resparc.Latency,
+	}, nil
+}
+
+// Normalize returns xs scaled so that the reference value maps to 1 — the
+// paper reports all energies normalized to MNIST-on-RESPARC and speedups to
+// CIFAR-10-on-CMOS.
+func Normalize(xs []float64, ref float64) ([]float64, error) {
+	if ref == 0 {
+		return nil, fmt.Errorf("perf: zero reference")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / ref
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of positive values (used for the "on
+// average" numbers quoted in §5.1).
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("perf: empty input")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("perf: non-positive value %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}

@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyTotals(t *testing.T) {
+	r := RESPARCEnergy{Neuron: 1, Crossbar: 2, Peripherals: 3}
+	if r.Total() != 6 {
+		t.Fatalf("RESPARC total %v", r.Total())
+	}
+	c := CMOSEnergy{Core: 4, MemoryAccess: 5, MemoryLeakage: 6}
+	if c.Total() != 15 {
+		t.Fatalf("CMOS total %v", c.Total())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	r := Result{Latency: 0.5}
+	if r.Throughput() != 2 {
+		t.Fatalf("Throughput %v", r.Throughput())
+	}
+	if (Result{}).Throughput() != 0 {
+		t.Fatal("zero latency should give zero throughput")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rp := Result{Network: "mnist", Energy: 2, Latency: 1}
+	cm := Result{Network: "mnist", Energy: 1000, Latency: 380}
+	c, err := Compare(rp, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EnergyGain != 500 || c.Speedup != 380 {
+		t.Fatalf("comparison %+v", c)
+	}
+	if _, err := Compare(Result{Network: "a", Energy: 1, Latency: 1}, Result{Network: "b"}); err == nil {
+		t.Fatal("network mismatch accepted")
+	}
+	if _, err := Compare(Result{Network: "a"}, Result{Network: "a"}); err == nil {
+		t.Fatal("zero RESPARC result accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 4 {
+		t.Fatalf("normalized %v", out)
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Fatal("zero reference accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean %v", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+// Property: geometric mean lies between min and max.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(x float64) float64 {
+			x = math.Abs(x)
+			if x > 1e100 || math.IsNaN(x) {
+				x = math.Mod(x, 1e6)
+				if math.IsNaN(x) {
+					x = 1
+				}
+			}
+			return x + 0.1
+		}
+		xs := []float64{clamp(a), clamp(b), clamp(c)}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"resparc/internal/device"
+	"resparc/internal/quant"
+	"resparc/internal/tensor"
+)
+
+// Two-bit quantization snaps weights to five symmetric levels; the
+// conductance mapper then realizes each as a differential device pair.
+func ExampleQuantize() {
+	w := tensor.NewMat(1, 4)
+	copy(w.Data, tensor.Vec{1.0, 0.6, -0.3, 0.1})
+	q := quant.Quantize(w, 2)
+	fmt.Println(q.Data)
+
+	m, err := quant.NewMapper(device.AgSi, 1.0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pair := m.Map(q.Data[0])
+	fmt.Printf("w=1.0 -> G+ %.1f uS, G- %.1f uS\n", pair.GPos*1e6, pair.GNeg*1e6)
+	// Output:
+	// [1 0.5 -0.5 0]
+	// w=1.0 -> G+ 50.0 uS, G- 5.0 uS
+}

@@ -1,0 +1,192 @@
+// Package quant implements the weight discretization imposed by memristive
+// synapses (Fig 14's bit-discretization axis) and the mapping from signed
+// synaptic weights to device conductances.
+//
+// A memristor stores one of Levels conductance values; signed weights use
+// the standard differential-pair convention (a positive and a negative
+// column per logical column), so a weight w in [-wmax, +wmax] maps to a
+// conductance pair (G+, G-) with w proportional to G+ - G-.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"resparc/internal/device"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// Quantize returns a copy of w with every element snapped to the closest of
+// 2^bits uniform levels spanning [-maxAbs, +maxAbs]. bits must be >= 1. The
+// level grid always contains 0 when bits >= 1 is odd-symmetric around 0
+// (we use levels = 2^bits - 1 signed steps so zero is representable, which
+// is essential for sparse connectivity).
+func Quantize(w *tensor.Mat, bits int) *tensor.Mat {
+	if bits < 1 {
+		panic(fmt.Sprintf("quant: bits %d < 1", bits))
+	}
+	out := w.Clone()
+	maxAbs := w.MaxAbs()
+	if maxAbs == 0 {
+		return out
+	}
+	// 2^bits levels per polarity side including zero: steps in
+	// [-L, +L] where L = 2^(bits-1) gives 2^bits + 1 representable values
+	// realized by the differential pair (each device has 2^(bits-1)+1
+	// usable levels of its own; Fig 14 counts the logical weight bits).
+	half := float64(int(1) << uint(bits-1))
+	step := maxAbs / half
+	for i, x := range out.Data {
+		q := math.Round(x/step) * step
+		if q > maxAbs {
+			q = maxAbs
+		}
+		if q < -maxAbs {
+			q = -maxAbs
+		}
+		out.Data[i] = q
+	}
+	return out
+}
+
+// QuantizeNetwork returns a deep copy of net with every weighted layer
+// quantized to the given bit precision. Pool layers (fixed weights) are
+// shared unchanged.
+func QuantizeNetwork(net *snn.Network, bits int) (*snn.Network, error) {
+	layers := make([]*snn.Layer, 0, len(net.Layers))
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case snn.DenseLayer:
+			nl, err := snn.NewDense(l.Name, l.InSize(), l.OutSize(), Quantize(l.W, bits), l.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			nl.In, nl.Out = l.In, l.Out
+			layers = append(layers, nl)
+		case snn.ConvLayer:
+			nl, err := snn.NewConv(l.Name, l.Geom, Quantize(l.W, bits), l.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, nl)
+		case snn.PoolLayer:
+			nl, err := snn.NewPool(l.Name, l.In, l.Geom.K, l.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, nl)
+		default:
+			return nil, fmt.Errorf("quant: unknown layer kind %v", l.Kind)
+		}
+	}
+	return snn.NewNetwork(fmt.Sprintf("%s-q%d", net.Name, bits), net.Input, layers...)
+}
+
+// Prune returns a deep copy of net with every weight whose magnitude is
+// below threshold zeroed. Pruned synapses vanish from the crossbar mapping
+// when the mapper's sparse-dense packing is enabled — the §3.1.1
+// sparse-connectivity optimization applied to compressed MLPs. Pool layers
+// (fixed weights) are rebuilt unchanged. It also returns the overall
+// fraction of weights pruned.
+func Prune(net *snn.Network, threshold float64) (*snn.Network, float64, error) {
+	if threshold < 0 {
+		return nil, 0, fmt.Errorf("quant: negative prune threshold %v", threshold)
+	}
+	pruned, total := 0, 0
+	layers := make([]*snn.Layer, 0, len(net.Layers))
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case snn.DenseLayer, snn.ConvLayer:
+			w := l.W.Clone()
+			for i, x := range w.Data {
+				total++
+				if math.Abs(x) < threshold && x != 0 {
+					w.Data[i] = 0
+					pruned++
+				}
+			}
+			var nl *snn.Layer
+			var err error
+			if l.Kind == snn.DenseLayer {
+				nl, err = snn.NewDense(l.Name, l.InSize(), l.OutSize(), w, l.Threshold)
+				if err == nil {
+					nl.In, nl.Out = l.In, l.Out
+				}
+			} else {
+				nl, err = snn.NewConv(l.Name, l.Geom, w, l.Threshold)
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+			nl.Leak, nl.HardReset = l.Leak, l.HardReset
+			layers = append(layers, nl)
+		case snn.PoolLayer:
+			nl, err := snn.NewPool(l.Name, l.In, l.Geom.K, l.Threshold)
+			if err != nil {
+				return nil, 0, err
+			}
+			layers = append(layers, nl)
+		default:
+			return nil, 0, fmt.Errorf("quant: unknown layer kind %v", l.Kind)
+		}
+	}
+	out, err := snn.NewNetwork(fmt.Sprintf("%s-pruned", net.Name), net.Input, layers...)
+	if err != nil {
+		return nil, 0, err
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(pruned) / float64(total)
+	}
+	return out, frac, nil
+}
+
+// ConductancePair is the differential-pair encoding of one signed weight.
+type ConductancePair struct {
+	GPos, GNeg float64 // siemens
+}
+
+// Mapper converts signed weights to conductance pairs for a technology.
+type Mapper struct {
+	Tech   device.Technology
+	WMax   float64 // weight magnitude mapped to full-scale conductance
+	levels int
+}
+
+// NewMapper returns a conductance mapper. wmax must be positive.
+func NewMapper(tech device.Technology, wmax float64) (*Mapper, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if wmax <= 0 {
+		return nil, fmt.Errorf("quant: wmax %v must be positive", wmax)
+	}
+	return &Mapper{Tech: tech, WMax: wmax, levels: tech.Levels}, nil
+}
+
+// Map returns the conductance pair for weight w (clipped to ±WMax). The
+// magnitude is snapped to the technology's level grid between GMin and
+// GMax; the inactive device of the pair rests at GMin.
+func (m *Mapper) Map(w float64) ConductancePair {
+	mag := math.Abs(w)
+	if mag > m.WMax {
+		mag = m.WMax
+	}
+	gmin, gmax := m.Tech.GMin(), m.Tech.GMax()
+	// Snap |w|/WMax into one of Levels conductance values.
+	frac := mag / m.WMax
+	lvl := math.Round(frac * float64(m.levels-1))
+	g := gmin + (gmax-gmin)*lvl/float64(m.levels-1)
+	if w >= 0 {
+		return ConductancePair{GPos: g, GNeg: gmin}
+	}
+	return ConductancePair{GPos: gmin, GNeg: g}
+}
+
+// Weight inverts Map: it returns the logical weight represented by a pair.
+func (m *Mapper) Weight(p ConductancePair) float64 {
+	gmin, gmax := m.Tech.GMin(), m.Tech.GMax()
+	span := gmax - gmin
+	return (p.GPos - p.GNeg) / span * m.WMax
+}

@@ -1,0 +1,263 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/device"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+func TestQuantizeIdempotentAtHighBits(t *testing.T) {
+	w := tensor.NewMat(2, 2)
+	copy(w.Data, tensor.Vec{1, -0.5, 0.25, 0})
+	q := Quantize(w, 8)
+	for i := range w.Data {
+		if math.Abs(q.Data[i]-w.Data[i]) > 1.0/256 {
+			t.Fatalf("8-bit quantization moved %v to %v", w.Data[i], q.Data[i])
+		}
+	}
+}
+
+func TestQuantizeOneBit(t *testing.T) {
+	w := tensor.NewMat(1, 4)
+	copy(w.Data, tensor.Vec{1, -1, 0.2, -0.7})
+	q := Quantize(w, 1)
+	// 1 bit: levels {-1, 0, +1} (times maxAbs).
+	for i, v := range q.Data {
+		if v != -1 && v != 0 && v != 1 {
+			t.Fatalf("1-bit level %d = %v", i, v)
+		}
+	}
+	if q.Data[0] != 1 || q.Data[1] != -1 {
+		t.Fatalf("extremes wrong: %v", q.Data)
+	}
+}
+
+func TestQuantizeZeroMatrix(t *testing.T) {
+	w := tensor.NewMat(2, 2)
+	q := Quantize(w, 4)
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("zero matrix must stay zero")
+		}
+	}
+}
+
+func TestQuantizePanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantize(tensor.NewMat(1, 1), 0)
+}
+
+// Property: quantization error is bounded by half a step and preserves sign
+// of large-magnitude entries; zero is always representable.
+func TestQuantizeErrorBound(t *testing.T) {
+	f := func(seed int64, bits uint8) bool {
+		b := int(bits%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		w := tensor.NewMat(4, 4)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		q := Quantize(w, b)
+		maxAbs := w.MaxAbs()
+		step := maxAbs / float64(int(1)<<uint(b-1))
+		for i := range w.Data {
+			if math.Abs(q.Data[i]-w.Data[i]) > step/2+1e-12 {
+				return false
+			}
+			if math.Abs(q.Data[i]) > maxAbs+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeDoesNotMutate(t *testing.T) {
+	w := tensor.NewMat(1, 2)
+	copy(w.Data, tensor.Vec{0.3, -0.7})
+	_ = Quantize(w, 2)
+	if w.Data[0] != 0.3 || w.Data[1] != -0.7 {
+		t.Fatal("Quantize mutated input")
+	}
+}
+
+func TestQuantizeNetwork(t *testing.T) {
+	// conv (4x4x1 -> 3x3x2) -> pool (3x3 is not divisible; use 4x4 out) —
+	// build a consistent stack: conv same-pad (4x4x2), pool 2 (2x2x2),
+	// dense (8 -> 3).
+	rng := rand.New(rand.NewSource(1))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 4, W: 4, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 2}
+	cw := tensor.NewMat(2, 9)
+	for i := range cw.Data {
+		cw.Data[i] = rng.NormFloat64()
+	}
+	cv, err := snn.NewConv("c", geom, cw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := snn.NewPool("p", tensor.Shape3{H: 4, W: 4, C: 2}, 2, 0.499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := tensor.NewMat(3, 8)
+	for i := range dw.Data {
+		dw.Data[i] = rng.NormFloat64()
+	}
+	d, err := snn.NewDense("d", 8, 3, dw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 4, W: 4, C: 1}, cv, p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := QuantizeNetwork(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Layers) != 3 || q.Name != "n-q2" {
+		t.Fatalf("quantized network %q layers %d", q.Name, len(q.Layers))
+	}
+	// Originals unchanged; quantized layers differ (2 bits is coarse).
+	if cw.Data[0] != net.Layers[0].W.Data[0] {
+		t.Fatal("QuantizeNetwork mutated original conv weights")
+	}
+	changed := false
+	for i := range dw.Data {
+		if q.Layers[2].W.Data[i] != dw.Data[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("2-bit quantization changed nothing")
+	}
+	// Thresholds and shapes preserved.
+	for i := range net.Layers {
+		if q.Layers[i].Threshold != net.Layers[i].Threshold {
+			t.Fatal("threshold changed")
+		}
+		if q.Layers[i].OutSize() != net.Layers[i].OutSize() {
+			t.Fatal("shape changed")
+		}
+	}
+}
+
+func TestMapperRoundTrip(t *testing.T) {
+	m, err := NewMapper(device.PCM, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{1, -1, 0.5, -0.25, 0} {
+		p := m.Map(w)
+		got := m.Weight(p)
+		// Round trip within one conductance level.
+		lvl := 1.0 / float64(device.PCM.Levels-1)
+		if math.Abs(got-w) > lvl {
+			t.Fatalf("round trip %v -> %v (tolerance %v)", w, got, lvl)
+		}
+		if p.GPos < device.PCM.GMin() || p.GPos > device.PCM.GMax() ||
+			p.GNeg < device.PCM.GMin() || p.GNeg > device.PCM.GMax() {
+			t.Fatalf("conductances out of range: %+v", p)
+		}
+	}
+}
+
+func TestMapperClips(t *testing.T) {
+	m, _ := NewMapper(device.PCM, 1.0)
+	p := m.Map(5.0)
+	if p.GPos != device.PCM.GMax() {
+		t.Fatal("overrange weight must clip to GMax")
+	}
+	p = m.Map(-5.0)
+	if p.GNeg != device.PCM.GMax() {
+		t.Fatal("negative overrange must clip")
+	}
+}
+
+func TestMapperSignConvention(t *testing.T) {
+	m, _ := NewMapper(device.AgSi, 2.0)
+	pos := m.Map(1.5)
+	if pos.GPos <= pos.GNeg {
+		t.Fatal("positive weight must have GPos > GNeg")
+	}
+	neg := m.Map(-1.5)
+	if neg.GNeg <= neg.GPos {
+		t.Fatal("negative weight must have GNeg > GPos")
+	}
+	zero := m.Map(0)
+	if zero.GPos != zero.GNeg {
+		t.Fatal("zero weight must balance the pair")
+	}
+}
+
+func TestNewMapperValidation(t *testing.T) {
+	if _, err := NewMapper(device.PCM, 0); err == nil {
+		t.Fatal("wmax 0 accepted")
+	}
+	bad := device.Technology{Name: "bad"}
+	if _, err := NewMapper(bad, 1); err == nil {
+		t.Fatal("invalid tech accepted")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := tensor.NewMat(8, 8)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	l, err := snn.NewDense("d", 8, 8, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("n", tensor.Shape3{H: 1, W: 1, C: 8}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, frac, err := Prune(net, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("pruned fraction %v", frac)
+	}
+	for i, x := range pruned.Layers[0].W.Data {
+		orig := w.Data[i]
+		if math.Abs(orig) < 0.5 && orig != 0 && x != 0 {
+			t.Fatalf("weight %d (%v) survived pruning", i, orig)
+		}
+		if math.Abs(orig) >= 0.5 && x != orig {
+			t.Fatalf("weight %d (%v) changed to %v", i, orig, x)
+		}
+	}
+	// Original untouched.
+	if w.Data[0] != net.Layers[0].W.Data[0] {
+		t.Fatal("Prune mutated the original")
+	}
+	// Zero threshold prunes nothing.
+	same, frac0, err := Prune(net, 0)
+	if err != nil || frac0 != 0 {
+		t.Fatalf("zero threshold: frac %v err %v", frac0, err)
+	}
+	for i := range w.Data {
+		if same.Layers[0].W.Data[i] != w.Data[i] {
+			t.Fatal("zero-threshold prune changed weights")
+		}
+	}
+	// Negative threshold rejected.
+	if _, _, err := Prune(net, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package report_test
+
+import (
+	"os"
+
+	"resparc/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("Benchmarks", "Name", "Energy gain")
+	t.Add("mnist-mlp", report.Gain(343))
+	t.Add("mnist-cnn", report.Gain(8.4))
+	t.Render(os.Stdout)
+	// Output:
+	// Benchmarks
+	// | Name      | Energy gain |
+	// | --------- | ----------- |
+	// | mnist-mlp | 343x        |
+	// | mnist-cnn | 8x          |
+}

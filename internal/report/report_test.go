@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "A", "LongHeader")
+	tb.Add("x", "1")
+	tb.Add("longer-cell") // short row padded
+	s := tb.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), s)
+	}
+	// All table lines have the same width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("ragged table:\n%s", s)
+		}
+	}
+	if !strings.Contains(s, "| x") || !strings.Contains(s, "longer-cell") {
+		t.Fatalf("cells missing:\n%s", s)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "H")
+	tb.Add("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{F(0), "0"},
+		{F(0.5), "0.500"},
+		{F(42.1234), "42.1"},
+		{F(12345), "1.23e+04"},
+		{Gain(513.4), "513x"},
+		{Pct(0.1234), "12.3%"},
+		{Sci(1.5e-7), "1.500e-07"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored", "A", "B")
+	tb.Add("x", "1,5")
+	tb.Add(`say "hi"`, "2")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\nx,\"1,5\"\n\"say \"\"hi\"\"\",2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

@@ -1,0 +1,98 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+func benchMLP(b *testing.B) *Network {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w1 := tensor.NewMat(512, 784)
+	w2 := tensor.NewMat(10, 512)
+	for i := range w1.Data {
+		w1.Data[i] = rng.NormFloat64() * 0.05
+	}
+	for i := range w2.Data {
+		w2.Data[i] = rng.NormFloat64() * 0.05
+	}
+	l1, err := NewDense("h", 784, 512, w1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l2, err := NewDense("o", 512, 10, w2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := NewNetwork("bench", tensor.Shape3{H: 28, W: 28, C: 1}, l1, l2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkStepMLP measures one functional timestep of a 784-512-10 MLP at
+// 15% input activity — the hot loop of every experiment.
+func BenchmarkStepMLP(b *testing.B) {
+	net := benchMLP(b)
+	st := NewState(net)
+	rng := rand.New(rand.NewSource(2))
+	in := bitvec.New(784)
+	for i := 0; i < 784; i++ {
+		if rng.Float64() < 0.15 {
+			in.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(in)
+	}
+}
+
+// BenchmarkStepConv measures one timestep of a same-padded 3x3x32
+// convolution layer (event-driven adjacency walk).
+func BenchmarkStepConv(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 28, W: 28, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 32}
+	w := tensor.NewMat(32, 9)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.1
+	}
+	conv, err := NewConv("c", geom, w, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := NewNetwork("bench", geom.In, conv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewState(net)
+	in := bitvec.New(784)
+	for i := 0; i < 784; i++ {
+		if rng.Float64() < 0.15 {
+			in.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(in)
+	}
+}
+
+// BenchmarkPoissonEncode measures rate encoding of one 28x28 image.
+func BenchmarkPoissonEncode(b *testing.B) {
+	enc := NewPoissonEncoder(0.8, 4)
+	img := tensor.NewVec(784)
+	rng := rand.New(rand.NewSource(5))
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	dst := bitvec.New(784)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(img, dst)
+	}
+}

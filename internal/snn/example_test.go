@@ -1,0 +1,54 @@
+package snn_test
+
+import (
+	"fmt"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// A single Integrate-and-Fire neuron with weight 0.5 and threshold 1 fires
+// on every second input spike.
+func ExampleState_Step() {
+	w := tensor.NewMat(1, 1)
+	w.Set(0, 0, 0.5)
+	layer, err := snn.NewDense("n", 1, 1, w, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := snn.NewNetwork("if", tensor.Shape3{H: 1, W: 1, C: 1}, layer)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st := snn.NewState(net)
+	in := bitvec.New(1)
+	in.Set(0)
+	for step := 1; step <= 4; step++ {
+		out := st.Step(in)
+		fmt.Printf("step %d: fired=%v\n", step, out.Get(0))
+	}
+	// Output:
+	// step 1: fired=false
+	// step 2: fired=true
+	// step 3: fired=false
+	// step 4: fired=true
+}
+
+// Rate coding with the deterministic encoder: intensity 0.5 at peak
+// probability 1 spikes every other step.
+func ExampleRegularEncoder() {
+	enc := snn.NewRegularEncoder(1)
+	dst := bitvec.New(1)
+	for step := 1; step <= 4; step++ {
+		enc.Encode(tensor.Vec{0.5}, dst)
+		fmt.Printf("step %d: spike=%v\n", step, dst.Get(0))
+	}
+	// Output:
+	// step 1: spike=false
+	// step 2: spike=true
+	// step 3: spike=false
+	// step 4: spike=true
+}

@@ -1,0 +1,342 @@
+// Package snn implements the spiking-neural-network model that RESPARC
+// accelerates: multi-layer topologies of Integrate-and-Fire (IF) neurons
+// with dense (MLP) or convolutional (CNN) connectivity, Poisson rate
+// encoding of inputs, time-stepped functional simulation, and conversion
+// from conventionally trained ANNs via weight/threshold balancing (the
+// paper's reference [4], Diehl et al. 2015).
+//
+// The functional model here is the golden reference: the architecture
+// simulators in internal/mpe, internal/neurocell and internal/core consume
+// the spike trains it produces and are tested against it.
+package snn
+
+import (
+	"fmt"
+	"strings"
+
+	"resparc/internal/tensor"
+)
+
+// LayerKind distinguishes the connectivity structure of a layer.
+type LayerKind int
+
+const (
+	// DenseLayer is all-to-all connectivity (MLP layers, CNN classifiers).
+	DenseLayer LayerKind = iota
+	// ConvLayer is weight-shared local connectivity.
+	ConvLayer
+	// PoolLayer is K x K average pooling (sub-sampling), a fixed-weight
+	// sparse linear layer.
+	PoolLayer
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case DenseLayer:
+		return "dense"
+	case ConvLayer:
+		return "conv"
+	case PoolLayer:
+		return "pool"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer is one SNN layer: a connectivity matrix feeding a population of
+// spiking neurons with a common firing threshold.
+type Layer struct {
+	Kind LayerKind
+	Name string
+	In   tensor.Shape3
+	Out  tensor.Shape3
+	// Geom is set for ConvLayer and PoolLayer.
+	Geom tensor.ConvGeom
+	// W holds the weights: Dense = Out.Size() x In.Size(); Conv = OutC x
+	// (K*K*InC) shared kernels; Pool = nil (fixed weight 1/K*K).
+	W *tensor.Mat
+	// Threshold is the firing threshold of every neuron in the layer.
+	Threshold float64
+	// Leak is the per-timestep membrane decay factor in [0, 1): 0 gives the
+	// pure Integrate-and-Fire neuron the paper evaluates; a positive value
+	// gives Leaky-Integrate-and-Fire (v <- v*(1-Leak) before integration).
+	// The paper notes any spiking neuron model can be interfaced with the
+	// MCA (§3.1.1); the architecture simulators are agnostic to it.
+	Leak float64
+	// HardReset resets a fired neuron's potential to zero instead of
+	// subtracting the threshold. Reset-by-subtraction (the default)
+	// preserves rate codes through deep converted stacks; hard reset is the
+	// variant used by some trained-from-scratch SNNs.
+	HardReset bool
+
+	adj *adjacency // lazily built input->output adjacency for event-driven sim
+}
+
+// InSize returns the flattened input length.
+func (l *Layer) InSize() int { return l.In.Size() }
+
+// OutSize returns the number of neurons in the layer.
+func (l *Layer) OutSize() int { return l.Out.Size() }
+
+// FanIn returns the number of synapses feeding one neuron of the layer.
+func (l *Layer) FanIn() int {
+	switch l.Kind {
+	case DenseLayer:
+		return l.In.Size()
+	case ConvLayer:
+		return l.Geom.FanIn()
+	case PoolLayer:
+		return l.Geom.K * l.Geom.K
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// Synapses returns the connection count of the layer using the paper's
+// Fig 10 convention: every (output neuron, input tap) pair counts once,
+// including shared conv weights at each output location.
+func (l *Layer) Synapses() int {
+	switch l.Kind {
+	case DenseLayer:
+		return l.In.Size() * l.Out.Size()
+	case ConvLayer:
+		n, err := l.Geom.Connections()
+		if err != nil {
+			panic("snn: " + err.Error())
+		}
+		return n
+	case PoolLayer:
+		return l.Out.Size() * l.Geom.K * l.Geom.K
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// PoolWeight is the fixed synaptic weight of pooling taps.
+func (l *Layer) PoolWeight() float64 {
+	return 1.0 / float64(l.Geom.K*l.Geom.K)
+}
+
+// NewDense returns a dense layer with the given Out x In weight matrix.
+func NewDense(name string, in, out int, w *tensor.Mat, threshold float64) (*Layer, error) {
+	if w == nil || w.Rows != out || w.Cols != in {
+		return nil, fmt.Errorf("snn: dense %q wants %dx%d weights", name, out, in)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("snn: dense %q threshold %v must be positive", name, threshold)
+	}
+	return &Layer{
+		Kind: DenseLayer, Name: name,
+		In:  tensor.Shape3{H: 1, W: 1, C: in},
+		Out: tensor.Shape3{H: 1, W: 1, C: out},
+		W:   w, Threshold: threshold,
+	}, nil
+}
+
+// NewConv returns a convolution layer with shared kernels (OutC x K*K*InC).
+func NewConv(name string, geom tensor.ConvGeom, w *tensor.Mat, threshold float64) (*Layer, error) {
+	out, err := geom.OutShape()
+	if err != nil {
+		return nil, fmt.Errorf("snn: conv %q: %w", name, err)
+	}
+	if w == nil || w.Rows != geom.OutC || w.Cols != geom.FanIn() {
+		return nil, fmt.Errorf("snn: conv %q wants %dx%d weights", name, geom.OutC, geom.FanIn())
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("snn: conv %q threshold %v must be positive", name, threshold)
+	}
+	return &Layer{Kind: ConvLayer, Name: name, In: geom.In, Out: out, Geom: geom, W: w, Threshold: threshold}, nil
+}
+
+// NewPool returns a K x K average-pooling layer. Pooled IF neurons fire when
+// enough window inputs spiked; threshold is typically just under 1 pool
+// weight times K*K/2 — callers choose.
+func NewPool(name string, in tensor.Shape3, k int, threshold float64) (*Layer, error) {
+	geom := tensor.ConvGeom{In: in, K: k, Stride: k, Pad: 0, OutC: in.C}
+	out, err := geom.OutShape()
+	if err != nil {
+		return nil, fmt.Errorf("snn: pool %q: %w", name, err)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("snn: pool %q threshold %v must be positive", name, threshold)
+	}
+	return &Layer{Kind: PoolLayer, Name: name, In: in, Out: out, Geom: geom, Threshold: threshold}, nil
+}
+
+// Network is an ordered stack of SNN layers.
+type Network struct {
+	Name   string
+	Input  tensor.Shape3
+	Layers []*Layer
+}
+
+// NewNetwork validates inter-layer shape agreement.
+func NewNetwork(name string, input tensor.Shape3, layers ...*Layer) (*Network, error) {
+	size := input.Size()
+	for i, l := range layers {
+		if l.InSize() != size {
+			return nil, fmt.Errorf("snn: %s layer %d (%s) expects %d inputs, previous produces %d",
+				name, i, l.Name, l.InSize(), size)
+		}
+		size = l.OutSize()
+	}
+	return &Network{Name: name, Input: input, Layers: layers}, nil
+}
+
+// Neurons returns the total neuron count: input neurons plus every layer's
+// population (the counting convention of Fig 10).
+func (n *Network) Neurons() int {
+	total := n.Input.Size()
+	for _, l := range n.Layers {
+		total += l.OutSize()
+	}
+	return total
+}
+
+// HiddenNeurons returns the neuron count excluding the input layer.
+func (n *Network) HiddenNeurons() int { return n.Neurons() - n.Input.Size() }
+
+// Synapses returns the total connection count across layers.
+func (n *Network) Synapses() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.Synapses()
+	}
+	return total
+}
+
+// OutSize returns the size of the final layer (the class count for
+// classifiers).
+func (n *Network) OutSize() int {
+	if len(n.Layers) == 0 {
+		return n.Input.Size()
+	}
+	return n.Layers[len(n.Layers)-1].OutSize()
+}
+
+// Summary returns a human-readable multi-line description of the network:
+// one line per layer with kind, shapes, synapses and threshold.
+func (n *Network) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: input %s, %d neurons, %d synapses\n",
+		n.Name, n.Input, n.HiddenNeurons(), n.Synapses())
+	for i, l := range n.Layers {
+		fmt.Fprintf(&sb, "  %2d %-5s %-20s %s -> %s  syn=%d th=%.3g",
+			i, l.Kind, l.Name, l.In, l.Out, l.Synapses(), l.Threshold)
+		if l.Leak > 0 {
+			fmt.Fprintf(&sb, " leak=%.2g", l.Leak)
+		}
+		if l.HardReset {
+			sb.WriteString(" hard-reset")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FanOut returns how many postsynaptic neurons the presynaptic neuron in
+// drives in this layer (dense: every output; conv/pool: from the adjacency
+// index). The event-driven CMOS baseline uses it to count synaptic
+// operations per input spike.
+func (l *Layer) FanOut(in int) int {
+	if in < 0 || in >= l.InSize() {
+		return 0
+	}
+	if l.Kind == DenseLayer {
+		return l.OutSize()
+	}
+	adj := l.buildAdjacency()
+	return int(adj.start[in+1] - adj.start[in])
+}
+
+// Weight returns the synaptic weight between flat postsynaptic index out
+// and flat presynaptic index in, and whether the connection exists. Used by
+// the mPE programmer to fill crossbar cross-points.
+func (l *Layer) Weight(out, in int) (float64, bool) {
+	if out < 0 || out >= l.OutSize() || in < 0 || in >= l.InSize() {
+		return 0, false
+	}
+	switch l.Kind {
+	case DenseLayer:
+		return l.W.At(out, in), true
+	case ConvLayer, PoolLayer:
+		// Invert the geometry: out = (oy, ox, oc), in = (iy, ix, ic).
+		g := l.Geom
+		oc := out % l.Out.C
+		oxy := out / l.Out.C
+		oy, ox := oxy/l.Out.W, oxy%l.Out.W
+		ic := in % g.In.C
+		ixy := in / g.In.C
+		iy, ix := ixy/g.In.W, ixy%g.In.W
+		ky := iy - oy*g.Stride + g.Pad
+		kx := ix - ox*g.Stride + g.Pad
+		if ky < 0 || ky >= g.K || kx < 0 || kx >= g.K {
+			return 0, false
+		}
+		if l.Kind == PoolLayer {
+			if ic != oc {
+				return 0, false
+			}
+			return l.PoolWeight(), true
+		}
+		return l.W.At(oc, (ky*g.K+kx)*g.In.C+ic), true
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// adjacency is a CSR-like input->output tap index enabling event-driven
+// propagation: for each presynaptic neuron, the list of (postsynaptic
+// neuron, weight reference) pairs.
+type adjacency struct {
+	start []int32 // len InSize+1
+	out   []int32 // postsynaptic flat index
+	kidx  []int32 // kernel weight index (conv/pool); -1 semantics unused for dense
+}
+
+// buildAdjacency constructs the event-driven index. Dense layers do not
+// need one (column walks are already efficient); conv and pool layers get a
+// flat CSR built from the shared ConvGeom walker.
+func (l *Layer) buildAdjacency() *adjacency {
+	if l.adj != nil {
+		return l.adj
+	}
+	// Pool layers connect same-channel only; the geometry walker enumerates
+	// every channel combination, so filter the cross-channel taps out.
+	keep := func(outIdx, inIdx int) bool {
+		if inIdx < 0 {
+			return false
+		}
+		if l.Kind == PoolLayer {
+			return inIdx%l.In.C == outIdx%l.Out.C
+		}
+		return true
+	}
+	counts := make([]int32, l.InSize()+1)
+	err := l.Geom.ForEachTap(func(outIdx, inIdx, _ int) {
+		if keep(outIdx, inIdx) {
+			counts[inIdx+1]++
+		}
+	})
+	if err != nil {
+		panic("snn: " + err.Error())
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	total := counts[len(counts)-1]
+	adj := &adjacency{start: counts, out: make([]int32, total), kidx: make([]int32, total)}
+	cursor := make([]int32, l.InSize())
+	copy(cursor, counts[:l.InSize()])
+	_ = l.Geom.ForEachTap(func(outIdx, inIdx, kIdx int) {
+		if !keep(outIdx, inIdx) {
+			return
+		}
+		p := cursor[inIdx]
+		adj.out[p] = int32(outIdx)
+		adj.kidx[p] = int32(kIdx)
+		cursor[inIdx] = p + 1
+	})
+	l.adj = adj
+	return adj
+}

@@ -1,0 +1,107 @@
+package snn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"resparc/internal/bitvec"
+)
+
+// Raster records the spike train of one layer over a run — (timestep,
+// neuron) pairs — for debugging converted networks and visualizing
+// event-driven sparsity. It implements Observer.
+type Raster struct {
+	// Layer selects which layer to record (-1 records the network input).
+	Layer int
+
+	steps  int
+	spikes [][]int32 // per step, spiking neuron indices
+	size   int
+}
+
+// NewRaster records layer (0-based; -1 for the input spikes).
+func NewRaster(layer int) *Raster {
+	if layer < -1 {
+		panic(fmt.Sprintf("snn: raster layer %d", layer))
+	}
+	return &Raster{Layer: layer}
+}
+
+// ObserveStep implements Observer.
+func (r *Raster) ObserveStep(_ int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	src := input
+	if r.Layer >= 0 {
+		if r.Layer >= len(layers) {
+			panic(fmt.Sprintf("snn: raster layer %d of %d", r.Layer, len(layers)))
+		}
+		src = layers[r.Layer]
+	}
+	r.size = src.Len()
+	var row []int32
+	src.ForEachSet(func(i int) { row = append(row, int32(i)) })
+	r.spikes = append(r.spikes, row)
+	r.steps++
+}
+
+// Steps returns the number of recorded timesteps.
+func (r *Raster) Steps() int { return r.steps }
+
+// Spikes returns the spiking neuron indices at one recorded step.
+func (r *Raster) Spikes(step int) []int32 { return r.spikes[step] }
+
+// TotalSpikes returns the spike count over the whole recording.
+func (r *Raster) TotalSpikes() int {
+	n := 0
+	for _, row := range r.spikes {
+		n += len(row)
+	}
+	return n
+}
+
+// MeanRate returns spikes per neuron per timestep.
+func (r *Raster) MeanRate() float64 {
+	if r.steps == 0 || r.size == 0 {
+		return 0
+	}
+	return float64(r.TotalSpikes()) / float64(r.steps*r.size)
+}
+
+// Render draws an ASCII raster plot (time left to right, neurons top to
+// bottom), capping at maxNeurons rows and maxSteps columns (0 = all, bounded
+// by the recording).
+func (r *Raster) Render(w io.Writer, maxNeurons, maxSteps int) error {
+	rows := r.size
+	if maxNeurons > 0 && rows > maxNeurons {
+		rows = maxNeurons
+	}
+	cols := r.steps
+	if maxSteps > 0 && cols > maxSteps {
+		cols = maxSteps
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	for t := 0; t < cols; t++ {
+		for _, n := range r.spikes[t] {
+			if int(n) < rows {
+				grid[n][t] = '|'
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "raster: %d neurons x %d steps, mean rate %.3f\n", r.size, r.steps, r.MeanRate()); err != nil {
+		return err
+	}
+	for i := range grid {
+		if _, err := fmt.Fprintf(w, "%4d %s\n", i, grid[i]); err != nil {
+			return err
+		}
+	}
+	if rows < r.size {
+		if _, err := fmt.Fprintf(w, "... (%d more neurons)\n", r.size-rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package snn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resparc/internal/tensor"
+)
+
+// Network serialization: trained/converted SNNs round-trip through a
+// stable gob-encoded container, so a network trained once (minutes) can be
+// mapped and simulated many times (milliseconds). The wire format carries
+// only declarative content — shapes, kinds, weights, thresholds — and is
+// re-validated through the package constructors on load.
+
+const wireVersion = 1
+
+type wireLayer struct {
+	Kind       LayerKind
+	Name       string
+	In, Out    tensor.Shape3
+	Geom       tensor.ConvGeom
+	Rows, Cols int
+	Weights    []float64
+	Threshold  float64
+	Leak       float64
+}
+
+type wireNetwork struct {
+	Version int
+	Name    string
+	Input   tensor.Shape3
+	Layers  []wireLayer
+}
+
+// WriteNetwork serializes the network.
+func WriteNetwork(w io.Writer, n *Network) error {
+	wn := wireNetwork{Version: wireVersion, Name: n.Name, Input: n.Input}
+	for _, l := range n.Layers {
+		wl := wireLayer{
+			Kind: l.Kind, Name: l.Name, In: l.In, Out: l.Out, Geom: l.Geom,
+			Threshold: l.Threshold, Leak: l.Leak,
+		}
+		if l.W != nil {
+			wl.Rows, wl.Cols = l.W.Rows, l.W.Cols
+			wl.Weights = append([]float64(nil), l.W.Data...)
+		}
+		wn.Layers = append(wn.Layers, wl)
+	}
+	return gob.NewEncoder(w).Encode(wn)
+}
+
+// ReadNetwork deserializes and re-validates a network written by
+// WriteNetwork.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	var wn wireNetwork
+	if err := gob.NewDecoder(r).Decode(&wn); err != nil {
+		return nil, fmt.Errorf("snn: decoding network: %w", err)
+	}
+	if wn.Version != wireVersion {
+		return nil, fmt.Errorf("snn: unsupported network format version %d", wn.Version)
+	}
+	layers := make([]*Layer, 0, len(wn.Layers))
+	for i, wl := range wn.Layers {
+		var w *tensor.Mat
+		if wl.Weights != nil {
+			if wl.Rows*wl.Cols != len(wl.Weights) {
+				return nil, fmt.Errorf("snn: layer %d weight shape %dx%d != %d values", i, wl.Rows, wl.Cols, len(wl.Weights))
+			}
+			w = &tensor.Mat{Rows: wl.Rows, Cols: wl.Cols, Data: append(tensor.Vec(nil), wl.Weights...)}
+		}
+		var l *Layer
+		var err error
+		switch wl.Kind {
+		case DenseLayer:
+			l, err = NewDense(wl.Name, wl.In.Size(), wl.Out.Size(), w, wl.Threshold)
+			if err == nil {
+				l.In, l.Out = wl.In, wl.Out
+			}
+		case ConvLayer:
+			l, err = NewConv(wl.Name, wl.Geom, w, wl.Threshold)
+		case PoolLayer:
+			l, err = NewPool(wl.Name, wl.In, wl.Geom.K, wl.Threshold)
+		default:
+			err = fmt.Errorf("unknown layer kind %v", wl.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snn: layer %d: %w", i, err)
+		}
+		l.Leak = wl.Leak
+		layers = append(layers, l)
+	}
+	return NewNetwork(wn.Name, wn.Input, layers...)
+}

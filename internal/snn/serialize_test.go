@@ -1,0 +1,111 @@
+package snn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+func serializeFixture(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 8, W: 8, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 4}
+	cw := tensor.NewMat(4, 9)
+	for i := range cw.Data {
+		cw.Data[i] = rng.NormFloat64() * 0.3
+	}
+	conv, err := NewConv("conv", geom, cw, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.Leak = 0.1
+	pool, err := NewPool("pool", tensor.Shape3{H: 8, W: 8, C: 4}, 2, 0.499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := tensor.NewMat(5, 64)
+	for i := range dw.Data {
+		dw.Data[i] = rng.NormFloat64() * 0.3
+	}
+	fc, err := NewDense("fc", 64, 5, dw, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("roundtrip", geom.In, conv, pool, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// A serialized network must load back functionally identical: same shapes,
+// weights, thresholds, leak — and bit-identical spike trains.
+func TestNetworkRoundTrip(t *testing.T) {
+	net := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != net.Name || got.Input != net.Input || len(got.Layers) != len(net.Layers) {
+		t.Fatalf("structure mismatch: %+v", got)
+	}
+	for i, l := range net.Layers {
+		g := got.Layers[i]
+		if g.Kind != l.Kind || g.Name != l.Name || g.Threshold != l.Threshold || g.Leak != l.Leak {
+			t.Fatalf("layer %d metadata mismatch", i)
+		}
+		if (g.W == nil) != (l.W == nil) {
+			t.Fatalf("layer %d weight presence mismatch", i)
+		}
+		if l.W != nil {
+			for j := range l.W.Data {
+				if g.W.Data[j] != l.W.Data[j] {
+					t.Fatalf("layer %d weight %d differs", i, j)
+				}
+			}
+		}
+	}
+	// Spike-train equivalence.
+	a, b := NewState(net), NewState(got)
+	rng := rand.New(rand.NewSource(72))
+	in := bitvec.New(net.Input.Size())
+	for step := 0; step < 20; step++ {
+		in.Reset()
+		for i := 0; i < in.Len(); i++ {
+			if rng.Float64() < 0.3 {
+				in.Set(i)
+			}
+		}
+		oa, ob := a.Step(in), b.Step(in)
+		for i := 0; i < oa.Len(); i++ {
+			if oa.Get(i) != ob.Get(i) {
+				t.Fatalf("step %d: loaded network diverged at %d", step, i)
+			}
+		}
+	}
+}
+
+func TestReadNetworkErrors(t *testing.T) {
+	if _, err := ReadNetwork(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Corrupt: weight length mismatch.
+	net := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadNetwork(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+// State is the functional simulation state of a network: the membrane
+// potential of every IF neuron plus scratch buffers. A State is reset
+// between classifications.
+//
+// Neuron dynamics are the Integrate-and-Fire model of §2.1/§2.2: membrane
+// potential accumulates the weighted sum of input spikes each timestep; when
+// it crosses the layer threshold the neuron emits a spike and the potential
+// is reduced by the threshold ("reset by subtraction", which preserves rate
+// codes through deep stacks and is the standard choice for converted SNNs).
+type State struct {
+	Net  *Network
+	Vmem []tensor.Vec // one per layer
+
+	spikes []*bitvec.Bits // per layer output spikes of the last step
+	input  *bitvec.Bits   // encoded input spikes of the last step
+}
+
+// NewState allocates simulation state for the network.
+func NewState(net *Network) *State {
+	s := &State{Net: net, Vmem: make([]tensor.Vec, len(net.Layers)), spikes: make([]*bitvec.Bits, len(net.Layers))}
+	for i, l := range net.Layers {
+		s.Vmem[i] = tensor.NewVec(l.OutSize())
+		s.spikes[i] = bitvec.New(l.OutSize())
+	}
+	s.input = bitvec.New(net.Input.Size())
+	return s
+}
+
+// Reset zeroes all membrane potentials (between classifications).
+func (s *State) Reset() {
+	for _, v := range s.Vmem {
+		v.Fill(0)
+	}
+}
+
+// InputSpikes returns the input spike vector of the last Step (aliased, not
+// a copy).
+func (s *State) InputSpikes() *bitvec.Bits { return s.input }
+
+// LayerSpikes returns the output spike vector of layer i from the last Step
+// (aliased, not a copy).
+func (s *State) LayerSpikes(i int) *bitvec.Bits { return s.spikes[i] }
+
+// Step advances the network by one timestep given the input spike vector.
+// It returns the spike vector of the final layer (aliased; valid until the
+// next Step). Propagation is event-driven: only spiking presynaptic neurons
+// contribute current.
+func (s *State) Step(in *bitvec.Bits) *bitvec.Bits {
+	if in.Len() != s.Net.Input.Size() {
+		panic(fmt.Sprintf("snn: Step input %d bits, want %d", in.Len(), s.Net.Input.Size()))
+	}
+	if in != s.input {
+		s.input.Reset()
+		in.ForEachSet(func(i int) { s.input.Set(i) })
+	}
+	cur := s.input
+	for li, l := range s.Net.Layers {
+		v := s.Vmem[li]
+		if l.Leak > 0 {
+			v.Scale(1 - l.Leak)
+		}
+		integrate(l, cur, v)
+		out := s.spikes[li]
+		out.Reset()
+		th := l.Threshold
+		for i, p := range v {
+			if p >= th {
+				out.Set(i)
+				if l.HardReset {
+					v[i] = 0
+				} else {
+					v[i] = p - th
+				}
+			}
+		}
+		cur = out
+	}
+	return cur
+}
+
+// integrate adds the layer's weighted input-spike currents into v.
+func integrate(l *Layer, in *bitvec.Bits, v tensor.Vec) {
+	switch l.Kind {
+	case DenseLayer:
+		in.ForEachSet(func(i int) {
+			// Column walk: every output neuron receives W[o][i].
+			w := l.W
+			for o := 0; o < w.Rows; o++ {
+				v[o] += w.At(o, i)
+			}
+		})
+	case ConvLayer:
+		adj := l.buildAdjacency()
+		outC := l.Out.C
+		in.ForEachSet(func(i int) {
+			for p := adj.start[i]; p < adj.start[i+1]; p++ {
+				o := adj.out[p]
+				v[o] += l.W.At(int(o)%outC, int(adj.kidx[p]))
+			}
+		})
+	case PoolLayer:
+		adj := l.buildAdjacency()
+		pw := l.PoolWeight()
+		in.ForEachSet(func(i int) {
+			for p := adj.start[i]; p < adj.start[i+1]; p++ {
+				v[adj.out[p]] += pw
+			}
+		})
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// Encoder converts an analog input vector into per-timestep spike vectors.
+type Encoder interface {
+	// Encode fills dst with the spike pattern for one timestep given pixel
+	// intensities in [0, 1].
+	Encode(intensity tensor.Vec, dst *bitvec.Bits)
+}
+
+// PoissonEncoder emits a spike at each timestep with probability
+// intensity*MaxProb — the rate coding used for image inputs to SNNs.
+type PoissonEncoder struct {
+	MaxProb float64 // spike probability at intensity 1 (0 < MaxProb <= 1)
+	Rng     *rand.Rand
+}
+
+// NewPoissonEncoder returns a rate encoder with the given peak spike
+// probability and deterministic seed.
+func NewPoissonEncoder(maxProb float64, seed int64) *PoissonEncoder {
+	if maxProb <= 0 || maxProb > 1 {
+		panic(fmt.Sprintf("snn: PoissonEncoder maxProb %v out of (0,1]", maxProb))
+	}
+	return &PoissonEncoder{MaxProb: maxProb, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Encode implements Encoder.
+func (e *PoissonEncoder) Encode(intensity tensor.Vec, dst *bitvec.Bits) {
+	if len(intensity) != dst.Len() {
+		panic(fmt.Sprintf("snn: Encode %d intensities into %d bits", len(intensity), dst.Len()))
+	}
+	dst.Reset()
+	for i, x := range intensity {
+		if x <= 0 {
+			continue
+		}
+		if e.Rng.Float64() < x*e.MaxProb {
+			dst.Set(i)
+		}
+	}
+}
+
+// RegularEncoder is a deterministic rate encoder: each input accumulates
+// its scaled intensity every timestep and spikes when the accumulator
+// crosses one (subtracting one), producing evenly spaced spikes whose count
+// over T steps is within one of T*intensity*MaxProb. Deterministic encoding
+// removes Poisson sampling noise from accuracy measurements.
+type RegularEncoder struct {
+	MaxProb float64
+	acc     tensor.Vec
+}
+
+// NewRegularEncoder returns a deterministic rate encoder with the given
+// peak spike probability.
+func NewRegularEncoder(maxProb float64) *RegularEncoder {
+	if maxProb <= 0 || maxProb > 1 {
+		panic(fmt.Sprintf("snn: RegularEncoder maxProb %v out of (0,1]", maxProb))
+	}
+	return &RegularEncoder{MaxProb: maxProb}
+}
+
+// Reset clears the accumulators (between inputs, for exact reproducibility).
+func (e *RegularEncoder) Reset() {
+	for i := range e.acc {
+		e.acc[i] = 0
+	}
+}
+
+// Encode implements Encoder.
+func (e *RegularEncoder) Encode(intensity tensor.Vec, dst *bitvec.Bits) {
+	if len(intensity) != dst.Len() {
+		panic(fmt.Sprintf("snn: Encode %d intensities into %d bits", len(intensity), dst.Len()))
+	}
+	if e.acc == nil {
+		e.acc = tensor.NewVec(len(intensity))
+	}
+	if len(e.acc) != len(intensity) {
+		panic(fmt.Sprintf("snn: RegularEncoder reused across input sizes %d and %d", len(e.acc), len(intensity)))
+	}
+	dst.Reset()
+	for i, x := range intensity {
+		if x <= 0 {
+			continue
+		}
+		e.acc[i] += x * e.MaxProb
+		if e.acc[i] >= 1 {
+			e.acc[i] -= 1
+			dst.Set(i)
+		}
+	}
+}
+
+// RunResult summarizes one classification run.
+type RunResult struct {
+	Steps       int
+	OutCounts   []int // output spike counts per class
+	Prediction  int
+	InputSpikes int // total encoded input spikes over the run
+	// FirstSpike records the timestep of each output neuron's first spike
+	// (-1 if it never fired) — the basis of time-to-first-spike decoding.
+	FirstSpike []int
+}
+
+// TTFSPrediction decodes by latency instead of rate: the class whose neuron
+// fired first wins (ties broken by spike count, then index). Returns -1 if
+// no output neuron fired. Latency decoding lets a classification terminate
+// at the first output spike — a common early-exit optimization for
+// event-driven hardware.
+func (r RunResult) TTFSPrediction() int {
+	best := -1
+	for i, fs := range r.FirstSpike {
+		if fs < 0 {
+			continue
+		}
+		if best < 0 || fs < r.FirstSpike[best] ||
+			(fs == r.FirstSpike[best] && r.OutCounts[i] > r.OutCounts[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Run classifies one input by simulating T timesteps and counting output
+// spikes; the class with the most spikes wins. The state is reset first.
+func (s *State) Run(intensity tensor.Vec, enc Encoder, steps int) RunResult {
+	return s.RunObserved(intensity, enc, steps, nil)
+}
+
+// Observer receives the spike vectors of every timestep of a run; the
+// architecture simulators implement it to count events.
+type Observer interface {
+	// ObserveStep is called once per timestep with the input spikes and the
+	// per-layer output spike vectors (aliased; copy to retain).
+	ObserveStep(t int, input *bitvec.Bits, layers []*bitvec.Bits)
+}
+
+// RunObserved is Run with a per-timestep observer hook.
+func (s *State) RunObserved(intensity tensor.Vec, enc Encoder, steps int, obs Observer) RunResult {
+	s.Reset()
+	counts := make([]int, s.Net.OutSize())
+	first := make([]int, s.Net.OutSize())
+	for i := range first {
+		first[i] = -1
+	}
+	in := bitvec.New(s.Net.Input.Size())
+	inputSpikes := 0
+	for t := 0; t < steps; t++ {
+		enc.Encode(intensity, in)
+		inputSpikes += in.Count()
+		out := s.Step(in)
+		if obs != nil {
+			obs.ObserveStep(t, s.input, s.spikes)
+		}
+		out.ForEachSet(func(i int) {
+			counts[i]++
+			if first[i] < 0 {
+				first[i] = t
+			}
+		})
+	}
+	best, bestN := 0, -1
+	for i, c := range counts {
+		if c > bestN {
+			best, bestN = i, c
+		}
+	}
+	return RunResult{
+		Steps: steps, OutCounts: counts, Prediction: best,
+		InputSpikes: inputSpikes, FirstSpike: first,
+	}
+}

@@ -1,0 +1,100 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/tensor"
+)
+
+func TestDenseWeightAccessor(t *testing.T) {
+	w := tensor.NewMat(3, 4)
+	w.Set(2, 1, 0.7)
+	l, err := NewDense("d", 4, 3, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.Weight(2, 1)
+	if !ok || got != 0.7 {
+		t.Fatalf("Weight(2,1) = %v %v", got, ok)
+	}
+	if _, ok := l.Weight(3, 0); ok {
+		t.Fatal("out of range accepted")
+	}
+	if _, ok := l.Weight(0, 4); ok {
+		t.Fatal("in out of range accepted")
+	}
+	if _, ok := l.Weight(-1, 0); ok {
+		t.Fatal("negative accepted")
+	}
+}
+
+// The accessor must agree with the tap walker for conv and pool layers.
+func TestWeightMatchesTaps(t *testing.T) {
+	f := func(seed int64, pool bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l *Layer
+		var err error
+		if pool {
+			in := tensor.Shape3{H: 4 + 2*rng.Intn(3), W: 4 + 2*rng.Intn(3), C: 1 + rng.Intn(3)}
+			l, err = NewPool("p", in, 2, 0.499)
+		} else {
+			geom := tensor.ConvGeom{
+				In:     tensor.Shape3{H: 4 + rng.Intn(4), W: 4 + rng.Intn(4), C: 1 + rng.Intn(2)},
+				K:      1 + rng.Intn(3),
+				Stride: 1 + rng.Intn(2),
+				Pad:    rng.Intn(2),
+				OutC:   1 + rng.Intn(3),
+			}
+			if _, oerr := geom.OutShape(); oerr != nil {
+				return true
+			}
+			w := tensor.NewMat(geom.OutC, geom.FanIn())
+			for i := range w.Data {
+				w.Data[i] = rng.NormFloat64()
+			}
+			l, err = NewConv("c", geom, w, 1)
+		}
+		if err != nil {
+			return false
+		}
+		// Every walker tap must be reported by Weight with the same value.
+		okAll := true
+		taps := map[[2]int]float64{}
+		_ = l.Geom.ForEachTap(func(outIdx, inIdx, kIdx int) {
+			if inIdx < 0 {
+				return
+			}
+			if l.Kind == PoolLayer {
+				// Pool walker enumerates all channels; only same-channel
+				// taps are real connections.
+				if inIdx%l.In.C != outIdx%l.Out.C {
+					return
+				}
+				taps[[2]int{outIdx, inIdx}] = l.PoolWeight()
+				return
+			}
+			taps[[2]int{outIdx, inIdx}] = l.W.At(outIdx%l.Out.C, kIdx)
+		})
+		for k, want := range taps {
+			got, ok := l.Weight(k[0], k[1])
+			if !ok || got != want {
+				okAll = false
+			}
+		}
+		// A few random non-taps must be rejected.
+		for i := 0; i < 20; i++ {
+			o, in := rng.Intn(l.OutSize()), rng.Intn(l.InSize())
+			_, isTap := taps[[2]int{o, in}]
+			_, ok := l.Weight(o, in)
+			if ok != isTap {
+				okAll = false
+			}
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package trace records per-timestep, per-layer event traces from the
+// RESPARC simulators as JSON lines — the raw material for debugging
+// mappings, visualizing spike activity, and auditing the energy accounting
+// event by event.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one (timestep, layer) record.
+type Event struct {
+	Step  int    `json:"step"`
+	Layer int    `json:"layer"`
+	Name  string `json:"name,omitempty"`
+
+	InputSpikes  int `json:"in_spikes"`
+	OutputSpikes int `json:"out_spikes"`
+	Packets      int `json:"packets"`
+	Suppressed   int `json:"suppressed"`
+	BusWords     int `json:"bus_words,omitempty"`
+	Activations  int `json:"activations"`
+	RowsDriven   int `json:"rows"`
+
+	EnergyJ float64 `json:"energy_j,omitempty"`
+}
+
+// Writer streams events as JSON lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	if e.Step < 0 || e.Layer < 0 {
+		return fmt.Errorf("trace: negative step/layer in %+v", e)
+	}
+	w.n++
+	return w.enc.Encode(e)
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer; call before closing the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Read parses a JSONL trace back into events.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates a trace per layer.
+type Summary struct {
+	Layer        int
+	Name         string
+	Steps        int
+	InputSpikes  int
+	OutputSpikes int
+	Packets      int
+	Suppressed   int
+	Activations  int
+	EnergyJ      float64
+}
+
+// Summarize groups events by layer in first-seen order.
+func Summarize(events []Event) []Summary {
+	idx := map[int]int{}
+	var out []Summary
+	for _, e := range events {
+		i, ok := idx[e.Layer]
+		if !ok {
+			i = len(out)
+			idx[e.Layer] = i
+			out = append(out, Summary{Layer: e.Layer, Name: e.Name})
+		}
+		s := &out[i]
+		s.Steps++
+		s.InputSpikes += e.InputSpikes
+		s.OutputSpikes += e.OutputSpikes
+		s.Packets += e.Packets
+		s.Suppressed += e.Suppressed
+		s.Activations += e.Activations
+		s.EnergyJ += e.EnergyJ
+	}
+	return out
+}

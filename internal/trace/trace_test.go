@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{Step: 0, Layer: 0, Name: "fc0", InputSpikes: 10, OutputSpikes: 3, Packets: 4, Suppressed: 2, BusWords: 1, Activations: 5, RowsDriven: 9, EnergyJ: 1e-9},
+		{Step: 0, Layer: 1, Name: "fc1", InputSpikes: 3, OutputSpikes: 1, Packets: 2, Activations: 2, RowsDriven: 3, EnergyJ: 5e-10},
+		{Step: 1, Layer: 0, Name: "fc0", InputSpikes: 8, OutputSpikes: 2, Packets: 4, Activations: 4, RowsDriven: 7, EnergyJ: 9e-10},
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Event{Step: -1}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+	if err := w.Write(Event{Layer: -2}); err == nil {
+		t.Fatal("negative layer accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v %v", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Step: 0, Layer: 0, Name: "a", InputSpikes: 2, OutputSpikes: 1, Packets: 3, Suppressed: 1, Activations: 2, EnergyJ: 1},
+		{Step: 0, Layer: 1, Name: "b", InputSpikes: 1, OutputSpikes: 1, Packets: 1, Activations: 1, EnergyJ: 2},
+		{Step: 1, Layer: 0, Name: "a", InputSpikes: 4, OutputSpikes: 2, Packets: 3, Suppressed: 2, Activations: 2, EnergyJ: 3},
+	}
+	s := Summarize(events)
+	if len(s) != 2 {
+		t.Fatalf("%d summaries", len(s))
+	}
+	a := s[0]
+	if a.Layer != 0 || a.Name != "a" || a.Steps != 2 || a.InputSpikes != 6 ||
+		a.OutputSpikes != 3 || a.Packets != 6 || a.Suppressed != 3 || a.Activations != 4 || a.EnergyJ != 4 {
+		t.Fatalf("summary a: %+v", a)
+	}
+	if s[1].Layer != 1 || s[1].EnergyJ != 2 {
+		t.Fatalf("summary b: %+v", s[1])
+	}
+}

@@ -1,0 +1,64 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/tensor"
+)
+
+func benchXbar(b *testing.B, n int) (*Crossbar, *bitvec.Bits) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.NewMat(n, n)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	x, err := New(n, n, device.PCM, w.MaxAbs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := x.ProgramMatrix(w); err != nil {
+		b.Fatal(err)
+	}
+	active := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			active.Set(i)
+		}
+	}
+	return x, active
+}
+
+// BenchmarkCurrents64 measures one ideal 64x64 analog read.
+func BenchmarkCurrents64(b *testing.B) {
+	x, active := benchXbar(b, 64)
+	out := tensor.NewVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Currents(active, Config{}, out)
+	}
+}
+
+// BenchmarkCurrentsIRDrop64 measures the same read with the first-order
+// IR-drop model enabled.
+func BenchmarkCurrentsIRDrop64(b *testing.B) {
+	x, active := benchXbar(b, 64)
+	out := tensor.NewVec(64)
+	cfg := Config{IRDrop: true, WireResistance: 2.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Currents(active, cfg, out)
+	}
+}
+
+// BenchmarkActivationEnergy64 measures the electrical energy accounting.
+func BenchmarkActivationEnergy64(b *testing.B) {
+	x, active := benchXbar(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ActivationEnergy(active)
+	}
+}

@@ -1,0 +1,38 @@
+package xbar_test
+
+import (
+	"fmt"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/tensor"
+	"resparc/internal/xbar"
+)
+
+// A crossbar computes inner products by Kirchhoff's law: program a weight
+// matrix, drive the spiking rows, read column currents in weight units.
+func ExampleCrossbar_Compute() {
+	x, err := xbar.New(4, 2, device.AgSi, 1.0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	w := tensor.NewMat(4, 2)
+	copy(w.Data, tensor.Vec{
+		1.0, 0.0,
+		0.0, 1.0,
+		0.5, 0.5,
+		0.0, 0.0,
+	})
+	if err := x.ProgramMatrix(w); err != nil {
+		fmt.Println(err)
+		return
+	}
+	active := bitvec.New(4)
+	active.Set(0)
+	active.Set(2)
+	out := x.Compute(active, xbar.Config{}, nil)
+	fmt.Printf("column sums: [%.1f %.1f]\n", out[0], out[1])
+	// Output:
+	// column sums: [1.5 0.5]
+}

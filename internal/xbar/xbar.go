@@ -1,0 +1,233 @@
+// Package xbar models a Memristive Crossbar Array (MCA) — the analog
+// inner-product engine at the heart of RESPARC (§2.2). Voltages applied to
+// rows produce, by Kirchhoff's law, column currents equal to the weighted
+// sum of the row inputs and the cross-point conductances.
+//
+// The model supports the ideal dot-product mode used by the architecture
+// simulators plus the non-idealities that cap reliable crossbar size (§1):
+// programmed-conductance variation, stuck-at devices and parasitic IR drop
+// along the wires. Energy per activation follows the electrical model
+// E = V² · ΣG · t_pulse over the driven rows.
+package xbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/quant"
+	"resparc/internal/tensor"
+)
+
+// Crossbar is one MCA with differential-pair weight encoding: each logical
+// column is realized by a positive and a negative device column.
+type Crossbar struct {
+	Rows, Cols int
+	Tech       device.Technology
+	// VRead is the read voltage applied to spiking rows; the paper operates
+	// the MCA at Vdd/2 (§4.2), 0.5 V at the 45 nm node.
+	VRead float64
+	// PulseWidth is the read-pulse duration in seconds (one integration
+	// step at the 200 MHz NeuroCell clock uses a sub-cycle pulse).
+	PulseWidth float64
+
+	mapper *quant.Mapper
+	gpos   *tensor.Mat // Rows x Cols
+	gneg   *tensor.Mat // Rows x Cols
+}
+
+// Config bundles the optional non-ideality switches applied by Perturb.
+type Config struct {
+	Variation bool // lognormal conductance variation (Tech.VariationSigma)
+	StuckAt   bool // devices stuck at GMin/GMax (Tech.StuckFraction)
+	IRDrop    bool // parasitic wire-resistance voltage drops
+	// WireResistance is the parasitic series resistance of one cell-to-cell
+	// wire segment in ohms (used when IRDrop is set). Typical 45 nm value
+	// is ~1-2.5 Ω per segment.
+	WireResistance float64
+}
+
+// New returns a rows x cols crossbar for the technology. wmax is the weight
+// magnitude that maps to full-scale conductance. The size must respect the
+// technology's reliable maximum.
+func New(rows, cols int, tech device.Technology, wmax float64) (*Crossbar, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("xbar: size %dx%d invalid", rows, cols)
+	}
+	if rows > tech.MaxSize || cols > tech.MaxSize {
+		return nil, fmt.Errorf("xbar: %dx%d exceeds %s reliable maximum %d",
+			rows, cols, tech.Name, tech.MaxSize)
+	}
+	m, err := quant.NewMapper(tech, wmax)
+	if err != nil {
+		return nil, err
+	}
+	x := &Crossbar{
+		Rows: rows, Cols: cols, Tech: tech,
+		VRead: 0.5, PulseWidth: 1e-9,
+		mapper: m,
+		gpos:   tensor.NewMat(rows, cols),
+		gneg:   tensor.NewMat(rows, cols),
+	}
+	// Unprogrammed cross-points rest at minimum conductance.
+	gmin := tech.GMin()
+	x.gpos.Data.Fill(gmin)
+	x.gneg.Data.Fill(gmin)
+	return x, nil
+}
+
+// Program writes weight w at cross-point (r, c) through the conductance
+// mapper (quantizing to the technology's level grid).
+func (x *Crossbar) Program(r, c int, w float64) {
+	p := x.mapper.Map(w)
+	x.gpos.Set(r, c, p.GPos)
+	x.gneg.Set(r, c, p.GNeg)
+}
+
+// Weight returns the logical weight currently stored at (r, c), including
+// any perturbation applied by Perturb.
+func (x *Crossbar) Weight(r, c int) float64 {
+	return x.mapper.Weight(quant.ConductancePair{GPos: x.gpos.At(r, c), GNeg: x.gneg.At(r, c)})
+}
+
+// ProgramMatrix writes w (at most Rows x Cols) into the top-left corner.
+func (x *Crossbar) ProgramMatrix(w *tensor.Mat) error {
+	if w.Rows > x.Rows || w.Cols > x.Cols {
+		return fmt.Errorf("xbar: matrix %dx%d exceeds crossbar %dx%d", w.Rows, w.Cols, x.Rows, x.Cols)
+	}
+	for r := 0; r < w.Rows; r++ {
+		for c := 0; c < w.Cols; c++ {
+			x.Program(r, c, w.At(r, c))
+		}
+	}
+	return nil
+}
+
+// Perturb injects device non-idealities into the programmed conductances
+// using the technology's parameters. Deterministic for a given rng.
+func (x *Crossbar) Perturb(cfg Config, rng *rand.Rand) {
+	if cfg.Variation {
+		sigma := x.Tech.VariationSigma
+		for i := range x.gpos.Data {
+			x.gpos.Data[i] *= math.Exp(rng.NormFloat64() * sigma)
+			x.gneg.Data[i] *= math.Exp(rng.NormFloat64() * sigma)
+		}
+	}
+	if cfg.StuckAt {
+		frac := x.Tech.StuckFraction
+		gmin, gmax := x.Tech.GMin(), x.Tech.GMax()
+		for i := range x.gpos.Data {
+			if rng.Float64() < frac {
+				if rng.Intn(2) == 0 {
+					x.gpos.Data[i] = gmin
+				} else {
+					x.gpos.Data[i] = gmax
+				}
+			}
+			if rng.Float64() < frac {
+				if rng.Intn(2) == 0 {
+					x.gneg.Data[i] = gmin
+				} else {
+					x.gneg.Data[i] = gmax
+				}
+			}
+		}
+	}
+}
+
+// Currents computes the differential column currents for the given spiking
+// rows: I_c = Σ_{r spiking} V_eff(r,c) · (G+ - G-). With cfg.IRDrop the read
+// voltage at each cross-point is derated by the first-order series
+// resistance of the row wire up to the column and the column wire down to
+// the sense amplifier — the model that makes large arrays progressively
+// inaccurate. out must have length Cols (or be nil).
+func (x *Crossbar) Currents(active *bitvec.Bits, cfg Config, out tensor.Vec) tensor.Vec {
+	if active.Len() != x.Rows {
+		panic(fmt.Sprintf("xbar: %d active-row bits for %d rows", active.Len(), x.Rows))
+	}
+	if out == nil {
+		out = tensor.NewVec(x.Cols)
+	}
+	out.Fill(0)
+	active.ForEachSet(func(r int) {
+		prow := x.gpos.Row(r)
+		nrow := x.gneg.Row(r)
+		for c := 0; c < x.Cols; c++ {
+			g := prow[c] - nrow[c]
+			v := x.VRead
+			if cfg.IRDrop && cfg.WireResistance > 0 {
+				// Series wire segments: (c+1) along the row to reach the
+				// column, (Rows-r) down the column to the sense amp.
+				rs := cfg.WireResistance * float64(c+1+x.Rows-r)
+				gm := prow[c] + nrow[c]
+				v = x.VRead / (1 + rs*gm)
+			}
+			out[c] += v * g
+		}
+	})
+	return out
+}
+
+// Compute returns the inner products in weight units: the column currents
+// divided by (VRead · fullScaleConductanceSpan / WMax), i.e. the quantity a
+// digital implementation of the same weights would produce. This is what
+// the functional-equivalence tests compare against.
+func (x *Crossbar) Compute(active *bitvec.Bits, cfg Config, out tensor.Vec) tensor.Vec {
+	out = x.Currents(active, cfg, out)
+	span := x.Tech.GMax() - x.Tech.GMin()
+	scale := x.mapper.WMax / (x.VRead * span)
+	out.Scale(scale)
+	return out
+}
+
+// ActivationEnergy returns the electrical energy of one read with the given
+// spiking rows: every cross-point on a driven row conducts (used or not),
+// which is exactly why poorly utilized large crossbars waste energy
+// (§5.2, Fig 12c).
+func (x *Crossbar) ActivationEnergy(active *bitvec.Bits) float64 {
+	var gsum float64
+	active.ForEachSet(func(r int) {
+		gsum += x.gpos.Row(r).Sum() + x.gneg.Row(r).Sum()
+	})
+	return x.VRead * x.VRead * gsum * x.PulseWidth
+}
+
+// MaxError programs w, computes outputs for the given activity under cfg,
+// and returns the maximum absolute deviation from the ideal (no
+// non-ideality) result — a reliability probe used by the technology
+// explorer to justify per-technology size limits.
+func MaxError(rows, cols int, tech device.Technology, w *tensor.Mat, active *bitvec.Bits, cfg Config, seed int64) (float64, error) {
+	wmax := w.MaxAbs()
+	if wmax == 0 {
+		wmax = 1
+	}
+	ideal, err := New(rows, cols, tech, wmax)
+	if err != nil {
+		return 0, err
+	}
+	if err := ideal.ProgramMatrix(w); err != nil {
+		return 0, err
+	}
+	noisy, err := New(rows, cols, tech, wmax)
+	if err != nil {
+		return 0, err
+	}
+	if err := noisy.ProgramMatrix(w); err != nil {
+		return 0, err
+	}
+	noisy.Perturb(cfg, rand.New(rand.NewSource(seed)))
+	ref := ideal.Compute(active, Config{}, nil)
+	got := noisy.Compute(active, cfg, nil)
+	var maxErr float64
+	for i := range ref {
+		if e := math.Abs(got[i] - ref[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}

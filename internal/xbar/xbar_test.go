@@ -1,0 +1,266 @@
+package xbar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/device"
+	"resparc/internal/tensor"
+)
+
+func allRows(n int) *bitvec.Bits {
+	b := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(64, 64, device.AgSi, 1); err != nil {
+		t.Fatalf("valid crossbar rejected: %v", err)
+	}
+	if _, err := New(0, 64, device.AgSi, 1); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := New(256, 256, device.AgSi, 1); err == nil {
+		t.Fatal("size beyond Ag-Si reliable maximum accepted")
+	}
+	if _, err := New(256, 256, device.PCM, 1); err != nil {
+		t.Fatal("PCM supports 256")
+	}
+	if _, err := New(64, 64, device.AgSi, 0); err == nil {
+		t.Fatal("wmax 0 accepted")
+	}
+}
+
+// Ideal crossbar inner product must match the digital reference within
+// quantization error.
+func TestComputeMatchesDigital(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 16
+	w := tensor.NewMat(n, n)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	x, err := New(n, n, device.PCM, w.MaxAbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.ProgramMatrix(w); err != nil {
+		t.Fatal(err)
+	}
+	active := bitvec.New(n)
+	for i := 0; i < n; i += 2 {
+		active.Set(i)
+	}
+	got := x.Compute(active, Config{}, nil)
+	// Digital reference: column c value = sum over active rows of w[r][c].
+	want := tensor.NewVec(n)
+	active.ForEachSet(func(r int) {
+		for c := 0; c < n; c++ {
+			want[c] += w.At(r, c)
+		}
+	})
+	// Tolerance: one quantization level per active row.
+	tol := w.MaxAbs() / float64(device.PCM.Levels-1) * float64(active.Count())
+	for c := range want {
+		if math.Abs(got[c]-want[c]) > tol {
+			t.Fatalf("col %d: crossbar %v digital %v (tol %v)", c, got[c], want[c], tol)
+		}
+	}
+}
+
+func TestWeightReadback(t *testing.T) {
+	x, _ := New(8, 8, device.PCM, 1)
+	x.Program(3, 4, 0.5)
+	got := x.Weight(3, 4)
+	if math.Abs(got-0.5) > 1.0/15 {
+		t.Fatalf("Weight readback %v", got)
+	}
+	// Unprogrammed cell reads ~0 (both devices at GMin).
+	if x.Weight(0, 0) != 0 {
+		t.Fatalf("fresh cell weight %v", x.Weight(0, 0))
+	}
+}
+
+func TestProgramMatrixTooBig(t *testing.T) {
+	x, _ := New(4, 4, device.PCM, 1)
+	if err := x.ProgramMatrix(tensor.NewMat(5, 4)); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+}
+
+func TestNoActivityNoCurrentNoEnergy(t *testing.T) {
+	x, _ := New(8, 8, device.PCM, 1)
+	x.Program(0, 0, 1)
+	out := x.Currents(bitvec.New(8), Config{}, nil)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("current without input spikes")
+		}
+	}
+	if x.ActivationEnergy(bitvec.New(8)) != 0 {
+		t.Fatal("energy without input spikes")
+	}
+}
+
+func TestActivationEnergyScalesWithActivity(t *testing.T) {
+	x, _ := New(32, 32, device.PCM, 1)
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			x.Program(r, c, 0.5)
+		}
+	}
+	one := bitvec.New(32)
+	one.Set(0)
+	e1 := x.ActivationEnergy(one)
+	eAll := x.ActivationEnergy(allRows(32))
+	if e1 <= 0 {
+		t.Fatal("single-row energy must be positive")
+	}
+	if math.Abs(eAll-32*e1) > 1e-18 {
+		t.Fatalf("energy not additive: %v vs %v", eAll, 32*e1)
+	}
+}
+
+// Unused cross-points on a driven row still burn energy (they sit at GMin) —
+// the root cause of the CNN utilization penalty (Fig 12c).
+func TestIdleCellsStillConduct(t *testing.T) {
+	x, _ := New(16, 16, device.PCM, 1)
+	// Program only one column; the other 15 columns stay at GMin pairs.
+	for r := 0; r < 16; r++ {
+		x.Program(r, 0, 1)
+	}
+	e := x.ActivationEnergy(allRows(16))
+	// Lower bound: the idle-cell contribution alone.
+	idle := 0.5 * 0.5 * (2 * device.PCM.GMin() * 15 * 16) * x.PulseWidth
+	if e <= idle {
+		t.Fatalf("energy %v must exceed idle-cell floor %v", e, idle)
+	}
+}
+
+func TestVariationPerturbsOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := tensor.NewMat(32, 32)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	active := allRows(32)
+	errVar, err := MaxError(32, 32, device.AgSi, w, active, Config{Variation: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVar <= 0 {
+		t.Fatal("variation produced no error")
+	}
+}
+
+// IR drop must grow with crossbar size — the physical reason reliable MCAs
+// are small (§1) and the motivation for reconfigurability.
+func TestIRDropGrowsWithSize(t *testing.T) {
+	cfg := Config{IRDrop: true, WireResistance: 2.5}
+	errs := make([]float64, 0, 3)
+	for _, n := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(4))
+		w := tensor.NewMat(n, n)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		e, err := MaxError(n, n, device.PCM, w, allRows(n), cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, e)
+	}
+	if !(errs[0] < errs[1] && errs[1] < errs[2]) {
+		t.Fatalf("IR-drop error not increasing with size: %v", errs)
+	}
+}
+
+func TestStuckAtInjectsDefects(t *testing.T) {
+	tech := device.AgSi
+	tech.StuckFraction = 0.2 // exaggerate for the test
+	x, _ := New(32, 32, tech, 1)
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			x.Program(r, c, 0.5)
+		}
+	}
+	before := make([]float64, 0, 1024)
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			before = append(before, x.Weight(r, c))
+		}
+	}
+	x.Perturb(Config{StuckAt: true}, rand.New(rand.NewSource(6)))
+	changed := 0
+	i := 0
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			if x.Weight(r, c) != before[i] {
+				changed++
+			}
+			i++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("stuck-at injection changed nothing")
+	}
+}
+
+func TestCurrentsPanicsOnSizeMismatch(t *testing.T) {
+	x, _ := New(8, 8, device.PCM, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Currents(bitvec.New(4), Config{}, nil)
+}
+
+// Property: crossbar linearity — currents of (A ∪ B) equal currents of A
+// plus currents of B for disjoint active sets (Kirchhoff superposition).
+func TestSuperpositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		w := tensor.NewMat(n, n)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		x, err := New(n, n, device.PCM, w.MaxAbs()+1e-9)
+		if err != nil {
+			return false
+		}
+		if err := x.ProgramMatrix(w); err != nil {
+			return false
+		}
+		a, b, both := bitvec.New(n), bitvec.New(n), bitvec.New(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				a.Set(i)
+				both.Set(i)
+			case 1:
+				b.Set(i)
+				both.Set(i)
+			}
+		}
+		ia := x.Currents(a, Config{}, nil)
+		ib := x.Currents(b, Config{}, nil)
+		iboth := x.Currents(both, Config{}, nil)
+		for c := 0; c < n; c++ {
+			if math.Abs(iboth[c]-(ia[c]+ib[c])) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
