@@ -1,8 +1,13 @@
-// Command resparc-bench regenerates the paper's tables and figures.
+// Command resparc-bench regenerates the paper's tables and figures, and
+// benchmarks the evaluation pipeline itself.
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist] [-quick] [-out FILE]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench] [-quick] [-out FILE] [-workers N] [-json FILE]
+//
+// -fig bench measures the hot evaluation paths (functional SNN evaluator
+// and chip simulation, serial vs parallel) and writes the machine-readable
+// BENCH_RESULTS.json used to track the perf trajectory across PRs.
 package main
 
 import (
@@ -13,20 +18,24 @@ import (
 	"os"
 
 	"resparc/internal/experiments"
+	"resparc/internal/perf"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	outPath := flag.String("out", "", "also write the output to this file")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (<= 0: one per CPU); results are identical for any value")
+	jsonPath := flag.String("json", "BENCH_RESULTS.json", "where -fig bench writes its machine-readable results")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Workers = *workers
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -143,6 +152,28 @@ func main() {
 		}
 		t.Render(out)
 		fmt.Fprintln(out)
+	}
+	// The pipeline benchmark suite is explicit-only (testing.Benchmark runs
+	// each measurement for about a second); it also writes BENCH_RESULTS.json.
+	if *fig == "bench" {
+		entries, t, err := experiments.PerfSuite(cfg)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perf.WriteBenchJSON(f, perf.NewBenchReport(entries)); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "bench results written to %s\n", *jsonPath)
 	}
 	// Calibration sensitivity is explicit-only too (21 paired simulations).
 	if *fig == "sensitivity" {

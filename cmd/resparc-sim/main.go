@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	resparc-sim [-bench mnist-mlp] [-mca 64] [-steps 48] [-samples 3]
+//	resparc-sim [-bench mnist-mlp] [-mca 64] [-steps 48] [-samples 3] [-workers N]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	mca := flag.Int("mca", 64, "MCA (crossbar) size")
 	steps := flag.Int("steps", 48, "SNN timesteps per classification")
 	samples := flag.Int("samples", 3, "dataset samples to average over")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (<= 0: one per CPU); results are identical for any value")
 	traceFile := flag.String("trace", "", "write a per-(step,layer) JSONL event trace of one classification to this file")
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Steps = *steps
 	cfg.Samples = *samples
+	cfg.Workers = *workers
 	p, err := experiments.RunPair(b, *mca, cfg)
 	if err != nil {
 		log.Fatal(err)

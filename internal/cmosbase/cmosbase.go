@@ -18,10 +18,10 @@ package cmosbase
 
 import (
 	"fmt"
-	"sync"
 
 	"resparc/internal/bitvec"
 	"resparc/internal/energy"
+	"resparc/internal/parallel"
 	"resparc/internal/perf"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
@@ -146,14 +146,12 @@ func (o *observer) ObserveStep(_ int, input *bitvec.Bits, layers []*bitvec.Bits)
 	cur := input
 	for li, l := range b.Net.Layers {
 		prevCycles := o.cnt.Cycles
-		// Synaptic work: event-driven skips silent inputs entirely.
+		// Synaptic work: event-driven skips silent inputs entirely. The
+		// adjacency lookup inside ActiveSynOps is hoisted out of the
+		// per-spike loop (FanOut re-fetched it per spike).
 		ops := 0
 		if b.Opt.EventDriven {
-			if l.Kind == snn.DenseLayer {
-				ops = cur.Count() * l.OutSize()
-			} else {
-				cur.ForEachSet(func(i int) { ops += l.FanOut(i) })
-			}
+			ops = l.ActiveSynOps(cur)
 		} else {
 			ops = l.Synapses()
 		}
@@ -251,39 +249,26 @@ func (b *Baseline) finish(cnt Counters, predicted int) (perf.Result, Report) {
 // EncoderFactory builds a deterministic per-sample encoder.
 type EncoderFactory func(sample int) snn.Encoder
 
-// ClassifyBatchParallel runs the batch across worker goroutines with a
-// per-sample encoder; results reduce in sample order, so the outcome is
-// deterministic.
+// ClassifyBatchParallel runs the batch across the shared worker pool
+// (internal/parallel) with a per-sample encoder; each worker owns one
+// simulation state and results reduce in sample order, so the outcome is
+// bit-identical for any worker count. workers <= 0 selects one worker per
+// CPU.
 func (b *Baseline) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
 	if len(inputs) == 0 {
 		return perf.Result{}, Report{}, fmt.Errorf("cmosbase: empty batch")
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(inputs) {
-		workers = len(inputs)
+	workers = parallel.Clamp(workers, len(inputs))
+	states := make([]*snn.State, workers)
+	for w := range states {
+		states[w] = snn.NewState(b.Net)
 	}
 	counts := make([]Counters, len(inputs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				st := snn.NewState(b.Net)
-				obs := &observer{b: b}
-				st.RunObserved(inputs[i], enc(i), b.Opt.Steps, obs)
-				counts[i] = obs.cnt
-			}
-		}()
-	}
-	for i := range inputs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEach(len(inputs), workers, func(worker, i int) {
+		obs := &observer{b: b}
+		states[worker].RunObserved(inputs[i], enc(i), b.Opt.Steps, obs)
+		counts[i] = obs.cnt
+	})
 	var cnt Counters
 	for _, c := range counts {
 		cnt.Cycles += c.Cycles

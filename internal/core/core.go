@@ -16,11 +16,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"resparc/internal/bitvec"
 	"resparc/internal/energy"
 	"resparc/internal/mapping"
+	"resparc/internal/parallel"
 	"resparc/internal/perf"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
@@ -394,7 +394,12 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 // Classify simulates one classification and returns the result plus the
 // detailed report.
 func (c *Chip) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
-	st := snn.NewState(c.Net)
+	return c.classifyWith(snn.NewState(c.Net), intensity, enc)
+}
+
+// classifyWith runs one classification on a caller-owned state (reused
+// across a worker's batch share).
+func (c *Chip) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
 	obs := &observer{chip: c}
 	run := st.RunObserved(intensity, enc, c.Opt.Steps, obs)
 	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
@@ -523,10 +528,11 @@ func bestOf(counts []int) int {
 // reproducible regardless of scheduling.
 type EncoderFactory func(sample int) snn.Encoder
 
-// ClassifyBatchParallel is ClassifyBatch across worker goroutines: each
-// sample gets its own simulation state and encoder, results are reduced in
-// sample order, so the outcome is deterministic. Tracing is not supported
-// in parallel mode.
+// ClassifyBatchParallel is ClassifyBatch across the shared worker pool
+// (internal/parallel): each worker owns one simulation state, each sample
+// gets its own encoder, and results are reduced in sample order, so the
+// outcome is bit-identical for any worker count. workers <= 0 selects one
+// worker per CPU. Tracing is not supported in parallel mode.
 func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
 	if len(inputs) == 0 {
 		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
@@ -534,29 +540,15 @@ func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, wo
 	if c.Opt.Trace != nil {
 		return perf.Result{}, Report{}, fmt.Errorf("core: tracing is not supported with parallel batches")
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(inputs) {
-		workers = len(inputs)
+	workers = parallel.Clamp(workers, len(inputs))
+	states := make([]*snn.State, workers)
+	for w := range states {
+		states[w] = snn.NewState(c.Net)
 	}
 	reps := make([]Report, len(inputs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				_, reps[i] = c.Classify(inputs[i], enc(i))
-			}
-		}()
-	}
-	for i := range inputs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEach(len(inputs), workers, func(worker, i int) {
+		_, reps[i] = c.classifyWith(states[worker], inputs[i], enc(i))
+	})
 
 	var total Report
 	for _, rep := range reps {

@@ -98,7 +98,7 @@ func AblationInputSharing(cfg Config) ([]InputSharingRow, *report.Table, error) 
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, _, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+		res, _, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
 		if err != nil {
 			return 0, 0, 0, err
 		}

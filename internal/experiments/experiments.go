@@ -35,6 +35,10 @@ type Config struct {
 	MaxProb float64
 	// MCASize is the default crossbar dimension (Fig 11 uses 64).
 	MCASize int
+	// Workers is the evaluation worker-pool size; <= 0 selects one worker
+	// per CPU. Results are bit-identical for any value (see
+	// internal/parallel).
+	Workers int
 	// Params is the energy/timing calibration.
 	Params energy.Params
 	// Tech is the memristive technology (must allow the largest swept MCA).
@@ -76,6 +80,15 @@ func inputsFor(b bench.Benchmark, net *snn.Network, cfg Config) ([]tensor.Vec, e
 		out[i] = bench.NormalizeIntensity(in)
 	}
 	return out, nil
+}
+
+// encoders returns the per-sample encoder factory shared by every driver:
+// sample i's spike stream is the base Poisson encoder forked by image
+// index, so batch results are reproducible and independent of the worker
+// count.
+func (c Config) encoders() func(sample int) snn.Encoder {
+	base := snn.NewPoissonEncoder(c.MaxProb, c.Seed+7)
+	return func(i int) snn.Encoder { return base.ForkSeed(i) }
 }
 
 // Pair is one benchmark evaluated on both architectures.
@@ -123,7 +136,7 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	if err != nil {
 		return Pair{}, err
 	}
-	rRes, rRep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	rRes, rRep, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
 	if err != nil {
 		return Pair{}, err
 	}
@@ -135,7 +148,7 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	if err != nil {
 		return Pair{}, err
 	}
-	cRes, cRep, err := base.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	cRes, cRep, err := base.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
 	if err != nil {
 		return Pair{}, err
 	}
@@ -172,7 +185,7 @@ func RunRESPARC(b bench.Benchmark, size int, cfg Config, eventDriven bool, packe
 	if err != nil {
 		return perf.Result{}, core.Report{}, nil, err
 	}
-	res, rep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	res, rep, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
 	if err != nil {
 		return perf.Result{}, core.Report{}, nil, err
 	}

@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int32
+		ForEach(n, workers, func(_, i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const n, workers = 50, 4
+	var bad int32
+	ForEach(n, workers, func(w, _ int) {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d out-of-range worker ids", bad)
+	}
+}
+
+func TestForEachSerialIsOrdered(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial worker id %d", w)
+		}
+		order = append(order, i) // no race: single worker runs on the caller
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 8, func(_, _ int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(8, 3); got != 3 {
+		t.Fatalf("Clamp(8,3) = %d", got)
+	}
+	if got := Clamp(2, 100); got != 2 {
+		t.Fatalf("Clamp(2,100) = %d", got)
+	}
+	if got := Clamp(0, 100); got != DefaultWorkers() && got != 100 {
+		t.Fatalf("Clamp(0,100) = %d, want default workers (capped)", got)
+	}
+	if got := Clamp(0, 0); got != 1 {
+		t.Fatalf("Clamp(0,0) = %d", got)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

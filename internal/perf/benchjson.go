@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchEntry is one benchmark measurement in machine-readable form — the
+// unit of BENCH_RESULTS.json, which tracks the repo's performance
+// trajectory across PRs.
+type BenchEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	ImagesPerSec float64 `json:"images_per_sec,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Iterations   int     `json:"iterations"`
+	Workers      int     `json:"workers,omitempty"`
+}
+
+// BenchReport is the top-level BENCH_RESULTS.json document.
+type BenchReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Timestamp  string       `json:"timestamp"`
+	Entries    []BenchEntry `json:"benchmarks"`
+}
+
+// NewBenchReport stamps a report with the runtime environment.
+func NewBenchReport(entries []BenchEntry) BenchReport {
+	return BenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Entries:    entries,
+	}
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(w io.Writer, r BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("perf: writing bench JSON: %w", err)
+	}
+	return nil
+}
+
+// Speedup returns the throughput ratio between two entries (how many times
+// faster b runs than a), or 0 if either is unmeasured.
+func Speedup(a, b BenchEntry) float64 {
+	if a.NsPerOp <= 0 || b.NsPerOp <= 0 {
+		return 0
+	}
+	return a.NsPerOp / b.NsPerOp
+}

@@ -1,0 +1,58 @@
+package snn
+
+import (
+	"fmt"
+
+	"resparc/internal/parallel"
+	"resparc/internal/tensor"
+)
+
+// EncoderFactory builds a deterministic per-sample encoder — typically
+// baseEncoder.ForkSeed(i) — so every image's spike stream depends only on
+// its index, never on worker scheduling.
+type EncoderFactory func(sample int) Encoder
+
+// RunBatch classifies every input across a worker pool and returns the
+// per-image RunResults in input order. Each worker owns one State (reused
+// across its images; Run resets it) and each image gets its own encoder
+// from enc, so the results are bit-identical for any worker count:
+// RunBatch(..., 1) is the serial reference and RunBatch(..., N) must match
+// it exactly. workers <= 0 selects one worker per CPU.
+func RunBatch(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int) ([]RunResult, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("snn: empty batch")
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("snn: steps %d", steps)
+	}
+	workers = parallel.Clamp(workers, len(inputs))
+	states := make([]*State, workers)
+	for w := range states {
+		states[w] = NewState(net)
+	}
+	results := make([]RunResult, len(inputs))
+	parallel.ForEach(len(inputs), workers, func(worker, i int) {
+		results[i] = states[worker].Run(inputs[i], enc(i), steps)
+	})
+	return results, nil
+}
+
+// EvaluateBatch classifies the inputs in parallel and returns accuracy
+// against the labels. It is the worker-pool counterpart of Evaluate and is
+// bit-identical to it when enc forks the same per-sample streams.
+func EvaluateBatch(net *Network, inputs []tensor.Vec, labels []int, enc EncoderFactory, steps, workers int) (float64, error) {
+	if len(inputs) != len(labels) {
+		return 0, fmt.Errorf("snn: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	results, err := RunBatch(net, inputs, enc, steps, workers)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, r := range results {
+		if r.Prediction == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(results)), nil
+}

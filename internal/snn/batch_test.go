@@ -1,0 +1,240 @@
+package snn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+// testMLP builds a small random 64-32-10 dense network.
+func testMLP(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	w1 := tensor.NewMat(32, 64)
+	w2 := tensor.NewMat(10, 32)
+	for i := range w1.Data {
+		w1.Data[i] = rng.NormFloat64() * 0.3
+	}
+	for i := range w2.Data {
+		w2.Data[i] = rng.NormFloat64() * 0.3
+	}
+	l1, err := NewDense("h", 64, 32, w1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewDense("o", 32, 10, w2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("mlp", tensor.Shape3{H: 8, W: 8, C: 1}, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// testCNN builds a small conv-pool-dense network.
+func testCNN(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 8, W: 8, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 4}
+	cw := tensor.NewMat(4, geom.FanIn())
+	for i := range cw.Data {
+		cw.Data[i] = rng.NormFloat64() * 0.4
+	}
+	conv, err := NewConv("c", geom, cw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convOut, _ := geom.OutShape()
+	pool, err := NewPool("p", convOut, 2, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := tensor.NewMat(10, pool.OutSize())
+	for i := range dw.Data {
+		dw.Data[i] = rng.NormFloat64() * 0.4
+	}
+	dense, err := NewDense("o", pool.OutSize(), 10, dw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("cnn", geom.In, conv, pool, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func batchInputs(n, size int, seed int64) []tensor.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tensor.Vec, n)
+	for i := range out {
+		v := tensor.NewVec(size)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// The core determinism contract of the evaluation pipeline: parallel
+// evaluation must be bit-identical to the serial path — same predictions,
+// spike counts, input-spike totals and first-spike times — for any worker
+// count, on dense and convolutional topologies alike.
+func TestRunBatchParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  *Network
+	}{
+		{"mlp", testMLP(t)},
+		{"cnn", testCNN(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inputs := batchInputs(13, tc.net.Input.Size(), 99)
+			base := NewPoissonEncoder(0.8, 7)
+			enc := func(i int) Encoder { return base.ForkSeed(i) }
+			serial, err := RunBatch(tc.net, inputs, enc, 20, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 16} {
+				par, err := RunBatch(tc.net, inputs, enc, 20, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Fatalf("workers=%d: parallel results differ from serial\nserial: %+v\nparallel: %+v",
+						workers, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// Default worker selection (workers <= 0) must also reproduce the serial
+// results exactly.
+func TestRunBatchDefaultWorkers(t *testing.T) {
+	net := testMLP(t)
+	inputs := batchInputs(5, net.Input.Size(), 3)
+	base := NewPoissonEncoder(0.8, 7)
+	enc := func(i int) Encoder { return base.ForkSeed(i) }
+	serial, err := RunBatch(net, inputs, enc, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := RunBatch(net, inputs, enc, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, auto) {
+		t.Fatal("default worker count changed results")
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	net := testMLP(t)
+	enc := func(i int) Encoder { return NewPoissonEncoder(0.8, int64(i)) }
+	if _, err := RunBatch(net, nil, enc, 10, 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := RunBatch(net, batchInputs(2, net.Input.Size(), 1), enc, 0, 2); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestEvaluateBatchMatchesEvaluateSemantics(t *testing.T) {
+	net := testMLP(t)
+	inputs := batchInputs(9, net.Input.Size(), 42)
+	base := NewPoissonEncoder(0.8, 7)
+	enc := func(i int) Encoder { return base.ForkSeed(i) }
+	results, err := RunBatch(net, inputs, enc, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, len(inputs))
+	for i, r := range results {
+		labels[i] = r.Prediction // accuracy 1 by construction
+	}
+	acc, err := EvaluateBatch(net, inputs, labels, enc, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy %v, want 1 (labels set from predictions)", acc)
+	}
+	if _, err := EvaluateBatch(net, inputs, labels[:2], enc, 16, 2); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+}
+
+// ForkSeed's determinism contract: a fork's stream depends only on the base
+// seed and the index — not on how much the parent or other forks have been
+// used — and fork 0 reproduces the base encoder's own stream.
+func TestPoissonForkSeedContract(t *testing.T) {
+	img := make(tensor.Vec, 32)
+	for i := range img {
+		img[i] = float64(i%7) / 7
+	}
+	record := func(e *PoissonEncoder) [][]int {
+		dst := bitvec.New(len(img))
+		var out [][]int
+		for t := 0; t < 8; t++ {
+			e.Encode(img, dst)
+			out = append(out, dst.Slice())
+		}
+		return out
+	}
+
+	a := NewPoissonEncoder(0.8, 21).ForkSeed(3)
+	// Heavily use the parent and sibling forks before forking index 3 again.
+	base := NewPoissonEncoder(0.8, 21)
+	burn := bitvec.New(len(img))
+	for t := 0; t < 50; t++ {
+		base.Encode(img, burn)
+		base.ForkSeed(1).Encode(img, burn)
+	}
+	b := base.ForkSeed(3)
+	if !reflect.DeepEqual(record(a), record(b)) {
+		t.Fatal("fork stream depends on parent usage")
+	}
+
+	// Fork 0 equals a fresh base encoder.
+	f0 := NewPoissonEncoder(0.8, 21).ForkSeed(0)
+	fresh := NewPoissonEncoder(0.8, 21)
+	if !reflect.DeepEqual(record(f0), record(fresh)) {
+		t.Fatal("fork 0 must reproduce the base stream")
+	}
+
+	// Distinct indices give distinct streams.
+	f5 := NewPoissonEncoder(0.8, 21).ForkSeed(5)
+	f6 := NewPoissonEncoder(0.8, 21).ForkSeed(6)
+	if reflect.DeepEqual(record(f5), record(f6)) {
+		t.Fatal("distinct forks produced identical streams")
+	}
+}
+
+// The transposed-weight fast path must match the naive column walk over W.
+func TestDenseIntegrateMatchesColumnWalk(t *testing.T) {
+	net := testMLP(t)
+	l := net.Layers[0]
+	in := bitvec.New(l.InSize())
+	for i := 0; i < l.InSize(); i += 3 {
+		in.Set(i)
+	}
+	got := tensor.NewVec(l.OutSize())
+	integrate(l, in, got)
+	want := tensor.NewVec(l.OutSize())
+	in.ForEachSet(func(i int) {
+		for o := 0; o < l.W.Rows; o++ {
+			want[o] += l.W.At(o, i)
+		}
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("transposed integrate diverged:\ngot  %v\nwant %v", got, want)
+	}
+}

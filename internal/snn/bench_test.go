@@ -82,6 +82,90 @@ func BenchmarkStepConv(b *testing.B) {
 	}
 }
 
+// BenchmarkIntegrateDense measures the dense event-driven integration kernel
+// in isolation: per input spike, one contiguous W^T row accumulation.
+func BenchmarkIntegrateDense(b *testing.B) {
+	net := benchMLP(b)
+	l := net.Layers[0]
+	rng := rand.New(rand.NewSource(6))
+	in := bitvec.New(l.InSize())
+	for i := 0; i < l.InSize(); i++ {
+		if rng.Float64() < 0.15 {
+			in.Set(i)
+		}
+	}
+	v := tensor.NewVec(l.OutSize())
+	l.transposedW() // build the cache outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		integrate(l, in, v)
+	}
+}
+
+// BenchmarkIntegrateConv measures the convolutional integration kernel: per
+// input spike, a walk over its resolved CSR taps (out index + weight).
+func BenchmarkIntegrateConv(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	geom := tensor.ConvGeom{In: tensor.Shape3{H: 28, W: 28, C: 1}, K: 3, Stride: 1, Pad: 1, OutC: 32}
+	w := tensor.NewMat(32, 9)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.1
+	}
+	conv, err := NewConv("c", geom, w, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := bitvec.New(conv.InSize())
+	for i := 0; i < conv.InSize(); i++ {
+		if rng.Float64() < 0.15 {
+			in.Set(i)
+		}
+	}
+	v := tensor.NewVec(conv.OutSize())
+	conv.buildAdjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		integrate(conv, in, v)
+	}
+}
+
+// benchBatch builds a batch of random images for the evaluation-harness
+// benchmarks.
+func benchBatch(n, size int) []tensor.Vec {
+	rng := rand.New(rand.NewSource(8))
+	out := make([]tensor.Vec, n)
+	for i := range out {
+		v := tensor.NewVec(size)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func benchEval(b *testing.B, workers int) {
+	net := benchMLP(b)
+	inputs := benchBatch(16, net.Input.Size())
+	base := NewPoissonEncoder(0.8, 9)
+	enc := func(i int) Encoder { return base.ForkSeed(i) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(net, inputs, enc, 24, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalBatchSerial measures the batch evaluation harness on one
+// worker — the serial reference path (one op = 16 images x 24 steps).
+func BenchmarkEvalBatchSerial(b *testing.B) { benchEval(b, 1) }
+
+// BenchmarkEvalBatchParallel measures the same batch fanned across one
+// worker per CPU. Compare against BenchmarkEvalBatchSerial for the
+// multi-core speedup (identical results by construction).
+func BenchmarkEvalBatchParallel(b *testing.B) { benchEval(b, 0) }
+
 // BenchmarkPoissonEncode measures rate encoding of one 28x28 image.
 func BenchmarkPoissonEncode(b *testing.B) {
 	enc := NewPoissonEncoder(0.8, 4)

@@ -13,7 +13,9 @@ package snn
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"resparc/internal/bitvec"
 	"resparc/internal/tensor"
 )
 
@@ -69,7 +71,15 @@ type Layer struct {
 	// variant used by some trained-from-scratch SNNs.
 	HardReset bool
 
-	adj *adjacency // lazily built input->output adjacency for event-driven sim
+	// Lazily built simulation caches. Weight matrices are never mutated
+	// after layer construction in this codebase (conversion and
+	// quantization build fresh layers), so the caches cannot go stale; the
+	// sync.Once guards make concurrent first use from parallel evaluation
+	// workers safe.
+	adjOnce sync.Once
+	adj     *adjacency // input->output adjacency for event-driven sim
+	wTOnce  sync.Once
+	wT      *tensor.Mat // dense W^T: one contiguous row per input neuron
 }
 
 // InSize returns the flattened input length.
@@ -287,20 +297,26 @@ func (l *Layer) Weight(out, in int) (float64, bool) {
 
 // adjacency is a CSR-like input->output tap index enabling event-driven
 // propagation: for each presynaptic neuron, the list of (postsynaptic
-// neuron, weight reference) pairs.
+// neuron, weight) pairs. Weights are resolved at build time into wval so
+// the per-spike inner loop is a pure contiguous accumulate with no index
+// arithmetic or matrix lookups.
 type adjacency struct {
-	start []int32 // len InSize+1
-	out   []int32 // postsynaptic flat index
-	kidx  []int32 // kernel weight index (conv/pool); -1 semantics unused for dense
+	start []int32   // len InSize+1
+	out   []int32   // postsynaptic flat index
+	kidx  []int32   // kernel weight index (conv/pool); -1 semantics unused for dense
+	wval  []float64 // resolved synaptic weight per tap
 }
 
 // buildAdjacency constructs the event-driven index. Dense layers do not
-// need one (column walks are already efficient); conv and pool layers get a
-// flat CSR built from the shared ConvGeom walker.
+// need one (they use the transposed-weight cache instead); conv and pool
+// layers get a flat CSR built from the shared ConvGeom walker. Safe for
+// concurrent first use.
 func (l *Layer) buildAdjacency() *adjacency {
-	if l.adj != nil {
-		return l.adj
-	}
+	l.adjOnce.Do(l.initAdjacency)
+	return l.adj
+}
+
+func (l *Layer) initAdjacency() {
 	// Pool layers connect same-channel only; the geometry walker enumerates
 	// every channel combination, so filter the cross-channel taps out.
 	keep := func(outIdx, inIdx int) bool {
@@ -325,9 +341,15 @@ func (l *Layer) buildAdjacency() *adjacency {
 		counts[i] += counts[i-1]
 	}
 	total := counts[len(counts)-1]
-	adj := &adjacency{start: counts, out: make([]int32, total), kidx: make([]int32, total)}
+	adj := &adjacency{
+		start: counts,
+		out:   make([]int32, total),
+		kidx:  make([]int32, total),
+		wval:  make([]float64, total),
+	}
 	cursor := make([]int32, l.InSize())
 	copy(cursor, counts[:l.InSize()])
+	pw := l.PoolWeight()
 	_ = l.Geom.ForEachTap(func(outIdx, inIdx, kIdx int) {
 		if !keep(outIdx, inIdx) {
 			return
@@ -335,8 +357,37 @@ func (l *Layer) buildAdjacency() *adjacency {
 		p := cursor[inIdx]
 		adj.out[p] = int32(outIdx)
 		adj.kidx[p] = int32(kIdx)
+		if l.Kind == PoolLayer {
+			adj.wval[p] = pw
+		} else {
+			adj.wval[p] = l.W.At(outIdx%l.Out.C, kIdx)
+		}
 		cursor[inIdx] = p + 1
 	})
 	l.adj = adj
-	return adj
+}
+
+// transposedW returns the lazily built W^T of a dense layer: row i holds the
+// weights every output neuron receives from input i, contiguously. It turns
+// the event-driven dense integration from a stride-Cols column walk into a
+// streaming row accumulation per input spike. Safe for concurrent first use.
+func (l *Layer) transposedW() *tensor.Mat {
+	l.wTOnce.Do(func() { l.wT = l.W.Transpose() })
+	return l.wT
+}
+
+// ActiveSynOps returns the number of synaptic accumulations an event-driven
+// pass over the layer performs for the given input spike vector — the hot
+// counter of the CMOS baseline model. The adjacency lookup is hoisted out of
+// the per-spike loop.
+func (l *Layer) ActiveSynOps(in *bitvec.Bits) int {
+	if l.Kind == DenseLayer {
+		return in.Count() * l.OutSize()
+	}
+	adj := l.buildAdjacency()
+	ops := 0
+	in.ForEachSet(func(i int) {
+		ops += int(adj.start[i+1] - adj.start[i])
+	})
+	return ops
 }

@@ -92,28 +92,20 @@ func (s *State) Step(in *bitvec.Bits) *bitvec.Bits {
 func integrate(l *Layer, in *bitvec.Bits, v tensor.Vec) {
 	switch l.Kind {
 	case DenseLayer:
+		// Row accumulation over the cached W^T: each input spike streams one
+		// contiguous weight row into v instead of striding down a column of W.
+		wt := l.transposedW()
 		in.ForEachSet(func(i int) {
-			// Column walk: every output neuron receives W[o][i].
-			w := l.W
-			for o := 0; o < w.Rows; o++ {
-				v[o] += w.At(o, i)
-			}
+			wt.AddRow(i, v)
 		})
-	case ConvLayer:
+	case ConvLayer, PoolLayer:
+		// The adjacency caches resolved per-tap weights, so the inner loop is
+		// a pure CSR accumulate with no index arithmetic per tap.
 		adj := l.buildAdjacency()
-		outC := l.Out.C
+		out, wval := adj.out, adj.wval
 		in.ForEachSet(func(i int) {
 			for p := adj.start[i]; p < adj.start[i+1]; p++ {
-				o := adj.out[p]
-				v[o] += l.W.At(int(o)%outC, int(adj.kidx[p]))
-			}
-		})
-	case PoolLayer:
-		adj := l.buildAdjacency()
-		pw := l.PoolWeight()
-		in.ForEachSet(func(i int) {
-			for p := adj.start[i]; p < adj.start[i+1]; p++ {
-				v[adj.out[p]] += pw
+				v[out[p]] += wval[p]
 			}
 		})
 	default:
@@ -133,6 +125,8 @@ type Encoder interface {
 type PoissonEncoder struct {
 	MaxProb float64 // spike probability at intensity 1 (0 < MaxProb <= 1)
 	Rng     *rand.Rand
+
+	seed int64 // base seed, retained for ForkSeed
 }
 
 // NewPoissonEncoder returns a rate encoder with the given peak spike
@@ -141,7 +135,21 @@ func NewPoissonEncoder(maxProb float64, seed int64) *PoissonEncoder {
 	if maxProb <= 0 || maxProb > 1 {
 		panic(fmt.Sprintf("snn: PoissonEncoder maxProb %v out of (0,1]", maxProb))
 	}
-	return &PoissonEncoder{MaxProb: maxProb, Rng: rand.New(rand.NewSource(seed))}
+	return &PoissonEncoder{MaxProb: maxProb, Rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// ForkSeed returns a fresh encoder for sample i with an independent,
+// reproducible spike stream.
+//
+// Determinism contract: the fork's stream depends only on the base
+// encoder's (MaxProb, seed) and on i — never on how many spikes the parent
+// or any other fork has drawn, nor on which goroutine runs it. Fork 0's
+// stream equals the base encoder's own stream from a fresh state. Batch
+// evaluations key forks by image index, which makes per-image spike trains
+// identical between serial and parallel evaluation regardless of worker
+// count or scheduling.
+func (e *PoissonEncoder) ForkSeed(i int) *PoissonEncoder {
+	return NewPoissonEncoder(e.MaxProb, e.seed+int64(i))
 }
 
 // Encode implements Encoder.

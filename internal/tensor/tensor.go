@@ -57,6 +57,26 @@ func (v Vec) AddScaled(alpha float64, w Vec) {
 	}
 }
 
+// Add accumulates w into v in place (v += w). This is the fused kernel on
+// the event-driven hot path: one call per input spike accumulates a
+// contiguous weight row into the membrane-potential vector, so the loop is
+// unrolled to keep the accumulation stream dense.
+func (v Vec) Add(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	n := len(v) &^ 3
+	for i := 0; i < n; i += 4 {
+		v[i] += w[i]
+		v[i+1] += w[i+1]
+		v[i+2] += w[i+2]
+		v[i+3] += w[i+3]
+	}
+	for i := n; i < len(v); i++ {
+		v[i] += w[i]
+	}
+}
+
 // Scale multiplies every element of v by alpha in place.
 func (v Vec) Scale(alpha float64) {
 	for i := range v {
@@ -132,6 +152,29 @@ func (m *Mat) Row(r int) Vec { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {
 	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// AddRow accumulates row r into v in place (v += m[r][:]). Because rows are
+// contiguous in the row-major layout, this is a single streaming pass — the
+// cache-friendly primitive behind the SNN simulator's transposed-weight
+// integration.
+func (m *Mat) AddRow(r int, v Vec) {
+	v.Add(m.Row(r))
+}
+
+// Transpose returns a new Cols x Rows matrix with m's elements flipped
+// across the diagonal. The SNN simulator caches W^T per dense layer so each
+// input spike accumulates one contiguous row instead of striding down a
+// column.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, x := range row {
+			t.Data[c*m.Rows+r] = x
+		}
+	}
+	return t
 }
 
 // MulVec computes out = m * x where x has length Cols and out has length

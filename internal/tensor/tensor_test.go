@@ -296,3 +296,64 @@ func TestMulVecBadOutput(t *testing.T) {
 	m := NewMat(2, 2)
 	m.MulVec(NewVec(2), NewVec(3))
 }
+
+func TestVecAdd(t *testing.T) {
+	// Length 7 exercises both the unrolled body and the tail.
+	v := Vec{1, 2, 3, 4, 5, 6, 7}
+	w := Vec{10, 20, 30, 40, 50, 60, 70}
+	v.Add(w)
+	want := Vec{11, 22, 33, 44, 55, 66, 77}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Add[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestVecAddMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	NewVec(3).Add(NewVec(4))
+}
+
+func TestMatTranspose(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, Vec{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c) != tr.At(c, r) {
+				t.Fatalf("transpose[%d][%d] = %v, want %v", c, r, tr.At(c, r), m.At(r, c))
+			}
+		}
+	}
+	// The transpose owns fresh storage.
+	tr.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Transpose must not alias the source")
+	}
+}
+
+func TestMatAddRowMatchesColumnWalk(t *testing.T) {
+	m := NewMat(3, 5)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.5
+	}
+	tr := m.Transpose()
+	// Accumulating row i of M^T must equal adding column i of M.
+	for i := 0; i < m.Cols; i++ {
+		got := NewVec(m.Rows)
+		tr.AddRow(i, got)
+		for r := 0; r < m.Rows; r++ {
+			if got[r] != m.At(r, i) {
+				t.Fatalf("AddRow(%d)[%d] = %v, want %v", i, r, got[r], m.At(r, i))
+			}
+		}
+	}
+}
