@@ -218,7 +218,12 @@ func (o *observer) ObserveStep(_ int, input *bitvec.Bits, layers []*bitvec.Bits)
 
 // Classify simulates one classification and returns the result and report.
 func (b *Baseline) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
-	st := snn.NewState(b.Net)
+	return b.classifyWith(snn.NewState(b.Net), intensity, enc)
+}
+
+// classifyWith runs one classification on a caller-owned state (reused
+// across a worker's batch share; RunObserved resets it).
+func (b *Baseline) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
 	obs := &observer{b: b}
 	run := st.RunObserved(intensity, enc, b.Opt.Steps, obs)
 	res, rep := b.finish(obs.cnt, run.Prediction)
@@ -249,61 +254,91 @@ func (b *Baseline) finish(cnt Counters, predicted int) (perf.Result, Report) {
 // EncoderFactory builds a deterministic per-sample encoder.
 type EncoderFactory func(sample int) snn.Encoder
 
-// ClassifyBatchParallel runs the batch across the shared worker pool
-// (internal/parallel) with a per-sample encoder; each worker owns one
-// simulation state and results reduce in sample order, so the outcome is
-// bit-identical for any worker count. workers <= 0 selects one worker per
-// CPU.
-func (b *Baseline) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
+// ClassifyEach classifies every input across the shared worker pool
+// (internal/parallel) and returns the per-image results in input order —
+// the primitive behind both ClassifyBatchParallel and the serving layer's
+// per-request reports. Each worker owns one simulation state, each sample
+// gets its own encoder, and image i's outcome depends only on
+// (input[i], enc(i)), so results are bit-identical for any worker count:
+// ClassifyEach(..., 1) is the serial reference. workers <= 0 selects one
+// worker per CPU.
+func (b *Baseline) ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, workers int) ([]perf.Result, []Report, error) {
 	if len(inputs) == 0 {
-		return perf.Result{}, Report{}, fmt.Errorf("cmosbase: empty batch")
+		return nil, nil, fmt.Errorf("cmosbase: empty batch")
 	}
 	workers = parallel.Clamp(workers, len(inputs))
 	states := make([]*snn.State, workers)
 	for w := range states {
 		states[w] = snn.NewState(b.Net)
 	}
-	counts := make([]Counters, len(inputs))
+	ress := make([]perf.Result, len(inputs))
+	reps := make([]Report, len(inputs))
 	parallel.ForEach(len(inputs), workers, func(worker, i int) {
-		obs := &observer{b: b}
-		states[worker].RunObserved(inputs[i], enc(i), b.Opt.Steps, obs)
-		counts[i] = obs.cnt
+		ress[i], reps[i] = b.classifyWith(states[worker], inputs[i], enc(i))
 	})
+	return ress, reps, nil
+}
+
+// reduceReports aggregates per-image reports into the batch shape shared by
+// ClassifyBatch and ClassifyBatchParallel: counters and per-layer cycles
+// averaged per classification (the paper reports per-classification
+// averages), energy recomputed from the averaged counters, and
+// Predicted == -1 (an aggregate has no single prediction).
+func (b *Baseline) reduceReports(reps []Report) (perf.Result, Report) {
 	var cnt Counters
-	for _, c := range counts {
-		cnt.Cycles += c.Cycles
-		cnt.SynOps += c.SynOps
-		cnt.WeightWords += c.WeightWords
-		cnt.ActWords += c.ActWords
-		cnt.NeuronUpdates += c.NeuronUpdates
+	layer := make([]int, len(b.Net.Layers))
+	for _, r := range reps {
+		cnt.Cycles += r.Counts.Cycles
+		cnt.SynOps += r.Counts.SynOps
+		cnt.WeightWords += r.Counts.WeightWords
+		cnt.ActWords += r.Counts.ActWords
+		cnt.NeuronUpdates += r.Counts.NeuronUpdates
+		for li, c := range r.LayerCycles {
+			layer[li] += c
+		}
 	}
-	n := len(inputs)
+	n := len(reps)
 	cnt.Cycles /= n
 	cnt.SynOps /= n
 	cnt.WeightWords /= n
 	cnt.ActWords /= n
 	cnt.NeuronUpdates /= n
+	for li := range layer {
+		layer[li] /= n
+	}
 	res, rep := b.finish(cnt, -1)
+	rep.LayerCycles = layer
+	return res, rep
+}
+
+// ClassifyBatchParallel runs the batch across the shared worker pool with a
+// per-sample encoder and reduces ClassifyEach's per-image reports with the
+// same aggregation as the serial ClassifyBatch, so the outcome is
+// bit-identical for any worker count. workers <= 0 selects one worker per
+// CPU.
+func (b *Baseline) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
+	_, reps, err := b.ClassifyEach(inputs, enc, workers)
+	if err != nil {
+		return perf.Result{}, Report{}, err
+	}
+	res, rep := b.reduceReports(reps)
 	return res, rep, nil
 }
 
-// ClassifyBatch averages over several inputs.
+// ClassifyBatch averages over several inputs. It shares one simulation
+// state and one sequential encoder stream across the batch, and reduces
+// through the same aggregation as ClassifyBatchParallel, so both paths
+// return identical shapes (averaged counters, per-layer cycles,
+// Predicted == -1).
 func (b *Baseline) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result, Report, error) {
 	if len(inputs) == 0 {
 		return perf.Result{}, Report{}, fmt.Errorf("cmosbase: empty batch")
 	}
 	st := snn.NewState(b.Net)
-	obs := &observer{b: b}
-	for _, in := range inputs {
-		st.RunObserved(in, enc, b.Opt.Steps, obs)
+	reps := make([]Report, len(inputs))
+	for i, in := range inputs {
+		_, reps[i] = b.classifyWith(st, in, enc)
 	}
-	n := len(inputs)
-	cnt := obs.cnt
-	cnt.Cycles /= n
-	cnt.SynOps /= n
-	cnt.WeightWords /= n
-	cnt.ActWords /= n
-	cnt.NeuronUpdates /= n
-	res, rep := b.finish(cnt, -1)
+	res, rep := b.reduceReports(reps)
 	return res, rep, nil
 }

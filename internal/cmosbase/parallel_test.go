@@ -35,3 +35,72 @@ func TestClassifyBatchParallelDeterministic(t *testing.T) {
 		t.Fatal("empty batch accepted")
 	}
 }
+
+// ClassifyEach is the per-image primitive: results must be bit-identical for
+// any worker count and its per-image predictions must match the serial
+// single-image reference.
+func TestClassifyEachMatchesSerialReference(t *testing.T) {
+	net := mlp(t, 65)
+	b, err := New(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []tensor.Vec{
+		denseIntensity(net.Input.Size(), 66),
+		denseIntensity(net.Input.Size(), 67),
+		denseIntensity(net.Input.Size(), 68),
+		denseIntensity(net.Input.Size(), 69),
+	}
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 500+int64(i)) }
+	one, oneReps, err := b.ClassifyEach(inputs, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, manyReps, err := b.ClassifyEach(inputs, factory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if one[i] != many[i] || oneReps[i].Predicted != manyReps[i].Predicted {
+			t.Fatalf("image %d diverged across worker counts", i)
+		}
+		refRes, refRep := b.Classify(inputs[i], factory(i))
+		if one[i] != refRes || oneReps[i].Predicted != refRep.Predicted {
+			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
+		}
+	}
+	if _, _, err := b.ClassifyEach(nil, factory, 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// Serial and parallel batch paths return the same aggregated shape:
+// averaged counters, populated per-layer cycles, Predicted == -1.
+func TestClassifyBatchAggregateShapeUnified(t *testing.T) {
+	net := mlp(t, 75)
+	b, err := New(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []tensor.Vec{
+		denseIntensity(net.Input.Size(), 76),
+		denseIntensity(net.Input.Size(), 77),
+	}
+	_, sRep, err := b.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 600+int64(i)) }
+	_, pRep, err := b.ClassifyBatchParallel(inputs, factory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []Report{sRep, pRep} {
+		if rep.Predicted != -1 {
+			t.Fatalf("aggregate Predicted = %d, want -1", rep.Predicted)
+		}
+		if len(rep.LayerCycles) != len(net.Layers) {
+			t.Fatalf("aggregate LayerCycles %d, want %d", len(rep.LayerCycles), len(net.Layers))
+		}
+	}
+}

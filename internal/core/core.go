@@ -419,14 +419,30 @@ func (c *Chip) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder
 }
 
 // ClassifyBatch averages energy/latency over several inputs (the paper
-// reports per-classification averages).
+// reports per-classification averages). It shares one simulation state and
+// one sequential encoder stream across the batch, and reduces through the
+// same aggregation as ClassifyBatchParallel, so both paths return identical
+// shapes: averaged energies/latency, summed counters, per-layer cycles, and
+// Predicted == -1 (an aggregate has no single prediction).
 func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result, Report, error) {
 	if len(inputs) == 0 {
 		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
 	}
+	st := snn.NewState(c.Net)
+	reps := make([]Report, len(inputs))
+	for i, in := range inputs {
+		_, reps[i] = c.classifyWith(st, in, enc)
+	}
+	res, avg := c.reduceReports(reps)
+	return res, avg, nil
+}
+
+// reduceReports aggregates per-image reports into the batch shape shared by
+// ClassifyBatch and ClassifyBatchParallel: energies and latency averaged per
+// classification, event counters and cycle breakdowns summed over the batch.
+func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 	var total Report
-	for _, in := range inputs {
-		_, rep := c.Classify(in, enc)
+	for _, rep := range reps {
 		total.Energy.Neuron += rep.Energy.Neuron
 		total.Energy.Crossbar += rep.Energy.Crossbar
 		total.Energy.Peripherals += rep.Energy.Peripherals
@@ -441,7 +457,7 @@ func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result,
 			total.LayerCycles[li] += cyc
 		}
 	}
-	n := float64(len(inputs))
+	n := float64(len(reps))
 	avg := Report{
 		Energy: perf.RESPARCEnergy{
 			Neuron:      total.Energy.Neuron / n,
@@ -453,6 +469,7 @@ func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result,
 		BusCycles:   total.BusCycles,
 		Breakdown:   total.Breakdown,
 		LayerCycles: total.LayerCycles,
+		Predicted:   -1,
 	}
 	res := perf.Result{
 		Arch:    "resparc",
@@ -461,7 +478,7 @@ func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result,
 		Latency: avg.Latency,
 		Steps:   c.Opt.Steps,
 	}
-	return res, avg, nil
+	return res, avg
 }
 
 // ClassifyEarlyExit classifies with time-to-first-spike decoding and stops
@@ -528,64 +545,45 @@ func bestOf(counts []int) int {
 // reproducible regardless of scheduling.
 type EncoderFactory func(sample int) snn.Encoder
 
-// ClassifyBatchParallel is ClassifyBatch across the shared worker pool
-// (internal/parallel): each worker owns one simulation state, each sample
-// gets its own encoder, and results are reduced in sample order, so the
-// outcome is bit-identical for any worker count. workers <= 0 selects one
-// worker per CPU. Tracing is not supported in parallel mode.
-func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
+// ClassifyEach classifies every input across the shared worker pool
+// (internal/parallel) and returns the per-image results in input order —
+// the primitive behind both ClassifyBatchParallel and the serving layer's
+// per-request energy/latency reports. Each worker owns one simulation
+// state, each sample gets its own encoder, and image i's outcome depends
+// only on (input[i], enc(i)), so results are bit-identical for any worker
+// count: ClassifyEach(..., 1) is the serial reference. workers <= 0 selects
+// one worker per CPU. Tracing is not supported (the trace writer is not
+// concurrency-safe).
+func (c *Chip) ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, workers int) ([]perf.Result, []Report, error) {
 	if len(inputs) == 0 {
-		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
+		return nil, nil, fmt.Errorf("core: empty batch")
 	}
 	if c.Opt.Trace != nil {
-		return perf.Result{}, Report{}, fmt.Errorf("core: tracing is not supported with parallel batches")
+		return nil, nil, fmt.Errorf("core: tracing is not supported with batched classification")
 	}
 	workers = parallel.Clamp(workers, len(inputs))
 	states := make([]*snn.State, workers)
 	for w := range states {
 		states[w] = snn.NewState(c.Net)
 	}
+	ress := make([]perf.Result, len(inputs))
 	reps := make([]Report, len(inputs))
 	parallel.ForEach(len(inputs), workers, func(worker, i int) {
-		_, reps[i] = c.classifyWith(states[worker], inputs[i], enc(i))
+		ress[i], reps[i] = c.classifyWith(states[worker], inputs[i], enc(i))
 	})
+	return ress, reps, nil
+}
 
-	var total Report
-	for _, rep := range reps {
-		total.Energy.Neuron += rep.Energy.Neuron
-		total.Energy.Crossbar += rep.Energy.Crossbar
-		total.Energy.Peripherals += rep.Energy.Peripherals
-		total.Latency += rep.Latency
-		total.Counts = addCounters(total.Counts, rep.Counts)
-		total.BusCycles += rep.BusCycles
-		total.Breakdown = addBreakdown(total.Breakdown, rep.Breakdown)
-		if total.LayerCycles == nil {
-			total.LayerCycles = make([]int, len(rep.LayerCycles))
-		}
-		for li, cyc := range rep.LayerCycles {
-			total.LayerCycles[li] += cyc
-		}
+// ClassifyBatchParallel is ClassifyBatch across the shared worker pool: it
+// reduces ClassifyEach's per-image reports with the same aggregation as the
+// serial path, so the outcome is bit-identical for any worker count.
+// workers <= 0 selects one worker per CPU.
+func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
+	_, reps, err := c.ClassifyEach(inputs, enc, workers)
+	if err != nil {
+		return perf.Result{}, Report{}, err
 	}
-	n := float64(len(inputs))
-	avg := Report{
-		Energy: perf.RESPARCEnergy{
-			Neuron:      total.Energy.Neuron / n,
-			Crossbar:    total.Energy.Crossbar / n,
-			Peripherals: total.Energy.Peripherals / n,
-		},
-		Latency:     total.Latency / n,
-		Counts:      total.Counts,
-		LayerCycles: total.LayerCycles,
-		BusCycles:   total.BusCycles,
-		Breakdown:   total.Breakdown,
-	}
-	res := perf.Result{
-		Arch:    "resparc",
-		Network: c.Net.Name,
-		Energy:  avg.Energy.Total(),
-		Latency: avg.Latency,
-		Steps:   c.Opt.Steps,
-	}
+	res, avg := c.reduceReports(reps)
 	return res, avg, nil
 }
 

@@ -147,3 +147,86 @@ func TestClassifyEarlyExit(t *testing.T) {
 		t.Fatalf("silent early exit: steps %d predicted %d", steps2, rep2.Predicted)
 	}
 }
+
+// ClassifyEach is the per-image primitive: its results must be bit-identical
+// for any worker count, its per-image predictions must match the serial
+// single-image reference, and its reduction must equal the batch aggregate.
+func TestClassifyEachMatchesSerialReference(t *testing.T) {
+	net := smallMLP(t, 51)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 20
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(net, 6, 52)
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 300+int64(i)) }
+
+	one, oneReps, err := chip.ClassifyEach(inputs, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, manyReps, err := chip.ClassifyEach(inputs, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if one[i] != many[i] {
+			t.Fatalf("image %d result diverged across worker counts: %+v vs %+v", i, one[i], many[i])
+		}
+		if oneReps[i].Predicted != manyReps[i].Predicted || oneReps[i].Counts != manyReps[i].Counts {
+			t.Fatalf("image %d report diverged across worker counts", i)
+		}
+		// Serial single-image reference, bit for bit.
+		refRes, refRep := chip.Classify(inputs[i], factory(i))
+		if one[i] != refRes || oneReps[i].Predicted != refRep.Predicted {
+			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
+		}
+	}
+	if _, _, err := chip.ClassifyEach(nil, factory, 2); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// The serial and parallel batch paths must return the same aggregated shape:
+// averaged energy/latency, summed counters, populated per-layer cycles and
+// breakdown, and Predicted == -1 on the aggregate.
+func TestClassifyBatchAggregateShapeUnified(t *testing.T) {
+	net := smallMLP(t, 53)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 16
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(net, 4, 54)
+	_, sRep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 400+int64(i)) }
+	_, pRep, err := chip.ClassifyBatchParallel(inputs, factory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []Report{sRep, pRep} {
+		if rep.Predicted != -1 {
+			t.Fatalf("aggregate Predicted = %d, want -1", rep.Predicted)
+		}
+		if len(rep.LayerCycles) != len(net.Layers) {
+			t.Fatalf("aggregate LayerCycles %d, want %d", len(rep.LayerCycles), len(net.Layers))
+		}
+		sum := 0
+		for _, c := range rep.LayerCycles {
+			sum += c
+		}
+		if sum != rep.Counts.Cycles {
+			t.Fatalf("aggregate layer cycles %d don't sum to %d", sum, rep.Counts.Cycles)
+		}
+		if rep.Breakdown.Total() != rep.Counts.Cycles {
+			t.Fatalf("aggregate breakdown %d != cycles %d", rep.Breakdown.Total(), rep.Counts.Cycles)
+		}
+	}
+}

@@ -4,9 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 )
+
+// BenchSchemaVersion is the current BENCH_RESULTS.json schema. Version 2
+// added the schema_version and git_revision stamps; version 1 documents
+// (no schema_version field) decode as version 1.
+const BenchSchemaVersion = 2
 
 // BenchEntry is one benchmark measurement in machine-readable form — the
 // unit of BENCH_RESULTS.json, which tracks the repo's performance
@@ -21,22 +29,41 @@ type BenchEntry struct {
 	Workers      int     `json:"workers,omitempty"`
 }
 
-// BenchReport is the top-level BENCH_RESULTS.json document.
+// BenchReport is the top-level BENCH_RESULTS.json document. Every report is
+// self-describing: schema version, measurement timestamp and the git
+// revision it was taken at, so the perf trajectory across PRs can be
+// reconstructed from the files alone.
 type BenchReport struct {
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Timestamp  string       `json:"timestamp"`
-	Entries    []BenchEntry `json:"benchmarks"`
+	SchemaVersion int          `json:"schema_version"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Timestamp     string       `json:"timestamp"`
+	GitRevision   string       `json:"git_revision,omitempty"`
+	Entries       []BenchEntry `json:"benchmarks"`
 }
 
-// NewBenchReport stamps a report with the runtime environment.
+// NewBenchReport stamps a report with the schema version and the runtime
+// environment (Go version, GOMAXPROCS, UTC timestamp, git revision).
 func NewBenchReport(entries []BenchEntry) BenchReport {
 	return BenchReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Entries:    entries,
+		SchemaVersion: BenchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GitRevision:   GitRevision(),
+		Entries:       entries,
 	}
+}
+
+// GitRevision returns the short hash of the current HEAD, or "" when the
+// working directory is not a git checkout (or git is unavailable) — reports
+// written outside a checkout simply omit the stamp.
+func GitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // WriteBenchJSON writes the report as indented JSON.
@@ -47,6 +74,68 @@ func WriteBenchJSON(w io.Writer, r BenchReport) error {
 		return fmt.Errorf("perf: writing bench JSON: %w", err)
 	}
 	return nil
+}
+
+// ReadBenchJSON decodes a report written by WriteBenchJSON. Version-1
+// documents (no schema_version field) are accepted and normalized to
+// version 1; versions newer than BenchSchemaVersion are rejected.
+func ReadBenchJSON(r io.Reader) (BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return BenchReport{}, fmt.Errorf("perf: reading bench JSON: %w", err)
+	}
+	if rep.SchemaVersion == 0 {
+		rep.SchemaVersion = 1
+	}
+	if rep.SchemaVersion > BenchSchemaVersion {
+		return BenchReport{}, fmt.Errorf("perf: bench JSON schema %d newer than supported %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	return rep, nil
+}
+
+// ReadBenchFile loads BENCH_RESULTS.json from disk. A missing file is not
+// an error: it returns an empty report, so callers can merge fresh entries
+// into whatever history exists.
+func ReadBenchFile(path string) (BenchReport, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return BenchReport{SchemaVersion: BenchSchemaVersion}, nil
+	}
+	if err != nil {
+		return BenchReport{}, fmt.Errorf("perf: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadBenchJSON(f)
+}
+
+// MergeEntries overlays fresh measurements onto existing ones: entries with
+// a matching name are replaced in place (the measurement was redone), new
+// names append in order. The existing slice is not mutated.
+func MergeEntries(existing, fresh []BenchEntry) []BenchEntry {
+	out := append([]BenchEntry(nil), existing...)
+	index := make(map[string]int, len(out))
+	for i, e := range out {
+		index[e.Name] = i
+	}
+	for _, e := range fresh {
+		if i, ok := index[e.Name]; ok {
+			out[i] = e
+		} else {
+			index[e.Name] = len(out)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FindEntry returns the entry with the given name, if present.
+func FindEntry(entries []BenchEntry, name string) (BenchEntry, bool) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return BenchEntry{}, false
 }
 
 // Speedup returns the throughput ratio between two entries (how many times

@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	entries := []BenchEntry{
+		{Name: "eval/mnist-mlp/serial", NsPerOp: 1e6, ImagesPerSec: 3000, Iterations: 10, Workers: 1},
+		{Name: "eval/mnist-mlp/parallel", NsPerOp: 2e5, ImagesPerSec: 15000, Iterations: 50, Workers: 8},
+	}
+	rep := NewBenchReport(entries)
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	if rep.Timestamp == "" || rep.GoVersion == "" {
+		t.Fatalf("unstamped report: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != rep.SchemaVersion || got.Timestamp != rep.Timestamp ||
+		got.GitRevision != rep.GitRevision || len(got.Entries) != len(rep.Entries) {
+		t.Fatalf("round trip changed report: %+v vs %+v", got, rep)
+	}
+	if got.Entries[0] != rep.Entries[0] || got.Entries[1] != rep.Entries[1] {
+		t.Fatalf("round trip changed entries: %+v", got.Entries)
+	}
+}
+
+// A version-1 document (pre schema_version stamp) still loads, normalized
+// to version 1; documents from the future are rejected.
+func TestReadBenchJSONVersions(t *testing.T) {
+	v1 := `{"go_version":"go1.22","gomaxprocs":8,"timestamp":"2026-01-01T00:00:00Z","benchmarks":[{"name":"x","ns_per_op":5,"allocs_per_op":0,"bytes_per_op":0,"iterations":1}]}`
+	rep, err := ReadBenchJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 1 || len(rep.Entries) != 1 {
+		t.Fatalf("v1 document misread: %+v", rep)
+	}
+	future := `{"schema_version":99,"benchmarks":[]}`
+	if _, err := ReadBenchJSON(strings.NewReader(future)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadBenchJSON(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadBenchFileMissing(t *testing.T) {
+	rep, err := ReadBenchFile(t.TempDir() + "/nope.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != BenchSchemaVersion || len(rep.Entries) != 0 {
+		t.Fatalf("missing file should yield empty current-schema report: %+v", rep)
+	}
+}
+
+func TestMergeEntries(t *testing.T) {
+	old := []BenchEntry{{Name: "a", NsPerOp: 1}, {Name: "b", NsPerOp: 2}}
+	fresh := []BenchEntry{{Name: "b", NsPerOp: 20}, {Name: "c", NsPerOp: 3}}
+	got := MergeEntries(old, fresh)
+	if len(got) != 3 {
+		t.Fatalf("merged %d entries, want 3", len(got))
+	}
+	if got[0].Name != "a" || got[1].Name != "b" || got[2].Name != "c" {
+		t.Fatalf("merge order wrong: %+v", got)
+	}
+	if got[1].NsPerOp != 20 {
+		t.Fatalf("b not replaced: %+v", got[1])
+	}
+	if old[1].NsPerOp != 2 {
+		t.Fatal("existing slice mutated")
+	}
+	if _, ok := FindEntry(got, "c"); !ok {
+		t.Fatal("FindEntry missed c")
+	}
+	if _, ok := FindEntry(got, "zzz"); ok {
+		t.Fatal("FindEntry invented an entry")
+	}
+}

@@ -29,13 +29,14 @@ type CMOSEnergy struct {
 // Total returns the summed energy in joules.
 func (e CMOSEnergy) Total() float64 { return e.Core + e.MemoryAccess + e.MemoryLeakage }
 
-// Result is one simulated classification on one architecture.
+// Result is one simulated classification on one architecture. The JSON
+// tags are the wire form served by resparc-serve's /v1/classify.
 type Result struct {
-	Arch    string  // "resparc" or "cmos"
-	Network string  // benchmark name
-	Energy  float64 // joules per classification
-	Latency float64 // seconds per classification
-	Steps   int     // SNN timesteps simulated
+	Arch    string  `json:"arch"`      // "resparc" or "cmos"
+	Network string  `json:"network"`   // benchmark name
+	Energy  float64 `json:"energy_j"`  // joules per classification
+	Latency float64 `json:"latency_s"` // seconds per classification
+	Steps   int     `json:"steps"`     // SNN timesteps simulated
 }
 
 // Throughput returns classifications per second.

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"resparc/internal/perf"
+	"resparc/internal/tensor"
+)
+
+// Submission errors, mapped to HTTP status codes by the server (429 and 503
+// respectively).
+var (
+	ErrQueueFull = errors.New("serve: queue full")
+	ErrClosed    = errors.New("serve: shutting down")
+)
+
+// request is one queued classification.
+type request struct {
+	input    tensor.Vec
+	seed     int64
+	enqueued time.Time
+	done     chan response // buffered(1); the dispatcher sends exactly once
+}
+
+// response is the batcher's answer to one request.
+type response struct {
+	perf       perf.Result
+	prediction int
+	batchSize  int           // images in the batch this request rode in
+	queueWait  time.Duration // enqueue -> batch dispatch
+	err        error
+}
+
+// batchRunner executes one flushed batch and returns per-request results
+// and predictions in input order.
+type batchRunner func(inputs []tensor.Vec, seeds []int64) ([]perf.Result, []int, error)
+
+// batcher is the dynamic micro-batcher: requests land in a bounded queue
+// and a single dispatcher goroutine flushes them in batches.
+//
+// The dispatcher's state machine:
+//
+//	idle       -- request arrives --> collecting (starts the max-wait clock)
+//	collecting -- queue yields another request --> collecting
+//	collecting -- batch reaches max-batch OR max-wait fires OR queue closes --> flush
+//	flush      --> idle (or drain-remaining-then-exit after close)
+//
+// Backpressure is at enqueue: submit never blocks, a full queue is the
+// caller's 429. Shutdown closes the queue; the dispatcher drains everything
+// already admitted before exiting, so every admitted request gets exactly
+// one response.
+type batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	run      batchRunner
+	onFlush  func(batchSize int) // metrics hook; may be nil
+
+	// mu serializes submissions against close: a sender always holds the
+	// read lock, so closing the queue channel under the write lock cannot
+	// race a send.
+	mu      sync.RWMutex
+	closed  bool
+	queue   chan *request
+	drained chan struct{} // closed when the dispatcher exits
+}
+
+func newBatcher(queueSize, maxBatch int, maxWait time.Duration, run batchRunner, onFlush func(int)) *batcher {
+	if queueSize < 1 {
+		queueSize = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Millisecond
+	}
+	b := &batcher{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		run:      run,
+		onFlush:  onFlush,
+		queue:    make(chan *request, queueSize),
+		drained:  make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a request without blocking. ErrQueueFull signals
+// backpressure; ErrClosed a shutdown in progress.
+func (b *batcher) submit(req *request) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	req.enqueued = time.Now()
+	select {
+	case b.queue <- req:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth reports the number of queued (not yet dispatched) requests.
+func (b *batcher) depth() int { return len(b.queue) }
+
+// close stops admission and waits for the dispatcher to drain every
+// admitted request. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.drained
+}
+
+func (b *batcher) loop() {
+	defer close(b.drained)
+	for {
+		// Idle: wait for the first request of the next batch. A closed
+		// queue keeps yielding admitted requests until empty.
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case req, open := <-b.queue:
+				if !open {
+					break collect
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush runs one batch and fans the per-request results back out.
+func (b *batcher) flush(batch []*request) {
+	inputs := make([]tensor.Vec, len(batch))
+	seeds := make([]int64, len(batch))
+	for i, req := range batch {
+		inputs[i] = req.input
+		seeds[i] = req.seed
+	}
+	dispatched := time.Now()
+	ress, preds, err := b.run(inputs, seeds)
+	if b.onFlush != nil {
+		b.onFlush(len(batch))
+	}
+	for i, req := range batch {
+		if err != nil {
+			req.done <- response{err: err}
+			continue
+		}
+		req.done <- response{
+			perf:       ress[i],
+			prediction: preds[i],
+			batchSize:  len(batch),
+			queueWait:  dispatched.Sub(req.enqueued),
+		}
+	}
+}

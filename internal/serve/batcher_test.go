@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"resparc/internal/perf"
+	"resparc/internal/tensor"
+)
+
+// gatedRunner records flush sizes and blocks each flush until released,
+// making queue-full and drain scenarios deterministic.
+type gatedRunner struct {
+	mu      sync.Mutex
+	sizes   []int
+	gate    chan struct{}
+	started chan struct{} // one tick per flush entering run
+}
+
+func newGatedRunner() *gatedRunner {
+	return &gatedRunner{gate: make(chan struct{}), started: make(chan struct{}, 64)}
+}
+
+func (g *gatedRunner) run(inputs []tensor.Vec, seeds []int64) ([]perf.Result, []int, error) {
+	g.started <- struct{}{}
+	<-g.gate
+	g.mu.Lock()
+	g.sizes = append(g.sizes, len(inputs))
+	g.mu.Unlock()
+	ress := make([]perf.Result, len(inputs))
+	preds := make([]int, len(inputs))
+	for i := range seeds {
+		preds[i] = int(seeds[i]) // echo the seed so callers can match responses
+	}
+	return ress, preds, nil
+}
+
+func (g *gatedRunner) flushSizes() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.sizes...)
+}
+
+func submitN(t *testing.T, b *batcher, n, from int) []chan response {
+	t.Helper()
+	chans := make([]chan response, n)
+	for i := 0; i < n; i++ {
+		chans[i] = make(chan response, 1)
+		if err := b.submit(&request{seed: int64(from + i), done: chans[i]}); err != nil {
+			t.Fatalf("submit %d: %v", from+i, err)
+		}
+	}
+	return chans
+}
+
+func await(t *testing.T, ch chan response) response {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for response")
+		return response{}
+	}
+}
+
+// A full batch flushes immediately on max-batch, without waiting out the
+// max-wait clock.
+func TestBatcherFlushesOnMaxBatch(t *testing.T) {
+	g := newGatedRunner()
+	b := newBatcher(16, 4, time.Hour, g.run, nil)
+	defer close(g.gate)
+	defer b.close()
+	chans := submitN(t, b, 4, 0)
+	<-g.started // dispatched despite the infinite max-wait
+	g.gate <- struct{}{}
+	for i, ch := range chans {
+		r := await(t, ch)
+		if r.err != nil || r.batchSize != 4 || r.prediction != i {
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+	if sizes := g.flushSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("flushes %v, want [4]", sizes)
+	}
+}
+
+// A lone request flushes when max-wait fires.
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	g := newGatedRunner()
+	b := newBatcher(16, 64, 5*time.Millisecond, g.run, nil)
+	defer b.close()
+	ch := submitN(t, b, 1, 7)[0]
+	<-g.started
+	close(g.gate)
+	r := await(t, ch)
+	if r.err != nil || r.batchSize != 1 || r.prediction != 7 {
+		t.Fatalf("response %+v", r)
+	}
+}
+
+// Backpressure: with the dispatcher busy, submissions beyond the queue
+// capacity fail fast with ErrQueueFull.
+func TestBatcherQueueFull(t *testing.T) {
+	g := newGatedRunner()
+	b := newBatcher(2, 1, time.Millisecond, g.run, nil)
+	// First request occupies the dispatcher (blocked in run).
+	busy := submitN(t, b, 1, 0)
+	<-g.started
+	// Two fit in the queue, the third overflows.
+	queued := submitN(t, b, 2, 1)
+	if err := b.submit(&request{done: make(chan response, 1)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	close(g.gate)
+	await(t, busy[0])
+	for _, ch := range queued {
+		await(t, ch)
+	}
+	b.close()
+}
+
+// Shutdown drains: every admitted request is answered, and submissions
+// after close are refused with ErrClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	g := newGatedRunner()
+	b := newBatcher(16, 2, time.Millisecond, g.run, func(int) {})
+	busy := submitN(t, b, 1, 0)
+	<-g.started
+	queued := submitN(t, b, 5, 1)
+	done := make(chan struct{})
+	go func() {
+		b.close()
+		close(done)
+	}()
+	close(g.gate) // release every flush
+	<-done
+	await(t, busy[0])
+	for i, ch := range queued {
+		if r := await(t, ch); r.err != nil {
+			t.Fatalf("drained request %d errored: %v", i, r.err)
+		}
+	}
+	if err := b.submit(&request{done: make(chan response, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+	b.close() // idempotent
+}
+
+// A runner error propagates to every request of the batch.
+func TestBatcherRunnerError(t *testing.T) {
+	wantErr := errors.New("boom")
+	b := newBatcher(4, 2, time.Millisecond, func([]tensor.Vec, []int64) ([]perf.Result, []int, error) {
+		return nil, nil, wantErr
+	}, nil)
+	defer b.close()
+	chans := submitN(t, b, 2, 0)
+	for _, ch := range chans {
+		if r := await(t, ch); !errors.Is(r.err, wantErr) {
+			t.Fatalf("response err %v, want %v", r.err, wantErr)
+		}
+	}
+}
+
+// Queue depth is observable while requests wait behind a busy dispatcher.
+func TestBatcherDepth(t *testing.T) {
+	g := newGatedRunner()
+	b := newBatcher(8, 1, time.Millisecond, g.run, nil)
+	busy := submitN(t, b, 1, 0)
+	<-g.started
+	queued := submitN(t, b, 3, 1)
+	if d := b.depth(); d != 3 {
+		t.Fatalf("depth %d, want 3", d)
+	}
+	close(g.gate)
+	await(t, busy[0])
+	for _, ch := range queued {
+		await(t, ch)
+	}
+	b.close()
+	if d := b.depth(); d != 0 {
+		t.Fatalf("post-drain depth %d", d)
+	}
+}

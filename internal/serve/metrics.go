@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the p50/p99 quantiles
+// are computed over.
+const latencyWindow = 2048
+
+// Metrics collects the serving counters exposed at /metrics in Prometheus
+// text exposition format: request/response totals, batching statistics,
+// per-queue depth gauges and latency quantiles over a sliding window.
+type Metrics struct {
+	start time.Time
+
+	mu          sync.Mutex
+	requests    int64
+	codes       map[int]int64
+	batches     int64
+	batchImages int64
+	latencies   []float64 // ring buffer, seconds
+	latNext     int
+	latCount    int
+
+	queues []queueGauge
+}
+
+type queueGauge struct {
+	model   string
+	backend string
+	depth   func() int
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), codes: make(map[int]int64)}
+}
+
+// Request counts one accepted classification request.
+func (m *Metrics) Request() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+// Response counts one classification response by status code and records
+// its end-to-end latency in the quantile window.
+func (m *Metrics) Response(code int, latency time.Duration) {
+	m.mu.Lock()
+	m.codes[code]++
+	if m.latencies == nil {
+		m.latencies = make([]float64, latencyWindow)
+	}
+	m.latencies[m.latNext] = latency.Seconds()
+	m.latNext = (m.latNext + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+	m.mu.Unlock()
+}
+
+// Batch counts one dispatched batch of the given size.
+func (m *Metrics) Batch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchImages += int64(size)
+	m.mu.Unlock()
+}
+
+// RegisterQueue adds a queue-depth gauge for one (model, backend) batcher.
+func (m *Metrics) RegisterQueue(model, backend string, depth func() int) {
+	m.mu.Lock()
+	m.queues = append(m.queues, queueGauge{model: model, backend: backend, depth: depth})
+	m.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of the counters, for tests and for the
+// load driver's reconciliation report.
+type Snapshot struct {
+	Requests     int64
+	Codes        map[int]int64
+	Batches      int64
+	BatchImages  int64
+	P50, P99     float64
+	ImagesPerSec float64
+}
+
+// Snapshot returns the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	codes := make(map[int]int64, len(m.codes))
+	for k, v := range m.codes {
+		codes[k] = v
+	}
+	p50, p99 := m.quantilesLocked()
+	return Snapshot{
+		Requests:     m.requests,
+		Codes:        codes,
+		Batches:      m.batches,
+		BatchImages:  m.batchImages,
+		P50:          p50,
+		P99:          p99,
+		ImagesPerSec: m.imagesPerSecLocked(),
+	}
+}
+
+func (m *Metrics) imagesPerSecLocked() float64 {
+	up := time.Since(m.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return float64(m.batchImages) / up
+}
+
+// quantilesLocked computes p50/p99 over the latency window (nearest-rank).
+func (m *Metrics) quantilesLocked() (p50, p99 float64) {
+	if m.latCount == 0 {
+		return 0, 0
+	}
+	window := append([]float64(nil), m.latencies[:m.latCount]...)
+	sort.Float64s(window)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(window))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(window) {
+			i = len(window) - 1
+		}
+		return window[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// ServeHTTP renders the Prometheus text exposition.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m.mu.Lock()
+	requests := m.requests
+	codes := make([]int, 0, len(m.codes))
+	for c := range m.codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	counts := make([]int64, len(codes))
+	for i, c := range codes {
+		counts[i] = m.codes[c]
+	}
+	batches, images := m.batches, m.batchImages
+	p50, p99 := m.quantilesLocked()
+	ips := m.imagesPerSecLocked()
+	queues := append([]queueGauge(nil), m.queues...)
+	uptime := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP resparc_serve_requests_total Classification requests accepted for processing.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_requests_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_requests_total %d\n", requests)
+	fmt.Fprintf(w, "# HELP resparc_serve_responses_total Classification responses by HTTP status code.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_responses_total counter\n")
+	for i, c := range codes {
+		fmt.Fprintf(w, "resparc_serve_responses_total{code=%q} %d\n", strconv.Itoa(c), counts[i])
+	}
+	fmt.Fprintf(w, "# HELP resparc_serve_batches_total Micro-batches dispatched to the simulator pool.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_batches_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_batches_total %d\n", batches)
+	fmt.Fprintf(w, "# HELP resparc_serve_batch_images_total Images classified through dispatched batches.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_batch_images_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_batch_images_total %d\n", images)
+	fmt.Fprintf(w, "# HELP resparc_serve_queue_depth Queued (undispatched) requests per model/backend.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_queue_depth gauge\n")
+	for _, q := range queues {
+		fmt.Fprintf(w, "resparc_serve_queue_depth{model=%q,backend=%q} %d\n", q.model, q.backend, q.depth())
+	}
+	fmt.Fprintf(w, "# HELP resparc_serve_request_latency_seconds End-to-end classification latency quantiles over the last %d requests.\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE resparc_serve_request_latency_seconds gauge\n")
+	fmt.Fprintf(w, "resparc_serve_request_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "resparc_serve_request_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "# HELP resparc_serve_images_per_second Classified images per second of uptime.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_images_per_second gauge\n")
+	fmt.Fprintf(w, "resparc_serve_images_per_second %g\n", ips)
+	fmt.Fprintf(w, "# HELP resparc_serve_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "resparc_serve_uptime_seconds %g\n", uptime)
+}

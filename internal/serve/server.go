@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"resparc/internal/perf"
+	"resparc/internal/tensor"
+)
+
+// Backend selects which architecture simulator answers a request.
+type Backend string
+
+const (
+	// BackendRESPARC is the memristive-crossbar chip simulator.
+	BackendRESPARC Backend = "resparc"
+	// BackendCMOS is the optimized digital baseline.
+	BackendCMOS Backend = "cmos"
+)
+
+// ParseBackend validates a wire-form backend name; empty selects the
+// fallback.
+func ParseBackend(s string, fallback Backend) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return fallback, nil
+	case BackendRESPARC:
+		return BackendRESPARC, nil
+	case BackendCMOS:
+		return BackendCMOS, nil
+	}
+	return "", fmt.Errorf("serve: unknown backend %q (want %q or %q)", s, BackendRESPARC, BackendCMOS)
+}
+
+// maxRequestBody bounds /v1/classify request bodies (the largest Fig 10
+// input is 3072 intensities; 8 MiB leaves generous headroom).
+const maxRequestBody = 8 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Registry holds the servable models; required.
+	Registry *Registry
+	// DefaultBackend answers requests that do not name a backend.
+	DefaultBackend Backend
+	// MaxBatch is the micro-batcher's flush size.
+	MaxBatch int
+	// MaxWait is how long a non-full batch waits for company.
+	MaxWait time.Duration
+	// QueueSize bounds each (model, backend) queue; a full queue is a 429.
+	QueueSize int
+	// Workers is the simulator worker-pool size per batch (<= 0: one per
+	// CPU).
+	Workers int
+}
+
+// DefaultConfig returns the serving defaults (batch 8, 2 ms wait, queue 64).
+func DefaultConfig(reg *Registry) Config {
+	return Config{
+		Registry:       reg,
+		DefaultBackend: BackendRESPARC,
+		MaxBatch:       8,
+		MaxWait:        2 * time.Millisecond,
+		QueueSize:      64,
+	}
+}
+
+// Server is the HTTP inference service: one micro-batcher per
+// (model, backend) pair over the shared simulator pool.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	mux      *http.ServeMux
+	batchers map[string]*batcher
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds a server over the registry's models. Batchers are created
+// eagerly so queue-depth gauges exist from the first scrape.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	if len(cfg.Registry.Models()) == 0 {
+		return nil, fmt.Errorf("serve: empty registry")
+	}
+	if cfg.DefaultBackend == "" {
+		cfg.DefaultBackend = BackendRESPARC
+	}
+	if _, err := ParseBackend(string(cfg.DefaultBackend), ""); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		batchers: make(map[string]*batcher),
+	}
+	for _, m := range cfg.Registry.Models() {
+		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
+			model, backend := m, backend
+			run := func(inputs []tensor.Vec, seeds []int64) ([]perf.Result, []int, error) {
+				return model.ClassifyEach(backend, inputs, seeds, cfg.Workers)
+			}
+			b := newBatcher(cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, run, s.metrics.Batch)
+			s.batchers[batcherKey(model.Name, backend)] = b
+			s.metrics.RegisterQueue(model.Name, string(backend), b.depth)
+		}
+	}
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.Handle("/metrics", s.metrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+func batcherKey(model string, backend Backend) string { return model + "\x00" + string(backend) }
+
+// Handler returns the HTTP handler tree (mountable under httptest too).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters (for the load driver and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains every batcher: admission stops (submissions return
+// ErrClosed), in-flight and queued batches complete, and every admitted
+// request receives its response before Close returns.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, b := range s.batchers {
+		b.close()
+	}
+}
+
+// ClassifyRequest is the /v1/classify wire request.
+type ClassifyRequest struct {
+	// Model names a registry entry.
+	Model string `json:"model"`
+	// Backend is "resparc" or "cmos"; empty selects the server default.
+	Backend string `json:"backend,omitempty"`
+	// Input is the image as pixel intensities in [0, 1], length equal to
+	// the model's input_size.
+	Input []float64 `json:"input"`
+	// Seed keys the request's Poisson spike stream. Equal (model, backend,
+	// input, seed) tuples produce bit-identical responses at any
+	// concurrency.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ClassifyResponse is the /v1/classify wire response.
+type ClassifyResponse struct {
+	Model      string      `json:"model"`
+	Backend    string      `json:"backend"`
+	Prediction int         `json:"prediction"`
+	Perf       perf.Result `json:"perf"`
+	// BatchSize is how many requests shared the micro-batch.
+	BatchSize int `json:"batch_size"`
+	// QueueMs is the time the request waited before its batch dispatched.
+	QueueMs float64 `json:"queue_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) reply(w http.ResponseWriter, start time.Time, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+	s.metrics.Response(code, time.Since(start))
+}
+
+func (s *Server) replyError(w http.ResponseWriter, start time.Time, code int, format string, args ...any) {
+	s.reply(w, start, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Request()
+	if r.Method != http.MethodPost {
+		s.replyError(w, start, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.replyError(w, start, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	model, ok := s.cfg.Registry.Get(req.Model)
+	if !ok {
+		s.replyError(w, start, http.StatusNotFound, "unknown model %q (see /v1/models)", req.Model)
+		return
+	}
+	backend, err := ParseBackend(req.Backend, s.cfg.DefaultBackend)
+	if err != nil {
+		s.replyError(w, start, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if want := model.Net.Input.Size(); len(req.Input) != want {
+		s.replyError(w, start, http.StatusBadRequest, "input length %d, model %q wants %d", len(req.Input), model.Name, want)
+		return
+	}
+	input := make(tensor.Vec, len(req.Input))
+	for i, x := range req.Input {
+		if math.IsNaN(x) || x < 0 || x > 1 {
+			s.replyError(w, start, http.StatusBadRequest, "input[%d] = %v outside [0, 1]", i, x)
+			return
+		}
+		input[i] = x
+	}
+	job := &request{input: input, seed: req.Seed, done: make(chan response, 1)}
+	if err := s.batchers[batcherKey(model.Name, backend)].submit(job); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.replyError(w, start, http.StatusTooManyRequests, "queue full for %s/%s, retry later", model.Name, backend)
+		case errors.Is(err, ErrClosed):
+			s.replyError(w, start, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			s.replyError(w, start, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	resp := <-job.done
+	if resp.err != nil {
+		s.replyError(w, start, http.StatusInternalServerError, "classification failed: %v", resp.err)
+		return
+	}
+	s.reply(w, start, http.StatusOK, ClassifyResponse{
+		Model:      model.Name,
+		Backend:    string(backend),
+		Prediction: resp.prediction,
+		Perf:       resp.perf,
+		BatchSize:  resp.batchSize,
+		QueueMs:    float64(resp.queueWait) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Models []ModelInfo `json:"models"`
+	}{Models: s.cfg.Registry.Info()})
+}

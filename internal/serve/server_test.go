@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Backpressure over HTTP: with the dispatcher pinned and the queue full,
+// the server answers 429; after shutdown it answers 503.
+func TestHTTPBackpressureAndShutdown(t *testing.T) {
+	reg := testRegistry(t)
+	model, _ := reg.Get("tiny-mlp")
+	cfg := DefaultConfig(reg)
+	cfg.MaxBatch = 1
+	cfg.QueueSize = 1
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the resparc batcher on a gate before any traffic flows. The swap
+	// happens-before every submit, so the dispatcher observes it.
+	g := newGatedRunner()
+	srv.batchers[batcherKey("tiny-mlp", BackendRESPARC)].run = g.run
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	input := testInput(model.Net.Input.Size(), 1)
+	async := func() chan int {
+		out := make(chan int, 1)
+		go func() {
+			resp, _, _ := postClassify(t, ts.URL, ClassifyRequest{Model: "tiny-mlp", Input: input})
+			out <- resp.StatusCode
+		}()
+		return out
+	}
+	// First request occupies the dispatcher...
+	first := async()
+	select {
+	case <-g.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never started")
+	}
+	// ...the second fills the queue (the dispatcher is pinned, so the
+	// request stays queued; poll until its goroutine has submitted)...
+	second := async()
+	for deadline := time.Now().Add(5 * time.Second); srv.batchers[batcherKey("tiny-mlp", BackendRESPARC)].depth() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the third bounces with 429.
+	resp, _, body := postClassify(t, ts.URL, ClassifyRequest{Model: "tiny-mlp", Input: input})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d (%s)", resp.StatusCode, body)
+	}
+	close(g.gate)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("pinned request status %d", code)
+	}
+	if code := <-second; code != http.StatusOK {
+		t.Fatalf("queued request status %d", code)
+	}
+
+	// Graceful shutdown: admitted work drained above, new work is refused.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Close()
+	}()
+	wg.Wait()
+	resp2, _, body2 := postClassify(t, ts.URL, ClassifyRequest{Model: "tiny-mlp", Input: input})
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown status %d (%s)", resp2.StatusCode, body2)
+	}
+}
+
+func TestMetricsQuantilesAndReconciliation(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Request()
+		m.Response(200, time.Duration(i)*time.Millisecond)
+	}
+	m.Request()
+	m.Response(429, 1*time.Millisecond)
+	m.Batch(8)
+	m.Batch(2)
+	snap := m.Snapshot()
+	if snap.Requests != 101 {
+		t.Fatalf("requests %d", snap.Requests)
+	}
+	var total int64
+	for _, c := range snap.Codes {
+		total += c
+	}
+	if total != snap.Requests {
+		t.Fatalf("codes %v don't reconcile with %d requests", snap.Codes, snap.Requests)
+	}
+	if snap.Batches != 2 || snap.BatchImages != 10 {
+		t.Fatalf("batches %d images %d", snap.Batches, snap.BatchImages)
+	}
+	// 101 samples: p50 near 50ms, p99 near 100ms.
+	if snap.P50 < 0.040 || snap.P50 > 0.060 {
+		t.Fatalf("p50 %v", snap.P50)
+	}
+	if snap.P99 < 0.090 || snap.P99 > 0.101 {
+		t.Fatalf("p99 %v", snap.P99)
+	}
+	if snap.ImagesPerSec <= 0 {
+		t.Fatalf("images/sec %v", snap.ImagesPerSec)
+	}
+
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	m.ServeHTTP(rec2, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST scrape status %d", rec2.Code)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	if b, err := ParseBackend("", BackendCMOS); err != nil || b != BackendCMOS {
+		t.Fatalf("empty backend: %v %v", b, err)
+	}
+	if b, err := ParseBackend("resparc", BackendCMOS); err != nil || b != BackendRESPARC {
+		t.Fatalf("resparc: %v %v", b, err)
+	}
+	if _, err := ParseBackend("tpu", BackendCMOS); err == nil {
+		t.Fatal("tpu accepted")
+	}
+}

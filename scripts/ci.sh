@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The full pre-PR hygiene recipe (see ROADMAP.md): tier-1 verify plus vet,
+# formatting, and a race pass over the concurrent evaluation and serving
+# paths. Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race (concurrent paths)"
+go test -race \
+    ./internal/parallel/ \
+    ./internal/snn/ \
+    ./internal/core/ \
+    ./internal/cmosbase/ \
+    ./internal/serve/
+
+echo "ci: all green"
