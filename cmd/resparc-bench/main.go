@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench] [-quick] [-out FILE] [-workers N] [-json FILE]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench]
+//	              [-quick] [-out FILE] [-workers N] [-json FILE] [-blocked=false]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 //
 // -fig bench measures the hot evaluation paths (functional SNN evaluator
 // and chip simulation, serial vs parallel) and writes the machine-readable
@@ -16,9 +18,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"resparc/internal/experiments"
 	"resparc/internal/perf"
+	"resparc/internal/report"
 )
 
 func main() {
@@ -29,13 +34,55 @@ func main() {
 	outPath := flag.String("out", "", "also write the output to this file")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (<= 0: one per CPU); results are identical for any value")
 	jsonPath := flag.String("json", "BENCH_RESULTS.json", "where -fig bench writes its machine-readable results")
+	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
+	blockSize := flag.Int("blocksize", 0, "temporal block length of the blocked runner (<= 0: snn.DefaultBlockSize)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
+		// Quick-fidelity timings are not comparable to full-fidelity ones,
+		// so never merge them into the committed BENCH_RESULTS.json unless
+		// the caller picked the file explicitly.
+		jsonExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "json" {
+				jsonExplicit = true
+			}
+		})
+		if !jsonExplicit {
+			*jsonPath = "BENCH_RESULTS.quick.json"
+		}
 	}
 	cfg.Workers = *workers
+	cfg.Stepped = !*blocked
+	cfg.BlockSize = *blockSize
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -162,11 +209,22 @@ func main() {
 		}
 		t.Render(out)
 		fmt.Fprintln(out)
+		// Merge into the existing history (matching names are replaced) and
+		// report the deltas against the previous measurements.
+		prev, err := perf.ReadBenchFile(*jsonPath)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		if dt := benchDeltaTable(prev.Entries, entries); dt != nil {
+			dt.Render(out)
+			fmt.Fprintln(out)
+		}
+		merged := perf.MergeEntries(prev.Entries, entries)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := perf.WriteBenchJSON(f, perf.NewBenchReport(entries)); err != nil {
+		if err := perf.WriteBenchJSON(f, perf.NewBenchReport(merged)); err != nil {
 			f.Close()
 			log.Fatal(err)
 		}
@@ -227,4 +285,26 @@ func main() {
 		}
 		return nil
 	})
+}
+
+// benchDeltaTable compares fresh measurements against the previous entries
+// of the same name and renders the throughput ratios; nil when no previous
+// measurement overlaps (first run).
+func benchDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
+	t := report.NewTable("Delta vs previous BENCH_RESULTS.json",
+		"Benchmark", "prev ns/op", "new ns/op", "speedup")
+	rows := 0
+	for _, e := range fresh {
+		old, ok := perf.FindEntry(prev, e.Name)
+		if !ok {
+			continue
+		}
+		t.Add(e.Name, fmt.Sprintf("%.0f", old.NsPerOp), fmt.Sprintf("%.0f", e.NsPerOp),
+			fmt.Sprintf("%.2fx", perf.Speedup(old, e)))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
 }

@@ -8,7 +8,7 @@
 //	resparc-serve [-addr :8080] [-backend resparc|cmos] [-max-batch 8]
 //	              [-max-wait 2ms] [-queue 64] [-workers 0]
 //	              [-models mnist-mlp,...] [-model-files a.gob,...]
-//	              [-steps 48] [-seed 1] [-mca-size 64]
+//	              [-steps 48] [-seed 1] [-mca-size 64] [-blocked=false] [-pprof]
 //
 // Endpoints: POST /v1/classify, GET /v1/models, GET /metrics, GET /healthz.
 //
@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +56,8 @@ func main() {
 	steps := flag.Int("steps", 0, "SNN timesteps per classification (0: the paper default)")
 	seed := flag.Int64("seed", 0, "base encoder seed (0: the paper default)")
 	mcaSize := flag.Int("mca-size", 0, "crossbar dimension for the RESPARC mapping (0: the paper default)")
+	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (opt-in)")
 	load := flag.Bool("load", false, "run the self-benchmark instead of listening")
 	loadImages := flag.Int("load-images", 64, "images per measurement in -load mode")
 	loadConc := flag.Int("load-concurrency", 16, "concurrent clients in -load mode")
@@ -76,6 +79,7 @@ func main() {
 	if *mcaSize > 0 {
 		rcfg.MCASize = *mcaSize
 	}
+	rcfg.Stepped = !*blocked
 	reg, err := serve.NewRegistry(rcfg)
 	if err != nil {
 		log.Fatal(err)
@@ -116,7 +120,21 @@ func main() {
 		return
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiling endpoints expose internals (and hold the CPU while
+		// sampling), so they stay off unless explicitly requested.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

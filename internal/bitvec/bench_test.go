@@ -29,6 +29,21 @@ func BenchmarkForEachSet(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkAppendSet collects the same spike vector into a reused index
+// buffer — the allocation-free collector the integration kernels use in
+// place of the per-bit ForEachSet closure. Compare against
+// BenchmarkForEachSet for the closure overhead.
+func BenchmarkAppendSet(b *testing.B) {
+	bits := benchBits(b, 4096, 0.15)
+	buf := make([]int32, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = bits.AppendSet(buf[:0])
+	}
+	_ = buf
+}
+
 // BenchmarkZeroPackets measures the zero-check scan used by the
 // event-driven transfer gating.
 func BenchmarkZeroPackets(b *testing.B) {

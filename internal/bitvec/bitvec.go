@@ -98,6 +98,31 @@ func (b *Bits) ForEachSet(fn func(i int)) {
 	}
 }
 
+// AppendSet appends the set-bit indices to buf in ascending order and
+// returns the extended slice. Callers on the simulation hot path pass a
+// reused buffer (buf[:0]) so collecting a spike list is allocation-free once
+// the buffer has grown to the high-water mark; unlike ForEachSet there is no
+// per-bit closure call, which makes the subsequent weight-gather loops
+// directly indexable.
+func (b *Bits) AppendSet(buf []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi << 6)
+		for w != 0 {
+			buf = append(buf, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// CopyFrom overwrites b with the contents of src. Lengths must match.
+func (b *Bits) CopyFrom(src *Bits) {
+	if b.n != src.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d vs %d", b.n, src.n))
+	}
+	copy(b.words, src.words)
+}
+
 // Slice returns the set-bit indices as a slice (test convenience).
 func (b *Bits) Slice() []int {
 	out := make([]int, 0, b.Count())

@@ -198,3 +198,71 @@ func TestBitsProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendSetMatchesForEachSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 63, 64, 65, 300, 4096} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.2 {
+				b.Set(i)
+			}
+		}
+		var want []int32
+		b.ForEachSet(func(i int) { want = append(want, int32(i)) })
+		got := b.AppendSet(nil)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: AppendSet %d indices, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: index %d: got %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		// Appending extends rather than overwrites.
+		pre := []int32{-7}
+		ext := b.AppendSet(pre)
+		if ext[0] != -7 || len(ext) != 1+len(want) {
+			t.Fatalf("n=%d: AppendSet did not extend the given buffer", n)
+		}
+	}
+}
+
+func TestAppendSetReuseIsAllocationFree(t *testing.T) {
+	b := New(2048)
+	for i := 0; i < 2048; i += 3 {
+		b.Set(i)
+	}
+	buf := make([]int32, 0, 2048)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = b.AppendSet(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSet into a sized buffer allocates %.1f times per run", allocs)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New(130)
+	src.Set(0)
+	src.Set(64)
+	src.Set(129)
+	dst := New(130)
+	dst.Set(5)
+	dst.CopyFrom(src)
+	if got, want := dst.Slice(), src.Slice(); len(got) != len(want) {
+		t.Fatalf("CopyFrom: got %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("CopyFrom: got %v, want %v", got, want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	dst.CopyFrom(New(64))
+}

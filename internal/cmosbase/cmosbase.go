@@ -39,6 +39,13 @@ type Options struct {
 	EventDriven bool
 	// Steps is the number of SNN timesteps per classification.
 	Steps int
+	// Stepped forces the step-major functional runner instead of the
+	// default blocked layer-major one (see snn.RunBlocked); both produce
+	// bit-identical rasters and counters.
+	Stepped bool
+	// BlockSize overrides the blocked runner's temporal block length
+	// (<= 0 selects snn.DefaultBlockSize). Ignored when Stepped is set.
+	BlockSize int
 }
 
 // DefaultOptions returns the paper's baseline configuration.
@@ -225,7 +232,12 @@ func (b *Baseline) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result,
 // across a worker's batch share; RunObserved resets it).
 func (b *Baseline) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
 	obs := &observer{b: b}
-	run := st.RunObserved(intensity, enc, b.Opt.Steps, obs)
+	var run snn.RunResult
+	if b.Opt.Stepped {
+		run = st.RunObserved(intensity, enc, b.Opt.Steps, obs)
+	} else {
+		run = st.RunBlockedK(intensity, enc, b.Opt.Steps, b.Opt.BlockSize, obs)
+	}
 	res, rep := b.finish(obs.cnt, run.Prediction)
 	rep.LayerCycles = obs.layerCycles
 	return res, rep

@@ -42,6 +42,14 @@ type Options struct {
 	// Trace, when non-nil, receives one event per (timestep, layer) — see
 	// internal/trace. Classification results are unaffected.
 	Trace *trace.Writer
+	// Stepped forces the step-major functional runner instead of the
+	// default blocked layer-major one (see snn.RunBlocked). Both are
+	// bit-identical — predictions, spike rasters and therefore every event
+	// counter match — so this is purely a performance escape hatch.
+	Stepped bool
+	// BlockSize overrides the temporal block length of the blocked runner
+	// (<= 0 selects snn.DefaultBlockSize). Ignored when Stepped is set.
+	BlockSize int
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -271,10 +279,14 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		}
 		// Per-mPE delivery accounting: MCAs of one mPE are contiguous in
 		// allocation order.
+		// Words are deduped with a set but charged in insertion order: energy
+		// is a float sum, and ranging over the map directly would make the
+		// total depend on Go's randomized map order from run to run.
 		curMPE := -1
-		mpeWords := map[int]bool{}
+		mpeSeen := map[int]bool{}
+		var mpeWords []int
 		flushMPE := func() {
-			for word := range mpeWords {
+			for _, word := range mpeWords {
 				o.e.Peripherals += p.ZeroCheck
 				if nonzeroWord[word] || !ed {
 					delivered++
@@ -283,7 +295,10 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 					o.cnt.PacketsSuppressed++
 				}
 			}
-			mpeWords = map[int]bool{}
+			mpeWords = mpeWords[:0]
+			for w := range mpeSeen {
+				delete(mpeSeen, w)
+			}
 		}
 		for ai := range lm.MCAs {
 			mca := &lm.MCAs[ai]
@@ -298,7 +313,10 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 				word := int(in) / w
 				if word != lastWord {
 					lastWord = word
-					mpeWords[word] = true
+					if !mpeSeen[word] {
+						mpeSeen[word] = true
+						mpeWords = append(mpeWords, word)
+					}
 				}
 				if cur.Get(int(in)) {
 					rows++
@@ -401,7 +419,12 @@ func (c *Chip) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Rep
 // across a worker's batch share).
 func (c *Chip) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
 	obs := &observer{chip: c}
-	run := st.RunObserved(intensity, enc, c.Opt.Steps, obs)
+	var run snn.RunResult
+	if c.Opt.Stepped {
+		run = st.RunObserved(intensity, enc, c.Opt.Steps, obs)
+	} else {
+		run = st.RunBlockedK(intensity, enc, c.Opt.Steps, c.Opt.BlockSize, obs)
+	}
 	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
 	rep := Report{
 		Energy: obs.e, Latency: lat, Counts: obs.cnt, Predicted: run.Prediction,

@@ -41,6 +41,14 @@ type Config struct {
 	Workers int
 	// Params is the energy/timing calibration.
 	Params energy.Params
+	// Stepped forces the step-major functional runner in every simulator
+	// instead of the default blocked layer-major one. Results are
+	// bit-identical either way (see snn.RunBlocked); the toggle exists for
+	// performance comparison and as an escape hatch.
+	Stepped bool
+	// BlockSize overrides the blocked runner's temporal block length
+	// (<= 0 selects snn.DefaultBlockSize). Ignored when Stepped is set.
+	BlockSize int
 	// Tech is the memristive technology (must allow the largest swept MCA).
 	Tech device.Technology
 }
@@ -128,6 +136,8 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	copt := core.DefaultOptions()
 	copt.Params = cfg.Params
 	copt.Steps = cfg.Steps
+	copt.Stepped = cfg.Stepped
+	copt.BlockSize = cfg.BlockSize
 	chip, err := core.New(net, m, copt)
 	if err != nil {
 		return Pair{}, err
@@ -144,6 +154,8 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	bopt := cmosbase.DefaultOptions()
 	bopt.Params = cfg.Params
 	bopt.Steps = cfg.Steps
+	bopt.Stepped = cfg.Stepped
+	bopt.BlockSize = cfg.BlockSize
 	base, err := cmosbase.New(net, bopt)
 	if err != nil {
 		return Pair{}, err
@@ -173,6 +185,8 @@ func RunRESPARC(b bench.Benchmark, size int, cfg Config, eventDriven bool, packe
 	copt := core.DefaultOptions()
 	copt.Params = cfg.Params
 	copt.Steps = cfg.Steps
+	copt.Stepped = cfg.Stepped
+	copt.BlockSize = cfg.BlockSize
 	copt.EventDriven = eventDriven
 	if packetWidth > 0 {
 		copt.PacketWidth = packetWidth

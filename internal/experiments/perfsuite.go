@@ -24,13 +24,13 @@ import (
 func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 	var entries []perf.BenchEntry
 
-	addEval := func(name string, net *snn.Network, inputs []tensor.Vec, workers int, label string) error {
+	addEval := func(name string, net *snn.Network, inputs []tensor.Vec, workers int, label string, opt snn.BatchOptions) error {
 		enc := cfg.encoders()
 		var runErr error
 		res := testing.Benchmark(func(tb *testing.B) {
 			tb.ReportAllocs()
 			for i := 0; i < tb.N; i++ {
-				if _, err := snn.RunBatch(net, inputs, enc, cfg.Steps, workers); err != nil {
+				if _, err := snn.RunBatchOpt(net, inputs, enc, cfg.Steps, workers, opt); err != nil {
 					runErr = err
 					tb.FailNow()
 				}
@@ -57,10 +57,34 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
 		pool := parallel.Clamp(cfg.Workers, len(inputs))
-		if err := addEval(name, net, inputs, 1, "serial"); err != nil {
+		if err := addEval(name, net, inputs, 1, "serial", snn.BatchOptions{}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		if err := addEval(name, net, inputs, pool, "parallel"); err != nil {
+		if err := addEval(name, net, inputs, pool, "parallel", snn.BatchOptions{}); err != nil {
+			return nil, nil, fmtErr("perfsuite", err)
+		}
+	}
+
+	// Blocked vs stepped functional runner on the largest dense benchmark
+	// (cifar-mlp), single worker: the pair isolates the layer-major
+	// temporal-blocking speedup of snn.RunBlocked from pool scaling.
+	{
+		b, err := bench.ByName("cifar-mlp")
+		if err != nil {
+			return nil, nil, fmtErr("perfsuite", err)
+		}
+		net, err := b.Build(cfg.Seed)
+		if err != nil {
+			return nil, nil, fmtErr("perfsuite", err)
+		}
+		inputs, err := inputsFor(b, net, cfg)
+		if err != nil {
+			return nil, nil, fmtErr("perfsuite", err)
+		}
+		if err := addEval("cifar-mlp", net, inputs, 1, "blocked", snn.BatchOptions{}); err != nil {
+			return nil, nil, fmtErr("perfsuite", err)
+		}
+		if err := addEval("cifar-mlp", net, inputs, 1, "stepped", snn.BatchOptions{Stepped: true}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
 	}
@@ -82,6 +106,8 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 	copt := core.DefaultOptions()
 	copt.Params = cfg.Params
 	copt.Steps = cfg.Steps
+	copt.Stepped = cfg.Stepped
+	copt.BlockSize = cfg.BlockSize
 	chip, err := core.New(net, m, copt)
 	if err != nil {
 		return nil, nil, fmtErr("perfsuite", err)

@@ -42,6 +42,10 @@ type RegistryConfig struct {
 	Params energy.Params
 	// Tech is the memristive technology.
 	Tech device.Technology
+	// Stepped forces the step-major functional runner instead of the
+	// default blocked layer-major one (bit-identical results; see
+	// snn.RunBlocked).
+	Stepped bool
 }
 
 // DefaultRegistryConfig mirrors the paper's evaluation configuration
@@ -186,6 +190,7 @@ func (r *Registry) AddNetwork(net *snn.Network) (*Model, error) {
 	copt := core.DefaultOptions()
 	copt.Params = r.cfg.Params
 	copt.Steps = r.cfg.Steps
+	copt.Stepped = r.cfg.Stepped
 	chip, err := core.New(net, m, copt)
 	if err != nil {
 		return nil, fmt.Errorf("serve: preparing chip for %q: %w", net.Name, err)
@@ -193,6 +198,7 @@ func (r *Registry) AddNetwork(net *snn.Network) (*Model, error) {
 	bopt := cmosbase.DefaultOptions()
 	bopt.Params = r.cfg.Params
 	bopt.Steps = r.cfg.Steps
+	bopt.Stepped = r.cfg.Stepped
 	base, err := cmosbase.New(net, bopt)
 	if err != nil {
 		return nil, fmt.Errorf("serve: preparing baseline for %q: %w", net.Name, err)

@@ -1,0 +1,17 @@
+//go:build amd64
+
+package snn
+
+// accumPanel adds, for every spiking input index in list (ascending, one
+// entry per spike of one timestep), the eight packed panel weights of that
+// input into the eight lane accumulators. The amd64 implementation
+// (accum_amd64.s) uses baseline SSE2 packed-double adds: lane i's value
+// still receives exactly the adds of the pure-Go version, in the same
+// per-lane order, so results are bit-identical — ADDPD is two independent
+// IEEE double additions, not a reassociation.
+//
+// The caller guarantees list entries index within panel (panel holds
+// len(panel)/panelLanes input lines) and len(panel) >= panelLanes.
+//
+//go:noescape
+func accumPanel(panel []float64, list []int32, acc *[panelLanes]float64)

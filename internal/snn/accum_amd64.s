@@ -1,0 +1,79 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func accumPanel(panel []float64, list []int32, acc *[8]float64)
+//
+// For each int32 input index in list, add the eight contiguous panel
+// doubles at panel[idx*8 .. idx*8+8] into the eight accumulators at acc.
+// SSE2 only (guaranteed on amd64): four MOVUPD/ADDPD pairs per spike, each
+// ADDPD performing two independent IEEE double adds — lane i sees exactly
+// the scalar sequence acc[i] += panel[idx*8+i] in list order, so the result
+// is bit-identical to the generic Go implementation.
+//
+// Two spikes are processed per loop iteration with separate temporary
+// registers (X4..X7 and X8..X11); both ADDPD groups target the same
+// accumulators in list order, preserving each lane's add sequence.
+TEXT ·accumPanel(SB), NOSPLIT, $0-56
+	MOVQ panel_base+0(FP), SI
+	MOVQ list_base+24(FP), DI
+	MOVQ list_len+32(FP), CX
+	MOVQ acc+48(FP), DX
+
+	MOVUPD (DX), X0
+	MOVUPD 16(DX), X1
+	MOVUPD 32(DX), X2
+	MOVUPD 48(DX), X3
+
+	SUBQ $2, CX
+	JLT  tail
+
+pair:
+	MOVLQSX (DI), AX
+	MOVLQSX 4(DI), BX
+	SHLQ    $6, AX
+	SHLQ    $6, BX
+
+	MOVUPD (SI)(AX*1), X4
+	MOVUPD 16(SI)(AX*1), X5
+	MOVUPD 32(SI)(AX*1), X6
+	MOVUPD 48(SI)(AX*1), X7
+	MOVUPD (SI)(BX*1), X8
+	MOVUPD 16(SI)(BX*1), X9
+	MOVUPD 32(SI)(BX*1), X10
+	MOVUPD 48(SI)(BX*1), X11
+
+	ADDPD X4, X0
+	ADDPD X5, X1
+	ADDPD X6, X2
+	ADDPD X7, X3
+	ADDPD X8, X0
+	ADDPD X9, X1
+	ADDPD X10, X2
+	ADDPD X11, X3
+
+	ADDQ $8, DI
+	SUBQ $2, CX
+	JGE  pair
+
+tail:
+	ADDQ $2, CX
+	JZ   done
+
+	MOVLQSX (DI), AX
+	SHLQ    $6, AX
+	MOVUPD  (SI)(AX*1), X4
+	MOVUPD  16(SI)(AX*1), X5
+	MOVUPD  32(SI)(AX*1), X6
+	MOVUPD  48(SI)(AX*1), X7
+	ADDPD   X4, X0
+	ADDPD   X5, X1
+	ADDPD   X6, X2
+	ADDPD   X7, X3
+
+done:
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	RET

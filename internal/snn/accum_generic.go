@@ -1,0 +1,51 @@
+//go:build !amd64
+
+package snn
+
+// accumPanel adds, for every spiking input index in list (ascending, one
+// entry per spike of one timestep), the eight packed panel weights of that
+// input into the eight lane accumulators. Portable reference implementation;
+// amd64 has an SSE2 version (accum_amd64.s) that is bit-identical. Eight
+// independent accumulation chains keep the FP add ports busy; the two-spike
+// unroll amortizes loop control while each lane's adds stay in ascending
+// spike order (wa before wb).
+func accumPanel(panel []float64, list []int32, acc *[panelLanes]float64) {
+	p0, p1, p2, p3 := acc[0], acc[1], acc[2], acc[3]
+	p4, p5, p6, p7 := acc[4], acc[5], acc[6], acc[7]
+	n := 0
+	for ; n+2 <= len(list); n += 2 {
+		ia, ib := int(list[n])*panelLanes, int(list[n+1])*panelLanes
+		wa := panel[ia : ia+panelLanes : ia+panelLanes]
+		wb := panel[ib : ib+panelLanes : ib+panelLanes]
+		p0 += wa[0]
+		p1 += wa[1]
+		p2 += wa[2]
+		p3 += wa[3]
+		p4 += wa[4]
+		p5 += wa[5]
+		p6 += wa[6]
+		p7 += wa[7]
+		p0 += wb[0]
+		p1 += wb[1]
+		p2 += wb[2]
+		p3 += wb[3]
+		p4 += wb[4]
+		p5 += wb[5]
+		p6 += wb[6]
+		p7 += wb[7]
+	}
+	for ; n < len(list); n++ {
+		ia := int(list[n]) * panelLanes
+		wa := panel[ia : ia+panelLanes : ia+panelLanes]
+		p0 += wa[0]
+		p1 += wa[1]
+		p2 += wa[2]
+		p3 += wa[3]
+		p4 += wa[4]
+		p5 += wa[5]
+		p6 += wa[6]
+		p7 += wa[7]
+	}
+	acc[0], acc[1], acc[2], acc[3] = p0, p1, p2, p3
+	acc[4], acc[5], acc[6], acc[7] = p4, p5, p6, p7
+}

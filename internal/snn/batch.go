@@ -12,13 +12,32 @@ import (
 // its index, never on worker scheduling.
 type EncoderFactory func(sample int) Encoder
 
+// BatchOptions select the functional runner used by the batch evaluators.
+// The zero value is the default: the blocked layer-major path (bit-identical
+// to the step-major reference, measurably faster — see blocked.go) with
+// DefaultBlockSize.
+type BatchOptions struct {
+	// Stepped forces the step-major reference runner (RunObserved's loop
+	// nest) instead of the blocked layer-major one.
+	Stepped bool
+	// BlockSize overrides the temporal block length of the blocked runner
+	// (<= 0 selects DefaultBlockSize). Ignored when Stepped is set.
+	BlockSize int
+}
+
 // RunBatch classifies every input across a worker pool and returns the
 // per-image RunResults in input order. Each worker owns one State (reused
-// across its images; Run resets it) and each image gets its own encoder
-// from enc, so the results are bit-identical for any worker count:
+// across its images; each run resets it) and each image gets its own
+// encoder from enc, so the results are bit-identical for any worker count:
 // RunBatch(..., 1) is the serial reference and RunBatch(..., N) must match
-// it exactly. workers <= 0 selects one worker per CPU.
+// it exactly. workers <= 0 selects one worker per CPU. It runs the blocked
+// layer-major path; RunBatchOpt escapes to the step-major reference.
 func RunBatch(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int) ([]RunResult, error) {
+	return RunBatchOpt(net, inputs, enc, steps, workers, BatchOptions{})
+}
+
+// RunBatchOpt is RunBatch with an explicit runner selection.
+func RunBatchOpt(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int, opt BatchOptions) ([]RunResult, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("snn: empty batch")
 	}
@@ -32,7 +51,16 @@ func RunBatch(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, work
 	}
 	results := make([]RunResult, len(inputs))
 	parallel.ForEach(len(inputs), workers, func(worker, i int) {
-		results[i] = states[worker].Run(inputs[i], enc(i), steps)
+		st := states[worker]
+		var r RunResult
+		if opt.Stepped {
+			r = st.Run(inputs[i], enc(i), steps)
+		} else {
+			r = st.RunBlockedK(inputs[i], enc(i), steps, opt.BlockSize, nil)
+		}
+		// States are reused across a worker's share, so detach the result
+		// from the State scratch before the next image overwrites it.
+		results[i] = r.Clone()
 	})
 	return results, nil
 }

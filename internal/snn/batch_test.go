@@ -227,7 +227,7 @@ func TestDenseIntegrateMatchesColumnWalk(t *testing.T) {
 		in.Set(i)
 	}
 	got := tensor.NewVec(l.OutSize())
-	integrate(l, in, got)
+	integrate(l, in, got, nil)
 	want := tensor.NewVec(l.OutSize())
 	in.ForEachSet(func(i int) {
 		for o := 0; o < l.W.Rows; o++ {

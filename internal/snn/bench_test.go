@@ -8,8 +8,8 @@ import (
 	"resparc/internal/tensor"
 )
 
-func benchMLP(b *testing.B) *Network {
-	b.Helper()
+func benchMLP(tb testing.TB) *Network {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(1))
 	w1 := tensor.NewMat(512, 784)
 	w2 := tensor.NewMat(10, 512)
@@ -21,15 +21,15 @@ func benchMLP(b *testing.B) *Network {
 	}
 	l1, err := NewDense("h", 784, 512, w1, 1)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	l2, err := NewDense("o", 512, 10, w2, 1)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	net, err := NewNetwork("bench", tensor.Shape3{H: 28, W: 28, C: 1}, l1, l2)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return net
 }
@@ -96,9 +96,10 @@ func BenchmarkIntegrateDense(b *testing.B) {
 	}
 	v := tensor.NewVec(l.OutSize())
 	l.transposedW() // build the cache outside the timed loop
+	buf := make([]int32, 0, l.InSize())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		integrate(l, in, v)
+		buf = integrate(l, in, v, buf[:0])
 	}
 }
 
@@ -123,9 +124,107 @@ func BenchmarkIntegrateConv(b *testing.B) {
 	}
 	v := tensor.NewVec(conv.OutSize())
 	conv.buildAdjacency()
+	buf := make([]int32, 0, conv.InSize())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		integrate(conv, in, v)
+		buf = integrate(conv, in, v, buf[:0])
+	}
+}
+
+// benchCifarMLP rebuilds the cifar-mlp benchmark topology (the largest dense
+// network of the Fig 10 suite) inline — internal/bench imports this package,
+// so the shape is duplicated here to keep the benchmark in-package.
+func benchCifarMLP(tb testing.TB) *Network {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(40))
+	sizes := []int{1024, 232, 1832, 1664, 40, 10}
+	layers := make([]*Layer, 0, len(sizes)-1)
+	for i := 1; i < len(sizes); i++ {
+		w := tensor.NewMat(sizes[i], sizes[i-1])
+		for j := range w.Data {
+			w.Data[j] = rng.NormFloat64() * 0.08
+		}
+		l, err := NewDense("fc", sizes[i-1], sizes[i], w, 1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		layers = append(layers, l)
+	}
+	net, err := NewNetwork("cifar-mlp", tensor.Shape3{H: 32, W: 32, C: 1}, layers...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
+func benchImage(n int) tensor.Vec {
+	rng := rand.New(rand.NewSource(41))
+	img := tensor.NewVec(n)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	return img
+}
+
+// BenchmarkRunSteppedCifarMLP measures one full classification (64 timesteps)
+// of the cifar-mlp topology with the step-major reference runner.
+func BenchmarkRunSteppedCifarMLP(b *testing.B) {
+	net := benchCifarMLP(b)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.Run(img, enc, 64) // warm caches and scratch outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Run(img, enc, 64)
+	}
+}
+
+// BenchmarkRunBlockedCifarMLP measures the same classification through the
+// blocked layer-major runner (default block size). Compare against
+// BenchmarkRunSteppedCifarMLP for the temporal-blocking speedup; results are
+// bit-identical by construction (see blocked_test.go).
+func BenchmarkRunBlockedCifarMLP(b *testing.B) {
+	net := benchCifarMLP(b)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.RunBlocked(img, enc, 64, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.RunBlocked(img, enc, 64, nil)
+	}
+}
+
+// Steady-state classification must not allocate: the encoder writes into the
+// State's input vector and all counters live in State scratch.
+func TestRunObservedAllocFree(t *testing.T) {
+	net := benchMLP(t)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.Run(img, enc, 24) // first run builds W^T caches and sizes scratch
+	allocs := testing.AllocsPerRun(5, func() { st.Run(img, enc, 24) })
+	if allocs != 0 {
+		t.Fatalf("Run allocates %.0f objects per classification on a warm State, want 0", allocs)
+	}
+}
+
+// The blocked runner must also be allocation-free once its raster buffers
+// are warm, for any block size at or below the warmed size.
+func TestRunBlockedAllocFree(t *testing.T) {
+	net := benchMLP(t)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.RunBlocked(img, enc, 24, nil)
+	for _, k := range []int{0, 8, 1} {
+		allocs := testing.AllocsPerRun(5, func() { st.RunBlockedK(img, enc, 24, k, nil) })
+		if allocs != 0 {
+			t.Fatalf("RunBlockedK(K=%d) allocates %.0f objects per classification on a warm State, want 0", k, allocs)
+		}
 	}
 }
 

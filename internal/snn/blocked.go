@@ -1,0 +1,233 @@
+package snn
+
+import (
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+// DefaultBlockSize is the temporal block length of RunBlocked: how many
+// timesteps of spike raster are buffered and pushed through one layer
+// before the next layer is touched. 64 covers the paper's full evaluation
+// window (T=64) in a single block while bounding the raster buffers to
+// K bits per neuron (~1.8 MB for the 231k-neuron cifar-cnn benchmark).
+const DefaultBlockSize = 64
+
+// RunBlocked classifies one input with layer-major temporal blocking: the
+// input spike raster of a block of K timesteps is encoded up front, then
+// each layer integrates the entire block — reusing that one layer's weights
+// K times while they are cache-resident — before the next layer runs. For
+// the feed-forward networks this package models, layer l at timestep t
+// depends only on layer l-1 at timestep t, so inverting the (timestep,
+// layer) loop nest is legal and the result is bit-identical to RunObserved:
+// per neuron, the same floating-point operations happen in the same order
+// (leak, ascending-index spike accumulation, threshold/reset, per
+// timestep), and membrane potentials carry across block boundaries through
+// Vmem exactly as they carry across timesteps.
+//
+// Observers still see the step-major view: the per-layer rasters of each
+// block are buffered and replayed through ObserveStep in timestep order, so
+// the architecture simulators consume blocked runs unchanged.
+func (s *State) RunBlocked(intensity tensor.Vec, enc Encoder, steps int, obs Observer) RunResult {
+	return s.RunBlockedK(intensity, enc, steps, 0, obs)
+}
+
+// RunBlockedK is RunBlocked with an explicit block size (<= 0 selects
+// DefaultBlockSize). Any block size yields bit-identical results; the knob
+// trades raster-buffer memory (K bits per neuron) against weight reuse (each
+// layer's weights are streamed steps/K times instead of steps times).
+func (s *State) RunBlockedK(intensity tensor.Vec, enc Encoder, steps, blockK int, obs Observer) RunResult {
+	if blockK <= 0 {
+		blockK = DefaultBlockSize
+	}
+	if blockK > steps && steps > 0 {
+		blockK = steps
+	}
+	s.Reset()
+	s.ensureBlock(blockK)
+	counts, first := s.resetResult()
+	inputSpikes := 0
+	last := len(s.Net.Layers) - 1
+	lastKn := 0
+	for t0 := 0; t0 < steps; t0 += blockK {
+		kn := blockK
+		if steps-t0 < kn {
+			kn = steps - t0
+		}
+		lastKn = kn
+		// Encode the block's input raster. The encoder is invoked once per
+		// timestep in timestep order — the identical call sequence (and so
+		// the identical spike streams) as the step-major runner.
+		for k := 0; k < kn; k++ {
+			enc.Encode(intensity, s.blockIn[k])
+			inputSpikes += s.blockIn[k].Count()
+		}
+		// Layer-major sweep: each layer consumes the full block of its
+		// predecessor before the next layer is touched.
+		cur := s.blockIn
+		for li, l := range s.Net.Layers {
+			s.runLayerBlock(li, l, cur, kn)
+			cur = s.blockOut[li]
+		}
+		// Step-major replay for observers and output decoding.
+		finalR := s.blockIn
+		if last >= 0 {
+			finalR = s.blockOut[last]
+		}
+		for k := 0; k < kn; k++ {
+			t := t0 + k
+			if obs != nil {
+				for li := range s.stepView {
+					s.stepView[li] = s.blockOut[li][k]
+				}
+				obs.ObserveStep(t, s.blockIn[k], s.stepView)
+			}
+			s.idx = finalR[k].AppendSet(s.idx[:0])
+			for _, i := range s.idx {
+				counts[i]++
+				if first[i] < 0 {
+					first[i] = t
+				}
+			}
+		}
+	}
+	// Leave the last-step views (InputSpikes/LayerSpikes) consistent with
+	// what a step-major run of the same input would expose.
+	if lastKn > 0 {
+		s.input.CopyFrom(s.blockIn[lastKn-1])
+		for li := range s.spikes {
+			s.spikes[li].CopyFrom(s.blockOut[li][lastKn-1])
+		}
+	}
+	return s.finishResult(steps, inputSpikes)
+}
+
+// ensureBlock sizes the raster buffers for a block of k timesteps. Buffers
+// are retained across runs (and across smaller block sizes), so repeated
+// blocked classification on a warm State is allocation-free.
+func (s *State) ensureBlock(k int) {
+	if s.blockK >= k {
+		return
+	}
+	s.blockK = k
+	s.blockIn = make([]*bitvec.Bits, k)
+	for i := range s.blockIn {
+		s.blockIn[i] = bitvec.New(s.Net.Input.Size())
+	}
+	s.blockOut = make([][]*bitvec.Bits, len(s.Net.Layers))
+	for li, l := range s.Net.Layers {
+		s.blockOut[li] = make([]*bitvec.Bits, k)
+		for i := range s.blockOut[li] {
+			s.blockOut[li][i] = bitvec.New(l.OutSize())
+		}
+	}
+	s.blockIdx = make([][]int32, k)
+	for i := range s.blockIdx {
+		s.blockIdx[i] = []int32{}
+	}
+	s.stepView = make([]*bitvec.Bits, len(s.Net.Layers))
+}
+
+// runLayerBlock advances one layer across the kn buffered timesteps of the
+// current block, reading the predecessor raster cur and writing the layer's
+// raster into s.blockOut[li].
+func (s *State) runLayerBlock(li int, l *Layer, cur []*bitvec.Bits, kn int) {
+	v := s.Vmem[li]
+	outR := s.blockOut[li]
+	for k := 0; k < kn; k++ {
+		outR[k].Reset()
+	}
+	switch l.Kind {
+	case DenseLayer:
+		// Dense layers flip to output-major order: collect the block's spike
+		// lists once, then walk each output neuron's weight row across every
+		// timestep of the block while the row sits in the innermost cache.
+		for k := 0; k < kn; k++ {
+			s.blockIdx[k] = cur[k].AppendSet(s.blockIdx[k][:0])
+		}
+		denseBlock(l, v, s.blockIdx[:kn], outR)
+	case ConvLayer, PoolLayer:
+		// Conv/pool stay input-major per step (output-major would forfeit
+		// the event-driven skip of silent inputs), but the layer-major sweep
+		// keeps this one layer's CSR adjacency hot for the whole block.
+		for k := 0; k < kn; k++ {
+			if l.Leak > 0 {
+				v.Scale(1 - l.Leak)
+			}
+			s.idx = integrate(l, cur[k], v, s.idx[:0])
+			fire(l, v, outR[k])
+		}
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// denseBlock runs one dense layer over a block of timesteps in output-major
+// order. Neurons are independent, so per output neuron j it replays the
+// exact step-major sequence — leak, accumulate the spiking inputs of step k
+// in ascending index order (W[j][i] equals the W^T[i][j] the step-major
+// kernel adds), threshold, reset — across all kn steps with W's row j held
+// in cache. Outputs are processed eight at a time purely for data-level
+// parallelism: the spike accumulation of one panel-step is accumPanel
+// (SSE2 on amd64, pure Go elsewhere), which adds each spike's packed
+// 8-lane weight line into eight independent accumulators. Each neuron's
+// own operation order (the only order float rounding depends on) is
+// unchanged, so results stay bit-identical to the step-major runner.
+func denseBlock(l *Layer, v tensor.Vec, lists [][]int32, outR []*bitvec.Bits) {
+	w := l.W
+	cols := w.Cols
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	rows := w.Rows
+	pan := l.panelW()
+	var acc [panelLanes]float64
+	j := 0
+	for ; j+panelLanes <= rows; j += panelLanes {
+		// One packed panel: the weights of these eight rows for input i are
+		// the contiguous eight floats at panel[i*8 .. i*8+8].
+		panel := pan[(j/panelLanes)*cols*panelLanes : (j/panelLanes+1)*cols*panelLanes]
+		copy(acc[:], v[j:j+panelLanes])
+		for k, list := range lists {
+			if leaky {
+				for i := range acc {
+					acc[i] *= decay
+				}
+			}
+			accumPanel(panel, list, &acc)
+			out := outR[k]
+			for i, p := range acc {
+				if p >= th {
+					out.Set(j + i)
+					acc[i] = resetPotential(p, th, hard)
+				}
+			}
+		}
+		copy(v[j:j+panelLanes], acc[:])
+	}
+	for ; j < rows; j++ {
+		row := w.Data[j*cols : (j+1)*cols]
+		p := v[j]
+		for k, list := range lists {
+			if leaky {
+				p *= decay
+			}
+			for _, i := range list {
+				p += row[i]
+			}
+			if p >= th {
+				outR[k].Set(j)
+				p = resetPotential(p, th, hard)
+			}
+		}
+		v[j] = p
+	}
+}
+
+// resetPotential applies the post-spike reset of a fired neuron.
+func resetPotential(p, th float64, hard bool) float64 {
+	if hard {
+		return 0
+	}
+	return p - th
+}

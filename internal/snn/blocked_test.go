@@ -1,0 +1,216 @@
+// Equivalence suite for the blocked layer-major runner: RunBlockedK must be
+// bit-identical to the step-major RunObserved reference — same RunResult and
+// the same per-step observer view — for every layer kind, reset mode, leak,
+// quantization, and block size.
+package snn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/quant"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// mlpFixture builds a 3-layer MLP; leak/hard apply to the hidden layers so
+// the blocked dense kernel is exercised with decay and both reset modes.
+func mlpFixture(t *testing.T, leak float64, hard bool) *snn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(417))
+	sizes := []int{48, 37, 21, 6}
+	layers := make([]*snn.Layer, 0, len(sizes)-1)
+	for i := 1; i < len(sizes); i++ {
+		w := tensor.NewMat(sizes[i], sizes[i-1])
+		for j := range w.Data {
+			w.Data[j] = rng.NormFloat64() * 0.35
+		}
+		l, err := snn.NewDense(fmt.Sprintf("d%d", i), sizes[i-1], sizes[i], w, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(sizes)-1 {
+			l.Leak = leak
+			l.HardReset = hard
+		}
+		layers = append(layers, l)
+	}
+	net, err := snn.NewNetwork("mlp-eq", tensor.Shape3{H: 6, W: 8, C: 1}, layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// rasterRecorder captures the full step-major spike history of a run so two
+// runs can be compared event for event.
+type rasterRecorder struct {
+	input  [][]int32   // per step, input spike indices
+	layers [][][]int32 // per step, per layer, output spike indices
+}
+
+func (r *rasterRecorder) ObserveStep(t int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	r.input = append(r.input, input.AppendSet(nil))
+	step := make([][]int32, len(layers))
+	for i, l := range layers {
+		step[i] = l.AppendSet(nil)
+	}
+	r.layers = append(r.layers, step)
+}
+
+func equalIdx(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertBlockedMatchesStepped runs the same classification through the
+// step-major reference and the blocked runner and requires identical results
+// and identical observed rasters.
+func assertBlockedMatchesStepped(t *testing.T, net *snn.Network, steps, blockK int) {
+	t.Helper()
+	in := make(tensor.Vec, net.Input.Size())
+	for i := range in {
+		in[i] = float64((i*13+5)%100) / 99
+	}
+	sSt, bSt := snn.NewState(net), snn.NewState(net)
+	var sRec, bRec rasterRecorder
+	sr := sSt.RunObserved(in, snn.NewPoissonEncoder(0.8, 23), steps, &sRec)
+	br := bSt.RunBlockedK(in, snn.NewPoissonEncoder(0.8, 23), steps, blockK, &bRec)
+	if sr.Prediction != br.Prediction || sr.InputSpikes != br.InputSpikes || sr.Steps != br.Steps {
+		t.Fatalf("K=%d: prediction %d/%d, input spikes %d/%d, steps %d/%d",
+			blockK, sr.Prediction, br.Prediction, sr.InputSpikes, br.InputSpikes, sr.Steps, br.Steps)
+	}
+	for c := range sr.OutCounts {
+		if sr.OutCounts[c] != br.OutCounts[c] || sr.FirstSpike[c] != br.FirstSpike[c] {
+			t.Fatalf("K=%d class %d: counts %d/%d, first spike %d/%d",
+				blockK, c, sr.OutCounts[c], br.OutCounts[c], sr.FirstSpike[c], br.FirstSpike[c])
+		}
+	}
+	if len(sRec.input) != steps || len(bRec.input) != steps {
+		t.Fatalf("K=%d: observed %d/%d steps, want %d", blockK, len(sRec.input), len(bRec.input), steps)
+	}
+	for step := range sRec.input {
+		if !equalIdx(sRec.input[step], bRec.input[step]) {
+			t.Fatalf("K=%d step %d: input rasters differ", blockK, step)
+		}
+		for li := range sRec.layers[step] {
+			if !equalIdx(sRec.layers[step][li], bRec.layers[step][li]) {
+				t.Fatalf("K=%d step %d layer %d: rasters differ\nstepped %v\nblocked %v",
+					blockK, step, li, sRec.layers[step][li], bRec.layers[step][li])
+			}
+		}
+	}
+	// The post-run step views must match too (consumers peek at LayerSpikes).
+	if !equalIdx(sSt.InputSpikes().AppendSet(nil), bSt.InputSpikes().AppendSet(nil)) {
+		t.Fatalf("K=%d: final InputSpikes views differ", blockK)
+	}
+	for li := range net.Layers {
+		if !equalIdx(sSt.LayerSpikes(li).AppendSet(nil), bSt.LayerSpikes(li).AppendSet(nil)) {
+			t.Fatalf("K=%d: final LayerSpikes(%d) views differ", blockK, li)
+		}
+	}
+}
+
+var blockSizes = []int{1, 7, 64}
+
+// The blocked runner matches the reference on a plain IF MLP for block sizes
+// smaller than, dividing, and exceeding the step count.
+func TestBlockedMatchesSteppedMLP(t *testing.T) {
+	net := mlpFixture(t, 0, false)
+	for _, k := range blockSizes {
+		assertBlockedMatchesStepped(t, net, 20, k)
+	}
+}
+
+// Leaky integration (per-step decay inside the block) stays bit-identical.
+func TestBlockedMatchesSteppedLeaky(t *testing.T) {
+	net := mlpFixture(t, 0.12, false)
+	for _, k := range blockSizes {
+		assertBlockedMatchesStepped(t, net, 20, k)
+	}
+}
+
+// Hard reset (potential to zero on fire) stays bit-identical.
+func TestBlockedMatchesSteppedHardReset(t *testing.T) {
+	net := mlpFixture(t, 0.05, true)
+	for _, k := range blockSizes {
+		assertBlockedMatchesStepped(t, net, 20, k)
+	}
+}
+
+// The conv+pool+dense topology exercises the event-driven block path.
+func TestBlockedMatchesSteppedConvPool(t *testing.T) {
+	net := convPoolFixture(t)
+	for _, k := range blockSizes {
+		assertBlockedMatchesStepped(t, net, 20, k)
+	}
+}
+
+// 4-bit quantized weights (the memristive crossbar configuration) stay
+// bit-identical through the blocked path.
+func TestBlockedMatchesSteppedQuantized(t *testing.T) {
+	qnet, err := quant.QuantizeNetwork(convPoolFixture(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range blockSizes {
+		assertBlockedMatchesStepped(t, qnet, 20, k)
+	}
+}
+
+// RunBlocked (default block size) matches Run on a stateful deterministic
+// encoder: the blocked runner must invoke Encode in strict timestep order.
+func TestBlockedDefaultWithRegularEncoder(t *testing.T) {
+	net := mlpFixture(t, 0, false)
+	in := make(tensor.Vec, net.Input.Size())
+	for i := range in {
+		in[i] = float64((i*7+3)%50) / 49
+	}
+	sSt, bSt := snn.NewState(net), snn.NewState(net)
+	sr := sSt.Run(in, snn.NewRegularEncoder(0.7), 30)
+	br := bSt.RunBlocked(in, snn.NewRegularEncoder(0.7), 30, nil)
+	if sr.Prediction != br.Prediction || sr.InputSpikes != br.InputSpikes {
+		t.Fatalf("prediction %d/%d, input spikes %d/%d",
+			sr.Prediction, br.Prediction, sr.InputSpikes, br.InputSpikes)
+	}
+	for c := range sr.OutCounts {
+		if sr.OutCounts[c] != br.OutCounts[c] {
+			t.Fatalf("class %d: counts %d/%d", c, sr.OutCounts[c], br.OutCounts[c])
+		}
+	}
+}
+
+// A State must be reusable across blocked runs with different block sizes
+// and interleaved step-major runs without cross-contamination.
+func TestBlockedStateReuse(t *testing.T) {
+	net := mlpFixture(t, 0.1, false)
+	in := make(tensor.Vec, net.Input.Size())
+	for i := range in {
+		in[i] = float64((i*11+1)%80) / 79
+	}
+	st := snn.NewState(net)
+	ref := snn.NewState(net).Run(in, snn.NewPoissonEncoder(0.8, 5), 24).Clone()
+	for trial, k := range []int{64, 3, 24, 1, 5} {
+		got := st.RunBlockedK(in, snn.NewPoissonEncoder(0.8, 5), 24, k, nil)
+		for c := range ref.OutCounts {
+			if ref.OutCounts[c] != got.OutCounts[c] {
+				t.Fatalf("trial %d (K=%d) class %d: counts %d want %d",
+					trial, k, c, got.OutCounts[c], ref.OutCounts[c])
+			}
+		}
+		// Interleave a step-major run on the same State.
+		mid := st.Run(in, snn.NewPoissonEncoder(0.8, 5), 24)
+		if mid.Prediction != ref.Prediction {
+			t.Fatalf("trial %d: interleaved stepped run diverged", trial)
+		}
+	}
+}

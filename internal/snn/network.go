@@ -80,6 +80,8 @@ type Layer struct {
 	adj     *adjacency // input->output adjacency for event-driven sim
 	wTOnce  sync.Once
 	wT      *tensor.Mat // dense W^T: one contiguous row per input neuron
+	panOnce sync.Once
+	pan     []float64 // dense W packed into 8-row panels (see panelW)
 }
 
 // InSize returns the flattened input length.
@@ -374,6 +376,36 @@ func (l *Layer) initAdjacency() {
 func (l *Layer) transposedW() *tensor.Mat {
 	l.wTOnce.Do(func() { l.wT = l.W.Transpose() })
 	return l.wT
+}
+
+// panelLanes is the row-group width of the packed panel layout: the blocked
+// dense kernel advances this many output neurons per spike, and packing puts
+// their weights for one input side by side (8 float64 = one cache line).
+const panelLanes = 8
+
+// panelW returns the dense weight matrix packed into 8-row panels:
+// pan[g*cols*8 + i*8 + lane] = W[8g+lane][i]. The blocked kernel reads the
+// eight weights of one input spike as a single contiguous cache line with
+// constant displacements instead of gathering from eight distant rows (which
+// costs eight slice headers and spills them off the register file). Only
+// full groups of eight rows are packed; the remainder rows (< 8) fall back
+// to the row-major W. Safe for concurrent first use.
+func (l *Layer) panelW() []float64 {
+	l.panOnce.Do(func() {
+		cols := l.W.Cols
+		groups := l.W.Rows / panelLanes
+		l.pan = make([]float64, groups*cols*panelLanes)
+		for g := 0; g < groups; g++ {
+			block := l.pan[g*cols*panelLanes:]
+			for lane := 0; lane < panelLanes; lane++ {
+				row := l.W.Row((g*panelLanes + lane))
+				for i, x := range row {
+					block[i*panelLanes+lane] = x
+				}
+			}
+		}
+	})
+	return l.pan
 }
 
 // ActiveSynOps returns the number of synaptic accumulations an event-driven

@@ -23,6 +23,20 @@ type State struct {
 
 	spikes []*bitvec.Bits // per layer output spikes of the last step
 	input  *bitvec.Bits   // encoded input spikes of the last step
+
+	// Run scratch, reused across classifications so steady-state runs are
+	// allocation-free: the spike-index buffer of the integration kernels and
+	// the output counters returned (aliased) in RunResult.
+	idx    []int32
+	counts []int
+	first  []int
+
+	// Blocked-runner scratch (see blocked.go), sized on first use.
+	blockK   int
+	blockIn  []*bitvec.Bits   // input raster of the current block
+	blockOut [][]*bitvec.Bits // per layer, output raster of the current block
+	blockIdx [][]int32        // per block step, input spike-index lists
+	stepView []*bitvec.Bits   // per-step layer view for observer replay
 }
 
 // NewState allocates simulation state for the network.
@@ -33,6 +47,8 @@ func NewState(net *Network) *State {
 		s.spikes[i] = bitvec.New(l.OutSize())
 	}
 	s.input = bitvec.New(net.Input.Size())
+	s.counts = make([]int, net.OutSize())
+	s.first = make([]int, net.OutSize())
 	return s
 }
 
@@ -60,8 +76,7 @@ func (s *State) Step(in *bitvec.Bits) *bitvec.Bits {
 		panic(fmt.Sprintf("snn: Step input %d bits, want %d", in.Len(), s.Net.Input.Size()))
 	}
 	if in != s.input {
-		s.input.Reset()
-		in.ForEachSet(func(i int) { s.input.Set(i) })
+		s.input.CopyFrom(in)
 	}
 	cur := s.input
 	for li, l := range s.Net.Layers {
@@ -69,48 +84,60 @@ func (s *State) Step(in *bitvec.Bits) *bitvec.Bits {
 		if l.Leak > 0 {
 			v.Scale(1 - l.Leak)
 		}
-		integrate(l, cur, v)
+		s.idx = integrate(l, cur, v, s.idx[:0])
 		out := s.spikes[li]
 		out.Reset()
-		th := l.Threshold
-		for i, p := range v {
-			if p >= th {
-				out.Set(i)
-				if l.HardReset {
-					v[i] = 0
-				} else {
-					v[i] = p - th
-				}
-			}
-		}
+		fire(l, v, out)
 		cur = out
 	}
 	return cur
 }
 
-// integrate adds the layer's weighted input-spike currents into v.
-func integrate(l *Layer, in *bitvec.Bits, v tensor.Vec) {
+// fire emits a spike for every neuron at or above the layer threshold and
+// applies the reset (subtraction by default, to zero for hard-reset layers).
+func fire(l *Layer, v tensor.Vec, out *bitvec.Bits) {
+	th := l.Threshold
+	hard := l.HardReset
+	for i, p := range v {
+		if p >= th {
+			out.Set(i)
+			if hard {
+				v[i] = 0
+			} else {
+				v[i] = p - th
+			}
+		}
+	}
+}
+
+// integrate adds the layer's weighted input-spike currents into v. The input
+// spike indices are collected into buf (reused, typically s.idx[:0]) so the
+// inner loops index a flat list instead of paying a closure call per spike;
+// the extended buffer is returned for reuse.
+func integrate(l *Layer, in *bitvec.Bits, v tensor.Vec, buf []int32) []int32 {
+	buf = in.AppendSet(buf)
 	switch l.Kind {
 	case DenseLayer:
 		// Row accumulation over the cached W^T: each input spike streams one
 		// contiguous weight row into v instead of striding down a column of W.
 		wt := l.transposedW()
-		in.ForEachSet(func(i int) {
-			wt.AddRow(i, v)
-		})
+		for _, i := range buf {
+			wt.AddRow(int(i), v)
+		}
 	case ConvLayer, PoolLayer:
 		// The adjacency caches resolved per-tap weights, so the inner loop is
 		// a pure CSR accumulate with no index arithmetic per tap.
 		adj := l.buildAdjacency()
-		out, wval := adj.out, adj.wval
-		in.ForEachSet(func(i int) {
-			for p := adj.start[i]; p < adj.start[i+1]; p++ {
+		out, wval, start := adj.out, adj.wval, adj.start
+		for _, i := range buf {
+			for p := start[i]; p < start[i+1]; p++ {
 				v[out[p]] += wval[p]
 			}
-		})
+		}
 	default:
 		panic("snn: unknown layer kind")
 	}
+	return buf
 }
 
 // Encoder converts an analog input vector into per-timestep spike vectors.
@@ -219,6 +246,11 @@ func (e *RegularEncoder) Encode(intensity tensor.Vec, dst *bitvec.Bits) {
 }
 
 // RunResult summarizes one classification run.
+//
+// OutCounts and FirstSpike alias scratch owned by the State that produced
+// the result, so steady-state classification allocates nothing; they are
+// valid until the next run on that State. Callers that retain results
+// across runs (or hand them to another goroutine) must Clone first.
 type RunResult struct {
 	Steps       int
 	OutCounts   []int // output spike counts per class
@@ -227,6 +259,14 @@ type RunResult struct {
 	// FirstSpike records the timestep of each output neuron's first spike
 	// (-1 if it never fired) — the basis of time-to-first-spike decoding.
 	FirstSpike []int
+}
+
+// Clone returns a copy of r whose OutCounts and FirstSpike no longer alias
+// the producing State's scratch, safe to retain across subsequent runs.
+func (r RunResult) Clone() RunResult {
+	r.OutCounts = append([]int(nil), r.OutCounts...)
+	r.FirstSpike = append([]int(nil), r.FirstSpike...)
+	return r
 }
 
 // TTFSPrediction decodes by latency instead of rate: the class whose neuron
@@ -262,38 +302,51 @@ type Observer interface {
 	ObserveStep(t int, input *bitvec.Bits, layers []*bitvec.Bits)
 }
 
-// RunObserved is Run with a per-timestep observer hook.
+// RunObserved is Run with a per-timestep observer hook. It encodes directly
+// into the State's input vector and counts output spikes into the State's
+// result scratch, so a warm State classifies without allocating.
 func (s *State) RunObserved(intensity tensor.Vec, enc Encoder, steps int, obs Observer) RunResult {
 	s.Reset()
-	counts := make([]int, s.Net.OutSize())
-	first := make([]int, s.Net.OutSize())
-	for i := range first {
-		first[i] = -1
-	}
-	in := bitvec.New(s.Net.Input.Size())
+	counts, first := s.resetResult()
 	inputSpikes := 0
 	for t := 0; t < steps; t++ {
-		enc.Encode(intensity, in)
-		inputSpikes += in.Count()
-		out := s.Step(in)
+		enc.Encode(intensity, s.input)
+		inputSpikes += s.input.Count()
+		out := s.Step(s.input)
 		if obs != nil {
 			obs.ObserveStep(t, s.input, s.spikes)
 		}
-		out.ForEachSet(func(i int) {
+		s.idx = out.AppendSet(s.idx[:0])
+		for _, i := range s.idx {
 			counts[i]++
 			if first[i] < 0 {
 				first[i] = t
 			}
-		})
+		}
 	}
+	return s.finishResult(steps, inputSpikes)
+}
+
+// resetResult clears the per-run output counters and returns them.
+func (s *State) resetResult() (counts, first []int) {
+	for i := range s.counts {
+		s.counts[i] = 0
+		s.first[i] = -1
+	}
+	return s.counts, s.first
+}
+
+// finishResult decodes the rate prediction from the accumulated counters.
+// The returned slices alias the State scratch (see RunResult).
+func (s *State) finishResult(steps, inputSpikes int) RunResult {
 	best, bestN := 0, -1
-	for i, c := range counts {
+	for i, c := range s.counts {
 		if c > bestN {
 			best, bestN = i, c
 		}
 	}
 	return RunResult{
-		Steps: steps, OutCounts: counts, Prediction: best,
-		InputSpikes: inputSpikes, FirstSpike: first,
+		Steps: steps, OutCounts: s.counts, Prediction: best,
+		InputSpikes: inputSpikes, FirstSpike: s.first,
 	}
 }

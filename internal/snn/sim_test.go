@@ -105,7 +105,7 @@ func TestConvIntegrationMatchesDenseReference(t *testing.T) {
 		in.Set(i)
 	}
 	got := tensor.NewVec(out.Size())
-	integrate(conv, in, got)
+	integrate(conv, in, got, nil)
 	x := tensor.NewVec(geom.In.Size())
 	in.ForEachSet(func(i int) { x[i] = 1 })
 	want := ref.MulVec(x, nil)

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the evaluation-pipeline benchmarks and compare against the
+# committed BENCH_RESULTS.json. resparc-bench -fig bench prints the fresh
+# measurements, a delta table against the previous file, and then merges the
+# fresh entries into the file (matching names are replaced, history is kept).
+#
+# Benchmarks are timing-sensitive — on a loaded machine the numbers drift —
+# so this script never fails the build: ci.sh runs it warn-only. Pass any
+# resparc-bench flags through, e.g. -quick for a fast smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/resparc-bench -fig bench "$@"

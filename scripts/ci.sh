@@ -30,4 +30,11 @@ go test -race \
     ./internal/cmosbase/ \
     ./internal/serve/
 
+# Perf regression check — warn-only: timings drift with machine load, so a
+# slowdown in the delta table is a prompt to investigate, not a CI failure.
+echo "== bench compare (warn-only)"
+if ! ./scripts/bench_compare.sh -quick; then
+    echo "warning: bench_compare.sh failed (non-fatal)" >&2
+fi
+
 echo "ci: all green"
