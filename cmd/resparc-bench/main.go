@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,11 +30,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
+	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (<= 0: one per CPU); results are identical for any value")
 	jsonPath := flag.String("json", "BENCH_RESULTS.json", "where -fig bench writes its machine-readable results")
+	faultJSON := flag.String("faultjson", "FAULT_RESULTS.json", "where -fig faults writes its machine-readable results")
 	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
 	blockSize := flag.Int("blocksize", 0, "temporal block length of the blocked runner (<= 0: snn.DefaultBlockSize)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,7 +58,17 @@ func main() {
 		if !jsonExplicit {
 			*jsonPath = "BENCH_RESULTS.quick.json"
 		}
+		faultExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "faultjson" {
+				faultExplicit = true
+			}
+		})
+		if !faultExplicit {
+			*faultJSON = "FAULT_RESULTS.quick.json"
+		}
 	}
+	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Stepped = !*blocked
 	cfg.BlockSize = *blockSize
@@ -232,6 +245,38 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "bench results written to %s\n", *jsonPath)
+	}
+	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
+	// benchmark 13 times); it also writes the machine-readable JSON. The
+	// output contains no timestamps or host state: the same -seed produces a
+	// byte-identical file.
+	if *fig == "faults" {
+		fc := experiments.DefaultFaultsConfig()
+		if *quick {
+			fc = experiments.QuickFaultsConfig()
+		}
+		// Steps and Samples stay the sweep's own (the agreement metric needs
+		// enough timesteps for output spikes); everything else follows the
+		// shared flags.
+		fc.Seed = *seed
+		fc.Workers = *workers
+		fc.Stepped = !*blocked
+		fc.BlockSize = *blockSize
+		r, t, err := experiments.FigFaults(fc)
+		if err != nil {
+			log.Fatalf("faults: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		blob, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatalf("faults: %v", err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*faultJSON, blob, 0o644); err != nil {
+			log.Fatalf("faults: %v", err)
+		}
+		fmt.Fprintf(out, "fault sweep written to %s\n", *faultJSON)
 	}
 	// Calibration sensitivity is explicit-only too (21 paired simulations).
 	if *fig == "sensitivity" {

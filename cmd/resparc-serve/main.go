@@ -57,6 +57,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "base encoder seed (0: the paper default)")
 	mcaSize := flag.Int("mca-size", 0, "crossbar dimension for the RESPARC mapping (0: the paper default)")
 	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expiry answers 504")
+	brThreshold := flag.Int("breaker-threshold", 3, "consecutive batch failures that open a (model, backend) circuit")
+	brCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit answers 503 + Retry-After before probing")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (opt-in)")
 	load := flag.Bool("load", false, "run the self-benchmark instead of listening")
 	loadImages := flag.Int("load-images", 64, "images per measurement in -load mode")
@@ -101,12 +104,15 @@ func main() {
 	log.Printf("registry ready in %v", time.Since(buildStart).Round(time.Millisecond))
 
 	cfg := serve.Config{
-		Registry:       reg,
-		DefaultBackend: defBackend,
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		QueueSize:      *queue,
-		Workers:        *workers,
+		Registry:         reg,
+		DefaultBackend:   defBackend,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		QueueSize:        *queue,
+		Workers:          *workers,
+		RequestTimeout:   *reqTimeout,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

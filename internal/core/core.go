@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"resparc/internal/bitvec"
 	"resparc/internal/energy"
@@ -152,6 +153,9 @@ type Chip struct {
 	sram energy.SRAM
 	// ownerMPE per layer per group: the mPE holding the group's neurons.
 	owner [][]int32
+	// faults holds the installed fault campaign (see faults.go); atomic so
+	// the serving layer can inject/clear while classifications are running.
+	faults atomic.Pointer[faultState]
 }
 
 // New validates and prepares a chip for the mapped network.
@@ -451,6 +455,9 @@ func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result,
 	if len(inputs) == 0 {
 		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
 	}
+	if err := c.Healthy(); err != nil {
+		return perf.Result{}, Report{}, err
+	}
 	st := snn.NewState(c.Net)
 	reps := make([]Report, len(inputs))
 	for i, in := range inputs {
@@ -583,6 +590,9 @@ func (c *Chip) ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, workers int
 	}
 	if c.Opt.Trace != nil {
 		return nil, nil, fmt.Errorf("core: tracing is not supported with batched classification")
+	}
+	if err := c.Healthy(); err != nil {
+		return nil, nil, err
 	}
 	workers = parallel.Clamp(workers, len(inputs))
 	states := make([]*snn.State, workers)

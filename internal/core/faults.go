@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"resparc/internal/fault"
+)
+
+// faultState is the installed campaign, published through Chip.faults so
+// the serving layer can flip it while classifications run on worker
+// goroutines.
+type faultState struct {
+	camp fault.Campaign
+}
+
+// SetFaults installs a fault campaign on the chip. Only the kill switches
+// matter to the transaction-level simulator (it never materializes
+// conductances): a classification touching a dead mPE cannot produce a
+// trustworthy result, so the batch entry points fail fast with ErrDegraded
+// instead. Device-level faults are evaluated by mapping.ApplyFaults /
+// mpe.MCASlot. Safe to call concurrently with classification; nil-equivalent
+// (zero) campaigns can be installed with ClearFaults.
+func (c *Chip) SetFaults(camp fault.Campaign) {
+	c.faults.Store(&faultState{camp: camp})
+}
+
+// ClearFaults removes any installed campaign.
+func (c *Chip) ClearFaults() { c.faults.Store(nil) }
+
+// campaign returns the installed campaign (zero when none).
+func (c *Chip) campaign() fault.Campaign {
+	if s := c.faults.Load(); s != nil {
+		return s.camp
+	}
+	return fault.Campaign{}
+}
+
+// ErrDegraded reports that the mapped hardware is unhealthy: at least one
+// MCA allocation sits on a dead mPE, slot, or behind a dead NoC switch, so
+// classifications would silently lose a layer slice. The serving layer turns
+// this into a 5xx + circuit-breaker transition instead of returning wrong
+// predictions.
+type ErrDegraded struct {
+	// DeadMCAs counts allocations on killed resources; First names one.
+	DeadMCAs int
+	First    fault.SlotID
+}
+
+func (e *ErrDegraded) Error() string {
+	return fmt.Sprintf("core: mapping degraded: %d MCA allocation(s) on dead hardware (first: %s)",
+		e.DeadMCAs, e.First)
+}
+
+// Healthy checks every mapped MCA against the installed campaign's kill
+// switches and returns nil when all allocations are on live hardware, or an
+// *ErrDegraded describing the damage.
+func (c *Chip) Healthy() error {
+	camp := c.campaign()
+	if len(camp.DeadMPEs) == 0 && len(camp.DeadSlots) == 0 {
+		return nil
+	}
+	var dead int
+	var first fault.SlotID
+	for li := range c.Map.Layers {
+		lm := &c.Map.Layers[li]
+		for ai := range lm.MCAs {
+			id := fault.SlotID{MPE: lm.MCAs[ai].MPE, Slot: lm.MCAs[ai].Slot}
+			if camp.SlotDead(id) {
+				if dead == 0 {
+					first = id
+				}
+				dead++
+			}
+		}
+	}
+	if dead > 0 {
+		return &ErrDegraded{DeadMCAs: dead, First: first}
+	}
+	return nil
+}

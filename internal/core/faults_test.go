@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"resparc/internal/fault"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+func faultTestChip(t *testing.T) *Chip {
+	t.Helper()
+	net := smallMLP(t, 1)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 8
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func faultTestInputs(n, size int) []tensor.Vec {
+	out := make([]tensor.Vec, n)
+	for i := range out {
+		out[i] = tensor.NewVec(size)
+		for j := range out[i] {
+			out[i][j] = float64((i+j)%7) / 7
+		}
+	}
+	return out
+}
+
+func TestHealthyNoCampaign(t *testing.T) {
+	chip := faultTestChip(t)
+	if err := chip.Healthy(); err != nil {
+		t.Fatalf("fresh chip unhealthy: %v", err)
+	}
+	// A campaign with only device-level faults does not kill the chip.
+	chip.SetFaults(fault.Campaign{Seed: 1, StuckFraction: 0.01})
+	if err := chip.Healthy(); err != nil {
+		t.Fatalf("device-level campaign must not kill the chip: %v", err)
+	}
+}
+
+func TestDeadMPEFailsClassification(t *testing.T) {
+	chip := faultTestChip(t)
+	// Kill an mPE the mapping actually uses (the first layer's first).
+	deadMPE := chip.Map.Layers[0].MCAs[0].MPE
+	chip.SetFaults(fault.Campaign{DeadMPEs: []int{deadMPE}})
+	err := chip.Healthy()
+	var deg *ErrDegraded
+	if !errors.As(err, &deg) {
+		t.Fatalf("Healthy() = %v, want *ErrDegraded", err)
+	}
+	if deg.DeadMCAs == 0 || deg.First.MPE != deadMPE {
+		t.Fatalf("degradation report %+v", deg)
+	}
+	inputs := faultTestInputs(3, chip.Net.Input.Size())
+	enc := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.5, int64(i)) }
+	if _, _, err := chip.ClassifyEach(inputs, enc, 2); !errors.As(err, &deg) {
+		t.Fatalf("ClassifyEach on dead hardware: %v, want *ErrDegraded", err)
+	}
+	if _, _, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.5, 1)); !errors.As(err, &deg) {
+		t.Fatalf("ClassifyBatch on dead hardware: %v, want *ErrDegraded", err)
+	}
+	// A dead mPE the mapping does not use is harmless.
+	chip.SetFaults(fault.Campaign{DeadMPEs: []int{chip.Map.MPEs + 50}})
+	if err := chip.Healthy(); err != nil {
+		t.Fatalf("unused dead mPE must not degrade the mapping: %v", err)
+	}
+	// Clearing restores service.
+	chip.SetFaults(fault.Campaign{DeadMPEs: []int{deadMPE}})
+	chip.ClearFaults()
+	if _, _, err := chip.ClassifyEach(inputs, enc, 2); err != nil {
+		t.Fatalf("classification after ClearFaults: %v", err)
+	}
+}
+
+func TestDeadSlotDetected(t *testing.T) {
+	chip := faultTestChip(t)
+	a := &chip.Map.Layers[0].MCAs[0]
+	chip.SetFaults(fault.Campaign{DeadSlots: []fault.SlotID{{MPE: a.MPE, Slot: a.Slot}}})
+	if chip.Healthy() == nil {
+		t.Fatal("dead slot not detected")
+	}
+	// A different slot of the same mPE maps nothing in this small net only
+	// if unused; use a clearly out-of-range slot id instead.
+	chip.SetFaults(fault.Campaign{DeadSlots: []fault.SlotID{{MPE: a.MPE, Slot: 99}}})
+	if err := chip.Healthy(); err != nil {
+		t.Fatalf("unused dead slot must not degrade the mapping: %v", err)
+	}
+}
+
+// SetFaults must be safe to flip while classifications run (the serving
+// layer injects/clears campaigns on live chips). Run with -race.
+func TestSetFaultsConcurrentWithClassification(t *testing.T) {
+	chip := faultTestChip(t)
+	inputs := faultTestInputs(4, chip.Net.Input.Size())
+	enc := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.5, int64(i)) }
+	deadMPE := chip.Map.Layers[0].MCAs[0].MPE
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, _, err := chip.ClassifyEach(inputs, enc, 2)
+				if err != nil {
+					var deg *ErrDegraded
+					if !errors.As(err, &deg) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if i%2 == 0 {
+				chip.SetFaults(fault.Campaign{DeadMPEs: []int{deadMPE}})
+			} else {
+				chip.ClearFaults()
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -80,6 +80,12 @@ func (t Technology) Validate() error {
 		return fmt.Errorf("device %s: max size %d (need >= 2)", t.Name, t.MaxSize)
 	case t.VariationSigma < 0 || t.StuckFraction < 0 || t.StuckFraction >= 1:
 		return fmt.Errorf("device %s: bad non-ideality parameters", t.Name)
+	case float64(t.Levels)*(1-t.StuckFraction) < 2:
+		// A device needs at least two programmable levels to represent a
+		// weight; when the expected defect rate eats the level budget the
+		// technology cannot store information at all.
+		return fmt.Errorf("device %s: stuck fraction %g leaves fewer than 2 usable levels of %d",
+			t.Name, t.StuckFraction, t.Levels)
 	}
 	return nil
 }

@@ -63,6 +63,73 @@ func TestValidateRejectsBadParams(t *testing.T) {
 	}
 }
 
+// StuckFraction and the level count interact: the expected defect rate must
+// leave at least two usable levels, or the device cannot store a weight.
+func TestValidateUsableLevels(t *testing.T) {
+	base := Technology{Name: "t", RMin: 1, RMax: 2, MaxSize: 64}
+	cases := []struct {
+		name    string
+		levels  int
+		stuck   float64
+		wantErr bool
+	}{
+		{"clean 2-level", 2, 0, false},
+		{"2-level tiny defects", 2, 1e-4, true}, // 2*(1-1e-4) < 2
+		{"4-level half stuck", 4, 0.5, false},   // 2 usable exactly
+		{"4-level mostly stuck", 4, 0.6, true},  // 1.6 usable
+		{"16-level heavy defects", 16, 0.8, false},
+		{"16-level extreme defects", 16, 0.9, true},
+	}
+	for _, c := range cases {
+		tech := base
+		tech.Levels, tech.StuckFraction = c.levels, c.stuck
+		err := tech.Validate()
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// Table-driven bounds check for all three presets: every preset must be
+// valid, support its documented crossbar sizes, and keep its defect rate far
+// from the usable-level limit.
+func TestPresetBounds(t *testing.T) {
+	cases := []struct {
+		tech      Technology
+		maxSize   int
+		levels    int
+		bits      int
+		stuckFrac float64
+	}{
+		{PCM, 256, 16, 4, 0.001},
+		{AgSi, 128, 16, 4, 0.002},
+		{Spintronic, 64, 16, 4, 0.0005},
+	}
+	for _, c := range cases {
+		if err := c.tech.Validate(); err != nil {
+			t.Errorf("%s: %v", c.tech.Name, err)
+			continue
+		}
+		if c.tech.MaxSize != c.maxSize {
+			t.Errorf("%s: MaxSize %d, want %d", c.tech.Name, c.tech.MaxSize, c.maxSize)
+		}
+		if c.tech.Levels != c.levels || c.tech.Bits() != c.bits {
+			t.Errorf("%s: %d levels (%d bits), want %d (%d)",
+				c.tech.Name, c.tech.Levels, c.tech.Bits(), c.levels, c.bits)
+		}
+		if c.tech.StuckFraction != c.stuckFrac {
+			t.Errorf("%s: StuckFraction %g, want %g", c.tech.Name, c.tech.StuckFraction, c.stuckFrac)
+		}
+		if usable := float64(c.tech.Levels) * (1 - c.tech.StuckFraction); usable < float64(c.tech.Levels)-1 {
+			t.Errorf("%s: defect rate eats a whole level (%g usable of %d)",
+				c.tech.Name, usable, c.tech.Levels)
+		}
+		if c.tech.GMax() <= c.tech.GMin() {
+			t.Errorf("%s: conductance range inverted", c.tech.Name)
+		}
+	}
+}
+
 func TestSizeOrdering(t *testing.T) {
 	// Reliability ordering motivates the tech-aware mapper: PCM supports
 	// the largest arrays, spintronic the smallest.

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"resparc/internal/bench"
+)
+
+// The acceptance property of the robustness PR: at the Ag-Si default stuck
+// fraction, the fault-aware remapping pass recovers at least half of the
+// accuracy lost to the campaign on at least one benchmark. svhn-mlp is the
+// benchmark where the campaign's dead mPEs land on decision-critical
+// allocations, so the recovery is large and stable under the pinned seed.
+func TestFigFaultsRemapRecovery(t *testing.T) {
+	cfg := QuickFaultsConfig()
+	cfg.Benches = []bench.Benchmark{bench.MLPs()[1]} // svhn-mlp
+	r, _, err := FigFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost, frac, ok := r.Recovered("svhn-mlp", 0.002, 0)
+	if !ok {
+		t.Fatal("no (remap off, remap on) pair at the acceptance operating point")
+	}
+	if lost <= 0 {
+		t.Fatalf("campaign cost no accuracy (lost %.3f): the sweep is blind", lost)
+	}
+	if frac < 0.5 {
+		t.Fatalf("remapping recovered %.3f of the %.3f lost accuracy, want >= 0.5", frac, lost)
+	}
+	// The remap actually moved the dead allocations somewhere.
+	for _, p := range r.Points {
+		if p.Remap && p.StuckFraction == 0.002 && p.DriftAge == 0 {
+			if p.Moves == 0 {
+				t.Fatal("remap-on point performed no moves")
+			}
+			if p.DeadMPEs == 0 {
+				t.Fatal("campaign killed no mPEs")
+			}
+		}
+	}
+}
+
+// Same seed, byte-identical JSON — the reproducibility half of the
+// acceptance criterion, at the unit level (the CLI writes exactly this
+// marshalling).
+func TestFigFaultsDeterministicJSON(t *testing.T) {
+	cfg := QuickFaultsConfig()
+	cfg.Seed = 42
+	cfg.Samples = 6
+	cfg.Benches = []bench.Benchmark{bench.MLPs()[0]}
+	run := func() []byte {
+		r, _, err := FigFaults(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different JSON")
+	}
+	// A different seed must actually change the campaign.
+	cfg.Seed = 43
+	if bytes.Equal(a, run()) {
+		t.Fatal("different seed produced identical JSON")
+	}
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CellMap is the full per-device fault map of one crossbar slot: one
+// DeviceState per differential-pair device, both planes. It is the
+// interchange format between the fault campaign, the crossbar's programming
+// hook, and the verify report — and it serializes, so screened fault maps
+// can be persisted alongside a deployed mapping.
+type CellMap struct {
+	Rows, Cols int
+	// Pos and Neg hold the device states row-major, one plane each.
+	Pos, Neg []DeviceState
+}
+
+// NewCellMap returns an all-healthy map of the given geometry.
+func NewCellMap(rows, cols int) *CellMap {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return &CellMap{
+		Rows: rows,
+		Cols: cols,
+		Pos:  make([]DeviceState, rows*cols),
+		Neg:  make([]DeviceState, rows*cols),
+	}
+}
+
+// At returns the state of the device at (r, c) on the given plane.
+// Out-of-range coordinates read as DeviceOK.
+func (m *CellMap) At(r, c int, plane Plane) DeviceState {
+	if m == nil || r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		return DeviceOK
+	}
+	if plane == Neg {
+		return m.Neg[r*m.Cols+c]
+	}
+	return m.Pos[r*m.Cols+c]
+}
+
+// Set sets the state of the device at (r, c) on the given plane;
+// out-of-range coordinates are ignored.
+func (m *CellMap) Set(r, c int, plane Plane, s DeviceState) {
+	if m == nil || r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		return
+	}
+	if plane == Neg {
+		m.Neg[r*m.Cols+c] = s
+	} else {
+		m.Pos[r*m.Cols+c] = s
+	}
+}
+
+// StuckCount returns the number of faulty devices across both planes.
+func (m *CellMap) StuckCount() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range m.Pos {
+		if s != DeviceOK {
+			n++
+		}
+	}
+	for _, s := range m.Neg {
+		if s != DeviceOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two maps have the same geometry and states.
+func (m *CellMap) Equal(o *CellMap) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Pos {
+		if m.Pos[i] != o.Pos[i] {
+			return false
+		}
+	}
+	for i := range m.Neg {
+		if m.Neg[i] != o.Neg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Binary format (version 1):
+//
+//	"FMAP" magic | version byte | uvarint rows | uvarint cols |
+//	RLE runs over Pos then Neg, each run: uvarint length | state byte
+//
+// Run-length encoding because real maps are overwhelmingly healthy — a
+// 128x128 map at the Ag-Si defect rate marshals to tens of bytes instead
+// of 32 KiB.
+const (
+	cellMapMagic   = "FMAP"
+	cellMapVersion = 1
+	// maxCells bounds the decoded geometry so corrupt input can't force a
+	// huge allocation. Largest real crossbar is 256x256.
+	maxCells = 1 << 20
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *CellMap) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, cellMapMagic...)
+	buf = append(buf, cellMapVersion)
+	buf = binary.AppendUvarint(buf, uint64(m.Rows))
+	buf = binary.AppendUvarint(buf, uint64(m.Cols))
+	buf = appendRuns(buf, m.Pos)
+	buf = appendRuns(buf, m.Neg)
+	return buf, nil
+}
+
+func appendRuns(buf []byte, states []DeviceState) []byte {
+	for i := 0; i < len(states); {
+		j := i
+		for j < len(states) && states[j] == states[i] {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = append(buf, byte(states[i]))
+		i = j
+	}
+	return buf
+}
+
+// ErrBadCellMap reports a malformed serialized fault map.
+var ErrBadCellMap = errors.New("fault: malformed cell map")
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It rejects (rather
+// than panics on) arbitrary input: bad magic, unknown versions, oversized
+// geometry, invalid states, and truncated or overlong run lists all return
+// ErrBadCellMap-wrapped errors.
+func (m *CellMap) UnmarshalBinary(data []byte) error {
+	if len(data) < len(cellMapMagic)+1 || string(data[:len(cellMapMagic)]) != cellMapMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCellMap)
+	}
+	data = data[len(cellMapMagic):]
+	if data[0] != cellMapVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadCellMap, data[0])
+	}
+	data = data[1:]
+	rows, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: truncated rows", ErrBadCellMap)
+	}
+	data = data[n:]
+	cols, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: truncated cols", ErrBadCellMap)
+	}
+	data = data[n:]
+	if rows*cols > maxCells || rows > maxCells || cols > maxCells {
+		return fmt.Errorf("%w: geometry %dx%d too large", ErrBadCellMap, rows, cols)
+	}
+	cells := int(rows * cols)
+	pos, data, err := readRuns(data, cells)
+	if err != nil {
+		return err
+	}
+	neg, data, err := readRuns(data, cells)
+	if err != nil {
+		return err
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadCellMap, len(data))
+	}
+	m.Rows, m.Cols, m.Pos, m.Neg = int(rows), int(cols), pos, neg
+	return nil
+}
+
+func readRuns(data []byte, cells int) ([]DeviceState, []byte, error) {
+	out := make([]DeviceState, 0, cells)
+	for len(out) < cells {
+		length, n := binary.Uvarint(data)
+		if n <= 0 || len(data) <= n {
+			return nil, nil, fmt.Errorf("%w: truncated run", ErrBadCellMap)
+		}
+		state := DeviceState(data[n])
+		data = data[n+1:]
+		if state > StuckHigh {
+			return nil, nil, fmt.Errorf("%w: invalid state %d", ErrBadCellMap, state)
+		}
+		if length == 0 || length > uint64(cells-len(out)) {
+			return nil, nil, fmt.Errorf("%w: run length %d overflows plane", ErrBadCellMap, length)
+		}
+		for i := uint64(0); i < length; i++ {
+			out = append(out, state)
+		}
+	}
+	return out, data, nil
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"testing"
+
+	"resparc/internal/device"
+)
+
+func TestCellMapRoundTrip(t *testing.T) {
+	c := NewCampaign(3, device.AgSi)
+	m := c.CellMap(SlotID{MPE: 0, Slot: 1}, 128, 128)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RLE should compress a mostly-healthy 128x128 map far below the dense
+	// 32 KiB representation.
+	if len(data) > 2048 {
+		t.Fatalf("serialized map is %d bytes, expected RLE to compress it", len(data))
+	}
+	var got CellMap
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip changed the map")
+	}
+}
+
+func TestCellMapRoundTripEmpty(t *testing.T) {
+	m := NewCellMap(0, 0)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CellMap
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("empty round trip changed the map")
+	}
+}
+
+func TestCellMapUnmarshalRejectsGarbage(t *testing.T) {
+	good, _ := NewCellMap(2, 2).MarshalBinary()
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE\x01\x02\x02"),
+		"bad version":   []byte("FMAP\x09\x02\x02"),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0xff),
+		"huge geometry": append([]byte("FMAP\x01"), 0xff, 0xff, 0xff, 0xff, 0x07, 0xff, 0xff, 0xff, 0xff, 0x07),
+	}
+	for name, data := range cases {
+		var m CellMap
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCellMapAccessorsBounds(t *testing.T) {
+	m := NewCellMap(4, 4)
+	m.Set(-1, 0, Pos, StuckHigh) // ignored
+	m.Set(0, 99, Neg, StuckHigh) // ignored
+	if m.StuckCount() != 0 {
+		t.Fatal("out-of-range Set mutated the map")
+	}
+	if m.At(99, 0, Pos) != DeviceOK || m.At(0, -1, Neg) != DeviceOK {
+		t.Fatal("out-of-range At must read DeviceOK")
+	}
+	m.Set(2, 3, Neg, StuckLow)
+	if m.At(2, 3, Neg) != StuckLow || m.At(2, 3, Pos) != DeviceOK {
+		t.Fatal("planes not independent")
+	}
+}

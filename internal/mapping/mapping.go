@@ -91,8 +91,10 @@ type MCA struct {
 	Outputs []int32
 	// Taps is the number of programmed (used) cross-points.
 	Taps int
-	// MPE and NC are the placement indices assigned by packing.
-	MPE, NC int
+	// MPE and NC are the placement indices assigned by packing; Slot is the
+	// crossbar slot within the mPE ([0, MCAsPerMPE)). Together (MPE, Slot)
+	// name the physical crossbar — the coordinate fault campaigns key on.
+	MPE, NC, Slot int
 }
 
 // Utilization is the fraction of the physical array occupied by programmed
@@ -124,6 +126,11 @@ type Mapping struct {
 	Layers []LayerMapping
 	// Totals.
 	MCAs, MPEs, NCs int
+	// SpareFirst/Spares delimit the spare-mPE pool appended by the
+	// fault-aware pass (see RemapFaulty); zero Spares means no pool.
+	SpareFirst, Spares int
+	// spareCursor is the next unassigned spare slot (slot-major).
+	spareCursor int
 }
 
 // Map places the network onto the hierarchy. Layers are allocated in order;
@@ -163,6 +170,7 @@ func Map(net *snn.Network, cfg Config) (*Mapping, error) {
 		for i := range lm.MCAs {
 			lm.MCAs[i].MPE = mpeCursor + i/cfg.MCAsPerMPE
 			lm.MCAs[i].NC = lm.MCAs[i].MPE / cfg.MPEsPerNC
+			lm.MCAs[i].Slot = i % cfg.MCAsPerMPE
 		}
 		used := (len(lm.MCAs) + cfg.MCAsPerMPE - 1) / cfg.MCAsPerMPE
 		mpeCursor += used
@@ -523,8 +531,8 @@ func (m *Mapping) Validate() error {
 			if a.Taps < 0 || a.Taps > len(a.Inputs)*len(a.Outputs) {
 				return fmt.Errorf("mapping: layer %d MCA %d has %d taps for %dx%d", li, ai, a.Taps, len(a.Inputs), len(a.Outputs))
 			}
-			if a.MPE < lm.MPEFirst || a.MPE > lm.MPELast {
-				return fmt.Errorf("mapping: layer %d MCA %d placed at mPE %d outside [%d,%d]",
+			if (a.MPE < lm.MPEFirst || a.MPE > lm.MPELast) && !m.inSpareRegion(a.MPE) {
+				return fmt.Errorf("mapping: layer %d MCA %d placed at mPE %d outside [%d,%d] and the spare pool",
 					li, ai, a.MPE, lm.MPEFirst, lm.MPELast)
 			}
 			key := fmt.Sprint(a.Outputs)

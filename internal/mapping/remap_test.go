@@ -1,0 +1,180 @@
+package mapping
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"resparc/internal/fault"
+	"resparc/internal/tensor"
+)
+
+// remapMapping builds a small two-layer dense mapping for remap tests.
+func remapMapping(t *testing.T) *Mapping {
+	t.Helper()
+	net := netOf(t, tensor.Shape3{H: 1, W: 1, C: 128},
+		denseLayer(t, 128, 64), denseLayer(t, 64, 10))
+	m, err := Map(net, cfg(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRemapMovesToSpares(t *testing.T) {
+	m := remapMapping(t)
+	origMPEs := m.MPEs
+	a := &m.Layers[0].MCAs[0]
+	from := fault.SlotID{MPE: a.MPE, Slot: a.Slot}
+
+	rep, err := m.RemapFaulty([]MCAHealth{{Layer: 0, Index: 0, BadTaps: 50}},
+		RemapConfig{SpareMPEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faulty != 1 || len(rep.Moves) != 1 || rep.IsDegraded() {
+		t.Fatalf("report %+v, want one clean move", rep)
+	}
+	mv := rep.Moves[0]
+	if mv.From != from {
+		t.Fatalf("move from %v, want %v", mv.From, from)
+	}
+	want := fault.SlotID{MPE: origMPEs, Slot: 0}
+	if mv.To != want {
+		t.Fatalf("move to %v, want first spare slot %v", mv.To, want)
+	}
+	if a.MPE != want.MPE || a.Slot != want.Slot {
+		t.Fatalf("allocation not updated: mPE %d slot %d", a.MPE, a.Slot)
+	}
+	if a.NC != want.MPE/m.Cfg.MPEsPerNC {
+		t.Fatalf("allocation NC %d not recomputed", a.NC)
+	}
+	if m.MPEs != origMPEs+1 {
+		t.Fatalf("MPEs = %d, want %d (one spare consumed)", m.MPEs, origMPEs+1)
+	}
+	// The mapping must stay internally consistent with the spare placement.
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mapping invalid after remap: %v", err)
+	}
+}
+
+func TestRemapToleratesSmallDamage(t *testing.T) {
+	m := remapMapping(t)
+	rep, err := m.RemapFaulty([]MCAHealth{{Layer: 0, Index: 0, BadTaps: 3}},
+		RemapConfig{SpareMPEs: 1, MaxBadTaps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faulty != 0 || len(rep.Moves) != 0 || rep.SparesUsed != 0 {
+		t.Fatalf("tolerated allocation was acted on: %+v", rep)
+	}
+	// Dead allocations are moved regardless of MaxBadTaps.
+	rep, err = m.RemapFaulty([]MCAHealth{{Layer: 0, Index: 0, Dead: true}},
+		RemapConfig{SpareMPEs: 1, MaxBadTaps: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != 1 {
+		t.Fatalf("dead allocation not moved: %+v", rep)
+	}
+}
+
+func TestRemapScreenBurnsSlots(t *testing.T) {
+	m := remapMapping(t)
+	spareFirst := m.MPEs
+	// Reject the first spare slot only: the pass must burn it and land the
+	// allocation on slot 1 of the spare mPE.
+	screened := 0
+	rep, err := m.RemapFaulty([]MCAHealth{{Layer: 0, Index: 0, Dead: true}},
+		RemapConfig{
+			SpareMPEs: 1,
+			Screen: func(id fault.SlotID, a *MCA) bool {
+				screened++
+				return !(id.MPE == spareFirst && id.Slot == 0)
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if screened != 2 {
+		t.Fatalf("screen called %d times, want 2", screened)
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].To != (fault.SlotID{MPE: spareFirst, Slot: 1}) {
+		t.Fatalf("moves %+v, want relocation to slot 1 after burning slot 0", rep.Moves)
+	}
+	if rep.SparesUsed != 2 {
+		t.Fatalf("SparesUsed = %d, want 2 (burned + consumed)", rep.SparesUsed)
+	}
+}
+
+func TestRemapPoolExhaustionDegrades(t *testing.T) {
+	m := remapMapping(t)
+	// No spares at all: everything faulty degrades in place.
+	health := []MCAHealth{
+		{Layer: 0, Index: 0, Dead: true},
+		{Layer: 0, Index: 1, BadTaps: 17},
+	}
+	rep, err := m.RemapFaulty(health, RemapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsDegraded() || len(rep.Degraded) != 2 || len(rep.Moves) != 0 {
+		t.Fatalf("report %+v, want both degraded", rep)
+	}
+	deadTaps := m.Layers[0].MCAs[0].Taps
+	if want := deadTaps + 17; rep.ResidualBadTaps != want {
+		t.Fatalf("ResidualBadTaps = %d, want %d", rep.ResidualBadTaps, want)
+	}
+	totalTaps := 0
+	for li := range m.Layers {
+		for ai := range m.Layers[li].MCAs {
+			totalTaps += m.Layers[li].MCAs[ai].Taps
+		}
+	}
+	if want := float64(rep.ResidualBadTaps) / float64(totalTaps); rep.EstAccuracyLoss != want {
+		t.Fatalf("EstAccuracyLoss = %g, want %g", rep.EstAccuracyLoss, want)
+	}
+	if rep.EstAccuracyLoss <= 0 || rep.EstAccuracyLoss > 1 {
+		t.Fatalf("EstAccuracyLoss %g out of (0,1]", rep.EstAccuracyLoss)
+	}
+}
+
+func TestRemapDeterministicOrder(t *testing.T) {
+	health := []MCAHealth{
+		{Layer: 1, Index: 0, Dead: true},
+		{Layer: 0, Index: 1, Dead: true},
+		{Layer: 0, Index: 0, Dead: true},
+	}
+	var first []Move
+	for trial := 0; trial < 5; trial++ {
+		m := remapMapping(t)
+		shuffled := append([]MCAHealth(nil), health...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		rep, err := m.RemapFaulty(shuffled, RemapConfig{SpareMPEs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = rep.Moves
+			continue
+		}
+		if !reflect.DeepEqual(rep.Moves, first) {
+			t.Fatalf("trial %d moves %+v differ from %+v", trial, rep.Moves, first)
+		}
+	}
+}
+
+func TestRemapRejectsBadHealth(t *testing.T) {
+	m := remapMapping(t)
+	if _, err := m.RemapFaulty([]MCAHealth{{Layer: 9, Index: 0}}, RemapConfig{}); err == nil {
+		t.Fatal("out-of-range layer accepted")
+	}
+	if _, err := m.RemapFaulty([]MCAHealth{{Layer: 0, Index: 99}}, RemapConfig{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := m.RemapFaulty(nil, RemapConfig{SpareMPEs: -1}); err == nil {
+		t.Fatal("negative spare pool accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package mapping
+
+import (
+	"resparc/internal/fault"
+	"resparc/internal/snn"
+)
+
+// This file turns a fault campaign into the health reports RemapFaulty
+// consumes. BadTaps counts *damaging* stuck devices only: a device stuck
+// low on the plane of the differential pair that rests at GMin anyway (the
+// positive plane of a negative weight, or either plane of a zero tap) does
+// not change the programmed weight and is discounted, mirroring
+// xbar.BenignStuck.
+
+// SurveyCampaign inspects every allocation's physical crossbar under the
+// campaign and reports the unhealthy ones: allocations on dead mPEs/slots,
+// and allocations with damaging stuck devices inside their used region.
+// Healthy allocations are omitted. The result is deterministic (placement
+// order) and feeds RemapFaulty directly.
+func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
+	var out []MCAHealth
+	for li := range m.Layers {
+		lm := &m.Layers[li]
+		for ai := range lm.MCAs {
+			a := &lm.MCAs[ai]
+			id := fault.SlotID{MPE: a.MPE, Slot: a.Slot}
+			h := MCAHealth{Layer: li, Index: ai}
+			if camp.SlotDead(id) {
+				h.Dead = true
+				out = append(out, h)
+				continue
+			}
+			h.BadTaps = damagingTaps(camp, lm.Layer, a, id, m.Cfg.MCASize)
+			if h.BadTaps > 0 {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// CampaignScreen builds a RemapConfig.Screen that accepts a spare slot for
+// an allocation only when the slot is alive and carries at most maxBadTaps
+// damaging stuck devices over the allocation's used region — the
+// configuration-time program-verify screen, evaluated against the campaign
+// instead of hardware.
+func (m *Mapping) CampaignScreen(camp fault.Campaign, maxBadTaps int) func(fault.SlotID, *MCA) bool {
+	// The screen callback only receives the allocation, so recover its
+	// layer through the placement tables once up front.
+	layerOf := make(map[*MCA]*snn.Layer)
+	for li := range m.Layers {
+		lm := &m.Layers[li]
+		for ai := range lm.MCAs {
+			layerOf[&lm.MCAs[ai]] = lm.Layer
+		}
+	}
+	return func(id fault.SlotID, a *MCA) bool {
+		if camp.SlotDead(id) {
+			return false
+		}
+		l, ok := layerOf[a]
+		if !ok {
+			return false
+		}
+		return damagingTaps(camp, l, a, id, m.Cfg.MCASize) <= maxBadTaps
+	}
+}
+
+// damagingTaps counts the campaign's stuck devices that land on a used,
+// non-benign cross-point of the allocation when placed on the given slot.
+func damagingTaps(camp fault.Campaign, l *snn.Layer, a *MCA, id fault.SlotID, size int) int {
+	bad := 0
+	for _, sc := range camp.StuckCells(id, size, size) {
+		if sc.R >= len(a.Inputs) || sc.C >= len(a.Outputs) {
+			continue
+		}
+		w, ok := l.Weight(int(a.Outputs[sc.C]), int(a.Inputs[sc.R]))
+		if !ok {
+			continue // unused cross-point (conv slack)
+		}
+		if benignStuckAt(sc, w) {
+			continue
+		}
+		bad++
+	}
+	return bad
+}
+
+// benignStuckAt reports whether a stuck device leaves the programmed weight
+// unchanged: stuck low on a plane that rests at GMin for this weight's
+// sign. Stuck-high devices always distort the pair.
+func benignStuckAt(sc fault.StuckCell, w float64) bool {
+	if sc.State != fault.StuckLow {
+		return false
+	}
+	if sc.Plane == fault.Pos {
+		return w <= 0
+	}
+	return w >= 0
+}

@@ -1,0 +1,113 @@
+package mpe
+
+import (
+	"math"
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/fault"
+	"resparc/internal/mapping"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+	"resparc/internal/xbar"
+)
+
+func faultSlot(t *testing.T, mode Mode) *MCASlot {
+	t.Helper()
+	w := tensor.NewMat(4, 8)
+	for i := range w.Data {
+		w.Data[i] = 0.25 + float64(i%3)*0.25
+	}
+	l, err := snn.NewDense("d", 8, 4, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &mapping.MCA{
+		Inputs:  []int32{0, 1, 2, 3, 4, 5, 6, 7},
+		Outputs: []int32{0, 1, 2, 3},
+		Taps:    32,
+	}
+	var xb *xbar.Crossbar
+	if mode == Physical {
+		xb, err = xbar.New(8, 8, device.PCM, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSlot(l, alloc, 8, mode, xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeadSlotComputesNothing(t *testing.T) {
+	s := faultSlot(t, Ideal)
+	s.DeliverPacket(0, 0xff)
+	live := s.Currents(xbar.Config{})
+	if live.Sum() == 0 {
+		t.Fatal("live slot produced no current")
+	}
+	s.SetDead(true)
+	if !s.Dead() {
+		t.Fatal("Dead() false after SetDead(true)")
+	}
+	acts := s.Activations
+	out := s.Currents(xbar.Config{})
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("dead slot produced current")
+		}
+	}
+	if s.Activations != acts {
+		t.Fatal("dead slot counted an activation")
+	}
+	s.SetDead(false)
+	if s.Currents(xbar.Config{}).Sum() == 0 {
+		t.Fatal("revived slot produced no current")
+	}
+}
+
+func TestMPESetDeadKillsAllSlots(t *testing.T) {
+	m := &MPE{Slots: []*MCASlot{faultSlot(t, Ideal), faultSlot(t, Ideal)}}
+	m.SetDead(true)
+	for i, s := range m.Slots {
+		if !s.Dead() {
+			t.Fatalf("slot %d alive after mPE kill", i)
+		}
+	}
+	m.SetDead(false)
+	for i, s := range m.Slots {
+		if s.Dead() {
+			t.Fatalf("slot %d dead after revive", i)
+		}
+	}
+}
+
+func TestSlotSetFaultsAndVerify(t *testing.T) {
+	s := faultSlot(t, Physical)
+	// Fault the device under (row 0, col 0): weight 0.25 reads as 0.
+	fm := fault.NewCellMap(8, 8)
+	fm.Set(0, 0, fault.Pos, fault.StuckLow)
+	if err := s.SetFaults(fm); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := s.ReadbackWeight(0, 0); !ok || math.Abs(w) > 1e-12 {
+		t.Fatalf("faulted cell reads %v", w)
+	}
+	rep, err := s.Verify(xbar.VerifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepairable) != 1 || rep.Unrepairable[0].R != 0 || rep.Unrepairable[0].C != 0 {
+		t.Fatalf("verify report %+v, want exactly cell (0,0)", rep.Unrepairable)
+	}
+	// Ideal slots have no devices to fault or verify.
+	ideal := faultSlot(t, Ideal)
+	if err := ideal.SetFaults(fm); err == nil {
+		t.Fatal("SetFaults accepted in Ideal mode")
+	}
+	if _, err := ideal.Verify(xbar.VerifyConfig{}); err == nil {
+		t.Fatal("Verify accepted in Ideal mode")
+	}
+}

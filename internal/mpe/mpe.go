@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"resparc/internal/bitvec"
+	"resparc/internal/fault"
 	"resparc/internal/mapping"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
@@ -54,6 +55,11 @@ type MCASlot struct {
 	// active marks local rows that spiked this timestep (the iBUFF state
 	// after packet delivery).
 	active *bitvec.Bits
+
+	// dead marks a killed crossbar (whole-slot or whole-mPE fault): the slot
+	// still receives packets (the switch fabric does not know) but computes
+	// nothing.
+	dead bool
 
 	// Counters (cleared by ResetCounters).
 	Activations  int // timesteps in which the MCA computed
@@ -205,8 +211,12 @@ func (s *MCASlot) ActiveRows() int { return s.active.Count() }
 
 // Currents evaluates the slot's column outputs for the delivered spikes, in
 // weight units (what the neurons integrate). In Physical mode the values
-// pass through the electrical crossbar model.
+// pass through the electrical crossbar model. A dead slot contributes
+// nothing (and computes nothing — the LCU skips it).
 func (s *MCASlot) Currents(cfg xbar.Config) tensor.Vec {
+	if s.dead {
+		return tensor.NewVec(len(s.Alloc.Outputs))
+	}
 	s.Activations++
 	s.RowsDriven += s.active.Count()
 	if s.Mode == Physical {
@@ -232,6 +242,54 @@ func (s *MCASlot) Perturb(cfg xbar.Config, rng *rand.Rand) {
 	if s.Mode == Physical {
 		s.xb.Perturb(cfg, rng)
 	}
+}
+
+// SetDead marks the slot killed (whole-crossbar or whole-mPE fault).
+func (s *MCASlot) SetDead(dead bool) { s.dead = dead }
+
+// Dead reports whether the slot is killed.
+func (s *MCASlot) Dead() bool { return s.dead }
+
+// SetFaults installs a per-device fault map on the slot's physical crossbar
+// and reprograms the weight block through it, so stuck devices take effect
+// immediately. Error in Ideal mode (there is no device to fault).
+func (s *MCASlot) SetFaults(m *fault.CellMap) error {
+	if s.Mode != Physical {
+		return fmt.Errorf("mpe: fault maps need a physical crossbar")
+	}
+	s.xb.SetFaults(m)
+	return s.reprogram(nil)
+}
+
+// Verify reprograms the slot's weight block with the crossbar's
+// program-verify loop and returns the report; the unrepairable cells are
+// what the fault-aware mapping pass uses to decide remapping. Error in
+// Ideal mode.
+func (s *MCASlot) Verify(cfg xbar.VerifyConfig) (xbar.VerifyReport, error) {
+	if s.Mode != Physical {
+		return xbar.VerifyReport{}, fmt.Errorf("mpe: verify needs a physical crossbar")
+	}
+	var rep xbar.VerifyReport
+	err := s.reprogram(func(x *xbar.Crossbar) error {
+		var verr error
+		rep, verr = x.ProgramVerify(s.weights, cfg)
+		return verr
+	})
+	return rep, err
+}
+
+// reprogram rewrites the logical weight block into the crossbar, through fn
+// when given (e.g. the verify loop) or plain Program otherwise.
+func (s *MCASlot) reprogram(fn func(*xbar.Crossbar) error) error {
+	if fn != nil {
+		return fn(s.xb)
+	}
+	for c := range s.Alloc.Outputs {
+		for r := range s.Alloc.Inputs {
+			s.xb.Program(r, c, s.weights.At(r, c))
+		}
+	}
+	return nil
 }
 
 // ReadbackWeight returns the logical weight stored at (global out, global
@@ -266,6 +324,14 @@ type MPE struct {
 // Counters aggregates the event counters of every slot.
 type Counters struct {
 	Activations, PacketsIn, PacketsZero, RowsDriven, ExtTransfers int
+}
+
+// SetDead kills (or revives) every slot of the mPE — the whole-mPE kill
+// switch of a fault campaign (power gating failure, dead local control unit).
+func (m *MPE) SetDead(dead bool) {
+	for _, s := range m.Slots {
+		s.SetDead(dead)
+	}
 }
 
 // Counters sums the slot counters.

@@ -25,6 +25,9 @@ type SwitchNet struct {
 
 	queues [][]flit // one FIFO per switch
 	stats  SwitchStats
+	// dead marks killed switches (NoC-link faults): flits entering a dead
+	// switch are lost and counted in SwitchStats.Dropped.
+	dead []bool
 }
 
 type flit struct {
@@ -37,6 +40,7 @@ type flit struct {
 type SwitchStats struct {
 	Cycles    int   // cycles until every packet was delivered
 	Delivered int   // packets delivered
+	Dropped   int   // packets lost to dead switches
 	Hops      int   // total switch-to-switch + switch-to-mPE hops
 	MaxQueue  int   // deepest input queue observed
 	Forwards  []int // per-switch forward counts (load balance)
@@ -61,6 +65,27 @@ func NewSwitchNet(dim int) (*SwitchNet, error) {
 // Switches returns the number of switches in the fabric. For the Fig 8
 // NeuroCell (4x4 mPEs) this is 9, matching the published parameter table.
 func (n *SwitchNet) Switches() int { return n.swDim * n.swDim }
+
+// KillSwitch marks a switch dead (NoC-link fault): every flit injected at,
+// routed through, or destined to it is dropped and counted in
+// SwitchStats.Dropped. Out-of-range ids are ignored. ReviveAll clears the
+// kills.
+func (n *SwitchNet) KillSwitch(sw int) {
+	if sw < 0 || sw >= n.Switches() {
+		return
+	}
+	if n.dead == nil {
+		n.dead = make([]bool, n.Switches())
+	}
+	n.dead[sw] = true
+}
+
+// ReviveAll restores every killed switch.
+func (n *SwitchNet) ReviveAll() { n.dead = nil }
+
+func (n *SwitchNet) switchDead(sw int) bool {
+	return n.dead != nil && sw >= 0 && sw < len(n.dead) && n.dead[sw]
+}
 
 // switchOf returns the primary switch an mPE attaches to: the grid corner
 // switch closest to the array origin (mPE (x,y) -> switch (min(x,d-2),
@@ -112,9 +137,14 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 		// views consistent.
 		addr := packet.Address{SW: uint8(n.switchOf(t.DstMPE)), MPE: uint8(t.DstMPE)}
 		dec := packet.DecodeAddress(addr.Encode())
+		if n.switchDead(src) {
+			// Injection port is dead: the packet never enters the fabric.
+			n.stats.Dropped++
+			continue
+		}
 		n.queues[src] = append(n.queues[src], flit{dst: int(dec.SW), dstMPE: int(dec.MPE)})
 	}
-	pending := len(transfers)
+	pending := len(transfers) - n.stats.Dropped
 	for cycle := 0; pending > 0; cycle++ {
 		if cycle > 64*len(transfers)+64 {
 			return SwitchStats{}, fmt.Errorf("neurocell: switch simulation did not converge")
@@ -145,6 +175,12 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 			}
 			next := n.route(s, f.dst)
 			f.hops++
+			if n.switchDead(next) {
+				// Next hop is dead: the flit is lost in the fabric.
+				n.stats.Dropped++
+				pending--
+				continue
+			}
 			moves = append(moves, move{to: next, f: f})
 		}
 		for _, m := range moves {

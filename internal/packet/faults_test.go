@@ -1,0 +1,26 @@
+package packet
+
+import "testing"
+
+func TestLinkFilter(t *testing.T) {
+	f := NewLinkFilter([]int{3, 7, -1, 999})
+	if f.DeadCount() != 2 {
+		t.Fatalf("DeadCount = %d, want 2 (out-of-range ids ignored)", f.DeadCount())
+	}
+	dead := NewPacket(Address{SW: 3, MPE: 1, MCA: 0}, 0, 0b101, 8)
+	live := NewPacket(Address{SW: 4, MPE: 1, MCA: 0}, 0, 0b101, 8)
+	if !f.Drops(dead) {
+		t.Fatal("packet to dead switch not dropped")
+	}
+	if f.Drops(live) {
+		t.Fatal("packet to live switch dropped")
+	}
+	// Zero value and nil drop nothing.
+	var zero LinkFilter
+	if zero.Drops(dead) || (*LinkFilter)(nil).Drops(dead) {
+		t.Fatal("empty filter dropped a packet")
+	}
+	if (*LinkFilter)(nil).DeadCount() != 0 {
+		t.Fatal("nil filter has dead switches")
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -56,6 +57,7 @@ type batcher struct {
 	maxWait  time.Duration
 	run      batchRunner
 	onFlush  func(batchSize int) // metrics hook; may be nil
+	onResult func(err error)     // circuit-breaker hook, one call per flush; may be nil
 
 	// mu serializes submissions against close: a sender always holds the
 	// read lock, so closing the queue channel under the write lock cannot
@@ -66,7 +68,7 @@ type batcher struct {
 	drained chan struct{} // closed when the dispatcher exits
 }
 
-func newBatcher(queueSize, maxBatch int, maxWait time.Duration, run batchRunner, onFlush func(int)) *batcher {
+func newBatcher(queueSize, maxBatch int, maxWait time.Duration, run batchRunner, onFlush func(int), onResult func(error)) *batcher {
 	if queueSize < 1 {
 		queueSize = 1
 	}
@@ -81,6 +83,7 @@ func newBatcher(queueSize, maxBatch int, maxWait time.Duration, run batchRunner,
 		maxWait:  maxWait,
 		run:      run,
 		onFlush:  onFlush,
+		onResult: onResult,
 		queue:    make(chan *request, queueSize),
 		drained:  make(chan struct{}),
 	}
@@ -148,6 +151,19 @@ func (b *batcher) loop() {
 	}
 }
 
+// safeRun executes the batch runner, converting a panicking backend into
+// an ordinary batch error. The dispatcher goroutine owns an entire
+// (model, backend) queue: letting a panic escape here would not just lose
+// one batch, it would kill the process.
+func (b *batcher) safeRun(inputs []tensor.Vec, seeds []int64) (ress []perf.Result, preds []int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ress, preds, err = nil, nil, fmt.Errorf("serve: backend panicked: %v", p)
+		}
+	}()
+	return b.run(inputs, seeds)
+}
+
 // flush runs one batch and fans the per-request results back out.
 func (b *batcher) flush(batch []*request) {
 	inputs := make([]tensor.Vec, len(batch))
@@ -157,9 +173,16 @@ func (b *batcher) flush(batch []*request) {
 		seeds[i] = req.seed
 	}
 	dispatched := time.Now()
-	ress, preds, err := b.run(inputs, seeds)
+	ress, preds, err := b.safeRun(inputs, seeds)
+	if err == nil && (len(ress) != len(batch) || len(preds) != len(batch)) {
+		err = fmt.Errorf("serve: backend returned %d results and %d predictions for a batch of %d",
+			len(ress), len(preds), len(batch))
+	}
 	if b.onFlush != nil {
 		b.onFlush(len(batch))
+	}
+	if b.onResult != nil {
+		b.onResult(err)
 	}
 	for i, req := range batch {
 		if err != nil {

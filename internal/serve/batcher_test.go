@@ -70,7 +70,7 @@ func await(t *testing.T, ch chan response) response {
 // max-wait clock.
 func TestBatcherFlushesOnMaxBatch(t *testing.T) {
 	g := newGatedRunner()
-	b := newBatcher(16, 4, time.Hour, g.run, nil)
+	b := newBatcher(16, 4, time.Hour, g.run, nil, nil)
 	defer close(g.gate)
 	defer b.close()
 	chans := submitN(t, b, 4, 0)
@@ -90,7 +90,7 @@ func TestBatcherFlushesOnMaxBatch(t *testing.T) {
 // A lone request flushes when max-wait fires.
 func TestBatcherFlushesOnMaxWait(t *testing.T) {
 	g := newGatedRunner()
-	b := newBatcher(16, 64, 5*time.Millisecond, g.run, nil)
+	b := newBatcher(16, 64, 5*time.Millisecond, g.run, nil, nil)
 	defer b.close()
 	ch := submitN(t, b, 1, 7)[0]
 	<-g.started
@@ -105,7 +105,7 @@ func TestBatcherFlushesOnMaxWait(t *testing.T) {
 // capacity fail fast with ErrQueueFull.
 func TestBatcherQueueFull(t *testing.T) {
 	g := newGatedRunner()
-	b := newBatcher(2, 1, time.Millisecond, g.run, nil)
+	b := newBatcher(2, 1, time.Millisecond, g.run, nil, nil)
 	// First request occupies the dispatcher (blocked in run).
 	busy := submitN(t, b, 1, 0)
 	<-g.started
@@ -126,7 +126,7 @@ func TestBatcherQueueFull(t *testing.T) {
 // after close are refused with ErrClosed.
 func TestBatcherCloseDrains(t *testing.T) {
 	g := newGatedRunner()
-	b := newBatcher(16, 2, time.Millisecond, g.run, func(int) {})
+	b := newBatcher(16, 2, time.Millisecond, g.run, func(int) {}, nil)
 	busy := submitN(t, b, 1, 0)
 	<-g.started
 	queued := submitN(t, b, 5, 1)
@@ -154,7 +154,7 @@ func TestBatcherRunnerError(t *testing.T) {
 	wantErr := errors.New("boom")
 	b := newBatcher(4, 2, time.Millisecond, func([]tensor.Vec, []int64) ([]perf.Result, []int, error) {
 		return nil, nil, wantErr
-	}, nil)
+	}, nil, nil)
 	defer b.close()
 	chans := submitN(t, b, 2, 0)
 	for _, ch := range chans {
@@ -167,7 +167,7 @@ func TestBatcherRunnerError(t *testing.T) {
 // Queue depth is observable while requests wait behind a busy dispatcher.
 func TestBatcherDepth(t *testing.T) {
 	g := newGatedRunner()
-	b := newBatcher(8, 1, time.Millisecond, g.run, nil)
+	b := newBatcher(8, 1, time.Millisecond, g.run, nil, nil)
 	busy := submitN(t, b, 1, 0)
 	<-g.started
 	queued := submitN(t, b, 3, 1)

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the health of one (model, backend) circuit.
+type BreakerState int32
+
+const (
+	// BreakerClosed: healthy, requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend failed repeatedly; requests are rejected
+	// with 503 + Retry-After until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown over; a single probe request is allowed
+	// through to test recovery.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-(model, backend) circuit breaker:
+//
+//	closed    -- threshold consecutive batch failures --> open
+//	open      -- cooldown elapses, next request probes --> half-open
+//	half-open -- probe batch succeeds --> closed
+//	half-open -- probe batch fails    --> open (cooldown restarts)
+//
+// Failures are batch outcomes (backend error or recovered panic), reported
+// by the batcher's onResult hook; admission is gated by allow() in the
+// request handler. The clock is injectable for tests.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. When it returns false,
+// retryAfter is the suggested client backoff (the Retry-After header).
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		wait := b.openedAt.Add(b.cooldown).Sub(b.now())
+		if wait > 0 {
+			return false, wait
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// probeAborted releases the half-open probe slot when an admitted probe
+// never reached a batch (queue full, shutdown): without an outcome the
+// circuit would wait forever for one.
+func (b *breaker) probeAborted() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// onSuccess records a successful batch: the circuit closes and the failure
+// streak resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed batch: a half-open probe reopens the circuit
+// immediately, a closed one opens after threshold consecutive failures.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	b.failures++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current circuit state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"resparc/internal/fault"
+	"resparc/internal/perf"
+	"resparc/internal/tensor"
+)
+
+// The breaker state machine under an injectable clock: closed opens after
+// threshold consecutive failures, rejects during the cooldown, lets exactly
+// one probe through after it, and closes (or reopens) on the probe's
+// outcome.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("fresh breaker rejected a request")
+	}
+	b.onFailure()
+	b.onFailure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed", st)
+	}
+	b.onFailure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %v after 3/3 failures, want open", st)
+	}
+	ok, retry := b.allow()
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v outside (0, 1s]", retry)
+	}
+
+	// Cooldown elapses: exactly one probe gets through.
+	now = now.Add(time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("post-cooldown probe rejected")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state %v during probe, want half-open", st)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Probe fails: straight back to open, cooldown restarts.
+	b.onFailure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", st)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("reopened breaker admitted a request")
+	}
+
+	// Next probe succeeds: closed, and the failure streak is forgotten.
+	now = now.Add(time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("second probe rejected")
+	}
+	b.onSuccess()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", st)
+	}
+	b.onFailure()
+	b.onFailure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v, recovery should have reset the failure streak", st)
+	}
+
+	// An aborted probe frees the slot instead of wedging half-open.
+	b.onFailure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+	now = now.Add(time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe rejected")
+	}
+	b.probeAborted()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("slot not freed after probeAborted")
+	}
+}
+
+// The graceful-degradation acceptance test: a whole-mPE fault injected into
+// one model's chip opens that (model, backend) circuit — 503 + Retry-After
+// — while the same model's CMOS backend and a second model keep serving;
+// clearing the fault lets the half-open probe close the circuit again.
+// Run under -race: the fault flips while concurrent requests are in flight.
+func TestBackendFaultCircuitBreaker(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.AddNetwork(testNetwork(t, "other-mlp", 21)); err != nil {
+		t.Fatal(err)
+	}
+	model, _ := reg.Get("tiny-mlp")
+	other, _ := reg.Get("other-mlp")
+	cfg := DefaultConfig(reg)
+	cfg.MaxBatch = 4
+	cfg.MaxWait = time.Millisecond
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Kill an mPE that carries tiny-mlp allocations. The chip's batch entry
+	// points fail fast with ErrDegraded, so every RESPARC batch errors.
+	model.Chip.SetFaults(fault.Campaign{DeadMPEs: []int{0}})
+
+	// Sequential requests: the first BreakerThreshold fail with 500 (each
+	// rides its own failing batch), then the open circuit answers 503 with
+	// a Retry-After hint, without touching the backend.
+	var got500, got503 bool
+	var retryAfter string
+	for i := 0; i < 20 && !got503; i++ {
+		resp, _, body := postClassify(t, ts.URL, ClassifyRequest{
+			Model: "tiny-mlp", Backend: "resparc",
+			Input: testInput(model.Net.Input.Size(), int64(i)), Seed: int64(i),
+		})
+		switch resp.StatusCode {
+		case http.StatusInternalServerError:
+			got500 = true
+		case http.StatusServiceUnavailable:
+			got503 = true
+			retryAfter = resp.Header.Get("Retry-After")
+		default:
+			t.Fatalf("request %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	if !got500 || !got503 {
+		t.Fatalf("saw 500=%v 503=%v, want both (failures then open circuit)", got500, got503)
+	}
+	if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer of seconds", retryAfter)
+	}
+
+	// Concurrent mixed traffic while the circuit is open: the healthy
+	// backends must be unaffected.
+	const n = 24
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := ClassifyRequest{Seed: int64(i)}
+			switch i % 3 {
+			case 0: // broken
+				req.Model, req.Backend = "tiny-mlp", "resparc"
+				req.Input = testInput(model.Net.Input.Size(), int64(i))
+			case 1: // same model, healthy backend
+				req.Model, req.Backend = "tiny-mlp", "cmos"
+				req.Input = testInput(model.Net.Input.Size(), int64(i))
+			default: // healthy model
+				req.Model, req.Backend = "other-mlp", "resparc"
+				req.Input = testInput(other.Net.Input.Size(), int64(i))
+			}
+			resp, _, _ := postClassify(t, ts.URL, req)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if i%3 == 0 {
+			// Broken backend: rejected by the circuit, or a 500 if the
+			// request rode a probe batch.
+			if code != http.StatusServiceUnavailable && code != http.StatusInternalServerError {
+				t.Fatalf("broken backend request %d: status %d, want 503 or 500", i, code)
+			}
+		} else if code != http.StatusOK {
+			t.Fatalf("healthy request %d: status %d, want 200", i, code)
+		}
+	}
+
+	// The health surfaces agree: /healthz is degraded and /v1/models pins
+	// the blame on tiny-mlp/resparc.
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status %q, want degraded", health.Status)
+	}
+	var models struct {
+		Models []ModelInfo `json:"models"`
+	}
+	getJSON(t, ts.URL+"/v1/models", &models)
+	for _, m := range models.Models {
+		if m.Name == "tiny-mlp" && m.Health["resparc"] == "closed" {
+			t.Fatalf("tiny-mlp resparc health %q, want open/half-open", m.Health["resparc"])
+		}
+		if m.Name == "other-mlp" && m.Health["resparc"] != "closed" {
+			t.Fatalf("other-mlp resparc health %q, want closed", m.Health["resparc"])
+		}
+	}
+
+	// Clear the fault: after the cooldown the next request is the probe,
+	// it succeeds, and the circuit closes — automatic recovery.
+	model.Chip.ClearFaults()
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		time.Sleep(cfg.BreakerCooldown)
+		resp, _, _ := postClassify(t, ts.URL, ClassifyRequest{
+			Model: "tiny-mlp", Backend: "resparc",
+			Input: testInput(model.Net.Input.Size(), 99), Seed: 7,
+		})
+		if resp.StatusCode == http.StatusOK {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("circuit never recovered after the fault was cleared")
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q after recovery, want ok", health.Status)
+	}
+	if snap := srv.Metrics().Snapshot(); snap.BatchFailures < int64(cfg.BreakerThreshold) {
+		t.Fatalf("batch_failures_total %d, want >= %d", snap.BatchFailures, cfg.BreakerThreshold)
+	}
+}
+
+// A backend that panics mid-batch must not kill the dispatcher goroutine
+// (or the process): the whole batch gets a 500 and the breaker counts the
+// failure like any other.
+func TestBackendPanicBecomesBatchError(t *testing.T) {
+	reg := testRegistry(t)
+	cfg := DefaultConfig(reg)
+	cfg.MaxWait = time.Millisecond
+	cfg.BreakerThreshold = 100 // keep the circuit closed; this test is about the panic path
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Swap the RESPARC batcher for one whose runner panics, reusing the
+	// server's breaker hook so the failure is observable.
+	key := batcherKey("tiny-mlp", BackendRESPARC)
+	br := srv.breakers[key]
+	old := srv.batchers[key]
+	srv.batchers[key] = newBatcher(4, 1, time.Millisecond,
+		func([]tensor.Vec, []int64) ([]perf.Result, []int, error) { panic("crossbar on fire") },
+		nil,
+		func(err error) {
+			if err != nil {
+				br.onFailure()
+				srv.metrics.BatchFailure()
+			} else {
+				br.onSuccess()
+			}
+		})
+	defer srv.batchers[key].close()
+	defer func() { srv.batchers[key] = old }()
+
+	model, _ := reg.Get("tiny-mlp")
+	resp, _, body := postClassify(t, ts.URL, ClassifyRequest{
+		Model: "tiny-mlp", Backend: "resparc", Input: testInput(model.Net.Input.Size(), 1),
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d body %s, want 500", resp.StatusCode, body)
+	}
+	if !bytes.Contains([]byte(body), []byte("panicked")) {
+		t.Fatalf("body %q does not mention the recovered panic", body)
+	}
+	if snap := srv.Metrics().Snapshot(); snap.BatchFailures < 1 {
+		t.Fatal("panicking batch not counted as a batch failure")
+	}
+	// The CMOS backend of the same model is untouched.
+	resp, _, body = postClassify(t, ts.URL, ClassifyRequest{
+		Model: "tiny-mlp", Backend: "cmos", Input: testInput(model.Net.Input.Size(), 1),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cmos after resparc panic: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// The recovery middleware converts a panicking HTTP handler into a 500 and
+// a panics_total increment instead of a dropped connection.
+func TestHandlerPanicRecoveryMiddleware(t *testing.T) {
+	reg := testRegistry(t)
+	srv, err := New(DefaultConfig(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if snap := srv.Metrics().Snapshot(); snap.Panics != 1 {
+		t.Fatalf("panics_total %d, want 1", snap.Panics)
+	}
+}
+
+// A batch that outlives the per-request deadline answers 504 and counts a
+// timeout; the late dispatcher send lands in the buffered done channel and
+// is garbage-collected.
+func TestRequestDeadline504(t *testing.T) {
+	reg := testRegistry(t)
+	cfg := DefaultConfig(reg)
+	cfg.RequestTimeout = 20 * time.Millisecond
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Swap in a batcher whose runner sleeps past the deadline.
+	key := batcherKey("tiny-mlp", BackendRESPARC)
+	old := srv.batchers[key]
+	slow := newBatcher(4, 1, time.Millisecond,
+		func(inputs []tensor.Vec, _ []int64) ([]perf.Result, []int, error) {
+			time.Sleep(200 * time.Millisecond)
+			return make([]perf.Result, len(inputs)), make([]int, len(inputs)), nil
+		}, nil, nil)
+	srv.batchers[key] = slow
+	defer func() {
+		srv.batchers[key] = old
+		slow.close()
+	}()
+
+	model, _ := reg.Get("tiny-mlp")
+	resp, _, body := postClassify(t, ts.URL, ClassifyRequest{
+		Model: "tiny-mlp", Backend: "resparc", Input: testInput(model.Net.Input.Size(), 1),
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %s, want 504", resp.StatusCode, body)
+	}
+	if snap := srv.Metrics().Snapshot(); snap.Timeouts != 1 {
+		t.Fatalf("timeouts_total %d, want 1", snap.Timeouts)
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,22 +19,32 @@ const latencyWindow = 2048
 type Metrics struct {
 	start time.Time
 
-	mu          sync.Mutex
-	requests    int64
-	codes       map[int]int64
-	batches     int64
-	batchImages int64
-	latencies   []float64 // ring buffer, seconds
-	latNext     int
-	latCount    int
+	mu            sync.Mutex
+	requests      int64
+	codes         map[int]int64
+	batches       int64
+	batchImages   int64
+	batchFailures int64
+	timeouts      int64
+	panics        int64
+	latencies     []float64 // ring buffer, seconds
+	latNext       int
+	latCount      int
 
-	queues []queueGauge
+	queues   []queueGauge
+	breakers []breakerGauge
 }
 
 type queueGauge struct {
 	model   string
 	backend string
 	depth   func() int
+}
+
+type breakerGauge struct {
+	model   string
+	backend string
+	state   func() BreakerState
 }
 
 // NewMetrics returns an empty collector.
@@ -73,6 +83,28 @@ func (m *Metrics) Batch(size int) {
 	m.mu.Unlock()
 }
 
+// BatchFailure counts one failed batch (backend error or recovered panic).
+func (m *Metrics) BatchFailure() {
+	m.mu.Lock()
+	m.batchFailures++
+	m.mu.Unlock()
+}
+
+// Timeout counts one request that hit its per-request deadline (504).
+func (m *Metrics) Timeout() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
+}
+
+// Panic counts one HTTP handler panic converted to a 500 by the recovery
+// middleware.
+func (m *Metrics) Panic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
 // RegisterQueue adds a queue-depth gauge for one (model, backend) batcher.
 func (m *Metrics) RegisterQueue(model, backend string, depth func() int) {
 	m.mu.Lock()
@@ -80,15 +112,25 @@ func (m *Metrics) RegisterQueue(model, backend string, depth func() int) {
 	m.mu.Unlock()
 }
 
+// RegisterBreaker adds a circuit-state gauge for one (model, backend) pair.
+func (m *Metrics) RegisterBreaker(model, backend string, state func() BreakerState) {
+	m.mu.Lock()
+	m.breakers = append(m.breakers, breakerGauge{model: model, backend: backend, state: state})
+	m.mu.Unlock()
+}
+
 // Snapshot is a consistent copy of the counters, for tests and for the
 // load driver's reconciliation report.
 type Snapshot struct {
-	Requests     int64
-	Codes        map[int]int64
-	Batches      int64
-	BatchImages  int64
-	P50, P99     float64
-	ImagesPerSec float64
+	Requests      int64
+	Codes         map[int]int64
+	Batches       int64
+	BatchImages   int64
+	BatchFailures int64
+	Timeouts      int64
+	Panics        int64
+	P50, P99      float64
+	ImagesPerSec  float64
 }
 
 // Snapshot returns the current counters.
@@ -101,13 +143,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	p50, p99 := m.quantilesLocked()
 	return Snapshot{
-		Requests:     m.requests,
-		Codes:        codes,
-		Batches:      m.batches,
-		BatchImages:  m.batchImages,
-		P50:          p50,
-		P99:          p99,
-		ImagesPerSec: m.imagesPerSecLocked(),
+		Requests:      m.requests,
+		Codes:         codes,
+		Batches:       m.batches,
+		BatchImages:   m.batchImages,
+		BatchFailures: m.batchFailures,
+		Timeouts:      m.timeouts,
+		Panics:        m.panics,
+		P50:           p50,
+		P99:           p99,
+		ImagesPerSec:  m.imagesPerSecLocked(),
 	}
 }
 
@@ -157,9 +202,11 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		counts[i] = m.codes[c]
 	}
 	batches, images := m.batches, m.batchImages
+	failures, timeouts, panics := m.batchFailures, m.timeouts, m.panics
 	p50, p99 := m.quantilesLocked()
 	ips := m.imagesPerSecLocked()
 	queues := append([]queueGauge(nil), m.queues...)
+	breakers := append([]breakerGauge(nil), m.breakers...)
 	uptime := time.Since(m.start).Seconds()
 	m.mu.Unlock()
 
@@ -178,6 +225,20 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP resparc_serve_batch_images_total Images classified through dispatched batches.\n")
 	fmt.Fprintf(w, "# TYPE resparc_serve_batch_images_total counter\n")
 	fmt.Fprintf(w, "resparc_serve_batch_images_total %d\n", images)
+	fmt.Fprintf(w, "# HELP resparc_serve_batch_failures_total Batches that failed (backend error or recovered panic).\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_batch_failures_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_batch_failures_total %d\n", failures)
+	fmt.Fprintf(w, "# HELP resparc_serve_timeouts_total Requests that exceeded the per-request deadline (504).\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_timeouts_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_timeouts_total %d\n", timeouts)
+	fmt.Fprintf(w, "# HELP resparc_serve_panics_total HTTP handler panics converted to 500s by the recovery middleware.\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_panics_total counter\n")
+	fmt.Fprintf(w, "resparc_serve_panics_total %d\n", panics)
+	fmt.Fprintf(w, "# HELP resparc_serve_breaker_state Circuit state per model/backend (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(w, "# TYPE resparc_serve_breaker_state gauge\n")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "resparc_serve_breaker_state{model=%q,backend=%q} %d\n", b.model, b.backend, int(b.state()))
+	}
 	fmt.Fprintf(w, "# HELP resparc_serve_queue_depth Queued (undispatched) requests per model/backend.\n")
 	fmt.Fprintf(w, "# TYPE resparc_serve_queue_depth gauge\n")
 	for _, q := range queues {

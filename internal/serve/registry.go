@@ -130,6 +130,9 @@ type ModelInfo struct {
 	Utilization float64  `json:"utilization"`
 	CMOSWeightB int      `json:"cmos_weight_memory_bytes"`
 	Backends    []string `json:"backends"`
+	// Health maps backend name to its circuit state ("closed", "open",
+	// "half-open"); filled by the server, absent in a bare registry listing.
+	Health map[string]string `json:"health,omitempty"`
 }
 
 // Info summarizes the model for the registry listing.

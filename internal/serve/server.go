@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -56,16 +57,30 @@ type Config struct {
 	// Workers is the simulator worker-pool size per batch (<= 0: one per
 	// CPU).
 	Workers int
+	// RequestTimeout bounds a request end-to-end (enqueue through batch
+	// completion); expiry answers 504 without waiting for the batch
+	// (<= 0: 30 s).
+	RequestTimeout time.Duration
+	// BreakerThreshold is how many consecutive batch failures open a
+	// (model, backend) circuit (<= 0: 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects with 503 +
+	// Retry-After before letting a probe through (<= 0: 2 s).
+	BreakerCooldown time.Duration
 }
 
-// DefaultConfig returns the serving defaults (batch 8, 2 ms wait, queue 64).
+// DefaultConfig returns the serving defaults (batch 8, 2 ms wait, queue 64,
+// 30 s deadline, breaker opens after 3 failures with a 2 s cooldown).
 func DefaultConfig(reg *Registry) Config {
 	return Config{
-		Registry:       reg,
-		DefaultBackend: BackendRESPARC,
-		MaxBatch:       8,
-		MaxWait:        2 * time.Millisecond,
-		QueueSize:      64,
+		Registry:         reg,
+		DefaultBackend:   BackendRESPARC,
+		MaxBatch:         8,
+		MaxWait:          2 * time.Millisecond,
+		QueueSize:        64,
+		RequestTimeout:   30 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Second,
 	}
 }
 
@@ -76,6 +91,7 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	batchers map[string]*batcher
+	breakers map[string]*breaker
 
 	mu     sync.Mutex
 	closed bool
@@ -105,11 +121,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueSize < 1 {
 		cfg.QueueSize = 64
 	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
 	s := &Server{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
 		batchers: make(map[string]*batcher),
+		breakers: make(map[string]*breaker),
 	}
 	for _, m := range cfg.Registry.Models() {
 		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
@@ -117,24 +137,48 @@ func New(cfg Config) (*Server, error) {
 			run := func(inputs []tensor.Vec, seeds []int64) ([]perf.Result, []int, error) {
 				return model.ClassifyEach(backend, inputs, seeds, cfg.Workers)
 			}
-			b := newBatcher(cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, run, s.metrics.Batch)
-			s.batchers[batcherKey(model.Name, backend)] = b
+			br := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+			onResult := func(err error) {
+				if err != nil {
+					br.onFailure()
+					s.metrics.BatchFailure()
+				} else {
+					br.onSuccess()
+				}
+			}
+			b := newBatcher(cfg.QueueSize, cfg.MaxBatch, cfg.MaxWait, run, s.metrics.Batch, onResult)
+			key := batcherKey(model.Name, backend)
+			s.batchers[key] = b
+			s.breakers[key] = br
 			s.metrics.RegisterQueue(model.Name, string(backend), b.depth)
+			s.metrics.RegisterBreaker(model.Name, string(backend), br.State)
 		}
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.Handle("/metrics", s.metrics)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
 
 func batcherKey(model string, backend Backend) string { return model + "\x00" + string(backend) }
 
-// Handler returns the HTTP handler tree (mountable under httptest too).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree (mountable under httptest too),
+// wrapped in panic-recovery middleware: a handler panic becomes a 500 and a
+// resparc_serve_panics_total increment instead of a dropped connection.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Panic()
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Metrics exposes the counters (for the load driver and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -233,8 +277,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		input[i] = x
 	}
+	key := batcherKey(model.Name, backend)
+	br := s.breakers[key]
+	if ok, retry := br.allow(); !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		s.replyError(w, start, http.StatusServiceUnavailable,
+			"backend %s/%s unhealthy (circuit open), retry later", model.Name, backend)
+		return
+	}
 	job := &request{input: input, seed: req.Seed, done: make(chan response, 1)}
-	if err := s.batchers[batcherKey(model.Name, backend)].submit(job); err != nil {
+	if err := s.batchers[key].submit(job); err != nil {
+		// The request never reached a batch, so no outcome will arrive; if
+		// it was the half-open probe, free the slot for the next request.
+		br.probeAborted()
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.replyError(w, start, http.StatusTooManyRequests, "queue full for %s/%s, retry later", model.Name, backend)
@@ -245,7 +300,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := <-job.done
+	// done is buffered(1): on deadline expiry the dispatcher's late send
+	// still lands and is garbage-collected with the channel.
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	var resp response
+	select {
+	case resp = <-job.done:
+	case <-timer.C:
+		s.metrics.Timeout()
+		s.replyError(w, start, http.StatusGatewayTimeout,
+			"request exceeded the %s deadline for %s/%s", s.cfg.RequestTimeout, model.Name, backend)
+		return
+	}
 	if resp.err != nil {
 		s.replyError(w, start, http.StatusInternalServerError, "classification failed: %v", resp.err)
 		return
@@ -265,10 +332,75 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
+	infos := s.cfg.Registry.Info()
+	for i := range infos {
+		health := make(map[string]string, 2)
+		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
+			if br, ok := s.breakers[batcherKey(infos[i].Name, backend)]; ok {
+				health[string(backend)] = br.State().String()
+			}
+		}
+		infos[i].Health = health
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(struct {
 		Models []ModelInfo `json:"models"`
-	}{Models: s.cfg.Registry.Info()})
+	}{Models: infos})
+}
+
+// BackendHealth is one circuit's state in the /healthz report.
+type BackendHealth struct {
+	Model   string `json:"model"`
+	Backend string `json:"backend"`
+	State   string `json:"state"`
+}
+
+// HealthResponse is the /healthz wire form. Status is "ok" when every
+// circuit is closed, "degraded" when any is open or half-open (the server
+// still answers what it can), and "draining" during shutdown.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	resp := HealthResponse{Status: "ok"}
+	for _, m := range s.cfg.Registry.Models() {
+		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
+			state := s.breakers[batcherKey(m.Name, backend)].State()
+			if state != BreakerClosed {
+				resp.Status = "degraded"
+			}
+			resp.Backends = append(resp.Backends, BackendHealth{
+				Model: m.Name, Backend: string(backend), State: state.String(),
+			})
+		}
+	}
+	code := http.StatusOK
+	if draining {
+		// Load balancers should stop routing here; in-flight work still
+		// completes (Close drains the batchers).
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// retryAfterSeconds renders a backoff as a whole-second Retry-After value,
+// at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }

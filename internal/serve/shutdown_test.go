@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// Mid-stream shutdown variant of the 80-request race test: Close fires
+// while the flood is in flight. Every request must get exactly one clean
+// answer — a 200 that is bit-identical to the serial single-image
+// reference (it was admitted before the drain) or a 503 (it arrived after
+// admission stopped) — and the metrics must reconcile. Run under -race:
+// this is the submit/close interleaving the batcher's RWMutex exists for.
+func TestShutdownMidStreamDrainsInFlight(t *testing.T) {
+	reg := testRegistry(t)
+	model, _ := reg.Get("tiny-mlp")
+	cfg := DefaultConfig(reg)
+	cfg.MaxBatch = 8
+	cfg.MaxWait = time.Millisecond
+	cfg.QueueSize = 256
+	cfg.Workers = 4
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	const n = 80
+	type result struct {
+		code int
+		resp ClassifyResponse
+		body string
+	}
+	inputs := make([][]float64, n)
+	backends := make([]string, n)
+	for i := range inputs {
+		inputs[i] = testInput(model.Net.Input.Size(), int64(1000+i%7))
+		if i%3 == 0 {
+			backends[i] = "cmos"
+		} else {
+			backends[i] = "resparc"
+		}
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, out, body := postClassify(t, ts.URL, ClassifyRequest{
+				Model:   "tiny-mlp",
+				Backend: backends[i],
+				Input:   inputs[i],
+				Seed:    int64(i % 13),
+			})
+			results[i] = result{code: resp.StatusCode, resp: out, body: body}
+		}(i)
+	}
+	// Close once a chunk of the flood has reached the server and at least
+	// one batch has dispatched (so some 200s are guaranteed), leaving the
+	// drain to race the remaining live submissions.
+	for {
+		snap := srv.Metrics().Snapshot()
+		if snap.Requests >= n/4 && snap.BatchImages >= 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	srv.Close()
+	wg.Wait()
+
+	rcfg := reg.Config()
+	base := snn.NewPoissonEncoder(rcfg.MaxProb, rcfg.Seed)
+	var ok200, drained503 int
+	for i, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			ok200++
+			// Admitted before the drain: the answer must still be the exact
+			// serial reference — shutdown must not corrupt in-flight work.
+			in := make(tensor.Vec, len(inputs[i]))
+			copy(in, inputs[i])
+			enc := base.ForkSeed(i % 13)
+			var wantPred int
+			if backends[i] == "cmos" {
+				_, rep := model.Base.Classify(in, enc)
+				wantPred = rep.Predicted
+			} else {
+				_, rep := model.Chip.Classify(in, enc)
+				wantPred = rep.Predicted
+			}
+			if r.resp.Prediction != wantPred {
+				t.Fatalf("request %d (%s): prediction %d, serial reference %d", i, backends[i], r.resp.Prediction, wantPred)
+			}
+		case http.StatusServiceUnavailable:
+			drained503++
+		default:
+			t.Fatalf("request %d: status %d body %s, want 200 or 503", i, r.code, r.body)
+		}
+	}
+	if ok200 == 0 {
+		t.Fatal("no request completed before the drain — Close raced ahead of the whole flood")
+	}
+	t.Logf("drained mid-stream: %d completed, %d rejected with 503", ok200, drained503)
+
+	// After Close: new requests are 503, /healthz advertises draining with
+	// a 503 so load balancers stop routing here, and every response the
+	// server gave is accounted for.
+	resp, _, body := postClassify(t, ts.URL, ClassifyRequest{
+		Model: "tiny-mlp", Input: inputs[0], Seed: 1,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close request: status %d body %s, want 503", resp.StatusCode, body)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	}
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "draining" {
+		t.Fatalf("healthz status %q, want draining", health.Status)
+	}
+	snap := srv.Metrics().Snapshot()
+	var total int64
+	for _, c := range snap.Codes {
+		total += c
+	}
+	if total != snap.Requests {
+		t.Fatalf("responses %d don't reconcile with requests %d", total, snap.Requests)
+	}
+	if snap.Codes[http.StatusOK] != int64(ok200) {
+		t.Fatalf("responses{200} %d, want %d", snap.Codes[http.StatusOK], ok200)
+	}
+}
+
+// Close is idempotent and safe to race against itself.
+func TestCloseIdempotent(t *testing.T) {
+	reg := testRegistry(t)
+	srv, err := New(DefaultConfig(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+	}
+	wg.Wait()
+	srv.Close()
+}

@@ -1,0 +1,121 @@
+package xbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resparc/internal/fault"
+	"resparc/internal/tensor"
+)
+
+// VerifyConfig tunes the program-verify loop. Real crossbar controllers
+// never trust a single write pulse: they write, read the cell back, and
+// re-pulse until the conductance lands within tolerance or the retry budget
+// runs out (SpikeSim models the same loop; it is also what makes
+// failed-write faults *transient* while stuck-at faults are permanent).
+type VerifyConfig struct {
+	// MaxPulses is the per-device write budget (>= 1). <= 0 selects 5.
+	MaxPulses int
+	// Tolerance is the acceptable |readback - target| in weight units;
+	// <= 0 selects half a quantization step.
+	Tolerance float64
+	// FailedWriteProb is the per-pulse probability that the device does not
+	// move (e.g. fault.Campaign.FailedWriteProb).
+	FailedWriteProb float64
+	// Rng drives the pulse-failure draws; nil disables write failures.
+	// Use fault.Campaign.WriteRng(slot) for the deterministic per-slot
+	// stream.
+	Rng *rand.Rand
+}
+
+// BadCell is one cross-point the verify loop could not bring within
+// tolerance — with a healthy device model that only happens on stuck
+// devices, so these are the unrepairable cells remapping must route around.
+type BadCell struct {
+	R, C     int
+	Target   float64 // quantized target weight
+	Readback float64 // best weight achieved
+}
+
+// VerifyReport summarizes one program-verify pass over a weight matrix.
+type VerifyReport struct {
+	Cells        int // cross-points written
+	Pulses       int // total write pulses issued
+	Retries      int // pulses beyond the first, per cell, summed
+	Unrepairable []BadCell
+}
+
+// Failed reports whether any cell ended out of tolerance.
+func (r VerifyReport) Failed() bool { return len(r.Unrepairable) > 0 }
+
+func (r VerifyReport) String() string {
+	return fmt.Sprintf("verify: %d cells, %d pulses (%d retries), %d unrepairable",
+		r.Cells, r.Pulses, r.Retries, len(r.Unrepairable))
+}
+
+// ProgramVerify writes w (at most Rows x Cols) into the top-left corner
+// with a write/readback/retry loop: each cell is pulsed until its readback
+// weight is within tolerance of the quantized target or MaxPulses is
+// exhausted. Transient pulse failures (cfg.FailedWriteProb) are repaired by
+// the retries; devices pinned by an installed fault map never converge and
+// are reported unrepairable. Cells are visited row-major so the pulse
+// stream — and therefore the report — is deterministic for a given rng
+// seed.
+func (x *Crossbar) ProgramVerify(w *tensor.Mat, cfg VerifyConfig) (VerifyReport, error) {
+	if w.Rows > x.Rows || w.Cols > x.Cols {
+		return VerifyReport{}, fmt.Errorf("xbar: matrix %dx%d exceeds crossbar %dx%d", w.Rows, w.Cols, x.Rows, x.Cols)
+	}
+	maxPulses := cfg.MaxPulses
+	if maxPulses <= 0 {
+		maxPulses = 5
+	}
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		// Half a level step: the tightest tolerance the level grid can hold.
+		tol = 0.5 * x.mapper.WMax / float64(x.Tech.Levels-1)
+	}
+	var rep VerifyReport
+	for r := 0; r < w.Rows; r++ {
+		for c := 0; c < w.Cols; c++ {
+			target := x.mapper.Weight(x.mapper.Map(w.At(r, c)))
+			rep.Cells++
+			ok := false
+			for pulse := 0; pulse < maxPulses; pulse++ {
+				rep.Pulses++
+				if pulse > 0 {
+					rep.Retries++
+				}
+				if cfg.Rng == nil || cfg.FailedWriteProb <= 0 || cfg.Rng.Float64() >= cfg.FailedWriteProb {
+					x.Program(r, c, w.At(r, c))
+				}
+				if math.Abs(x.Weight(r, c)-target) <= tol {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				rep.Unrepairable = append(rep.Unrepairable, BadCell{
+					R: r, C: c, Target: target, Readback: x.Weight(r, c),
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// BenignStuck reports whether a stuck device at (r, c, plane) is harmless
+// for target weight w: a stuck-low device on the plane that would rest at
+// GMin anyway reads back exactly on target. Used by the mapping layer to
+// avoid remapping around faults that cannot affect the computation.
+func (x *Crossbar) BenignStuck(r, c int, plane fault.Plane, state fault.DeviceState, w float64) bool {
+	if state != fault.StuckLow {
+		return false
+	}
+	p := x.mapper.Map(w)
+	gmin := x.Tech.GMin()
+	if plane == fault.Pos {
+		return p.GPos == gmin
+	}
+	return p.GNeg == gmin
+}

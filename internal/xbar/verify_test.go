@@ -1,0 +1,217 @@
+package xbar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/fault"
+	"resparc/internal/tensor"
+)
+
+func randomWeights(n int, seed int64) *tensor.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.NewMat(n, n)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// Seed/determinism contract for Perturb (mirrors PoissonEncoder.ForkSeed):
+// same seed => identical fault map => identical inference results.
+func TestPerturbSeedDeterminism(t *testing.T) {
+	tech := device.AgSi
+	tech.StuckFraction = 0.05
+	w := randomWeights(32, 1)
+	build := func(seed int64) *Crossbar {
+		x, err := New(32, 32, tech, w.MaxAbs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := x.ProgramMatrix(w); err != nil {
+			t.Fatal(err)
+		}
+		x.Perturb(Config{Variation: true, StuckAt: true}, rand.New(rand.NewSource(seed)))
+		return x
+	}
+	a, b, other := build(7), build(7), build(8)
+	sameMap, sameOut := true, true
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			if a.Weight(r, c) != b.Weight(r, c) {
+				sameMap = false
+			}
+		}
+	}
+	if !sameMap {
+		t.Fatal("same seed produced different device states")
+	}
+	ia := a.Compute(allRows(32), Config{}, nil)
+	ib := b.Compute(allRows(32), Config{}, nil)
+	io := other.Compute(allRows(32), Config{}, nil)
+	diffOther := false
+	for c := range ia {
+		if ia[c] != ib[c] {
+			sameOut = false
+		}
+		if ia[c] != io[c] {
+			diffOther = true
+		}
+	}
+	if !sameOut {
+		t.Fatal("same seed produced different inference results")
+	}
+	if !diffOther {
+		t.Fatal("different seeds produced identical outputs — rng unused?")
+	}
+}
+
+// SetFaults must pin stuck devices against subsequent programming, and the
+// campaign-driven map must be reproducible.
+func TestSetFaultsPinsDevices(t *testing.T) {
+	x, err := New(16, 16, device.AgSi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.NewCellMap(16, 16)
+	m.Set(2, 3, fault.Pos, fault.StuckLow)
+	m.Set(4, 5, fault.Pos, fault.StuckHigh)
+	x.SetFaults(m)
+	x.Program(2, 3, 0.9) // G+ pinned low: positive weight lost
+	if got := x.Weight(2, 3); math.Abs(got) > 1e-12 {
+		t.Fatalf("stuck-low cell reads %v, want 0", got)
+	}
+	x.Program(4, 5, 0) // G+ pinned high: zero weight reads full scale
+	if got := x.Weight(4, 5); got < 0.9 {
+		t.Fatalf("stuck-high cell reads %v, want ~1", got)
+	}
+	// Healthy cells program normally.
+	x.Program(0, 0, 0.5)
+	if got := x.Weight(0, 0); math.Abs(got-0.5) > 0.1 {
+		t.Fatalf("healthy cell reads %v, want ~0.5", got)
+	}
+	// Clearing the map releases the pins on the next write.
+	x.SetFaults(nil)
+	x.Program(2, 3, 0.9)
+	if got := x.Weight(2, 3); math.Abs(got-0.9) > 0.1 {
+		t.Fatalf("cleared cell reads %v, want ~0.9", got)
+	}
+}
+
+// The verify loop must repair transient write failures and report only the
+// genuinely unrepairable (stuck) cells.
+func TestProgramVerifyRepairsTransientsFlagsStuck(t *testing.T) {
+	w := randomWeights(16, 2)
+	x, err := New(16, 16, device.AgSi, w.MaxAbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.NewCellMap(16, 16)
+	m.Set(1, 1, fault.Pos, fault.StuckHigh)
+	x.SetFaults(m)
+	camp := fault.Campaign{Seed: 3, FailedWriteProb: 0.3}
+	rep, err := x.ProgramVerify(w, VerifyConfig{
+		MaxPulses:       8,
+		FailedWriteProb: camp.FailedWriteProb,
+		Rng:             camp.WriteRng(fault.SlotID{MPE: 0, Slot: 0}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("30% pulse failures produced no retries")
+	}
+	if len(rep.Unrepairable) != 1 || rep.Unrepairable[0].R != 1 || rep.Unrepairable[0].C != 1 {
+		t.Fatalf("unrepairable = %+v, want exactly cell (1,1)", rep.Unrepairable)
+	}
+	if !rep.Failed() {
+		t.Fatal("report with unrepairable cells must fail")
+	}
+	// All other cells must be on target despite the transient failures.
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if r == 1 && c == 1 {
+				continue
+			}
+			target := x.mapper.Weight(x.mapper.Map(w.At(r, c)))
+			if math.Abs(x.Weight(r, c)-target) > 1e-9 {
+				t.Fatalf("cell (%d,%d) off target after verify: %v vs %v", r, c, x.Weight(r, c), target)
+			}
+		}
+	}
+}
+
+func TestProgramVerifyCleanPath(t *testing.T) {
+	w := randomWeights(8, 4)
+	x, err := New(8, 8, device.PCM, w.MaxAbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.ProgramVerify(w, VerifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || rep.Retries != 0 || rep.Pulses != 64 || rep.Cells != 64 {
+		t.Fatalf("clean verify report unexpected: %+v", rep)
+	}
+	if _, err := x.ProgramVerify(tensor.NewMat(9, 8), VerifyConfig{}); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+}
+
+// A stuck-low device on the inactive plane of a weight is benign: the
+// readback is on target, so verify does not flag it and mapping need not
+// remap around it.
+func TestBenignStuckCells(t *testing.T) {
+	x, err := New(4, 4, device.AgSi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.NewCellMap(4, 4)
+	m.Set(0, 0, fault.Neg, fault.StuckLow) // negative plane of a positive weight
+	x.SetFaults(m)
+	w := tensor.NewMat(4, 4)
+	w.Set(0, 0, 0.75)
+	rep, err := x.ProgramVerify(w, VerifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("benign stuck cell flagged unrepairable: %+v", rep.Unrepairable)
+	}
+	if !x.BenignStuck(0, 0, fault.Neg, fault.StuckLow, 0.75) {
+		t.Fatal("BenignStuck must accept a stuck-low inactive device")
+	}
+	if x.BenignStuck(0, 0, fault.Pos, fault.StuckLow, 0.75) {
+		t.Fatal("BenignStuck must reject a stuck-low active device")
+	}
+	if x.BenignStuck(0, 0, fault.Neg, fault.StuckHigh, 0.75) {
+		t.Fatal("BenignStuck must reject stuck-high")
+	}
+}
+
+// Campaign-driven injection end to end: same campaign => identical compute.
+func TestCampaignInjectionDeterministic(t *testing.T) {
+	tech := device.AgSi
+	w := randomWeights(32, 5)
+	run := func(seed int64) tensor.Vec {
+		camp := fault.NewCampaign(seed, tech)
+		x, err := New(32, 32, tech, w.MaxAbs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.SetFaults(camp.CellMap(fault.SlotID{MPE: 1, Slot: 2}, 32, 32))
+		if err := x.ProgramMatrix(w); err != nil {
+			t.Fatal(err)
+		}
+		return x.Compute(allRows(32), Config{}, nil)
+	}
+	a, b := run(42), run(42)
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("col %d differs across identically-seeded campaigns", c)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"resparc/internal/bitvec"
 	"resparc/internal/device"
+	"resparc/internal/fault"
 	"resparc/internal/quant"
 	"resparc/internal/tensor"
 )
@@ -36,6 +37,9 @@ type Crossbar struct {
 	mapper *quant.Mapper
 	gpos   *tensor.Mat // Rows x Cols
 	gneg   *tensor.Mat // Rows x Cols
+	// faults is the per-device fault map installed by SetFaults; stuck
+	// devices are pinned to their rail on every Program call.
+	faults *fault.CellMap
 }
 
 // Config bundles the optional non-ideality switches applied by Perturb.
@@ -81,10 +85,56 @@ func New(rows, cols int, tech device.Technology, wmax float64) (*Crossbar, error
 	return x, nil
 }
 
+// SetFaults installs a per-device fault map (typically from a
+// fault.Campaign). Subsequent Program calls pin stuck devices to their
+// rail regardless of the requested weight; already-programmed conductances
+// are re-pinned immediately. Passing nil clears the map.
+func (x *Crossbar) SetFaults(m *fault.CellMap) {
+	x.faults = m
+	if m == nil {
+		return
+	}
+	gmin, gmax := x.Tech.GMin(), x.Tech.GMax()
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			if g, ok := pinned(m.At(r, c, fault.Pos), gmin, gmax); ok {
+				x.gpos.Set(r, c, g)
+			}
+			if g, ok := pinned(m.At(r, c, fault.Neg), gmin, gmax); ok {
+				x.gneg.Set(r, c, g)
+			}
+		}
+	}
+}
+
+// Faults returns the installed fault map (nil when fault-free).
+func (x *Crossbar) Faults() *fault.CellMap { return x.faults }
+
+func pinned(s fault.DeviceState, gmin, gmax float64) (float64, bool) {
+	switch s {
+	case fault.StuckLow:
+		return gmin, true
+	case fault.StuckHigh:
+		return gmax, true
+	default:
+		return 0, false
+	}
+}
+
 // Program writes weight w at cross-point (r, c) through the conductance
-// mapper (quantizing to the technology's level grid).
+// mapper (quantizing to the technology's level grid). Devices pinned by an
+// installed fault map ignore the write and stay on their rail.
 func (x *Crossbar) Program(r, c int, w float64) {
 	p := x.mapper.Map(w)
+	if x.faults != nil {
+		gmin, gmax := x.Tech.GMin(), x.Tech.GMax()
+		if g, ok := pinned(x.faults.At(r, c, fault.Pos), gmin, gmax); ok {
+			p.GPos = g
+		}
+		if g, ok := pinned(x.faults.At(r, c, fault.Neg), gmin, gmax); ok {
+			p.GNeg = g
+		}
+	}
 	x.gpos.Set(r, c, p.GPos)
 	x.gneg.Set(r, c, p.GNeg)
 }
@@ -109,7 +159,17 @@ func (x *Crossbar) ProgramMatrix(w *tensor.Mat) error {
 }
 
 // Perturb injects device non-idealities into the programmed conductances
-// using the technology's parameters. Deterministic for a given rng.
+// using the technology's parameters.
+//
+// Seed/determinism contract (mirrors snn.PoissonEncoder.ForkSeed): the
+// perturbation is a pure function of the rng's seed and the programmed
+// state — it draws from rng in a fixed order (variation first, row-major
+// across both planes; then stuck-at, row-major, interleaving the planes)
+// and never consults any other source of randomness. Two crossbars
+// programmed with the same weights and perturbed with equal-seeded rngs are
+// identical device-for-device, so every downstream inference result is
+// reproducible from the seed alone. Campaign-driven injection via SetFaults
+// keys the same guarantee off (campaign seed, physical slot) instead.
 func (x *Crossbar) Perturb(cfg Config, rng *rand.Rand) {
 	if cfg.Variation {
 		sigma := x.Tech.VariationSigma

@@ -28,7 +28,12 @@ go test -race \
     ./internal/snn/ \
     ./internal/core/ \
     ./internal/cmosbase/ \
+    ./internal/fault/ \
+    ./internal/mapping/ \
     ./internal/serve/
+
+echo "== fuzz smoke (FuzzFaultMap, 5s)"
+go test -run Fuzz -fuzz=FuzzFaultMap -fuzztime=5s ./internal/fault/
 
 # Perf regression check — warn-only: timings drift with machine load, so a
 # slowdown in the delta table is a prompt to investigate, not a CI failure.
