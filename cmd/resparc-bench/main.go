@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard]
 //	              [-quick] [-out FILE] [-workers N] [-json FILE] [-blocked=false]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -30,7 +30,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
@@ -245,6 +245,42 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "bench results written to %s\n", *jsonPath)
+	}
+	// The multi-chip pipeline sweep is explicit-only (it simulates three
+	// benchmarks twice). Its entries are modeled, not wall-clock, so the same
+	// -seed reproduces them bit-identically; merging preserves the existing
+	// file's header (timestamp, git revision) so a same-seed rerun leaves
+	// BENCH_RESULTS.json byte-identical.
+	if *fig == "shard" {
+		entries, t, err := experiments.FigShard(cfg)
+		if err != nil {
+			log.Fatalf("shard: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		prev, err := perf.ReadBenchFile(*jsonPath)
+		if err != nil {
+			log.Fatalf("shard: %v", err)
+		}
+		rep := perf.NewBenchReport(perf.MergeEntries(prev.Entries, entries))
+		if prev.Timestamp != "" {
+			rep.Timestamp = prev.Timestamp
+			rep.GitRevision = prev.GitRevision
+			rep.GoVersion = prev.GoVersion
+			rep.GOMAXPROCS = prev.GOMAXPROCS
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perf.WriteBenchJSON(f, rep); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "shard results merged into %s\n", *jsonPath)
 	}
 	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
 	// benchmark 13 times); it also writes the machine-readable JSON. The

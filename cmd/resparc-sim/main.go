@@ -119,7 +119,7 @@ func writeTrace(path string, b bench.Benchmark, p experiments.Pair, cfg experime
 	if err != nil {
 		return err
 	}
-	_, rep := chip.Classify(bench.NormalizeIntensity(img), snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
+	_, rep := chip.ClassifyDetailed(bench.NormalizeIntensity(img), snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7))
 	if rep.TraceError != nil {
 		return rep.TraceError
 	}

@@ -15,6 +15,7 @@ import (
 	"resparc/internal/dataset"
 	"resparc/internal/mapping"
 	"resparc/internal/report"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -56,15 +57,15 @@ func main() {
 			inputs[i] = bench.NormalizeIntensity(img)
 		}
 		// Parallel batch API (deterministic per-sample encoders).
-		res, _, err := chip.ClassifyBatchParallel(inputs, func(i int) snn.Encoder {
+		res, _, err := chip.ClassifyBatch(inputs, func(i int) snn.Encoder {
 			return snn.NewPoissonEncoder(0.8, 7+int64(i))
-		}, 4)
+		}, sim.Options{Workers: 4})
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Pipelining numbers come from one classification's per-layer
 		// cycle profile.
-		_, rep := chip.Classify(inputs[0], snn.NewPoissonEncoder(0.8, 7))
+		_, rep := chip.ClassifyDetailed(inputs[0], snn.NewPoissonEncoder(0.8, 7))
 		seq := res.Throughput()
 		pipe := rep.PipelinedThroughput(opt.Steps, opt.Params.NCCycle())
 		t.Add(name, report.Sci(res.Latency), report.F(seq), report.F(pipe),

@@ -42,7 +42,7 @@ func main() {
 	}
 	chip, err := core.New(net, m, core.DefaultOptions())
 	check(err)
-	rRes, rRep := chip.Classify(input, snn.NewPoissonEncoder(0.8, 7))
+	rRes, rRep := chip.ClassifyDetailed(input, snn.NewPoissonEncoder(0.8, 7))
 	fmt.Printf("RESPARC: class %d, %.3g J, %.3g s (neuron %.0f%% / crossbar %.0f%% / peripherals %.0f%%)\n",
 		rRep.Predicted, rRes.Energy, rRes.Latency,
 		100*rRep.Energy.Neuron/rRes.Energy,
@@ -52,7 +52,7 @@ func main() {
 	// 4. Same classification on the optimized CMOS digital baseline.
 	base, err := cmosbase.New(net, cmosbase.DefaultOptions())
 	check(err)
-	cRes, cRep := base.Classify(input, snn.NewPoissonEncoder(0.8, 7))
+	cRes, cRep := base.ClassifyDetailed(input, snn.NewPoissonEncoder(0.8, 7))
 	fmt.Printf("CMOS:    class %d, %.3g J, %.3g s\n", cRep.Predicted, cRes.Energy, cRes.Latency)
 	fmt.Printf("RESPARC advantage: %.0fx energy, %.0fx speed\n",
 		cRes.Energy/rRes.Energy, cRes.Latency/rRes.Latency)

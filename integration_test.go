@@ -87,7 +87,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	img := bench.NormalizeIntensity(test.Samples[0].Input)
-	rRes, rRep := chip.Classify(img, snn.NewPoissonEncoder(0.8, 5))
+	rRes, rRep := chip.ClassifyDetailed(img, snn.NewPoissonEncoder(0.8, 5))
 	if rRep.TraceError != nil {
 		t.Fatal(rRep.TraceError)
 	}
@@ -108,7 +108,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cRes, cRep := base.Classify(img, snn.NewPoissonEncoder(0.8, 5))
+	cRes, cRep := base.ClassifyDetailed(img, snn.NewPoissonEncoder(0.8, 5))
 
 	// 6. The cross-architecture invariants.
 	if rRep.Predicted != cRep.Predicted {

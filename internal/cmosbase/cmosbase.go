@@ -21,8 +21,8 @@ import (
 
 	"resparc/internal/bitvec"
 	"resparc/internal/energy"
-	"resparc/internal/parallel"
 	"resparc/internal/perf"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -223,24 +223,56 @@ func (o *observer) ObserveStep(_ int, input *bitvec.Bits, layers []*bitvec.Bits)
 	}
 }
 
-// Classify simulates one classification and returns the result and report.
-func (b *Baseline) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
-	return b.classifyWith(snn.NewState(b.Net), intensity, enc)
+var _ sim.Backend = (*Baseline)(nil)
+
+// Name implements sim.Backend.
+func (b *Baseline) Name() string { return "cmos" }
+
+// Network implements sim.Backend.
+func (b *Baseline) Network() *snn.Network { return b.Net }
+
+// Healthy implements sim.Backend; the digital baseline has no fault
+// campaigns, so it is always servable.
+func (b *Baseline) Healthy() error { return nil }
+
+// Classify implements sim.Backend: one classification with the baseline's
+// configured runner and step budget.
+func (b *Baseline) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, sim.Report) {
+	res, rep, steps := b.classifyOne(snn.NewState(b.Net), intensity, enc, sim.Options{})
+	return res, sim.Report{Predicted: rep.Predicted, Steps: steps, Detail: rep}
 }
 
-// classifyWith runs one classification on a caller-owned state (reused
-// across a worker's batch share; RunObserved resets it).
-func (b *Baseline) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
+// ClassifyDetailed is Classify returning the baseline's own Report (event
+// counters, per-layer cycles) instead of the backend-neutral sim.Report.
+func (b *Baseline) ClassifyDetailed(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
+	res, rep, _ := b.classifyOne(snn.NewState(b.Net), intensity, enc, sim.Options{})
+	return res, rep
+}
+
+// classifyOne runs one classification on a caller-owned state (reused
+// across a worker's batch share) under the given per-call options.
+func (b *Baseline) classifyOne(st *snn.State, intensity tensor.Vec, enc snn.Encoder, opt sim.Options) (perf.Result, Report, int) {
 	obs := &observer{b: b}
+	if opt.EarlyExit {
+		steps, predicted := sim.EarlyExitRun(st, intensity, enc, b.Opt.Steps, obs)
+		res, rep := b.finish(obs.cnt, predicted)
+		rep.LayerCycles = obs.layerCycles
+		res.Steps = steps
+		return res, rep, steps
+	}
 	var run snn.RunResult
-	if b.Opt.Stepped {
+	if b.Opt.Stepped || opt.Stepped {
 		run = st.RunObserved(intensity, enc, b.Opt.Steps, obs)
 	} else {
-		run = st.RunBlockedK(intensity, enc, b.Opt.Steps, b.Opt.BlockSize, obs)
+		bs := b.Opt.BlockSize
+		if opt.BlockSize > 0 {
+			bs = opt.BlockSize
+		}
+		run = st.RunBlockedK(intensity, enc, b.Opt.Steps, bs, obs)
 	}
 	res, rep := b.finish(obs.cnt, run.Prediction)
 	rep.LayerCycles = obs.layerCycles
-	return res, rep
+	return res, rep, b.Opt.Steps
 }
 
 func (b *Baseline) finish(cnt Counters, predicted int) (perf.Result, Report) {
@@ -263,39 +295,28 @@ func (b *Baseline) finish(cnt Counters, predicted int) (perf.Result, Report) {
 	return res, rep
 }
 
-// EncoderFactory builds a deterministic per-sample encoder.
-type EncoderFactory func(sample int) snn.Encoder
-
-// ClassifyEach classifies every input across the shared worker pool
-// (internal/parallel) and returns the per-image results in input order —
-// the primitive behind both ClassifyBatchParallel and the serving layer's
-// per-request reports. Each worker owns one simulation state, each sample
-// gets its own encoder, and image i's outcome depends only on
-// (input[i], enc(i)), so results are bit-identical for any worker count:
-// ClassifyEach(..., 1) is the serial reference. workers <= 0 selects one
-// worker per CPU.
-func (b *Baseline) ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, workers int) ([]perf.Result, []Report, error) {
-	if len(inputs) == 0 {
-		return nil, nil, fmt.Errorf("cmosbase: empty batch")
-	}
-	workers = parallel.Clamp(workers, len(inputs))
-	states := make([]*snn.State, workers)
-	for w := range states {
-		states[w] = snn.NewState(b.Net)
-	}
-	ress := make([]perf.Result, len(inputs))
-	reps := make([]Report, len(inputs))
-	parallel.ForEach(len(inputs), workers, func(worker, i int) {
-		ress[i], reps[i] = b.classifyWith(states[worker], inputs[i], enc(i))
+// ClassifyEach implements sim.Backend: per-image classification across the
+// shared worker pool via the one fan-out in sim.Each. Each worker owns one
+// simulation state, each sample gets its own encoder, and image i's outcome
+// depends only on (input[i], enc(i)), so results are bit-identical for any
+// worker count.
+func (b *Baseline) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt sim.Options) ([]perf.Result, []sim.Report, error) {
+	return sim.Each(inputs, enc, opt, func() sim.Session {
+		st := snn.NewState(b.Net)
+		return func(in tensor.Vec, e snn.Encoder) (perf.Result, sim.Report) {
+			res, rep, steps := b.classifyOne(st, in, e, opt)
+			return res, sim.Report{Predicted: rep.Predicted, Steps: steps, Detail: rep}
+		}
 	})
-	return ress, reps, nil
 }
 
-// reduceReports aggregates per-image reports into the batch shape shared by
-// ClassifyBatch and ClassifyBatchParallel: counters and per-layer cycles
-// averaged per classification (the paper reports per-classification
-// averages), energy recomputed from the averaged counters, and
-// Predicted == -1 (an aggregate has no single prediction).
+// reduceReports aggregates per-image reports into the baseline's batch
+// shape: counters and per-layer cycles averaged per classification (the
+// paper reports per-classification averages), energy recomputed from the
+// averaged counters, and Predicted == -1 (an aggregate has no single
+// prediction). The reduction differs from the chip's (which averages
+// energies directly) — which is exactly why aggregation lives with the
+// backend rather than in sim.
 func (b *Baseline) reduceReports(reps []Report) (perf.Result, Report) {
 	var cnt Counters
 	layer := make([]int, len(b.Net.Layers))
@@ -323,34 +344,18 @@ func (b *Baseline) reduceReports(reps []Report) (perf.Result, Report) {
 	return res, rep
 }
 
-// ClassifyBatchParallel runs the batch across the shared worker pool with a
-// per-sample encoder and reduces ClassifyEach's per-image reports with the
-// same aggregation as the serial ClassifyBatch, so the outcome is
-// bit-identical for any worker count. workers <= 0 selects one worker per
-// CPU.
-func (b *Baseline) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
-	_, reps, err := b.ClassifyEach(inputs, enc, workers)
+// ClassifyBatch implements sim.Backend: it classifies every input and
+// reduces the per-image reports with the baseline's aggregation. The
+// outcome is bit-identical for any worker count.
+func (b *Baseline) ClassifyBatch(inputs []tensor.Vec, enc sim.EncoderFactory, opt sim.Options) (perf.Result, sim.Report, error) {
+	_, sreps, err := b.ClassifyEach(inputs, enc, opt)
 	if err != nil {
-		return perf.Result{}, Report{}, err
+		return perf.Result{}, sim.Report{}, err
+	}
+	reps := make([]Report, len(sreps))
+	for i, r := range sreps {
+		reps[i] = r.Detail.(Report)
 	}
 	res, rep := b.reduceReports(reps)
-	return res, rep, nil
-}
-
-// ClassifyBatch averages over several inputs. It shares one simulation
-// state and one sequential encoder stream across the batch, and reduces
-// through the same aggregation as ClassifyBatchParallel, so both paths
-// return identical shapes (averaged counters, per-layer cycles,
-// Predicted == -1).
-func (b *Baseline) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result, Report, error) {
-	if len(inputs) == 0 {
-		return perf.Result{}, Report{}, fmt.Errorf("cmosbase: empty batch")
-	}
-	st := snn.NewState(b.Net)
-	reps := make([]Report, len(inputs))
-	for i, in := range inputs {
-		_, reps[i] = b.classifyWith(st, in, enc)
-	}
-	res, rep := b.reduceReports(reps)
-	return res, rep, nil
+	return res, sim.Report{Predicted: -1, Steps: b.Opt.Steps, Detail: rep}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -118,7 +119,7 @@ func TestSilenceIsNearlyFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rep := b.Classify(tensor.NewVec(net.Input.Size()), snn.NewPoissonEncoder(0.9, 1))
+	_, rep := b.ClassifyDetailed(tensor.NewVec(net.Input.Size()), snn.NewPoissonEncoder(0.9, 1))
 	if rep.Counts.SynOps != 0 || rep.Counts.WeightWords != 0 {
 		t.Fatalf("ops from silence: %+v", rep.Counts)
 	}
@@ -140,8 +141,8 @@ func TestEventDrivenReducesOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, repOn := on.Classify(intensity, snn.NewPoissonEncoder(0.6, 6))
-	_, repOff := off.Classify(intensity, snn.NewPoissonEncoder(0.6, 6))
+	_, repOn := on.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.6, 6))
+	_, repOff := off.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.6, 6))
 	if repOn.Counts.SynOps >= repOff.Counts.SynOps {
 		t.Fatalf("event-driven ops %d !< %d", repOn.Counts.SynOps, repOff.Counts.SynOps)
 	}
@@ -158,7 +159,7 @@ func TestEnergyBreakdownShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mlpRep := bm.Classify(denseIntensity(mlpNet.Input.Size(), 8), snn.NewPoissonEncoder(0.7, 9))
+	_, mlpRep := bm.ClassifyDetailed(denseIntensity(mlpNet.Input.Size(), 8), snn.NewPoissonEncoder(0.7, 9))
 	mlpMemFrac := (mlpRep.Energy.MemoryAccess + mlpRep.Energy.MemoryLeakage) / mlpRep.Energy.Total()
 
 	cnnNet := cnn(t, 10)
@@ -166,7 +167,7 @@ func TestEnergyBreakdownShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cnnRep := bc.Classify(denseIntensity(cnnNet.Input.Size(), 11), snn.NewPoissonEncoder(0.7, 12))
+	_, cnnRep := bc.ClassifyDetailed(denseIntensity(cnnNet.Input.Size(), 11), snn.NewPoissonEncoder(0.7, 12))
 	cnnMemFrac := (cnnRep.Energy.MemoryAccess + cnnRep.Energy.MemoryLeakage) / cnnRep.Energy.Total()
 
 	if mlpMemFrac <= cnnMemFrac {
@@ -202,7 +203,7 @@ func TestThroughputModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rep := b.Classify(denseIntensity(cnnNet.Input.Size(), 17), snn.NewPoissonEncoder(0.8, 18))
+	_, rep := b.ClassifyDetailed(denseIntensity(cnnNet.Input.Size(), 17), snn.NewPoissonEncoder(0.8, 18))
 	if rep.Counts.Cycles <= 0 {
 		t.Fatal("no cycles")
 	}
@@ -217,7 +218,7 @@ func TestThroughputModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mrep := bm.Classify(denseIntensity(mlpNet.Input.Size(), 20), snn.NewPoissonEncoder(0.8, 21))
+	_, mrep := bm.ClassifyDetailed(denseIntensity(mlpNet.Input.Size(), 20), snn.NewPoissonEncoder(0.8, 21))
 	// Dense: one weight per cycle at 4 bits.
 	if mrep.Counts.Cycles != mrep.Counts.SynOps {
 		t.Fatalf("dense cycles %d != ops %d", mrep.Counts.Cycles, mrep.Counts.SynOps)
@@ -230,17 +231,18 @@ func TestClassifyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.ClassifyBatch(nil, snn.NewPoissonEncoder(0.5, 1)); err == nil {
+	if _, _, err := b.ClassifyBatch(nil, func(int) snn.Encoder { return snn.NewPoissonEncoder(0.5, 1) }, sim.Options{}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 	inputs := []tensor.Vec{
 		denseIntensity(net.Input.Size(), 23),
 		denseIntensity(net.Input.Size(), 24),
 	}
-	res, rep, err := b.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 25))
+	res, srep, err := b.ClassifyBatch(inputs, func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 25+int64(i)) }, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rep := srep.Detail.(Report)
 	if res.Energy <= 0 || rep.Latency <= 0 {
 		t.Fatalf("batch result %+v", res)
 	}
@@ -253,7 +255,7 @@ func TestPredictionMatchesFunctionalModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	intensity := denseIntensity(net.Input.Size(), 27)
-	_, rep := b.Classify(intensity, snn.NewPoissonEncoder(0.8, 28))
+	_, rep := b.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 28))
 	st := snn.NewState(net)
 	want := st.Run(intensity, snn.NewPoissonEncoder(0.8, 28), b.Opt.Steps).Prediction
 	if rep.Predicted != want {
@@ -269,7 +271,7 @@ func TestLayerCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rep := b.Classify(denseIntensity(net.Input.Size(), 71), snn.NewPoissonEncoder(0.8, 72))
+	_, rep := b.ClassifyDetailed(denseIntensity(net.Input.Size(), 71), snn.NewPoissonEncoder(0.8, 72))
 	if len(rep.LayerCycles) != len(net.Layers) {
 		t.Fatalf("LayerCycles %d", len(rep.LayerCycles))
 	}

@@ -3,6 +3,7 @@ package cmosbase
 import (
 	"testing"
 
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -20,18 +21,20 @@ func TestClassifyBatchParallelDeterministic(t *testing.T) {
 		denseIntensity(net.Input.Size(), 64),
 	}
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 200+int64(i)) }
-	serial, sRep, err := b.ClassifyBatchParallel(inputs, factory, 1)
+	serial, sSRep, err := b.ClassifyBatch(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, pRep, err := b.ClassifyBatchParallel(inputs, factory, 3)
+	par, pSRep, err := b.ClassifyBatch(inputs, factory, sim.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sRep := sSRep.Detail.(Report)
+	pRep := pSRep.Detail.(Report)
 	if serial.Energy != par.Energy || serial.Latency != par.Latency || sRep.Counts != pRep.Counts {
 		t.Fatalf("parallel diverged: %+v vs %+v", sRep.Counts, pRep.Counts)
 	}
-	if _, _, err := b.ClassifyBatchParallel(nil, factory, 2); err == nil {
+	if _, _, err := b.ClassifyBatch(nil, factory, sim.Options{Workers: 2}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }
@@ -52,11 +55,11 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 		denseIntensity(net.Input.Size(), 69),
 	}
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 500+int64(i)) }
-	one, oneReps, err := b.ClassifyEach(inputs, factory, 1)
+	one, oneReps, err := b.ClassifyEach(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, manyReps, err := b.ClassifyEach(inputs, factory, 3)
+	many, manyReps, err := b.ClassifyEach(inputs, factory, sim.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
 		}
 	}
-	if _, _, err := b.ClassifyEach(nil, factory, 2); err == nil {
+	if _, _, err := b.ClassifyEach(nil, factory, sim.Options{Workers: 2}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }
@@ -86,16 +89,17 @@ func TestClassifyBatchAggregateShapeUnified(t *testing.T) {
 		denseIntensity(net.Input.Size(), 76),
 		denseIntensity(net.Input.Size(), 77),
 	}
-	_, sRep, err := b.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 78))
-	if err != nil {
-		t.Fatal(err)
-	}
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 600+int64(i)) }
-	_, pRep, err := b.ClassifyBatchParallel(inputs, factory, 2)
+	_, sSRep, err := b.ClassifyBatch(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rep := range []Report{sRep, pRep} {
+	_, pSRep, err := b.ClassifyBatch(inputs, factory, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, srep := range []sim.Report{sSRep, pSRep} {
+		rep := srep.Detail.(Report)
 		if rep.Predicted != -1 {
 			t.Fatalf("aggregate Predicted = %d, want -1", rep.Predicted)
 		}

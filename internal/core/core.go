@@ -12,6 +12,12 @@
 //
 // Its event counts (and cycle counts) are validated against the cycle-level
 // NeuroCell simulator (internal/neurocell) on small networks.
+//
+// Chip implements sim.Backend; all batch entry points route through the
+// shared fan-out in internal/sim. Accounting is kept per layer (LayerCycles,
+// LayerEnergies) and totals are reduced in ascending layer order, which is
+// what lets internal/shard slice a chip's accounting across a multi-chip
+// pipeline and still reproduce the single-chip totals bit for bit.
 package core
 
 import (
@@ -21,8 +27,8 @@ import (
 	"resparc/internal/bitvec"
 	"resparc/internal/energy"
 	"resparc/internal/mapping"
-	"resparc/internal/parallel"
 	"resparc/internal/perf"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 	"resparc/internal/trace"
@@ -106,8 +112,13 @@ type Report struct {
 	Predicted int
 	// LayerCycles accumulates cycles per layer stage over the run — the
 	// basis of the pipelined-throughput analysis (Fig 7a: layers inside
-	// NeuroCells process different timesteps concurrently).
+	// NeuroCells process different timesteps concurrently). For a range
+	// accountant (see Accountant) the slice covers only the charged range.
 	LayerCycles []int
+	// LayerEnergies is the per-layer energy breakdown; Energy is its
+	// layer-order sum (perf.SumRESPARC), which is what makes multi-chip
+	// accounting slices recombine to the bit-identical single-chip total.
+	LayerEnergies []perf.RESPARCEnergy
 	// BusCycles is the portion of Cycles spent on the shared global bus;
 	// bus phases of different stages cannot overlap.
 	BusCycles int
@@ -200,42 +211,77 @@ func New(net *snn.Network, m *mapping.Mapping, opt Options) (*Chip, error) {
 	return c, nil
 }
 
-// observer accumulates events and energy during a run.
+var _ sim.Backend = (*Chip)(nil)
+
+// Name implements sim.Backend.
+func (c *Chip) Name() string { return "resparc" }
+
+// Network implements sim.Backend.
+func (c *Chip) Network() *snn.Network { return c.Net }
+
+// observer accumulates events and energy for the global layer range
+// [lo, hi) during a run. The full chip observes [0, len(layers)); the shard
+// executor charges disjoint sub-ranges (via Accountant) whose reports merge
+// back to the identical totals.
 type observer struct {
 	chip        *Chip
+	lo, hi      int // global layer range [lo, hi)
 	cnt         Counters
-	e           perf.RESPARCEnergy
-	layerCycles []int
+	layerE      []perf.RESPARCEnergy // per local layer
+	layerCycles []int                // per local layer
 	busCycles   int
 	breakdown   CycleBreakdown
-	scratch     [][]int32 // per-layer active-MCA count per group
+	scratch     [][]int32 // per local layer: active-MCA count per group
 	traceErr    error
 }
 
-func (o *observer) groupScratch(li, groups int) []int32 {
-	if o.scratch == nil {
-		o.scratch = make([][]int32, len(o.chip.Map.Layers))
+func newObserver(c *Chip, lo, hi int) observer {
+	n := hi - lo
+	return observer{
+		chip: c, lo: lo, hi: hi,
+		layerE:      make([]perf.RESPARCEnergy, n),
+		layerCycles: make([]int, n),
+		scratch:     make([][]int32, n),
 	}
-	if o.scratch[li] == nil {
-		o.scratch[li] = make([]int32, groups)
+}
+
+func (o *observer) groupScratch(j, groups int) []int32 {
+	if o.scratch[j] == nil {
+		o.scratch[j] = make([]int32, groups)
 	}
-	return o.scratch[li]
+	return o.scratch[j]
+}
+
+// reset clears the accumulated accounting, keeping the scratch allocations,
+// so one observer can be reused across a stream of classifications.
+func (o *observer) reset() {
+	o.cnt = Counters{}
+	for i := range o.layerE {
+		o.layerE[i] = perf.RESPARCEnergy{}
+	}
+	for i := range o.layerCycles {
+		o.layerCycles[i] = 0
+	}
+	o.busCycles = 0
+	o.breakdown = CycleBreakdown{}
+	o.traceErr = nil
 }
 
 // ObserveStep implements snn.Observer: it charges one timestep's events.
+// layers holds the spike vectors of the observed range only (local indices);
+// input is the spike vector feeding the range's first layer.
 func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bits) {
 	c := o.chip
 	p := c.Opt.Params
 	w := c.Opt.PacketWidth
 	ed := c.Opt.EventDriven
-	if o.layerCycles == nil {
-		o.layerCycles = make([]int, len(c.Map.Layers))
-	}
 	cur := input
-	for li := range c.Map.Layers {
-		lm := &c.Map.Layers[li]
+	for j := 0; j < o.hi-o.lo; j++ {
+		gi := o.lo + j
+		lm := &c.Map.Layers[gi]
+		le := &o.layerE[j]
 		prevCnt := o.cnt
-		prevE := o.e
+		prevE := *le
 
 		// ---- Global control: event-flag synchronization (flags are read
 		// eight NeuroCells per access) ----
@@ -244,22 +290,22 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		o.breakdown.Sync += syncCycles
 
 		// ---- Global bus & SRAM (§3.1.3) ----
-		if c.Map.CrossNC(li) {
+		if c.Map.CrossNC(gi) {
 			zero, total := cur.ZeroPackets(w)
 			sent := total - zero
 			if !ed {
 				sent = total
 				zero = 0
 			}
-			o.e.Peripherals += float64(total) * p.ZeroCheck
+			le.Peripherals += float64(total) * p.ZeroCheck
 			// Producer write to SRAM + broadcast read: two bus transactions
 			// and two SRAM accesses per surviving word (layer 0 is loaded by
 			// the host, so only the broadcast read applies).
 			per := 2.0
-			if li == 0 {
+			if gi == 0 {
 				per = 1.0
 			}
-			o.e.Peripherals += float64(sent) * per * (p.BusWord + c.sram.AccessEnergy())
+			le.Peripherals += float64(sent) * per * (p.BusWord + c.sram.AccessEnergy())
 			o.cnt.BusWords += sent
 			o.cnt.BusWordsSuppressed += zero
 			// Broadcast serializes on the bus, several words per cycle.
@@ -277,7 +323,7 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		nonzeroWord := wordOccupancy(cur, w)
 		delivered := 0
 		maxMux := int32(0)
-		ga := o.groupScratch(li, lm.Groups)
+		ga := o.groupScratch(j, lm.Groups)
 		for i := range ga {
 			ga[i] = 0
 		}
@@ -291,10 +337,10 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		var mpeWords []int
 		flushMPE := func() {
 			for _, word := range mpeWords {
-				o.e.Peripherals += p.ZeroCheck
+				le.Peripherals += p.ZeroCheck
 				if nonzeroWord[word] || !ed {
 					delivered++
-					o.e.Peripherals += p.SwitchHop + 2*p.BufferAccess
+					le.Peripherals += p.SwitchHop + 2*p.BufferAccess
 				} else {
 					o.cnt.PacketsSuppressed++
 				}
@@ -336,7 +382,7 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 			}
 			o.cnt.MCAActivations++
 			o.cnt.RowsDriven += rows
-			o.e.Peripherals += p.MPEControl
+			le.Peripherals += p.MPEControl
 			// Crossbar: every cross-point on a driven row conducts; used
 			// cells at programmed conductance, idle cells at the GMin pair
 			// (unless the counterfactual column gating is enabled).
@@ -348,11 +394,11 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 			if p.GateIdleColumns {
 				idlePerRow = 0
 			}
-			o.e.Crossbar += float64(rows) * (usedPerRow*p.XbarCellActive + idlePerRow*p.XbarCellActive*p.XbarIdleFrac)
+			le.Crossbar += float64(rows) * (usedPerRow*p.XbarCellActive + idlePerRow*p.XbarCellActive*p.XbarIdleFrac)
 			// Neuron integration of this MCA's columns.
 			o.cnt.Integrations += len(mca.Outputs)
-			o.e.Neuron += float64(len(mca.Outputs)) * p.NeuronIntegrate
-			if int32(mca.MPE) != c.owner[li][mca.Group] {
+			le.Neuron += float64(len(mca.Outputs)) * p.NeuronIntegrate
+			if int32(mca.MPE) != c.owner[gi][mca.Group] {
 				o.cnt.ExtTransfers++
 			}
 			if ga[mca.Group]++; ga[mca.Group] > maxMux {
@@ -370,13 +416,13 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		o.breakdown.Integrate += integrateCycles
 
 		// ---- Fire ----
-		out := layers[li]
+		out := layers[j]
 		spikes := out.Count()
 		o.cnt.Spikes += spikes
-		o.e.Neuron += float64(spikes) * p.NeuronSpike
+		le.Neuron += float64(spikes) * p.NeuronSpike
 		// Every spike is handled by the peripherals: oBUFF write, tBUFF
 		// target lookup, packet assembly.
-		o.e.Peripherals += float64(spikes) * p.SpikeHandling
+		le.Peripherals += float64(spikes) * p.SpikeHandling
 		// Spikes drain through the mPEs' output ports in parallel, one per
 		// mPE per cycle.
 		if spikes > 0 || maxMux > 0 {
@@ -388,14 +434,14 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 			o.cnt.Cycles += drainCycles
 			o.breakdown.Drain += drainCycles
 		}
-		o.layerCycles[li] += o.cnt.Cycles - prevCnt.Cycles
+		o.layerCycles[j] += o.cnt.Cycles - prevCnt.Cycles
 
 		// Optional trace: per-(step, layer) deltas.
 		if c.Opt.Trace != nil {
 			dc := o.cnt
-			de := o.e.Total() - prevE.Total()
+			de := le.Total() - prevE.Total()
 			err := c.Opt.Trace.Write(trace.Event{
-				Step: step, Layer: li, Name: lm.Layer.Name,
+				Step: step, Layer: gi, Name: lm.Layer.Name,
 				InputSpikes:  cur.Count(),
 				OutputSpikes: out.Count(),
 				Packets:      dc.PacketsDelivered - prevCnt.PacketsDelivered,
@@ -413,93 +459,180 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 	}
 }
 
-// Classify simulates one classification and returns the result plus the
-// detailed report.
-func (c *Chip) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
-	return c.classifyWith(snn.NewState(c.Net), intensity, enc)
-}
-
-// classifyWith runs one classification on a caller-owned state (reused
-// across a worker's batch share).
-func (c *Chip) classifyWith(st *snn.State, intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
-	obs := &observer{chip: c}
-	var run snn.RunResult
-	if c.Opt.Stepped {
-		run = st.RunObserved(intensity, enc, c.Opt.Steps, obs)
-	} else {
-		run = st.RunBlockedK(intensity, enc, c.Opt.Steps, c.Opt.BlockSize, obs)
-	}
-	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
+// report reduces the accumulated accounting to a result/report pair.
+func (o *observer) report(predicted, steps int) (perf.Result, Report) {
+	e := perf.SumRESPARC(o.layerE)
+	lat := float64(o.cnt.Cycles) * o.chip.Opt.Params.NCCycle()
 	rep := Report{
-		Energy: obs.e, Latency: lat, Counts: obs.cnt, Predicted: run.Prediction,
-		LayerCycles: obs.layerCycles, BusCycles: obs.busCycles,
-		Breakdown: obs.breakdown, TraceError: obs.traceErr,
+		Energy: e, Latency: lat, Counts: o.cnt, Predicted: predicted,
+		LayerCycles: o.layerCycles, LayerEnergies: o.layerE,
+		BusCycles: o.busCycles, Breakdown: o.breakdown, TraceError: o.traceErr,
 	}
 	res := perf.Result{
 		Arch:    "resparc",
-		Network: c.Net.Name,
-		Energy:  obs.e.Total(),
+		Network: o.chip.Net.Name,
+		Energy:  e.Total(),
 		Latency: lat,
-		Steps:   c.Opt.Steps,
+		Steps:   steps,
 	}
 	return res, rep
 }
 
-// ClassifyBatch averages energy/latency over several inputs (the paper
-// reports per-classification averages). It shares one simulation state and
-// one sequential encoder stream across the batch, and reduces through the
-// same aggregation as ClassifyBatchParallel, so both paths return identical
-// shapes: averaged energies/latency, summed counters, per-layer cycles, and
-// Predicted == -1 (an aggregate has no single prediction).
-func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc snn.Encoder) (perf.Result, Report, error) {
-	if len(inputs) == 0 {
-		return perf.Result{}, Report{}, fmt.Errorf("core: empty batch")
-	}
-	if err := c.Healthy(); err != nil {
-		return perf.Result{}, Report{}, err
-	}
-	st := snn.NewState(c.Net)
-	reps := make([]Report, len(inputs))
-	for i, in := range inputs {
-		_, reps[i] = c.classifyWith(st, in, enc)
-	}
-	res, avg := c.reduceReports(reps)
-	return res, avg, nil
+// Accountant charges the chip's event/energy accounting for a contiguous
+// global layer range [lo, hi) — the primitive behind internal/shard's
+// multi-chip execution. It implements snn.Observer over the spike vectors
+// of that range (local indices, input = the range's boundary spikes), and
+// its Report slices the single-chip accounting exactly: concatenating the
+// per-layer cycles/energies of adjacent ranges and reducing in layer order
+// reproduces the whole chip's report bit for bit.
+type Accountant struct {
+	obs observer
 }
 
-// reduceReports aggregates per-image reports into the batch shape shared by
-// ClassifyBatch and ClassifyBatchParallel: energies and latency averaged per
-// classification, event counters and cycle breakdowns summed over the batch.
+// NewAccountant returns an accountant for global layers [lo, hi).
+func (c *Chip) NewAccountant(lo, hi int) (*Accountant, error) {
+	if lo < 0 || hi > len(c.Net.Layers) || lo >= hi {
+		return nil, fmt.Errorf("core: accountant range [%d,%d) of %d layers", lo, hi, len(c.Net.Layers))
+	}
+	return &Accountant{obs: newObserver(c, lo, hi)}, nil
+}
+
+// ObserveStep implements snn.Observer; layers holds the range's spike
+// vectors only.
+func (a *Accountant) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	a.obs.ObserveStep(step, input, layers)
+}
+
+// Reset clears the accounting for the next classification (scratch buffers
+// are retained).
+func (a *Accountant) Reset() { a.obs.reset() }
+
+// Report reduces the range's accounting. Latency covers the charged range's
+// cycles only. The per-layer slices are copies: the accountant is reused
+// across classifications (Reset), so reports must not alias its buffers.
+func (a *Accountant) Report(predicted, steps int) (perf.Result, Report) {
+	res, rep := a.obs.report(predicted, steps)
+	rep.LayerCycles = append([]int(nil), rep.LayerCycles...)
+	rep.LayerEnergies = append([]perf.RESPARCEnergy(nil), rep.LayerEnergies...)
+	return res, rep
+}
+
+// classifyOne runs one classification on a caller-owned state (reused
+// across a worker's batch share) under the given per-call options.
+func (c *Chip) classifyOne(st *snn.State, intensity tensor.Vec, enc snn.Encoder, opt sim.Options) (perf.Result, Report, int) {
+	obs := newObserver(c, 0, len(c.Net.Layers))
+	if opt.EarlyExit {
+		steps, predicted := sim.EarlyExitRun(st, intensity, enc, c.Opt.Steps, &obs)
+		res, rep := obs.report(predicted, steps)
+		return res, rep, steps
+	}
+	var run snn.RunResult
+	if c.Opt.Stepped || opt.Stepped {
+		run = st.RunObserved(intensity, enc, c.Opt.Steps, &obs)
+	} else {
+		bs := c.Opt.BlockSize
+		if opt.BlockSize > 0 {
+			bs = opt.BlockSize
+		}
+		run = st.RunBlockedK(intensity, enc, c.Opt.Steps, bs, &obs)
+	}
+	res, rep := obs.report(run.Prediction, c.Opt.Steps)
+	return res, rep, c.Opt.Steps
+}
+
+// Classify implements sim.Backend: one classification with the chip's
+// configured runner and step budget.
+func (c *Chip) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, sim.Report) {
+	res, rep, steps := c.classifyOne(snn.NewState(c.Net), intensity, enc, sim.Options{})
+	return res, sim.Report{Predicted: rep.Predicted, Steps: steps, Detail: rep}
+}
+
+// ClassifyDetailed is Classify returning the chip's own Report (event
+// counters, cycle breakdown, per-layer accounting) instead of the
+// backend-neutral sim.Report.
+func (c *Chip) ClassifyDetailed(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report) {
+	res, rep, _ := c.classifyOne(snn.NewState(c.Net), intensity, enc, sim.Options{})
+	return res, rep
+}
+
+// ClassifyEach implements sim.Backend: per-image classification across the
+// shared worker pool (internal/parallel) via the one fan-out in sim.Each.
+// Each worker owns one simulation state, each sample gets its own encoder,
+// and image i's outcome depends only on (input[i], enc(i)), so results are
+// bit-identical for any worker count. Tracing is not supported (the trace
+// writer is not concurrency-safe).
+func (c *Chip) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt sim.Options) ([]perf.Result, []sim.Report, error) {
+	if c.Opt.Trace != nil {
+		return nil, nil, fmt.Errorf("core: tracing is not supported with batched classification")
+	}
+	if err := c.Healthy(); err != nil {
+		return nil, nil, err
+	}
+	return sim.Each(inputs, enc, opt, func() sim.Session {
+		st := snn.NewState(c.Net)
+		return func(in tensor.Vec, e snn.Encoder) (perf.Result, sim.Report) {
+			res, rep, steps := c.classifyOne(st, in, e, opt)
+			return res, sim.Report{Predicted: rep.Predicted, Steps: steps, Detail: rep}
+		}
+	})
+}
+
+// ClassifyBatch implements sim.Backend: it classifies every input and
+// reduces the per-image reports to the chip's batch aggregate — energies
+// and latency averaged per classification, event counters and cycle
+// breakdowns summed, Predicted == -1 (an aggregate has no single
+// prediction). The outcome is bit-identical for any worker count.
+func (c *Chip) ClassifyBatch(inputs []tensor.Vec, enc sim.EncoderFactory, opt sim.Options) (perf.Result, sim.Report, error) {
+	_, sreps, err := c.ClassifyEach(inputs, enc, opt)
+	if err != nil {
+		return perf.Result{}, sim.Report{}, err
+	}
+	reps := make([]Report, len(sreps))
+	for i, r := range sreps {
+		reps[i] = r.Detail.(Report)
+	}
+	res, avg := c.reduceReports(reps)
+	return res, sim.Report{Predicted: -1, Steps: c.Opt.Steps, Detail: avg}, nil
+}
+
+// reduceReports aggregates per-image reports into the batch shape: energies
+// and latency averaged per classification, event counters and cycle
+// breakdowns summed over the batch.
 func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 	var total Report
 	for _, rep := range reps {
-		total.Energy.Neuron += rep.Energy.Neuron
-		total.Energy.Crossbar += rep.Energy.Crossbar
-		total.Energy.Peripherals += rep.Energy.Peripherals
 		total.Latency += rep.Latency
 		total.Counts = addCounters(total.Counts, rep.Counts)
 		total.BusCycles += rep.BusCycles
 		total.Breakdown = addBreakdown(total.Breakdown, rep.Breakdown)
 		if total.LayerCycles == nil {
 			total.LayerCycles = make([]int, len(rep.LayerCycles))
+			total.LayerEnergies = make([]perf.RESPARCEnergy, len(rep.LayerEnergies))
 		}
 		for li, cyc := range rep.LayerCycles {
 			total.LayerCycles[li] += cyc
 		}
+		for li, le := range rep.LayerEnergies {
+			total.LayerEnergies[li].Neuron += le.Neuron
+			total.LayerEnergies[li].Crossbar += le.Crossbar
+			total.LayerEnergies[li].Peripherals += le.Peripherals
+		}
 	}
 	n := float64(len(reps))
+	for li := range total.LayerEnergies {
+		total.LayerEnergies[li].Neuron /= n
+		total.LayerEnergies[li].Crossbar /= n
+		total.LayerEnergies[li].Peripherals /= n
+	}
 	avg := Report{
-		Energy: perf.RESPARCEnergy{
-			Neuron:      total.Energy.Neuron / n,
-			Crossbar:    total.Energy.Crossbar / n,
-			Peripherals: total.Energy.Peripherals / n,
-		},
-		Latency:     total.Latency / n,
-		Counts:      total.Counts,
-		BusCycles:   total.BusCycles,
-		Breakdown:   total.Breakdown,
-		LayerCycles: total.LayerCycles,
-		Predicted:   -1,
+		Energy:        perf.SumRESPARC(total.LayerEnergies),
+		Latency:       total.Latency / n,
+		Counts:        total.Counts,
+		BusCycles:     total.BusCycles,
+		Breakdown:     total.Breakdown,
+		LayerCycles:   total.LayerCycles,
+		LayerEnergies: total.LayerEnergies,
+		Predicted:     -1,
 	}
 	res := perf.Result{
 		Arch:    "resparc",
@@ -509,115 +642,6 @@ func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 		Steps:   c.Opt.Steps,
 	}
 	return res, avg
-}
-
-// ClassifyEarlyExit classifies with time-to-first-spike decoding and stops
-// simulating the moment an output neuron fires (or after Opt.Steps if none
-// does) — the event-driven early-exit a spiking accelerator gets for free.
-// It returns the result over the steps actually simulated, the TTFS
-// prediction (-1 if silent), and the number of steps executed.
-func (c *Chip) ClassifyEarlyExit(intensity tensor.Vec, enc snn.Encoder) (perf.Result, Report, int) {
-	st := snn.NewState(c.Net)
-	obs := &observer{chip: c}
-	in := bitvec.New(c.Net.Input.Size())
-	counts := make([]int, c.Net.OutSize())
-	first := -1
-	steps := 0
-	for t := 0; t < c.Opt.Steps; t++ {
-		enc.Encode(intensity, in)
-		out := st.Step(in)
-		obs.ObserveStep(t, st.InputSpikes(), stepSpikes(st, c))
-		steps++
-		fired := false
-		out.ForEachSet(func(i int) {
-			counts[i]++
-			fired = true
-		})
-		if fired {
-			first = bestOf(counts)
-			break
-		}
-	}
-	lat := float64(obs.cnt.Cycles) * c.Opt.Params.NCCycle()
-	rep := Report{
-		Energy: obs.e, Latency: lat, Counts: obs.cnt, Predicted: first,
-		LayerCycles: obs.layerCycles, BusCycles: obs.busCycles,
-		Breakdown: obs.breakdown,
-	}
-	res := perf.Result{
-		Arch: "resparc", Network: c.Net.Name,
-		Energy: obs.e.Total(), Latency: lat, Steps: steps,
-	}
-	return res, rep, steps
-}
-
-// stepSpikes adapts the state's per-layer spike vectors for the observer.
-func stepSpikes(st *snn.State, c *Chip) []*bitvec.Bits {
-	out := make([]*bitvec.Bits, len(c.Net.Layers))
-	for i := range out {
-		out[i] = st.LayerSpikes(i)
-	}
-	return out
-}
-
-func bestOf(counts []int) int {
-	best, bestN := -1, 0
-	for i, n := range counts {
-		if n > bestN {
-			best, bestN = i, n
-		}
-	}
-	return best
-}
-
-// EncoderFactory builds a deterministic per-sample encoder (typically
-// snn.NewPoissonEncoder(p, seed+int64(i))), making parallel batches
-// reproducible regardless of scheduling.
-type EncoderFactory func(sample int) snn.Encoder
-
-// ClassifyEach classifies every input across the shared worker pool
-// (internal/parallel) and returns the per-image results in input order —
-// the primitive behind both ClassifyBatchParallel and the serving layer's
-// per-request energy/latency reports. Each worker owns one simulation
-// state, each sample gets its own encoder, and image i's outcome depends
-// only on (input[i], enc(i)), so results are bit-identical for any worker
-// count: ClassifyEach(..., 1) is the serial reference. workers <= 0 selects
-// one worker per CPU. Tracing is not supported (the trace writer is not
-// concurrency-safe).
-func (c *Chip) ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, workers int) ([]perf.Result, []Report, error) {
-	if len(inputs) == 0 {
-		return nil, nil, fmt.Errorf("core: empty batch")
-	}
-	if c.Opt.Trace != nil {
-		return nil, nil, fmt.Errorf("core: tracing is not supported with batched classification")
-	}
-	if err := c.Healthy(); err != nil {
-		return nil, nil, err
-	}
-	workers = parallel.Clamp(workers, len(inputs))
-	states := make([]*snn.State, workers)
-	for w := range states {
-		states[w] = snn.NewState(c.Net)
-	}
-	ress := make([]perf.Result, len(inputs))
-	reps := make([]Report, len(inputs))
-	parallel.ForEach(len(inputs), workers, func(worker, i int) {
-		ress[i], reps[i] = c.classifyWith(states[worker], inputs[i], enc(i))
-	})
-	return ress, reps, nil
-}
-
-// ClassifyBatchParallel is ClassifyBatch across the shared worker pool: it
-// reduces ClassifyEach's per-image reports with the same aggregation as the
-// serial path, so the outcome is bit-identical for any worker count.
-// workers <= 0 selects one worker per CPU.
-func (c *Chip) ClassifyBatchParallel(inputs []tensor.Vec, enc EncoderFactory, workers int) (perf.Result, Report, error) {
-	_, reps, err := c.ClassifyEach(inputs, enc, workers)
-	if err != nil {
-		return perf.Result{}, Report{}, err
-	}
-	res, avg := c.reduceReports(reps)
-	return res, avg, nil
 }
 
 // wordOccupancy returns, per width-bit aligned word of the spike vector,

@@ -9,6 +9,7 @@ import (
 	"resparc/internal/mapping"
 	"resparc/internal/mpe"
 	"resparc/internal/neurocell"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 	"resparc/internal/xbar"
@@ -97,7 +98,7 @@ func TestCountsMatchCycleLevelSim(t *testing.T) {
 			for i := range intensity {
 				intensity[i] = rng.Float64()
 			}
-			_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.8, 7))
+			_, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 7))
 
 			cyc.Reset()
 			enc := snn.NewPoissonEncoder(0.8, 7)
@@ -138,7 +139,7 @@ func TestSilenceCostsOnlyZeroChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 	intensity := tensor.NewVec(net.Input.Size()) // all zero -> no spikes ever
-	_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.9, 1))
+	_, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.9, 1))
 	if rep.Counts.MCAActivations != 0 || rep.Counts.Spikes != 0 || rep.Counts.BusWords != 0 {
 		t.Fatalf("events from silence: %+v", rep.Counts)
 	}
@@ -175,8 +176,8 @@ func TestEventDrivenSavesEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resOn, repOn := chipOn.Classify(intensity, snn.NewPoissonEncoder(0.8, 9))
-	resOff, repOff := chipOff.Classify(intensity, snn.NewPoissonEncoder(0.8, 9))
+	resOn, repOn := chipOn.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 9))
+	resOff, repOff := chipOff.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 9))
 	if resOff.Energy <= resOn.Energy {
 		t.Fatalf("event-drivenness saved nothing: %v vs %v", resOn.Energy, resOff.Energy)
 	}
@@ -232,7 +233,7 @@ func TestNarrowPacketsSuppressMore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.7, 11))
+		_, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.7, 11))
 		total := rep.Counts.PacketsDelivered + rep.Counts.PacketsSuppressed
 		if total == 0 {
 			t.Fatal("no packets at all")
@@ -251,7 +252,7 @@ func TestClassifyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := chip.ClassifyBatch(nil, snn.NewPoissonEncoder(0.5, 1)); err == nil {
+	if _, _, err := chip.ClassifyBatch(nil, func(int) snn.Encoder { return snn.NewPoissonEncoder(0.5, 1) }, sim.Options{}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 	inputs := make([]tensor.Vec, 3)
@@ -262,10 +263,11 @@ func TestClassifyBatch(t *testing.T) {
 			inputs[i][j] = rng.Float64()
 		}
 	}
-	res, rep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 2))
+	res, srep, err := chip.ClassifyBatch(inputs, func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 2+int64(i)) }, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rep := srep.Detail.(Report)
 	if res.Energy <= 0 || res.Latency <= 0 || rep.Energy.Total() <= 0 {
 		t.Fatalf("batch result %+v", res)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"resparc/internal/fault"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -61,10 +62,10 @@ func TestDeadMPEFailsClassification(t *testing.T) {
 	}
 	inputs := faultTestInputs(3, chip.Net.Input.Size())
 	enc := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.5, int64(i)) }
-	if _, _, err := chip.ClassifyEach(inputs, enc, 2); !errors.As(err, &deg) {
+	if _, _, err := chip.ClassifyEach(inputs, enc, sim.Options{Workers: 2}); !errors.As(err, &deg) {
 		t.Fatalf("ClassifyEach on dead hardware: %v, want *ErrDegraded", err)
 	}
-	if _, _, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.5, 1)); !errors.As(err, &deg) {
+	if _, _, err := chip.ClassifyBatch(inputs, enc, sim.Options{}); !errors.As(err, &deg) {
 		t.Fatalf("ClassifyBatch on dead hardware: %v, want *ErrDegraded", err)
 	}
 	// A dead mPE the mapping does not use is harmless.
@@ -75,7 +76,7 @@ func TestDeadMPEFailsClassification(t *testing.T) {
 	// Clearing restores service.
 	chip.SetFaults(fault.Campaign{DeadMPEs: []int{deadMPE}})
 	chip.ClearFaults()
-	if _, _, err := chip.ClassifyEach(inputs, enc, 2); err != nil {
+	if _, _, err := chip.ClassifyEach(inputs, enc, sim.Options{Workers: 2}); err != nil {
 		t.Fatalf("classification after ClearFaults: %v", err)
 	}
 }
@@ -108,7 +109,7 @@ func TestSetFaultsConcurrentWithClassification(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				_, _, err := chip.ClassifyEach(inputs, enc, 2)
+				_, _, err := chip.ClassifyEach(inputs, enc, sim.Options{Workers: 2})
 				if err != nil {
 					var deg *ErrDegraded
 					if !errors.As(err, &deg) {

@@ -112,7 +112,7 @@ func TestFuzzCountersMatchCycleLevel(t *testing.T) {
 			intensity[i] = rng.Float64()
 		}
 		encSeed := rng.Int63()
-		_, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.7, encSeed))
+		_, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.7, encSeed))
 
 		enc := snn.NewPoissonEncoder(0.7, encSeed)
 		in := bitvec.New(net.Input.Size())

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -33,17 +34,19 @@ func TestClassifyBatchParallelDeterministic(t *testing.T) {
 	inputs := batchInputs(net, 6, 42)
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 100+int64(i)) }
 
-	serial, serialRep, err := chip.ClassifyBatchParallel(inputs, factory, 1)
+	serial, serialSRep, err := chip.ClassifyBatch(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, parRep, err := chip.ClassifyBatchParallel(inputs, factory, 4)
+	par, parSRep, err := chip.ClassifyBatch(inputs, factory, sim.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.Energy != par.Energy || serial.Latency != par.Latency {
 		t.Fatalf("parallel diverged: %v/%v vs %v/%v", serial.Energy, serial.Latency, par.Energy, par.Latency)
 	}
+	serialRep := serialSRep.Detail.(Report)
+	parRep := parSRep.Detail.(Report)
 	if serialRep.Counts != parRep.Counts {
 		t.Fatalf("counters diverged: %+v vs %+v", serialRep.Counts, parRep.Counts)
 	}
@@ -64,7 +67,7 @@ func TestClassifyBatchParallelValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := chip.ClassifyBatchParallel(nil, func(int) snn.Encoder { return nil }, 2); err == nil {
+	if _, _, err := chip.ClassifyBatch(nil, func(int) snn.Encoder { return nil }, sim.Options{Workers: 2}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }
@@ -81,7 +84,7 @@ func TestPipelineInterval(t *testing.T) {
 		t.Fatal(err)
 	}
 	intensity := batchInputs(net, 1, 45)[0]
-	res, rep := chip.Classify(intensity, snn.NewPoissonEncoder(0.8, 46))
+	res, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 46))
 	if len(rep.LayerCycles) != len(net.Layers) {
 		t.Fatalf("LayerCycles %d", len(rep.LayerCycles))
 	}
@@ -123,7 +126,14 @@ func TestClassifyEarlyExit(t *testing.T) {
 	}
 	intensity := batchInputs(net, 1, 82)[0]
 	fullRes, _ := chip.Classify(intensity, snn.NewPoissonEncoder(0.9, 83))
-	eeRes, eeRep, steps := chip.ClassifyEarlyExit(intensity, snn.NewPoissonEncoder(0.9, 83))
+	eeRess, eeReps, err := chip.ClassifyEach([]tensor.Vec{intensity},
+		func(int) snn.Encoder { return snn.NewPoissonEncoder(0.9, 83) },
+		sim.Options{Workers: 1, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eeRes, eeRep := eeRess[0], eeReps[0]
+	steps := eeRep.Steps
 	if steps <= 0 || steps > opt.Steps {
 		t.Fatalf("steps %d", steps)
 	}
@@ -142,9 +152,14 @@ func TestClassifyEarlyExit(t *testing.T) {
 
 	// Silent input: runs the full budget, predicts -1.
 	silent := tensor.NewVec(net.Input.Size())
-	_, rep2, steps2 := chip.ClassifyEarlyExit(silent, snn.NewPoissonEncoder(0.9, 84))
-	if steps2 != opt.Steps || rep2.Predicted != -1 {
-		t.Fatalf("silent early exit: steps %d predicted %d", steps2, rep2.Predicted)
+	_, reps2, err := chip.ClassifyEach([]tensor.Vec{silent},
+		func(int) snn.Encoder { return snn.NewPoissonEncoder(0.9, 84) },
+		sim.Options{Workers: 1, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps2[0].Steps != opt.Steps || reps2[0].Predicted != -1 {
+		t.Fatalf("silent early exit: steps %d predicted %d", reps2[0].Steps, reps2[0].Predicted)
 	}
 }
 
@@ -163,11 +178,11 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 	inputs := batchInputs(net, 6, 52)
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 300+int64(i)) }
 
-	one, oneReps, err := chip.ClassifyEach(inputs, factory, 1)
+	one, oneReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, manyReps, err := chip.ClassifyEach(inputs, factory, 4)
+	many, manyReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +190,9 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 		if one[i] != many[i] {
 			t.Fatalf("image %d result diverged across worker counts: %+v vs %+v", i, one[i], many[i])
 		}
-		if oneReps[i].Predicted != manyReps[i].Predicted || oneReps[i].Counts != manyReps[i].Counts {
+		oneDet := oneReps[i].Detail.(Report)
+		manyDet := manyReps[i].Detail.(Report)
+		if oneReps[i].Predicted != manyReps[i].Predicted || oneDet.Counts != manyDet.Counts {
 			t.Fatalf("image %d report diverged across worker counts", i)
 		}
 		// Serial single-image reference, bit for bit.
@@ -184,14 +201,14 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
 		}
 	}
-	if _, _, err := chip.ClassifyEach(nil, factory, 2); err == nil {
+	if _, _, err := chip.ClassifyEach(nil, factory, sim.Options{Workers: 2}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }
 
-// The serial and parallel batch paths must return the same aggregated shape:
-// averaged energy/latency, summed counters, populated per-layer cycles and
-// breakdown, and Predicted == -1 on the aggregate.
+// Any worker count must return the same aggregated shape: averaged
+// energy/latency, summed counters, populated per-layer cycles and breakdown,
+// and Predicted == -1 on the aggregate.
 func TestClassifyBatchAggregateShapeUnified(t *testing.T) {
 	net := smallMLP(t, 53)
 	m := mapped(t, net, 16)
@@ -202,18 +219,19 @@ func TestClassifyBatchAggregateShapeUnified(t *testing.T) {
 		t.Fatal(err)
 	}
 	inputs := batchInputs(net, 4, 54)
-	_, sRep, err := chip.ClassifyBatch(inputs, snn.NewPoissonEncoder(0.8, 55))
-	if err != nil {
-		t.Fatal(err)
-	}
 	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, 400+int64(i)) }
-	_, pRep, err := chip.ClassifyBatchParallel(inputs, factory, 2)
+	_, sRep, err := chip.ClassifyBatch(inputs, factory, sim.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rep := range []Report{sRep, pRep} {
-		if rep.Predicted != -1 {
-			t.Fatalf("aggregate Predicted = %d, want -1", rep.Predicted)
+	_, pRep, err := chip.ClassifyBatch(inputs, factory, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, srep := range []sim.Report{sRep, pRep} {
+		rep := srep.Detail.(Report)
+		if srep.Predicted != -1 || rep.Predicted != -1 {
+			t.Fatalf("aggregate Predicted = %d/%d, want -1", srep.Predicted, rep.Predicted)
 		}
 		if len(rep.LayerCycles) != len(net.Layers) {
 			t.Fatalf("aggregate LayerCycles %d, want %d", len(rep.LayerCycles), len(net.Layers))

@@ -26,7 +26,7 @@ func TestClassifyWithTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, wantRep := plain.Classify(intensity, snn.NewPoissonEncoder(0.8, 33))
+	_, wantRep := plain.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 33))
 
 	var buf bytes.Buffer
 	opt := DefaultOptions()
@@ -35,7 +35,7 @@ func TestClassifyWithTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, rep := traced.Classify(intensity, snn.NewPoissonEncoder(0.8, 33))
+	res, rep := traced.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 33))
 	if rep.TraceError != nil {
 		t.Fatal(rep.TraceError)
 	}

@@ -12,7 +12,9 @@ import (
 	"resparc/internal/mpe"
 	"resparc/internal/neurocell"
 	"resparc/internal/report"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
+	"resparc/internal/tensor"
 	"resparc/internal/xbar"
 )
 
@@ -98,7 +100,7 @@ func AblationInputSharing(cfg Config) ([]InputSharingRow, *report.Table, error) 
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, _, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+		res, _, err := chip.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -276,12 +278,17 @@ func AblationEarlyExit(cfg Config) ([]EarlyExitRow, *report.Table, error) {
 		row.Bench = name
 		for i, in := range inputs {
 			fRes, _ := chip.Classify(in, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7+int64(i)))
-			eRes, _, steps := chip.ClassifyEarlyExit(in, snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7+int64(i)))
+			eRess, eReps, err := chip.ClassifyEach([]tensor.Vec{in},
+				func(int) snn.Encoder { return snn.NewPoissonEncoder(cfg.MaxProb, cfg.Seed+7+int64(i)) },
+				sim.Options{Workers: 1, EarlyExit: true})
+			if err != nil {
+				return nil, nil, fmtErr("ablation-earlyexit", err)
+			}
 			row.FullEnergy += fRes.Energy
-			row.EEEnergy += eRes.Energy
+			row.EEEnergy += eRess[0].Energy
 			row.FullLatency += fRes.Latency
-			row.EELatency += eRes.Latency
-			row.MeanSteps += float64(steps)
+			row.EELatency += eRess[0].Latency
+			row.MeanSteps += float64(eReps[0].Steps)
 		}
 		n := float64(len(inputs))
 		row.FullEnergy /= n

@@ -19,6 +19,7 @@ import (
 	"resparc/internal/energy"
 	"resparc/internal/mapping"
 	"resparc/internal/perf"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -99,6 +100,13 @@ func (c Config) encoders() func(sample int) snn.Encoder {
 	return func(i int) snn.Encoder { return base.ForkSeed(i) }
 }
 
+// simOptions translates the experiment configuration to the shared batch
+// options of the sim.Backend entry points. Stepped/BlockSize are baked into
+// each backend at construction; only the worker count is per-call.
+func (c Config) simOptions() sim.Options {
+	return sim.Options{Workers: c.Workers}
+}
+
 // Pair is one benchmark evaluated on both architectures.
 type Pair struct {
 	Bench    bench.Benchmark
@@ -146,10 +154,11 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	if err != nil {
 		return Pair{}, err
 	}
-	rRes, rRep, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+	rRes, rSRep, err := chip.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 	if err != nil {
 		return Pair{}, err
 	}
+	rRep := rSRep.Detail.(core.Report)
 
 	bopt := cmosbase.DefaultOptions()
 	bopt.Params = cfg.Params
@@ -160,10 +169,11 @@ func runPairOn(net *snn.Network, b bench.Benchmark, size int, cfg Config) (Pair,
 	if err != nil {
 		return Pair{}, err
 	}
-	cRes, cRep, err := base.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+	cRes, cSRep, err := base.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 	if err != nil {
 		return Pair{}, err
 	}
+	cRep := cSRep.Detail.(cmosbase.Report)
 	cmp, err := perf.Compare(rRes, cRes)
 	if err != nil {
 		return Pair{}, err
@@ -199,11 +209,11 @@ func RunRESPARC(b bench.Benchmark, size int, cfg Config, eventDriven bool, packe
 	if err != nil {
 		return perf.Result{}, core.Report{}, nil, err
 	}
-	res, rep, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+	res, srep, err := chip.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 	if err != nil {
 		return perf.Result{}, core.Report{}, nil, err
 	}
-	return res, rep, m, nil
+	return res, srep.Detail.(core.Report), m, nil
 }
 
 func fmtErr(fig string, err error) error { return fmt.Errorf("experiments: %s: %w", fig, err) }

@@ -128,7 +128,7 @@ func Fig14b(cfg Config) ([]Fig14bRow, *report.Table, error) {
 	if err != nil {
 		return nil, nil, fmtErr("fig14b", err)
 	}
-	rRes, _, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+	rRes, _, err := chip.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 	if err != nil {
 		return nil, nil, fmtErr("fig14b", err)
 	}
@@ -143,7 +143,7 @@ func Fig14b(cfg Config) ([]Fig14bRow, *report.Table, error) {
 		if err != nil {
 			return nil, nil, fmtErr("fig14b", err)
 		}
-		cRes, _, err := base.ClassifyBatchParallel(inputs, cfg.encoders(), cfg.Workers)
+		cRes, _, err := base.ClassifyBatch(inputs, cfg.encoders(), cfg.simOptions())
 		if err != nil {
 			return nil, nil, fmtErr("fig14b", err)
 		}

@@ -10,6 +10,7 @@ import (
 	"resparc/internal/parallel"
 	"resparc/internal/perf"
 	"resparc/internal/report"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -24,13 +25,14 @@ import (
 func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 	var entries []perf.BenchEntry
 
-	addEval := func(name string, net *snn.Network, inputs []tensor.Vec, workers int, label string, opt snn.BatchOptions) error {
+	addEval := func(name string, net *snn.Network, inputs []tensor.Vec, workers int, label string, opt snn.Options) error {
 		enc := cfg.encoders()
+		opt.Workers = workers
 		var runErr error
 		res := testing.Benchmark(func(tb *testing.B) {
 			tb.ReportAllocs()
 			for i := 0; i < tb.N; i++ {
-				if _, err := snn.RunBatchOpt(net, inputs, enc, cfg.Steps, workers, opt); err != nil {
+				if _, err := snn.RunBatch(net, inputs, enc, cfg.Steps, opt); err != nil {
 					runErr = err
 					tb.FailNow()
 				}
@@ -57,10 +59,10 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
 		pool := parallel.Clamp(cfg.Workers, len(inputs))
-		if err := addEval(name, net, inputs, 1, "serial", snn.BatchOptions{}); err != nil {
+		if err := addEval(name, net, inputs, 1, "serial", snn.Options{}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		if err := addEval(name, net, inputs, pool, "parallel", snn.BatchOptions{}); err != nil {
+		if err := addEval(name, net, inputs, pool, "parallel", snn.Options{}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
 	}
@@ -81,10 +83,10 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 		if err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		if err := addEval("cifar-mlp", net, inputs, 1, "blocked", snn.BatchOptions{}); err != nil {
+		if err := addEval("cifar-mlp", net, inputs, 1, "blocked", snn.Options{}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		if err := addEval("cifar-mlp", net, inputs, 1, "stepped", snn.BatchOptions{Stepped: true}); err != nil {
+		if err := addEval("cifar-mlp", net, inputs, 1, "stepped", snn.Options{Stepped: true}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
 	}
@@ -125,7 +127,7 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 		res := testing.Benchmark(func(tb *testing.B) {
 			tb.ReportAllocs()
 			for i := 0; i < tb.N; i++ {
-				if _, _, err := chip.ClassifyBatchParallel(inputs, cfg.encoders(), w.workers); err != nil {
+				if _, _, err := chip.ClassifyBatch(inputs, cfg.encoders(), sim.Options{Workers: w.workers}); err != nil {
 					runErr = err
 					tb.FailNow()
 				}

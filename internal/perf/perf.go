@@ -19,6 +19,22 @@ type RESPARCEnergy struct {
 // Total returns the summed energy in joules.
 func (e RESPARCEnergy) Total() float64 { return e.Neuron + e.Crossbar + e.Peripherals }
 
+// SumRESPARC sums per-layer energy accumulators component-wise in slice
+// order. Both the single-chip simulator and the multi-chip shard merger
+// reduce per-layer energies through this one function, so a sharded run's
+// summed energy is bit-identical to the single-chip total: float addition is
+// not associative, and sharing the summation order is what makes the
+// equality exact.
+func SumRESPARC(layers []RESPARCEnergy) RESPARCEnergy {
+	var e RESPARCEnergy
+	for _, le := range layers {
+		e.Neuron += le.Neuron
+		e.Crossbar += le.Crossbar
+		e.Peripherals += le.Peripherals
+	}
+	return e
+}
+
 // CMOSEnergy is the Fig 12(b,d) breakdown for one classification.
 type CMOSEnergy struct {
 	Core          float64 // buffers, compute, control

@@ -22,6 +22,8 @@ import (
 	"resparc/internal/energy"
 	"resparc/internal/mapping"
 	"resparc/internal/perf"
+	"resparc/internal/shard"
+	"resparc/internal/sim"
 	"resparc/internal/snn"
 	"resparc/internal/tensor"
 )
@@ -46,6 +48,10 @@ type RegistryConfig struct {
 	// default blocked layer-major one (bit-identical results; see
 	// snn.RunBlocked).
 	Stepped bool
+	// Shards, when > 1, also registers a multi-chip pipeline backend
+	// (internal/shard) per model under its own name ("resparc-x4"); the
+	// shard count is clamped to the model's layer count.
+	Shards int
 }
 
 // DefaultRegistryConfig mirrors the paper's evaluation configuration
@@ -58,6 +64,7 @@ func DefaultRegistryConfig() RegistryConfig {
 		Seed:    1,
 		Params:  energy.Default45nm(),
 		Tech:    device.AgSi,
+		Shards:  4,
 	}
 }
 
@@ -72,43 +79,53 @@ type Model struct {
 	Map  *mapping.Mapping
 
 	enc *snn.PoissonEncoder // base encoder; request streams fork from it
+	// backends maps wire name -> sim.Backend; order preserves registration
+	// so listings are stable.
+	backends map[string]sim.Backend
+	order    []string
+}
+
+// addBackend registers a backend under its own Name.
+func (m *Model) addBackend(b sim.Backend) {
+	if m.backends == nil {
+		m.backends = make(map[string]sim.Backend)
+	}
+	m.backends[b.Name()] = b
+	m.order = append(m.order, b.Name())
+}
+
+// Backend resolves a wire-form backend name.
+func (m *Model) Backend(name string) (sim.Backend, bool) {
+	b, ok := m.backends[name]
+	return b, ok
+}
+
+// Backends lists the model's backend names in registration order.
+func (m *Model) Backends() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
 }
 
 // ClassifyEach classifies the batch on the requested backend, one encoder
 // fork per request seed, and returns per-request results and predictions in
 // input order. Request i's outcome depends only on (inputs[i], seeds[i]), so
 // it is independent of batch composition and worker count — the serving
-// determinism contract.
+// determinism contract. Every backend is driven through the one sim.Backend
+// interface; the model never special-cases a backend type.
 func (m *Model) ClassifyEach(backend Backend, inputs []tensor.Vec, seeds []int64, workers int) ([]perf.Result, []int, error) {
-	enc := func(i int) snn.Encoder { return m.enc.ForkSeed(int(seeds[i])) }
-	var (
-		ress  []perf.Result
-		preds []int
-		err   error
-	)
-	switch backend {
-	case BackendRESPARC:
-		var reps []core.Report
-		ress, reps, err = m.Chip.ClassifyEach(inputs, enc, workers)
-		if err != nil {
-			return nil, nil, err
-		}
-		preds = make([]int, len(reps))
-		for i, r := range reps {
-			preds[i] = r.Predicted
-		}
-	case BackendCMOS:
-		var reps []cmosbase.Report
-		ress, reps, err = m.Base.ClassifyEach(inputs, enc, workers)
-		if err != nil {
-			return nil, nil, err
-		}
-		preds = make([]int, len(reps))
-		for i, r := range reps {
-			preds[i] = r.Predicted
-		}
-	default:
+	bk, ok := m.Backend(string(backend))
+	if !ok {
 		return nil, nil, fmt.Errorf("serve: unknown backend %q", backend)
+	}
+	enc := func(i int) snn.Encoder { return m.enc.ForkSeed(int(seeds[i])) }
+	ress, reps, err := bk.ClassifyEach(inputs, enc, sim.Options{Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	preds := make([]int, len(reps))
+	for i, r := range reps {
+		preds[i] = r.Predicted
 	}
 	return ress, preds, nil
 }
@@ -151,7 +168,7 @@ func (m *Model) Info() ModelInfo {
 		NeuroCells:  m.Map.NCs,
 		Utilization: m.Map.TotalUtilization(),
 		CMOSWeightB: m.Base.WeightMemoryBytes(),
-		Backends:    []string{string(BackendRESPARC), string(BackendCMOS)},
+		Backends:    m.Backends(),
 	}
 }
 
@@ -209,6 +226,15 @@ func (r *Registry) AddNetwork(net *snn.Network) (*Model, error) {
 	model := &Model{
 		Name: net.Name, Net: net, Chip: chip, Base: base, Map: m,
 		enc: snn.NewPoissonEncoder(r.cfg.MaxProb, r.cfg.Seed),
+	}
+	model.addBackend(chip)
+	model.addBackend(base)
+	if r.cfg.Shards > 1 {
+		multi, err := shard.New(chip, shard.Config{Shards: r.cfg.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("serve: sharding %q: %w", net.Name, err)
+		}
+		model.addBackend(multi)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -343,7 +343,9 @@ func TestModelsEndpoint(t *testing.T) {
 	if m.Name != "tiny-mlp" || m.InputSize != 24 || m.Classes != 6 || m.MCAs < 1 || m.Utilization <= 0 {
 		t.Fatalf("model info %+v", m)
 	}
-	if len(m.Backends) != 2 {
+	// The default config also registers the multi-chip pipeline, clamped to
+	// the model's two layers.
+	if len(m.Backends) != 3 || m.Backends[0] != "resparc" || m.Backends[1] != "cmos" || m.Backends[2] != "resparc-x2" {
 		t.Fatalf("backends %v", m.Backends)
 	}
 }

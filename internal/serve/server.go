@@ -24,8 +24,10 @@ const (
 	BackendCMOS Backend = "cmos"
 )
 
-// ParseBackend validates a wire-form backend name; empty selects the
-// fallback.
+// ParseBackend validates a wire-form backend name against the always-present
+// backends; empty selects the fallback. Per-model backends (e.g. the
+// "resparc-x4" shard pipeline) are resolved against the model's own registry
+// at request time, so this is only for static defaults like the CLI flag.
 func ParseBackend(s string, fallback Backend) (Backend, error) {
 	switch Backend(s) {
 	case "":
@@ -132,8 +134,8 @@ func New(cfg Config) (*Server, error) {
 		breakers: make(map[string]*breaker),
 	}
 	for _, m := range cfg.Registry.Models() {
-		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
-			model, backend := m, backend
+		for _, name := range m.Backends() {
+			model, backend := m, Backend(name)
 			run := func(inputs []tensor.Vec, seeds []int64) ([]perf.Result, []int, error) {
 				return model.ClassifyEach(backend, inputs, seeds, cfg.Workers)
 			}
@@ -173,7 +175,9 @@ func (s *Server) Handler() http.Handler {
 				s.metrics.Panic()
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusInternalServerError)
-				_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+				_ = json.NewEncoder(w).Encode(errorResponse{Error: errorBody{
+					Code: ErrCodeInternal, Message: fmt.Sprintf("internal error: %v", p),
+				}})
 			}
 		}()
 		s.mux.ServeHTTP(w, r)
@@ -226,8 +230,28 @@ type ClassifyResponse struct {
 	QueueMs float64 `json:"queue_ms"`
 }
 
+// Error codes of the JSON error envelope: every non-2xx response is
+// {"error":{"code","message"}} with a stable machine-readable code, so
+// clients can branch without parsing message text.
+const (
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	ErrCodeBadRequest       = "bad_request"
+	ErrCodeModelNotFound    = "model_not_found"
+	ErrCodeCircuitOpen      = "circuit_open"
+	ErrCodeQueueFull        = "queue_full"
+	ErrCodeDraining         = "draining"
+	ErrCodeTimeout          = "timeout"
+	ErrCodeInternal         = "internal"
+)
+
+// errorBody is the envelope's payload.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
 func (s *Server) reply(w http.ResponseWriter, start time.Time, code int, body any) {
@@ -237,42 +261,46 @@ func (s *Server) reply(w http.ResponseWriter, start time.Time, code int, body an
 	s.metrics.Response(code, time.Since(start))
 }
 
-func (s *Server) replyError(w http.ResponseWriter, start time.Time, code int, format string, args ...any) {
-	s.reply(w, start, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) replyError(w http.ResponseWriter, start time.Time, code int, errCode, format string, args ...any) {
+	s.reply(w, start, code, errorResponse{Error: errorBody{Code: errCode, Message: fmt.Sprintf(format, args...)}})
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.Request()
 	if r.Method != http.MethodPost {
-		s.replyError(w, start, http.StatusMethodNotAllowed, "POST required")
+		s.replyError(w, start, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, "POST required")
 		return
 	}
 	var req ClassifyRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.replyError(w, start, http.StatusBadRequest, "decoding request: %v", err)
+		s.replyError(w, start, http.StatusBadRequest, ErrCodeBadRequest, "decoding request: %v", err)
 		return
 	}
 	model, ok := s.cfg.Registry.Get(req.Model)
 	if !ok {
-		s.replyError(w, start, http.StatusNotFound, "unknown model %q (see /v1/models)", req.Model)
+		s.replyError(w, start, http.StatusNotFound, ErrCodeModelNotFound, "unknown model %q (see /v1/models)", req.Model)
 		return
 	}
-	backend, err := ParseBackend(req.Backend, s.cfg.DefaultBackend)
-	if err != nil {
-		s.replyError(w, start, http.StatusBadRequest, "%v", err)
+	backend := Backend(req.Backend)
+	if backend == "" {
+		backend = s.cfg.DefaultBackend
+	}
+	if _, ok := model.Backend(string(backend)); !ok {
+		s.replyError(w, start, http.StatusBadRequest, ErrCodeBadRequest,
+			"serve: unknown backend %q (model %q serves %v)", backend, model.Name, model.Backends())
 		return
 	}
 	if want := model.Net.Input.Size(); len(req.Input) != want {
-		s.replyError(w, start, http.StatusBadRequest, "input length %d, model %q wants %d", len(req.Input), model.Name, want)
+		s.replyError(w, start, http.StatusBadRequest, ErrCodeBadRequest, "input length %d, model %q wants %d", len(req.Input), model.Name, want)
 		return
 	}
 	input := make(tensor.Vec, len(req.Input))
 	for i, x := range req.Input {
 		if math.IsNaN(x) || x < 0 || x > 1 {
-			s.replyError(w, start, http.StatusBadRequest, "input[%d] = %v outside [0, 1]", i, x)
+			s.replyError(w, start, http.StatusBadRequest, ErrCodeBadRequest, "input[%d] = %v outside [0, 1]", i, x)
 			return
 		}
 		input[i] = x
@@ -281,7 +309,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	br := s.breakers[key]
 	if ok, retry := br.allow(); !ok {
 		w.Header().Set("Retry-After", retryAfterSeconds(retry))
-		s.replyError(w, start, http.StatusServiceUnavailable,
+		s.replyError(w, start, http.StatusServiceUnavailable, ErrCodeCircuitOpen,
 			"backend %s/%s unhealthy (circuit open), retry later", model.Name, backend)
 		return
 	}
@@ -292,11 +320,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		br.probeAborted()
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			s.replyError(w, start, http.StatusTooManyRequests, "queue full for %s/%s, retry later", model.Name, backend)
+			s.replyError(w, start, http.StatusTooManyRequests, ErrCodeQueueFull, "queue full for %s/%s, retry later", model.Name, backend)
 		case errors.Is(err, ErrClosed):
-			s.replyError(w, start, http.StatusServiceUnavailable, "server shutting down")
+			s.replyError(w, start, http.StatusServiceUnavailable, ErrCodeDraining, "server shutting down")
 		default:
-			s.replyError(w, start, http.StatusInternalServerError, "%v", err)
+			s.replyError(w, start, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		}
 		return
 	}
@@ -309,12 +337,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	case resp = <-job.done:
 	case <-timer.C:
 		s.metrics.Timeout()
-		s.replyError(w, start, http.StatusGatewayTimeout,
+		s.replyError(w, start, http.StatusGatewayTimeout, ErrCodeTimeout,
 			"request exceeded the %s deadline for %s/%s", s.cfg.RequestTimeout, model.Name, backend)
 		return
 	}
 	if resp.err != nil {
-		s.replyError(w, start, http.StatusInternalServerError, "classification failed: %v", resp.err)
+		s.replyError(w, start, http.StatusInternalServerError, ErrCodeInternal, "classification failed: %v", resp.err)
 		return
 	}
 	s.reply(w, start, http.StatusOK, ClassifyResponse{
@@ -329,15 +357,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		s.replyError(w, time.Now(), http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, "GET required")
 		return
 	}
 	infos := s.cfg.Registry.Info()
 	for i := range infos {
-		health := make(map[string]string, 2)
-		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
-			if br, ok := s.breakers[batcherKey(infos[i].Name, backend)]; ok {
-				health[string(backend)] = br.State().String()
+		health := make(map[string]string, len(infos[i].Backends))
+		for _, backend := range infos[i].Backends {
+			if br, ok := s.breakers[batcherKey(infos[i].Name, Backend(backend))]; ok {
+				health[backend] = br.State().String()
 			}
 		}
 		infos[i].Health = health
@@ -371,13 +399,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	resp := HealthResponse{Status: "ok"}
 	for _, m := range s.cfg.Registry.Models() {
-		for _, backend := range []Backend{BackendRESPARC, BackendCMOS} {
-			state := s.breakers[batcherKey(m.Name, backend)].State()
+		for _, backend := range m.Backends() {
+			state := s.breakers[batcherKey(m.Name, Backend(backend))].State()
 			if state != BreakerClosed {
 				resp.Status = "degraded"
 			}
 			resp.Backends = append(resp.Backends, BackendHealth{
-				Model: m.Name, Backend: string(backend), State: state.String(),
+				Model: m.Name, Backend: backend, State: state.String(),
 			})
 		}
 	}

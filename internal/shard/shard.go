@@ -1,0 +1,473 @@
+// Package shard executes one mapped network across N RESPARC chips as a
+// layer pipeline — the paper's scaling story (§3.1.3 tiles mPEs into cores
+// and chips over a hierarchical interconnect) in the style of ISAAC's
+// inter-tile pipelining and PUMA's device-agnostic graph partitioning.
+//
+// The partitioner cuts the layer stack into N contiguous ranges balanced by
+// per-chip mPE load (taken from the existing internal/mapping placement), an
+// inter-chip link model carries each boundary layer's spike raster as
+// zero-checked packet flits with per-hop energy/latency accounting, and a
+// pipeline-parallel executor keeps every shard busy on a stream of inputs.
+//
+// Equivalence is exact, not approximate: the shards do not re-map the
+// network. Every shard charges the one shared core.Chip's accounting for its
+// own layer range (core.Accountant), boundary spikes are replayed
+// bit-identically into the downstream shard, and the merged report
+// concatenates the per-layer accounting in global layer order — so
+// predictions, event counters and summed chip energy are bit-identical to
+// single-chip execution, with the link cost reported separately on top.
+package shard
+
+import (
+	"fmt"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/core"
+	"resparc/internal/energy"
+	"resparc/internal/packet"
+	"resparc/internal/perf"
+	"resparc/internal/sim"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// LinkParams model one chip-to-chip hop. A hop carries the boundary layer's
+// spike raster once per timestep, sliced into FlitWidth-bit flits that are
+// zero-checked at the sending pad exactly like on-chip packets (§3.2): an
+// all-zero flit pays only the check, a surviving flit pays the serializer,
+// the off-chip traversal and the deserializer.
+type LinkParams struct {
+	// FlitWidth is the flit payload in spike bits (defaults to packet.Width).
+	FlitWidth int
+	// FlitEnergy is the joules to move one surviving flit across the hop.
+	FlitEnergy float64
+	// ZeroCheck is the joules to zero-check one flit (paid for every flit).
+	ZeroCheck float64
+	// FlitsPerCycle is the hop's width in flits per NeuroCell cycle.
+	FlitsPerCycle int
+	// SyncCycles is the per-timestep handshake overhead of the hop.
+	SyncCycles int
+}
+
+// DefaultLinkParams derives a hop model from the chip's energy parameters:
+// an off-chip flit costs several on-chip bus-word transfers (pad drivers and
+// serdes dominate), the zero-check reuses the on-chip packet logic, and the
+// hop moves four flits per cycle — a 128-bit parallel chip-to-chip
+// interface, a quarter of the 512-bit on-chip global bus — with a two-cycle
+// handshake per timestep.
+func DefaultLinkParams(p energy.Params) LinkParams {
+	return LinkParams{
+		FlitWidth:     packet.Width,
+		FlitEnergy:    6 * p.BusWord,
+		ZeroCheck:     p.ZeroCheck,
+		FlitsPerCycle: 4,
+		SyncCycles:    2,
+	}
+}
+
+// LinkStats accumulate inter-chip traffic for one classification (or, from
+// ClassifyBatch, summed over a batch).
+type LinkStats struct {
+	FlitsSent       int
+	FlitsSuppressed int
+	Cycles          int
+	EnergyJ         float64
+}
+
+func addLink(a, b LinkStats) LinkStats {
+	a.FlitsSent += b.FlitsSent
+	a.FlitsSuppressed += b.FlitsSuppressed
+	a.Cycles += b.Cycles
+	a.EnergyJ += b.EnergyJ
+	return a
+}
+
+// Config selects the shard topology.
+type Config struct {
+	// Shards is the chip count (clamped to the layer count).
+	Shards int
+	// MaxMPEsPerChip, when positive, is the per-chip capacity: the
+	// partitioner fails if the balanced cut would place more mPEs than this
+	// on any one chip.
+	MaxMPEsPerChip int
+	// Link models each chip-to-chip hop (zero value selects
+	// DefaultLinkParams of the chip's energy parameters).
+	Link LinkParams
+}
+
+// Range is a contiguous global layer range [Lo, Hi) placed on one chip.
+type Range struct {
+	Lo, Hi int
+}
+
+// Multi runs one mapped network across N chips. It implements sim.Backend
+// under the name "<chip>-xN" (e.g. "resparc-x4").
+type Multi struct {
+	chip    *core.Chip
+	cfg     Config
+	name    string
+	ranges  []Range
+	subnets []*snn.Network
+}
+
+var _ sim.Backend = (*Multi)(nil)
+
+// New partitions the chip's layer stack into cfg.Shards balanced ranges.
+// The partitioner minimizes the maximum per-chip mPE count (the placement
+// span each layer already occupies in the chip's mapping) over all
+// contiguous cuts — the capacity heuristic: mPEs are the unit of crossbar
+// real estate, so the widest chip bounds both silicon and the pipeline's
+// slowest stage.
+func New(chip *core.Chip, cfg Config) (*Multi, error) {
+	if chip == nil {
+		return nil, fmt.Errorf("shard: nil chip")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards", cfg.Shards)
+	}
+	layers := chip.Net.Layers
+	n := cfg.Shards
+	if n > len(layers) {
+		n = len(layers)
+	}
+	if (cfg.Link == LinkParams{}) {
+		cfg.Link = DefaultLinkParams(chip.Opt.Params)
+	}
+	if cfg.Link.FlitWidth < 1 {
+		return nil, fmt.Errorf("shard: flit width %d", cfg.Link.FlitWidth)
+	}
+	costs := make([]int, len(layers))
+	for li := range layers {
+		lm := &chip.Map.Layers[li]
+		costs[li] = lm.MPELast - lm.MPEFirst + 1
+	}
+	ranges := partition(costs, n)
+	if cfg.MaxMPEsPerChip > 0 {
+		for _, r := range ranges {
+			mpes := 0
+			for li := r.Lo; li < r.Hi; li++ {
+				mpes += costs[li]
+			}
+			if mpes > cfg.MaxMPEsPerChip {
+				return nil, fmt.Errorf("shard: layers [%d,%d) need %d mPEs, chip capacity %d",
+					r.Lo, r.Hi, mpes, cfg.MaxMPEsPerChip)
+			}
+		}
+	}
+	subnets := make([]*snn.Network, len(ranges))
+	for i, r := range ranges {
+		in := chip.Net.Input
+		if r.Lo > 0 {
+			in = layers[r.Lo].In
+		}
+		sub, err := snn.NewNetwork(fmt.Sprintf("%s/shard%d", chip.Net.Name, i), in, layers[r.Lo:r.Hi]...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: sub-network %d: %w", i, err)
+		}
+		subnets[i] = sub
+	}
+	m := &Multi{
+		chip: chip, cfg: cfg, ranges: ranges, subnets: subnets,
+		name: fmt.Sprintf("%s-x%d", chip.Name(), len(ranges)),
+	}
+	return m, nil
+}
+
+// partition cuts costs into n contiguous parts minimizing the maximum part
+// sum (classic minimax partition DP; layer counts are small, so the
+// quadratic scan is fine).
+func partition(costs []int, n int) []Range {
+	L := len(costs)
+	prefix := make([]int, L+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	sum := func(lo, hi int) int { return prefix[hi] - prefix[lo] }
+	// dp[k][i]: minimal achievable max-part-sum splitting the first i layers
+	// into k parts; cut[k][i] records the start of the k-th part.
+	const inf = int(^uint(0) >> 1)
+	dp := make([][]int, n+1)
+	cut := make([][]int, n+1)
+	for k := range dp {
+		dp[k] = make([]int, L+1)
+		cut[k] = make([]int, L+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= n; k++ {
+		for i := k; i <= L; i++ {
+			for j := k - 1; j < i; j++ {
+				if dp[k-1][j] == inf {
+					continue
+				}
+				v := dp[k-1][j]
+				if s := sum(j, i); s > v {
+					v = s
+				}
+				if v < dp[k][i] {
+					dp[k][i] = v
+					cut[k][i] = j
+				}
+			}
+		}
+	}
+	ranges := make([]Range, n)
+	hi := L
+	for k := n; k >= 1; k-- {
+		lo := cut[k][hi]
+		ranges[k-1] = Range{Lo: lo, Hi: hi}
+		hi = lo
+	}
+	return ranges
+}
+
+// Name implements sim.Backend ("resparc-x4" for a 4-shard pipeline).
+func (m *Multi) Name() string { return m.name }
+
+// Network implements sim.Backend.
+func (m *Multi) Network() *snn.Network { return m.chip.Net }
+
+// Healthy implements sim.Backend, delegating to the underlying chip (every
+// shard charges the same chip, so its fault state gates them all).
+func (m *Multi) Healthy() error { return m.chip.Healthy() }
+
+// Chip returns the underlying single-chip simulator whose accounting the
+// shards slice.
+func (m *Multi) Chip() *core.Chip { return m.chip }
+
+// Ranges returns the partition (one contiguous global layer range per
+// shard).
+func (m *Multi) Ranges() []Range {
+	out := make([]Range, len(m.ranges))
+	copy(out, m.ranges)
+	return out
+}
+
+// Report is the multi-chip outcome of one classification.
+type Report struct {
+	// Ranges is the layer partition, one entry per shard.
+	Ranges []Range
+	// Shards holds each shard's slice of the chip accounting (LayerCycles /
+	// LayerEnergies cover that shard's range only).
+	Shards []core.Report
+	// Chip is the merged accounting across shards — bit-identical to the
+	// single-chip report of the same classification (link cost excluded).
+	Chip core.Report
+	// Link is the inter-chip traffic summed over every hop (reported
+	// separately so the chip accounting stays comparable to single-chip
+	// runs).
+	Link LinkStats
+	// Hops is the per-boundary accounting: Hops[s] carries shard s's
+	// boundary spikes to shard s+1.
+	Hops []LinkStats
+	// Interval is the modeled pipeline initiation interval in seconds per
+	// image: the slowest of the shard stages and the busiest single hop
+	// (each hop is its own point-to-point channel), which bounds the
+	// steady-state throughput of the pipeline-parallel executor.
+	Interval float64
+	// Predicted is the decoded class from the final shard.
+	Predicted int
+}
+
+// ImagesPerSec is the modeled steady-state throughput of the pipeline.
+func (r Report) ImagesPerSec() float64 {
+	if r.Interval == 0 {
+		return 0
+	}
+	return 1 / r.Interval
+}
+
+// linkCost charges one boundary's raster (all timesteps) to the hop model.
+func (m *Multi) linkCost(raster []*bitvec.Bits) LinkStats {
+	lp := m.cfg.Link
+	fpc := lp.FlitsPerCycle
+	if fpc < 1 {
+		fpc = 1
+	}
+	var st LinkStats
+	for _, bits := range raster {
+		zero, total := bits.ZeroPackets(lp.FlitWidth)
+		sent := total - zero
+		st.FlitsSent += sent
+		st.FlitsSuppressed += zero
+		st.EnergyJ += float64(total)*lp.ZeroCheck + float64(sent)*lp.FlitEnergy
+		st.Cycles += lp.SyncCycles + (sent+fpc-1)/fpc
+	}
+	return st
+}
+
+// newRaster allocates the boundary raster between shard s and s+1: one spike
+// vector per timestep, sized to the downstream shard's input.
+func (m *Multi) newRaster(s int) []*bitvec.Bits {
+	size := m.subnets[s+1].Input.Size()
+	r := make([]*bitvec.Bits, m.chip.Opt.Steps)
+	for t := range r {
+		r[t] = bitvec.New(size)
+	}
+	return r
+}
+
+// captureObserver forwards every step to the shard's accountant and copies
+// the shard's final layer raster out as the boundary spike stream.
+type captureObserver struct {
+	inner snn.Observer
+	out   []*bitvec.Bits
+}
+
+func (c *captureObserver) ObserveStep(t int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	c.inner.ObserveStep(t, input, layers)
+	c.out[t].CopyFrom(layers[len(layers)-1])
+}
+
+// replayEncoder feeds a captured boundary raster into a downstream shard,
+// one timestep per Encode call — the bit-identical spike stream the layer
+// saw on the single chip. The intensity argument is ignored.
+type replayEncoder struct {
+	raster []*bitvec.Bits
+	t      int
+}
+
+func (r *replayEncoder) Encode(_ tensor.Vec, dst *bitvec.Bits) {
+	dst.CopyFrom(r.raster[r.t])
+	r.t++
+}
+
+// runStage runs shard s over one image on caller-owned state, charging the
+// shard's accountant (reset first). For s > 0 the image's input is the
+// upstream boundary raster in; for s < last the shard's boundary output is
+// captured into out.
+func (m *Multi) runStage(s int, st *snn.State, acct *core.Accountant, intensity tensor.Vec, enc snn.Encoder,
+	in, out []*bitvec.Bits, opt sim.Options) (core.Report, snn.RunResult) {
+	acct.Reset()
+	var obs snn.Observer = acct
+	if out != nil {
+		obs = &captureObserver{inner: acct, out: out}
+	}
+	if s > 0 {
+		enc = &replayEncoder{raster: in}
+		intensity = nil
+	}
+	steps := m.chip.Opt.Steps
+	var run snn.RunResult
+	if m.chip.Opt.Stepped || opt.Stepped {
+		run = st.RunObserved(intensity, enc, steps, obs)
+	} else {
+		bs := m.chip.Opt.BlockSize
+		if opt.BlockSize > 0 {
+			bs = opt.BlockSize
+		}
+		run = st.RunBlockedK(intensity, enc, steps, bs, obs)
+	}
+	_, rep := acct.Report(run.Prediction, steps)
+	return rep, run
+}
+
+// finish merges the per-shard reports of one image into the multi-chip
+// result. The chip accounting concatenates in global layer order and reduces
+// through the same perf.SumRESPARC as the single-chip observer, so Chip is
+// bit-identical to a single-chip run; the link cost rides on top of the
+// returned perf.Result.
+func (m *Multi) finish(parts []core.Report, hops []LinkStats, predicted int) (perf.Result, sim.Report) {
+	chip := m.mergeChip(parts)
+	chip.Predicted = predicted
+	ncc := m.chip.Opt.Params.NCCycle()
+	var link LinkStats
+	interval := 0.0
+	for _, h := range hops {
+		link = addLink(link, h)
+		// Hops are independent point-to-point channels: only the busiest
+		// one bounds the initiation interval.
+		if s := float64(h.Cycles) * ncc; s > interval {
+			interval = s
+		}
+	}
+	linkSeconds := float64(link.Cycles) * ncc
+	for _, p := range parts {
+		if p.Latency > interval {
+			interval = p.Latency
+		}
+	}
+	rep := Report{
+		Ranges: m.Ranges(), Shards: parts, Chip: chip, Link: link, Hops: hops,
+		Interval: interval, Predicted: predicted,
+	}
+	res := perf.Result{
+		Arch:    m.name,
+		Network: m.chip.Net.Name,
+		Energy:  chip.Energy.Total() + link.EnergyJ,
+		Latency: chip.Latency + linkSeconds,
+		Steps:   m.chip.Opt.Steps,
+	}
+	return res, sim.Report{Predicted: predicted, Steps: m.chip.Opt.Steps, Detail: rep}
+}
+
+// mergeChip concatenates the shards' accounting slices in global layer
+// order and reduces them exactly as the single-chip observer does.
+func (m *Multi) mergeChip(parts []core.Report) core.Report {
+	var out core.Report
+	for _, p := range parts {
+		out.Counts = addCounters(out.Counts, p.Counts)
+		out.BusCycles += p.BusCycles
+		out.Breakdown = addBreakdown(out.Breakdown, p.Breakdown)
+		out.LayerCycles = append(out.LayerCycles, p.LayerCycles...)
+		out.LayerEnergies = append(out.LayerEnergies, p.LayerEnergies...)
+		if p.TraceError != nil && out.TraceError == nil {
+			out.TraceError = p.TraceError
+		}
+	}
+	out.Energy = perf.SumRESPARC(out.LayerEnergies)
+	out.Latency = float64(out.Counts.Cycles) * m.chip.Opt.Params.NCCycle()
+	return out
+}
+
+func addCounters(a, b core.Counters) core.Counters {
+	a.Cycles += b.Cycles
+	a.BusWords += b.BusWords
+	a.BusWordsSuppressed += b.BusWordsSuppressed
+	a.PacketsDelivered += b.PacketsDelivered
+	a.PacketsSuppressed += b.PacketsSuppressed
+	a.MCAActivations += b.MCAActivations
+	a.RowsDriven += b.RowsDriven
+	a.Integrations += b.Integrations
+	a.Spikes += b.Spikes
+	a.ExtTransfers += b.ExtTransfers
+	return a
+}
+
+func addBreakdown(a, b core.CycleBreakdown) core.CycleBreakdown {
+	a.Sync += b.Sync
+	a.Bus += b.Bus
+	a.Delivery += b.Delivery
+	a.Integrate += b.Integrate
+	a.Drain += b.Drain
+	return a
+}
+
+// Classify implements sim.Backend: one image through all shards in
+// sequence (the pipeline only pays off on a stream — see ClassifyEach).
+func (m *Multi) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, sim.Report) {
+	S := len(m.ranges)
+	parts := make([]core.Report, S)
+	hops := make([]LinkStats, S-1)
+	var run snn.RunResult
+	var in []*bitvec.Bits
+	for s := 0; s < S; s++ {
+		st := snn.NewState(m.subnets[s])
+		acct, err := m.chip.NewAccountant(m.ranges[s].Lo, m.ranges[s].Hi)
+		if err != nil {
+			panic("shard: " + err.Error()) // ranges are validated at New
+		}
+		var out []*bitvec.Bits
+		if s < S-1 {
+			out = m.newRaster(s)
+		}
+		parts[s], run = m.runStage(s, st, acct, intensity, enc, in, out, sim.Options{})
+		if s < S-1 {
+			hops[s] = m.linkCost(out)
+		}
+		in = out
+	}
+	return m.finish(parts, hops, run.Prediction)
+}

@@ -1,0 +1,156 @@
+// Package sim defines the backend-neutral simulation interface: every
+// architecture simulator (the RESPARC chip, the CMOS baseline, the
+// multi-chip shard executor) presents the same three entry points —
+// Classify, ClassifyEach, ClassifyBatch — behind one Backend interface, so
+// the serving layer, the experiment drivers and the command-line tools never
+// special-case a backend type.
+//
+// The batch fan-out is expressed exactly once (Each): worker clamping,
+// per-worker session state and the deterministic per-sample encoder contract
+// live here, and backends supply only the per-image classification closure.
+// Aggregation stays with the backend (ClassifyBatch), because the reduction
+// is architecture-specific: the chip averages energies and sums counters,
+// the baseline averages counters and recomputes energy.
+package sim
+
+import (
+	"fmt"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/parallel"
+	"resparc/internal/perf"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// EncoderFactory builds a deterministic per-sample encoder — typically
+// baseEncoder.ForkSeed(i) — so sample i's spike stream depends only on its
+// index, never on worker scheduling. See snn.PoissonEncoder.ForkSeed for the
+// determinism contract.
+type EncoderFactory func(sample int) snn.Encoder
+
+// Options select how a batch call executes. The zero value is the default:
+// the backend's configured runner, one worker per CPU, full-length runs.
+type Options struct {
+	// Workers is the worker-pool size (<= 0 selects one per CPU). Results
+	// are bit-identical for any value; Workers: 1 is the serial reference.
+	Workers int
+	// Stepped forces the step-major functional runner instead of the
+	// default blocked layer-major one (bit-identical; a performance escape
+	// hatch). It ors with the backend's own construction-time setting.
+	Stepped bool
+	// BlockSize overrides the blocked runner's temporal block length
+	// (<= 0 keeps the backend's configured length). Ignored when stepped.
+	BlockSize int
+	// EarlyExit decodes by time-to-first-spike and stops simulating at the
+	// first output spike (or after the full step budget if none arrives).
+	// Report.Steps records the steps actually executed. Backends without an
+	// early-exit path reject the option with an error.
+	EarlyExit bool
+}
+
+// Report is the backend-neutral outcome of one classification (or, for
+// ClassifyBatch, of the batch aggregate, where Predicted is -1).
+type Report struct {
+	// Predicted is the decoded class (-1 when silent or for aggregates).
+	Predicted int
+	// Steps is the number of timesteps actually simulated (early exit may
+	// stop short of the configured budget).
+	Steps int
+	// Detail carries the backend's own report type (core.Report,
+	// cmosbase.Report, shard.Report) for callers that need breakdowns.
+	Detail any
+}
+
+// Backend is one simulated architecture instance with a prepared network.
+// All three classification entry points are deterministic: the outcome of
+// image i depends only on (input, encoder) — never on batch composition,
+// worker count or scheduling.
+type Backend interface {
+	// Name identifies the backend on the wire ("resparc", "cmos",
+	// "resparc-x4", ...).
+	Name() string
+	// Network returns the prepared network.
+	Network() *snn.Network
+	// Healthy reports whether the backend can currently serve (fault
+	// campaigns may degrade a chip below its functional threshold).
+	Healthy() error
+	// Classify simulates one classification with the backend's configured
+	// runner and step budget.
+	Classify(input tensor.Vec, enc snn.Encoder) (perf.Result, Report)
+	// ClassifyEach classifies every input across a worker pool and returns
+	// per-image results in input order.
+	ClassifyEach(inputs []tensor.Vec, enc EncoderFactory, opt Options) ([]perf.Result, []Report, error)
+	// ClassifyBatch classifies every input and reduces to the backend's
+	// batch aggregate (per-classification averages; Predicted == -1).
+	ClassifyBatch(inputs []tensor.Vec, enc EncoderFactory, opt Options) (perf.Result, Report, error)
+}
+
+// Session classifies one input on worker-owned state. Backends hand Each a
+// session constructor; each worker gets its own session, so simulation
+// state is never shared across goroutines.
+type Session func(input tensor.Vec, enc snn.Encoder) (perf.Result, Report)
+
+// Each is the one shared batch fan-out behind every Backend.ClassifyEach:
+// it validates the batch, clamps the worker count, builds one session per
+// worker and classifies every input in input order across the pool. Image
+// i's outcome depends only on (inputs[i], enc(i)), so results are
+// bit-identical for any worker count.
+func Each(inputs []tensor.Vec, enc EncoderFactory, opt Options, newSession func() Session) ([]perf.Result, []Report, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("sim: empty batch")
+	}
+	if enc == nil {
+		return nil, nil, fmt.Errorf("sim: nil encoder factory")
+	}
+	workers := parallel.Clamp(opt.Workers, len(inputs))
+	sessions := make([]Session, workers)
+	for w := range sessions {
+		sessions[w] = newSession()
+	}
+	ress := make([]perf.Result, len(inputs))
+	reps := make([]Report, len(inputs))
+	parallel.ForEach(len(inputs), workers, func(worker, i int) {
+		ress[i], reps[i] = sessions[worker](inputs[i], enc(i))
+	})
+	return ress, reps, nil
+}
+
+// EarlyExitRun is the shared time-to-first-spike runner: it resets the
+// state, steps the network until an output neuron fires (or maxSteps
+// elapse), feeding every executed step to obs, and returns the steps
+// executed plus the TTFS prediction (-1 if no output neuron fired). Ties at
+// the exit step break toward the higher spike count, then the lower index —
+// the same rule as snn.RunResult.TTFSPrediction at that step.
+func EarlyExitRun(st *snn.State, intensity tensor.Vec, enc snn.Encoder, maxSteps int, obs snn.Observer) (steps, predicted int) {
+	st.Reset()
+	net := st.Net
+	in := bitvec.New(net.Input.Size())
+	counts := make([]int, net.OutSize())
+	layers := make([]*bitvec.Bits, len(net.Layers))
+	for t := 0; t < maxSteps; t++ {
+		enc.Encode(intensity, in)
+		out := st.Step(in)
+		if obs != nil {
+			for i := range layers {
+				layers[i] = st.LayerSpikes(i)
+			}
+			obs.ObserveStep(t, st.InputSpikes(), layers)
+		}
+		fired := false
+		out.ForEachSet(func(i int) {
+			counts[i]++
+			fired = true
+		})
+		if fired {
+			best, bestN := -1, 0
+			for i, n := range counts {
+				if n > bestN {
+					best, bestN = i, n
+				}
+			}
+			return t + 1, best
+		}
+	}
+	return maxSteps, -1
+}

@@ -12,11 +12,14 @@ import (
 // its index, never on worker scheduling.
 type EncoderFactory func(sample int) Encoder
 
-// BatchOptions select the functional runner used by the batch evaluators.
-// The zero value is the default: the blocked layer-major path (bit-identical
-// to the step-major reference, measurably faster — see blocked.go) with
-// DefaultBlockSize.
-type BatchOptions struct {
+// Options select how a batch run executes. The zero value is the default:
+// the blocked layer-major runner (bit-identical to the step-major reference,
+// measurably faster — see blocked.go) with DefaultBlockSize, one worker per
+// CPU.
+type Options struct {
+	// Workers is the worker-pool size (<= 0 selects one per CPU). Results
+	// are bit-identical for any value; Workers: 1 is the serial reference.
+	Workers int
 	// Stepped forces the step-major reference runner (RunObserved's loop
 	// nest) instead of the blocked layer-major one.
 	Stepped bool
@@ -25,26 +28,28 @@ type BatchOptions struct {
 	BlockSize int
 }
 
+// BatchOptions is the legacy runner selection of RunBatchOpt.
+//
+// Deprecated: use Options, which folds the worker count in.
+type BatchOptions struct {
+	Stepped   bool
+	BlockSize int
+}
+
 // RunBatch classifies every input across a worker pool and returns the
 // per-image RunResults in input order. Each worker owns one State (reused
 // across its images; each run resets it) and each image gets its own
 // encoder from enc, so the results are bit-identical for any worker count:
-// RunBatch(..., 1) is the serial reference and RunBatch(..., N) must match
-// it exactly. workers <= 0 selects one worker per CPU. It runs the blocked
-// layer-major path; RunBatchOpt escapes to the step-major reference.
-func RunBatch(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int) ([]RunResult, error) {
-	return RunBatchOpt(net, inputs, enc, steps, workers, BatchOptions{})
-}
-
-// RunBatchOpt is RunBatch with an explicit runner selection.
-func RunBatchOpt(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int, opt BatchOptions) ([]RunResult, error) {
+// Options{Workers: 1} is the serial reference and any other pool size must
+// match it exactly.
+func RunBatch(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps int, opt Options) ([]RunResult, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("snn: empty batch")
 	}
 	if steps < 1 {
 		return nil, fmt.Errorf("snn: steps %d", steps)
 	}
-	workers = parallel.Clamp(workers, len(inputs))
+	workers := parallel.Clamp(opt.Workers, len(inputs))
 	states := make([]*State, workers)
 	for w := range states {
 		states[w] = NewState(net)
@@ -65,6 +70,16 @@ func RunBatchOpt(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, w
 	return results, nil
 }
 
+// RunBatchOpt is the legacy spelling of RunBatch with the worker count as a
+// positional argument.
+//
+// Deprecated: call RunBatch with Options directly.
+func RunBatchOpt(net *Network, inputs []tensor.Vec, enc EncoderFactory, steps, workers int, opt BatchOptions) ([]RunResult, error) {
+	return RunBatch(net, inputs, enc, steps, Options{
+		Workers: workers, Stepped: opt.Stepped, BlockSize: opt.BlockSize,
+	})
+}
+
 // EvaluateBatch classifies the inputs in parallel and returns accuracy
 // against the labels. It is the worker-pool counterpart of Evaluate and is
 // bit-identical to it when enc forks the same per-sample streams.
@@ -72,7 +87,7 @@ func EvaluateBatch(net *Network, inputs []tensor.Vec, labels []int, enc EncoderF
 	if len(inputs) != len(labels) {
 		return 0, fmt.Errorf("snn: %d inputs vs %d labels", len(inputs), len(labels))
 	}
-	results, err := RunBatch(net, inputs, enc, steps, workers)
+	results, err := RunBatch(net, inputs, enc, steps, Options{Workers: workers})
 	if err != nil {
 		return 0, err
 	}

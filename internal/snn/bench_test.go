@@ -250,7 +250,7 @@ func benchEval(b *testing.B, workers int) {
 	enc := func(i int) Encoder { return base.ForkSeed(i) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBatch(net, inputs, enc, 24, workers); err != nil {
+		if _, err := RunBatch(net, inputs, enc, 24, Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

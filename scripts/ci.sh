@@ -30,7 +30,21 @@ go test -race \
     ./internal/cmosbase/ \
     ./internal/fault/ \
     ./internal/mapping/ \
-    ./internal/serve/
+    ./internal/serve/ \
+    ./internal/sim/ \
+    ./internal/shard/
+
+# The sim.Backend contract is the seam every consumer (serve, experiments,
+# cmd tools) programs against; an accidental signature change must show up as
+# a diff against the committed surface, not as a downstream compile error in
+# a later PR.
+echo "== API surface check (internal/sim)"
+go doc -all resparc/internal/sim > /tmp/sim_api_surface.txt
+if ! diff -u scripts/sim_api_surface.golden /tmp/sim_api_surface.txt; then
+    echo "internal/sim API surface changed; review the diff and refresh with:" >&2
+    echo "  go doc -all resparc/internal/sim > scripts/sim_api_surface.golden" >&2
+    exit 1
+fi
 
 echo "== fuzz smoke (FuzzFaultMap, 5s)"
 go test -run Fuzz -fuzz=FuzzFaultMap -fuzztime=5s ./internal/fault/
