@@ -4,8 +4,8 @@
 // Usage:
 //
 //	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard]
-//	              [-quick] [-out FILE] [-workers N] [-json FILE] [-blocked=false]
-//	              [-cpuprofile FILE] [-memprofile FILE]
+//	              [-quick] [-out FILE] [-workers N] [-batch B] [-json FILE]
+//	              [-blocked=false] [-check] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -fig bench measures the hot evaluation paths (functional SNN evaluator
 // and chip simulation, serial vs parallel) and writes the machine-readable
@@ -39,6 +39,8 @@ func main() {
 	faultJSON := flag.String("faultjson", "FAULT_RESULTS.json", "where -fig faults writes its machine-readable results")
 	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
 	blockSize := flag.Int("blocksize", 0, "temporal block length of the blocked runner (<= 0: snn.DefaultBlockSize)")
+	batch := flag.Int("batch", 0, "batch-major group size inside the simulators (<= 1: per-image evaluation; bit-identical)")
+	check := flag.Bool("check", false, "with -fig bench: exit non-zero when a benchmark regresses more than 10% vs its previous entry")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -72,6 +74,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Stepped = !*blocked
 	cfg.BlockSize = *blockSize
+	cfg.Batch = *batch
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -245,6 +248,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "bench results written to %s\n", *jsonPath)
+		if *check {
+			if regs := benchRegressions(prev.Entries, entries, 0.10); len(regs) > 0 {
+				for _, r := range regs {
+					log.Print(r)
+				}
+				log.Fatalf("bench: %d benchmark(s) regressed more than 10%% vs the previous %s (set ALLOW_BENCH_REGRESS=1 to bypass in CI)", len(regs), *jsonPath)
+			}
+		}
 	}
 	// The multi-chip pipeline sweep is explicit-only (it simulates three
 	// benchmarks twice). Its entries are modeled, not wall-clock, so the same
@@ -366,6 +377,24 @@ func main() {
 		}
 		return nil
 	})
+}
+
+// benchRegressions lists the fresh entries that run more than tol slower
+// (by ns/op) than the previous entry of the same name. Entries without a
+// previous measurement never regress.
+func benchRegressions(prev, fresh []perf.BenchEntry, tol float64) []string {
+	var regs []string
+	for _, e := range fresh {
+		old, ok := perf.FindEntry(prev, e.Name)
+		if !ok || old.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		if e.NsPerOp > old.NsPerOp*(1+tol) {
+			regs = append(regs, fmt.Sprintf("regression: %s %.0f -> %.0f ns/op (%.1f%% slower)",
+				e.Name, old.NsPerOp, e.NsPerOp, 100*(e.NsPerOp/old.NsPerOp-1)))
+		}
+	}
+	return regs
 }
 
 // benchDeltaTable compares fresh measurements against the previous entries

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+
+	"resparc/internal/dataset"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// findBenchmark returns the named Fig 10 benchmark.
+func findBenchmark(tb testing.TB, name string) Benchmark {
+	tb.Helper()
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	tb.Fatalf("benchmark %q not in Fig 10 suite", name)
+	return Benchmark{}
+}
+
+// benchInputs draws the same synthetic dataset images, prepared and
+// normalized the same way, as the experiments perfsuite behind
+// BENCH_RESULTS.json (Config seed 1: dataset seed 101), so local benchmark
+// numbers track the committed eval rows' workload including its sparsity.
+func benchInputs(tb testing.TB, bm Benchmark, net *snn.Network, n int) []tensor.Vec {
+	tb.Helper()
+	set := dataset.Generate(bm.Dataset, n, 101)
+	out := make([]tensor.Vec, len(set.Samples))
+	for i, s := range set.Samples {
+		in, err := PrepareInput(s.Input, set.Shape, net.Input)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = NormalizeIntensity(in)
+	}
+	return out
+}
+
+// benchEvalCNN measures the calibrated mnist-cnn Fig 10 network — the real
+// workload behind BENCH_RESULTS.json's eval/mnist-cnn rows — through
+// snn.RunBatch with the given options. One op classifies 3 images over 48
+// timesteps on a single worker.
+func benchEvalCNN(b *testing.B, opt snn.Options) {
+	bm := findBenchmark(b, "mnist-cnn")
+	net, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := benchInputs(b, bm, net, 3)
+	base := snn.NewPoissonEncoder(EncoderPeak, 8)
+	enc := func(i int) snn.Encoder { return base.ForkSeed(i) }
+	opt.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snn.RunBatch(net, inputs, enc, 48, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalMnistCNNSerial(b *testing.B) { benchEvalCNN(b, snn.Options{}) }
+
+func BenchmarkEvalMnistCNNBatched(b *testing.B) { benchEvalCNN(b, snn.Options{Batch: 8}) }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"resparc/internal/bench"
@@ -45,7 +46,7 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 		return nil
 	}
 
-	for _, name := range []string{"mnist-mlp", "mnist-cnn"} {
+	for _, name := range []string{"mnist-mlp", "mnist-cnn", "cifar-cnn"} {
 		b, err := bench.ByName(name)
 		if err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
@@ -58,12 +59,23 @@ func PerfSuite(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
 		if err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		pool := parallel.Clamp(cfg.Workers, len(inputs))
 		if err := addEval(name, net, inputs, 1, "serial", snn.Options{}); err != nil {
 			return nil, nil, fmtErr("perfsuite", err)
 		}
-		if err := addEval(name, net, inputs, pool, "parallel", snn.Options{}); err != nil {
-			return nil, nil, fmtErr("perfsuite", err)
+		if name != "cifar-cnn" {
+			pool := parallel.Clamp(cfg.Workers, len(inputs))
+			if err := addEval(name, net, inputs, pool, "parallel", snn.Options{}); err != nil {
+				return nil, nil, fmtErr("perfsuite", err)
+			}
+		}
+		// The CNN benchmarks additionally measure the batch-major (SoA)
+		// runner — the mode serving and bulk evaluation use — at one worker,
+		// so the JSON records its cost next to the per-image serial path
+		// (bit-identical results; see snn.BatchState).
+		if strings.HasSuffix(name, "-cnn") {
+			if err := addEval(name, net, inputs, 1, "batched", snn.Options{Batch: 8}); err != nil {
+				return nil, nil, fmtErr("perfsuite", err)
+			}
 		}
 	}
 

@@ -15,3 +15,20 @@ package snn
 //
 //go:noescape
 func accumPanel(panel []float64, list []int32, acc *[panelLanes]float64)
+
+// blockPanel integrates one packed 8-lane panel across a whole temporal
+// block (no leak): step k adds the panel lines of flat[offs[k]:offs[k+1]]
+// into the eight lane accumulators, then applies threshold and reset, with
+// the accumulators held in SSE2 registers for the entire block. fires[k]
+// receives step k's fired-lane byte and the result has bit k set when
+// fires[k] != 0 (len(fires) <= 64). Per lane the operation sequence — adds
+// in list order, compare against th, subtract-th or clear-to-zero reset —
+// is exactly the scalar reference's, so results are bit-identical (see
+// accum_amd64.s on the packed compare's NaN behavior and the branchless
+// masked reset).
+//
+// The caller guarantees offs has len(fires)+1 entries, ascending, indexing
+// within flat, and that flat entries index within panel.
+//
+//go:noescape
+func blockPanel(panel []float64, flat []int32, offs []int32, fires []uint8, acc *[panelLanes]float64, th float64, hard bool) uint64

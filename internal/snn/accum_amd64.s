@@ -77,3 +77,123 @@ done:
 	MOVUPD X2, 32(DX)
 	MOVUPD X3, 48(DX)
 	RET
+
+// func blockPanel(panel []float64, flat []int32, offs []int32, fires []uint8, acc *[8]float64, th float64, hard bool) uint64
+//
+// Integrate one packed 8-lane panel across a whole temporal block with the
+// accumulators held in XMM registers. Step k's spike indices are
+// flat[offs[k]:offs[k+1]]; for each, the eight contiguous panel doubles are
+// added (ADDPD: independent per-lane IEEE adds, in list order), then the
+// step's threshold test runs as CMPPD(th, acc, LE) — the packed equivalent
+// of the scalar acc[i] >= th including its NaN behavior (a NaN lane never
+// fires) — and fired lanes reset branchlessly: soft reset subtracts the
+// mask-selected threshold (p - th on fired lanes, p - 0.0 == p bitwise on
+// the rest), hard reset clears fired lanes to +0. fires[k] receives the
+// step's fired-lane byte; the returned word has bit k set if any lane fired
+// on step k, so the caller commits fire bytes without rescanning.
+TEXT ·blockPanel(SB), NOSPLIT, $0-128
+	MOVQ     panel_base+0(FP), SI
+	MOVQ     flat_base+24(FP), DI
+	MOVQ     offs_base+48(FP), R8
+	MOVQ     fires_base+72(FP), R9
+	MOVQ     fires_len+80(FP), CX
+	MOVQ     acc+96(FP), DX
+	MOVSD    th+104(FP), X12
+	UNPCKLPD X12, X12
+	MOVBQZX  hard+112(FP), R10
+
+	MOVUPD (DX), X0
+	MOVUPD 16(DX), X1
+	MOVUPD 32(DX), X2
+	MOVUPD 48(DX), X3
+
+	// DI = &flat[offs[0]] (offs entries are absolute into flat).
+	MOVLQSX (R8), AX
+	LEAQ    (DI)(AX*4), DI
+
+	XORQ R11, R11 // k
+	XORQ R13, R13 // fired-steps bitmask
+
+step:
+	CMPQ    R11, CX
+	JGE     done
+	MOVLQSX 4(R8)(R11*4), AX // offs[k+1]
+	MOVQ    flat_base+24(FP), BX
+	LEAQ    (BX)(AX*4), BX   // end of step k's spikes
+
+adds:
+	CMPQ    DI, BX
+	JGE     endadds
+	MOVLQSX (DI), AX
+	SHLQ    $6, AX
+	MOVUPD  (SI)(AX*1), X4
+	MOVUPD  16(SI)(AX*1), X5
+	MOVUPD  32(SI)(AX*1), X6
+	MOVUPD  48(SI)(AX*1), X7
+	ADDPD   X4, X0
+	ADDPD   X5, X1
+	ADDPD   X6, X2
+	ADDPD   X7, X3
+	ADDQ    $4, DI
+	JMP     adds
+
+endadds:
+	// Packed threshold test: X8..X11 = (th <= acc) per lane.
+	MOVAPD   X12, X8
+	MOVAPD   X12, X9
+	MOVAPD   X12, X10
+	MOVAPD   X12, X11
+	CMPPD    X0, X8, $2
+	CMPPD    X1, X9, $2
+	CMPPD    X2, X10, $2
+	CMPPD    X3, X11, $2
+	MOVMSKPD X8, AX
+	MOVMSKPD X9, BX
+	SHLQ     $2, BX
+	ORQ      BX, AX
+	MOVMSKPD X10, BX
+	SHLQ     $4, BX
+	ORQ      BX, AX
+	MOVMSKPD X11, BX
+	SHLQ     $6, BX
+	ORQ      BX, AX
+	MOVB     AX, (R9)(R11*1)
+	TESTQ    AX, AX
+	JZ       next
+	BTSQ     R11, R13
+	CMPQ     R10, $0
+	JNE      hardreset
+
+	// Soft reset: acc -= mask & th (p - th on fired lanes, p - 0.0 else).
+	ANDPD X12, X8
+	ANDPD X12, X9
+	ANDPD X12, X10
+	ANDPD X12, X11
+	SUBPD X8, X0
+	SUBPD X9, X1
+	SUBPD X10, X2
+	SUBPD X11, X3
+	JMP   next
+
+hardreset:
+	// Hard reset: acc &= ^mask (fired lanes to +0).
+	ANDNPD X0, X8
+	ANDNPD X1, X9
+	ANDNPD X2, X10
+	ANDNPD X3, X11
+	MOVAPD X8, X0
+	MOVAPD X9, X1
+	MOVAPD X10, X2
+	MOVAPD X11, X3
+
+next:
+	INCQ R11
+	JMP  step
+
+done:
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	MOVQ   R13, ret+120(FP)
+	RET

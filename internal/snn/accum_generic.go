@@ -49,3 +49,34 @@ func accumPanel(panel []float64, list []int32, acc *[panelLanes]float64) {
 	acc[0], acc[1], acc[2], acc[3] = p0, p1, p2, p3
 	acc[4], acc[5], acc[6], acc[7] = p4, p5, p6, p7
 }
+
+// blockPanel integrates one packed 8-lane panel across a whole temporal
+// block (no leak); portable reference of the amd64 SSE2 version. Step k
+// adds the panel lines of flat[offs[k]:offs[k+1]] into the accumulators in
+// list order, then thresholds and resets each lane — the exact per-lane
+// sequence of the step-major reference. fires[k] receives step k's
+// fired-lane byte; the result has bit k set when fires[k] != 0.
+func blockPanel(panel []float64, flat []int32, offs []int32, fires []uint8, acc *[panelLanes]float64, th float64, hard bool) uint64 {
+	var fireSteps uint64
+	for k := range fires {
+		for _, idx := range flat[offs[k]:offs[k+1]] {
+			ia := int(idx) * panelLanes
+			line := panel[ia : ia+panelLanes : ia+panelLanes]
+			for i := range acc {
+				acc[i] += line[i]
+			}
+		}
+		var mask uint8
+		for i, p := range acc {
+			if p >= th {
+				mask |= 1 << uint(i)
+				acc[i] = resetPotential(p, th, hard)
+			}
+		}
+		fires[k] = mask
+		if mask != 0 {
+			fireSteps |= 1 << uint(k)
+		}
+	}
+	return fireSteps
+}

@@ -1,0 +1,640 @@
+package snn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"resparc/internal/bitvec"
+	"resparc/internal/tensor"
+)
+
+// BatchState is the batch-major (structure-of-arrays) counterpart of State:
+// one network instance classifies up to B images per layer visit. Membrane
+// potentials live in a B x neurons matrix per layer (image-major rows, so
+// one image's potentials stay contiguous for the 8-lane gathers) and spike
+// trains in multi-image Rasters, and the blocked kernels run panel-outer /
+// image-middle / step-inner, so every layer's weights are streamed once per
+// group of B images instead of once per image.
+//
+// Images are mutually independent — image b reads only column b and its own
+// raster rows — so for each image the kernels replay the exact per-neuron
+// operation sequence of the single-image blocked runner (which is itself
+// bit-identical to the step-major reference): results are bit-identical for
+// any batch size and any grouping. See DESIGN.md §13.
+type BatchState struct {
+	Net *Network
+	B   int
+
+	vmem []*tensor.Mat // per layer: B x OutSize membrane potentials
+
+	// Block scratch, sized on first use and retained across runs.
+	blockK      int
+	blockIn     []*bitvec.Raster   // per block step: B input spike images
+	blockOut    [][]*bitvec.Raster // per layer, per block step
+	flat        []int32            // concatenated per-(image, step) spike/tap lists
+	offs        []int32            // segment bounds into flat (B*blockK+1, image-major)
+	fires       []uint8            // per-step fired-lane bytes of one panel group
+	stepmasks   []uint64           // per image: which block steps carry spikes
+	stepView    []*bitvec.Bits     // per-layer view for observer replay
+	idx         []int32
+	counts      [][]int // per image: output spike counts
+	first       [][]int // per image: first-spike timesteps
+	inputSpikes []int
+	results     []RunResult
+}
+
+// NewBatchState allocates batch-major simulation state for groups of up to
+// b images.
+func NewBatchState(net *Network, b int) *BatchState {
+	if b < 1 {
+		panic(fmt.Sprintf("snn: NewBatchState batch %d", b))
+	}
+	s := &BatchState{Net: net, B: b}
+	s.vmem = make([]*tensor.Mat, len(net.Layers))
+	for i, l := range net.Layers {
+		s.vmem[i] = tensor.NewMat(b, l.OutSize())
+	}
+	s.stepmasks = make([]uint64, b)
+	s.counts = make([][]int, b)
+	s.first = make([][]int, b)
+	for i := 0; i < b; i++ {
+		s.counts[i] = make([]int, net.OutSize())
+		s.first[i] = make([]int, net.OutSize())
+	}
+	s.inputSpikes = make([]int, b)
+	s.results = make([]RunResult, b)
+	return s
+}
+
+// ensureBlock sizes the raster buffers for a block of k timesteps; buffers
+// are retained across runs so steady-state groups are allocation-free.
+func (s *BatchState) ensureBlock(k int) {
+	if s.blockK >= k {
+		return
+	}
+	s.blockK = k
+	s.blockIn = make([]*bitvec.Raster, k)
+	for i := range s.blockIn {
+		s.blockIn[i] = bitvec.NewRaster(s.B, s.Net.Input.Size())
+	}
+	s.blockOut = make([][]*bitvec.Raster, len(s.Net.Layers))
+	for li, l := range s.Net.Layers {
+		s.blockOut[li] = make([]*bitvec.Raster, k)
+		for i := range s.blockOut[li] {
+			s.blockOut[li][i] = bitvec.NewRaster(s.B, l.OutSize())
+		}
+	}
+	s.offs = make([]int32, s.B*k+1)
+	s.fires = make([]uint8, k)
+	s.stepView = make([]*bitvec.Bits, len(s.Net.Layers))
+}
+
+// RunBlocked classifies a group of up to B inputs (inputs[i] encoded by
+// encs[i]) over the given number of timesteps with layer-major temporal
+// blocking (blockK <= 0 selects DefaultBlockSize). obs may be nil or hold
+// one observer per input (individual entries may be nil); each observer sees
+// its own image's step-major replay, identical to a single-image run.
+//
+// The returned results alias per-image State scratch, valid until the next
+// run; callers that retain them must Clone.
+func (s *BatchState) RunBlocked(inputs []tensor.Vec, encs []Encoder, steps, blockK int, obs []Observer) []RunResult {
+	nb := len(inputs)
+	if nb < 1 || nb > s.B {
+		panic(fmt.Sprintf("snn: BatchState.RunBlocked %d inputs, batch is %d", nb, s.B))
+	}
+	if len(encs) != nb {
+		panic(fmt.Sprintf("snn: BatchState.RunBlocked %d inputs, %d encoders", nb, len(encs)))
+	}
+	if obs != nil && len(obs) != nb {
+		panic(fmt.Sprintf("snn: BatchState.RunBlocked %d inputs, %d observers", nb, len(obs)))
+	}
+	if blockK <= 0 {
+		blockK = DefaultBlockSize
+	}
+	if blockK > steps && steps > 0 {
+		blockK = steps
+	}
+	s.ensureBlock(blockK)
+	for _, vm := range s.vmem {
+		vm.Data.Fill(0)
+	}
+	for b := 0; b < nb; b++ {
+		counts, first := s.counts[b], s.first[b]
+		for i := range counts {
+			counts[i] = 0
+			first[i] = -1
+		}
+		s.inputSpikes[b] = 0
+	}
+	last := len(s.Net.Layers) - 1
+	for t0 := 0; t0 < steps; t0 += blockK {
+		kn := blockK
+		if steps-t0 < kn {
+			kn = steps - t0
+		}
+		// Encode the block: per image, encoders are invoked once per
+		// timestep in timestep order — the identical call sequence as the
+		// single-image runners, so per-image spike streams are unchanged.
+		for k := 0; k < kn; k++ {
+			in := s.blockIn[k]
+			for b := 0; b < nb; b++ {
+				dst := in.Image(b)
+				encs[b].Encode(inputs[b], dst)
+				s.inputSpikes[b] += dst.Count()
+			}
+		}
+		// Layer-major sweep over the whole group.
+		curR := s.blockIn
+		for li, l := range s.Net.Layers {
+			outR := s.blockOut[li]
+			for k := 0; k < kn; k++ {
+				// Clear only the images this group uses; a partial group
+				// leaves the tail images' stale bits untouched and unread.
+				for b := 0; b < nb; b++ {
+					outR[k].Image(b).Reset()
+				}
+			}
+			s.runLayerBlock(li, l, curR, nb, kn)
+			curR = outR
+		}
+		// Step-major replay and output decoding, per image.
+		finalR := s.blockIn
+		if last >= 0 {
+			finalR = s.blockOut[last]
+		}
+		for k := 0; k < kn; k++ {
+			t := t0 + k
+			for b := 0; b < nb; b++ {
+				if obs != nil && obs[b] != nil {
+					for li := range s.stepView {
+						s.stepView[li] = s.blockOut[li][k].Image(b)
+					}
+					obs[b].ObserveStep(t, s.blockIn[k].Image(b), s.stepView)
+				}
+				s.idx = finalR[k].Image(b).AppendSet(s.idx[:0])
+				counts, first := s.counts[b], s.first[b]
+				for _, i := range s.idx {
+					counts[i]++
+					if first[i] < 0 {
+						first[i] = t
+					}
+				}
+			}
+		}
+	}
+	for b := 0; b < nb; b++ {
+		counts := s.counts[b]
+		best, bestN := 0, -1
+		for i, c := range counts {
+			if c > bestN {
+				best, bestN = i, c
+			}
+		}
+		s.results[b] = RunResult{
+			Steps: steps, OutCounts: counts, Prediction: best,
+			InputSpikes: s.inputSpikes[b], FirstSpike: s.first[b],
+		}
+	}
+	return s.results[:nb]
+}
+
+// runLayerBlock advances one layer across the kn buffered timesteps of the
+// block for all nb images.
+func (s *BatchState) runLayerBlock(li int, l *Layer, curR []*bitvec.Raster, nb, kn int) {
+	vm := s.vmem[li]
+	outR := s.blockOut[li]
+	switch l.Kind {
+	case DenseLayer:
+		// Collect the block's spike lists once, image-major: image b's step-k
+		// segment is flat[offs[b*kn+k]:offs[b*kn+k+1]].
+		flat := s.flat[:0]
+		offs := s.offs
+		offs[0] = 0
+		for b := 0; b < nb; b++ {
+			var sm uint64
+			for k := 0; k < kn; k++ {
+				start := int32(len(flat))
+				flat = curR[k].Image(b).AppendSet(flat)
+				if int32(len(flat)) != start {
+					sm |= 1 << uint(k&63)
+				}
+				offs[b*kn+k+1] = int32(len(flat))
+			}
+			s.stepmasks[b] = sm
+		}
+		s.flat = flat
+		s.denseBlockBatch(l, vm, outR, nb, kn)
+	case ConvLayer:
+		s.convBlockBatch(l, vm, curR, outR, nb, kn)
+	case PoolLayer:
+		s.poolBlockBatch(l, vm, curR, outR, nb, kn)
+	default:
+		panic("snn: unknown layer kind")
+	}
+}
+
+// denseBlockBatch is denseBlock with an image loop between the panel loop
+// and the step loop: one packed 8-row panel serves B images' kn steps
+// before the next panel is touched.
+func (s *BatchState) denseBlockBatch(l *Layer, vm *tensor.Mat, outR []*bitvec.Raster, nb, kn int) {
+	w := l.W
+	cols, rows := w.Cols, w.Rows
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	pan := l.panelW()
+	canSkip := !leaky || th > 0 // see poolBlock on the leak/threshold-sign caveat
+	useBP := !leaky && kn <= 64
+	flat, offs, fires := s.flat, s.offs, s.fires[:kn]
+	var acc [panelLanes]float64
+	j := 0
+	for ; j+panelLanes <= rows; j += panelLanes {
+		panel := pan[(j/panelLanes)*cols*panelLanes : (j/panelLanes+1)*cols*panelLanes]
+		for b := 0; b < nb; b++ {
+			vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+			copy(acc[:], vrow[j:j+panelLanes])
+			if useBP {
+				// One blockPanel call per (panel, image); see denseBlock.
+				if s.stepmasks[b] == 0 && !groupHot(&acc, th) {
+					continue
+				}
+				fs := blockPanel(panel, flat, offs[b*kn:b*kn+kn+1], fires, &acc, th, hard)
+				for ; fs != 0; fs &= fs - 1 {
+					k := bits.TrailingZeros64(fs)
+					outR[k].Image(b).Or8(j, fires[k])
+				}
+			} else {
+				hot := groupHot(&acc, th)
+				for k := 0; k < kn; k++ {
+					list := flat[offs[b*kn+k]:offs[b*kn+k+1]]
+					if leaky {
+						for i := range acc {
+							acc[i] *= decay
+						}
+					}
+					if len(list) == 0 {
+						// Event-driven skip — exact no-op, see denseBlock.
+						if !hot && canSkip {
+							continue
+						}
+					} else {
+						accumPanel(panel, list, &acc)
+					}
+					var mask uint8
+					mask, hot = fireScan(&acc, th, hard)
+					if mask != 0 {
+						outR[k].Image(b).Or8(j, mask)
+					}
+				}
+			}
+			copy(vrow[j:j+panelLanes], acc[:])
+		}
+	}
+	for ; j < rows; j++ {
+		row := w.Data[j*cols : (j+1)*cols]
+		for b := 0; b < nb; b++ {
+			vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+			p := vrow[j]
+			if useBP {
+				stepmask := s.stepmasks[b]
+				for k := 0; k < kn; k++ {
+					if p < th {
+						rem := stepmask >> uint(k)
+						if rem == 0 {
+							break
+						}
+						k += bits.TrailingZeros64(rem)
+					}
+					for _, i := range flat[offs[b*kn+k]:offs[b*kn+k+1]] {
+						p += row[i]
+					}
+					if p >= th {
+						outR[k].Image(b).Set(j)
+						p = resetPotential(p, th, hard)
+					}
+				}
+			} else {
+				for k := 0; k < kn; k++ {
+					list := flat[offs[b*kn+k]:offs[b*kn+k+1]]
+					if leaky {
+						p *= decay
+					}
+					if len(list) == 0 && p < th {
+						continue
+					}
+					for _, i := range list {
+						p += row[i]
+					}
+					if p >= th {
+						outR[k].Image(b).Set(j)
+						p = resetPotential(p, th, hard)
+					}
+				}
+			}
+			vrow[j] = p
+		}
+	}
+}
+
+// convBlockBatch is convBlock with an image loop: per output location the
+// per-(image, step) tap lists are gathered once, then each 8-channel kernel
+// panel serves every image's kn steps while it is cache-hot.
+func (s *BatchState) convBlockBatch(l *Layer, vm *tensor.Mat, curR, outR []*bitvec.Raster, nb, kn int) {
+	g := l.Geom
+	plan := l.convPlan()
+	pan := l.panelW()
+	w := l.W
+	fanIn := w.Cols
+	outC := l.Out.C
+	outW := l.Out.W
+	inC, inW := g.In.C, g.In.W
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	groups := outC / panelLanes
+	canSkip := !leaky || th > 0 // see poolBlock on the leak/threshold-sign caveat
+	useBP := !leaky && kn <= 64
+	offs, fires := s.offs, s.fires[:kn]
+	var acc [panelLanes]float64
+	flat := s.flat
+	for oy := 0; oy < l.Out.H; oy++ {
+		kyLo, kyHi := plan.kyLo[oy], plan.kyHi[oy]
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			kxLo, kxHi := plan.kxLo[ox], plan.kxHi[ox]
+			ix0 := ox*g.Stride - g.Pad
+			rowSpan := (kxHi - kxLo) * inC
+			flat = flat[:0]
+			offs[0] = 0
+			for b := 0; b < nb; b++ {
+				var stepmask uint64
+				for k := 0; k < kn; k++ {
+					in := curR[k].Image(b)
+					start := int32(len(flat))
+					if rowSpan > 0 && rowSpan <= 64 {
+						// Narrow-row fast path; see convBlock.
+						for ky := kyLo; ky < kyHi; ky++ {
+							rowBase := ((iy0+ky)*inW + ix0) * inC
+							lo := rowBase + kxLo*inC
+							off := int32(ky*g.K*inC) - int32(rowBase)
+							m := in.LoadBits(lo, rowSpan)
+							for m != 0 {
+								flat = append(flat, int32(lo+bits.TrailingZeros64(m))+off)
+								m &= m - 1
+							}
+						}
+					} else if rowSpan > 0 {
+						for ky := kyLo; ky < kyHi; ky++ {
+							rowBase := ((iy0+ky)*inW + ix0) * inC
+							off := int32(ky*g.K*inC) - int32(rowBase)
+							lo := rowBase + kxLo*inC
+							flat = in.AppendSetRange(lo, lo+rowSpan, off, flat)
+						}
+					}
+					if int32(len(flat)) != start {
+						stepmask |= 1 << uint(k&63)
+					}
+					offs[b*kn+k+1] = int32(len(flat))
+				}
+				s.stepmasks[b] = stepmask
+			}
+			out0 := (oy*outW + ox) * outC
+			for gi := 0; gi < groups; gi++ {
+				panel := pan[gi*fanIn*panelLanes : (gi+1)*fanIn*panelLanes]
+				j := out0 + gi*panelLanes
+				for b := 0; b < nb; b++ {
+					vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+					copy(acc[:], vrow[j:j+panelLanes])
+					if useBP {
+						// One blockPanel call per (location, group, image);
+						// see denseBlock.
+						if s.stepmasks[b] == 0 && !groupHot(&acc, th) {
+							continue
+						}
+						fs := blockPanel(panel, flat, offs[b*kn:b*kn+kn+1], fires, &acc, th, hard)
+						for ; fs != 0; fs &= fs - 1 {
+							k := bits.TrailingZeros64(fs)
+							outR[k].Image(b).Or8(j, fires[k])
+						}
+					} else {
+						hot := groupHot(&acc, th)
+						for k := 0; k < kn; k++ {
+							list := flat[offs[b*kn+k]:offs[b*kn+k+1]]
+							if leaky {
+								for i := range acc {
+									acc[i] *= decay
+								}
+							}
+							if len(list) == 0 {
+								// Event-driven skip — exact no-op, see
+								// denseBlock.
+								if !hot && canSkip {
+									continue
+								}
+							} else {
+								accumPanel(panel, list, &acc)
+							}
+							var mask uint8
+							mask, hot = fireScan(&acc, th, hard)
+							if mask != 0 {
+								outR[k].Image(b).Or8(j, mask)
+							}
+						}
+					}
+					copy(vrow[j:j+panelLanes], acc[:])
+				}
+			}
+			for oc := groups * panelLanes; oc < outC; oc++ {
+				row := w.Data[oc*fanIn : (oc+1)*fanIn]
+				j := out0 + oc
+				for b := 0; b < nb; b++ {
+					vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+					p := vrow[j]
+					if useBP {
+						stepmask := s.stepmasks[b]
+						for k := 0; k < kn; k++ {
+							if p < th {
+								rem := stepmask >> uint(k)
+								if rem == 0 {
+									break
+								}
+								k += bits.TrailingZeros64(rem)
+							}
+							for _, t := range flat[offs[b*kn+k]:offs[b*kn+k+1]] {
+								p += row[t]
+							}
+							if p >= th {
+								outR[k].Image(b).Set(j)
+								p = resetPotential(p, th, hard)
+							}
+						}
+					} else {
+						for k := 0; k < kn; k++ {
+							list := flat[offs[b*kn+k]:offs[b*kn+k+1]]
+							if leaky {
+								p *= decay
+							}
+							if len(list) == 0 && p < th {
+								continue
+							}
+							for _, t := range list {
+								p += row[t]
+							}
+							if p >= th {
+								outR[k].Image(b).Set(j)
+								p = resetPotential(p, th, hard)
+							}
+						}
+					}
+					vrow[j] = p
+				}
+			}
+		}
+	}
+	s.flat = flat
+}
+
+// poolBlockBatch is poolBlock with an image loop per lane group.
+func (s *BatchState) poolBlockBatch(l *Layer, vm *tensor.Mat, curR, outR []*bitvec.Raster, nb, kn int) {
+	g := l.Geom
+	c := l.Out.C
+	outW := l.Out.W
+	inW := g.In.W
+	pw := l.PoolWeight()
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	var acc [panelLanes]float64
+	var wBuf [8]uint64
+	taps := g.K * g.K
+	nw := (taps + 7) / 8
+	wb := wBuf[:]
+	if nw > len(wBuf) {
+		wb = make([]uint64, nw)
+	}
+	canSkip := !leaky || th > 0 // see poolBlock on the leak/threshold-sign caveat
+	for oy := 0; oy < l.Out.H; oy++ {
+		iy0 := oy * g.Stride
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox * g.Stride
+			out0 := (oy*outW + ox) * c
+			i00 := (iy0*inW + ix0) * c
+			i10 := ((iy0+1)*inW + ix0) * c
+			oc := 0
+			for ; oc+panelLanes <= c; oc += panelLanes {
+				j := out0 + oc
+				for b := 0; b < nb; b++ {
+					vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+					copy(acc[:], vrow[j:j+panelLanes])
+					hot := groupHot(&acc, th)
+					if g.K == 2 {
+						// 2x2 fast path with loop-invariant tap indices; see
+						// poolBlock.
+						t0, t1, t2, t3 := i00+oc, i00+c+oc, i10+oc, i10+c+oc
+						for k := 0; k < kn; k++ {
+							if leaky {
+								for i := range acc {
+									acc[i] *= decay
+								}
+							}
+							in := curR[k].Image(b)
+							m0, m1, m2, m3 := in.Load8(t0), in.Load8(t1), in.Load8(t2), in.Load8(t3)
+							if m0|m1|m2|m3 == 0 {
+								if !hot && canSkip {
+									continue
+								}
+							} else {
+								m := uint32(m0) | uint32(m1)<<8 | uint32(m2)<<16 | uint32(m3)<<24
+								for m != 0 {
+									acc[bits.TrailingZeros32(m)&7] += pw
+									m &= m - 1
+								}
+							}
+							var mask uint8
+							mask, hot = fireScan(&acc, th, hard)
+							if mask != 0 {
+								outR[k].Image(b).Or8(j, mask)
+							}
+						}
+						copy(vrow[j:j+panelLanes], acc[:])
+						continue
+					}
+					for k := 0; k < kn; k++ {
+						if leaky {
+							for i := range acc {
+								acc[i] *= decay
+							}
+						}
+						in := curR[k].Image(b)
+						var mor uint8
+						for wi := 0; wi < nw; wi++ {
+							wb[wi] = 0
+						}
+						ti := 0
+						for ky := 0; ky < g.K; ky++ {
+							rowBase := ((iy0+ky)*inW + ix0) * c
+							for kx := 0; kx < g.K; kx++ {
+								m := in.Load8(rowBase + kx*c + oc)
+								wb[ti>>3] |= uint64(m) << uint((ti&7)*8)
+								ti++
+								mor |= m
+							}
+						}
+						if mor == 0 {
+							// Event-driven skip — exact no-op, see poolBlock.
+							if !hot && canSkip {
+								continue
+							}
+						} else {
+							// Walk all set bits of the packed tap words; bit
+							// position mod 8 is the lane. Bit-identical; see
+							// poolBlock.
+							for wi := 0; wi < nw; wi++ {
+								m := wb[wi]
+								for m != 0 {
+									acc[bits.TrailingZeros64(m)&7] += pw
+									m &= m - 1
+								}
+							}
+						}
+						var mask uint8
+						mask, hot = fireScan(&acc, th, hard)
+						if mask != 0 {
+							outR[k].Image(b).Or8(j, mask)
+						}
+					}
+					copy(vrow[j:j+panelLanes], acc[:])
+				}
+			}
+			for ; oc < c; oc++ {
+				j := out0 + oc
+				for b := 0; b < nb; b++ {
+					vrow := vm.Data[b*vm.Cols : (b+1)*vm.Cols]
+					p := vrow[j]
+					for k := 0; k < kn; k++ {
+						if leaky {
+							p *= decay
+						}
+						in := curR[k].Image(b)
+						for ky := 0; ky < g.K; ky++ {
+							rowBase := ((iy0+ky)*inW + ix0) * c
+							for kx := 0; kx < g.K; kx++ {
+								if in.Get(rowBase + kx*c + oc) {
+									p += pw
+								}
+							}
+						}
+						if p >= th {
+							outR[k].Image(b).Set(j)
+							p = resetPotential(p, th, hard)
+						}
+					}
+					vrow[j] = p
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Equivalence suite for batch-major evaluation: a BatchState integrating a
+// group of images must be bit-identical, per image, to the step-major
+// reference — same predictions, spike counts, first-spike latencies, and
+// per-step rasters — for every batch size, group fill, block size, layer
+// kind, leak/reset mode, and quantization.
+package snn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"resparc/internal/quant"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+var batchSizes = []int{1, 3, 8}
+
+// batchInputs builds nb distinct deterministic images for a network.
+func batchInputs(net *snn.Network, nb int) []tensor.Vec {
+	inputs := make([]tensor.Vec, nb)
+	n := net.Input.Size()
+	for b := range inputs {
+		in := make(tensor.Vec, n)
+		for i := range in {
+			in[i] = float64((i*13+7*b+5)%100) / 99
+		}
+		inputs[b] = in
+	}
+	return inputs
+}
+
+// assertBatchMatchesStepped runs nb images through one BatchState (batch B,
+// block size K) and through the per-image step-major reference, and requires
+// identical results and identical observed rasters for every image.
+func assertBatchMatchesStepped(t *testing.T, net *snn.Network, nb, blockK int) {
+	t.Helper()
+	const steps = 20
+	inputs := batchInputs(net, nb)
+	base := snn.NewPoissonEncoder(0.8, 23)
+	encs := make([]snn.Encoder, nb)
+	obs := make([]snn.Observer, nb)
+	recs := make([]*rasterRecorder, nb)
+	for b := range encs {
+		encs[b] = base.ForkSeed(b)
+		recs[b] = &rasterRecorder{}
+		obs[b] = recs[b]
+	}
+	bst := snn.NewBatchState(net, nb)
+	got := bst.RunBlocked(inputs, encs, steps, blockK, obs)
+	for b := 0; b < nb; b++ {
+		var ref rasterRecorder
+		sr := snn.NewState(net).RunObserved(inputs[b], base.ForkSeed(b), steps, &ref)
+		br := got[b]
+		label := fmt.Sprintf("B=%d K=%d image %d", nb, blockK, b)
+		if sr.Prediction != br.Prediction || sr.InputSpikes != br.InputSpikes || sr.Steps != br.Steps {
+			t.Fatalf("%s: prediction %d/%d, input spikes %d/%d, steps %d/%d",
+				label, sr.Prediction, br.Prediction, sr.InputSpikes, br.InputSpikes, sr.Steps, br.Steps)
+		}
+		for c := range sr.OutCounts {
+			if sr.OutCounts[c] != br.OutCounts[c] || sr.FirstSpike[c] != br.FirstSpike[c] {
+				t.Fatalf("%s class %d: counts %d/%d, first spike %d/%d",
+					label, c, sr.OutCounts[c], br.OutCounts[c], sr.FirstSpike[c], br.FirstSpike[c])
+			}
+		}
+		rec := recs[b]
+		if len(rec.input) != steps || len(ref.input) != steps {
+			t.Fatalf("%s: observed %d/%d steps, want %d", label, len(rec.input), len(ref.input), steps)
+		}
+		for step := range ref.input {
+			if !equalIdx(ref.input[step], rec.input[step]) {
+				t.Fatalf("%s step %d: input rasters differ", label, step)
+			}
+			for li := range ref.layers[step] {
+				if !equalIdx(ref.layers[step][li], rec.layers[step][li]) {
+					t.Fatalf("%s step %d layer %d: rasters differ\nstepped %v\nbatched %v",
+						label, step, li, ref.layers[step][li], rec.layers[step][li])
+				}
+			}
+		}
+	}
+}
+
+// The batch-major runner matches the reference on the conv+pool+dense fixture
+// for every (batch, block size) combination.
+func TestBatchMajorMatchesSteppedConvPool(t *testing.T) {
+	net := convPoolFixture(t)
+	for _, nb := range batchSizes {
+		for _, k := range blockSizes {
+			assertBatchMatchesStepped(t, net, nb, k)
+		}
+	}
+}
+
+// 4-bit quantized weights (the memristive crossbar configuration) stay
+// bit-identical through the batch-major path.
+func TestBatchMajorMatchesSteppedQuantized(t *testing.T) {
+	qnet, err := quant.QuantizeNetwork(convPoolFixture(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range batchSizes {
+		for _, k := range blockSizes {
+			assertBatchMatchesStepped(t, qnet, nb, k)
+		}
+	}
+}
+
+// Leaky integration and hard reset take the batch kernels' fallback paths;
+// both must stay bit-identical.
+func TestBatchMajorMatchesSteppedLeaky(t *testing.T) {
+	net := mlpFixture(t, 0.12, false)
+	for _, nb := range batchSizes {
+		assertBatchMatchesStepped(t, net, nb, 7)
+	}
+}
+
+func TestBatchMajorMatchesSteppedHardReset(t *testing.T) {
+	net := mlpFixture(t, 0.05, true)
+	for _, nb := range batchSizes {
+		assertBatchMatchesStepped(t, net, nb, 7)
+	}
+}
+
+// A partially filled group (fewer images than the state's batch capacity)
+// must leave results identical and independent of the unused slots.
+func TestBatchMajorPartialGroup(t *testing.T) {
+	net := convPoolFixture(t)
+	const steps = 16
+	inputs := batchInputs(net, 5)
+	base := snn.NewPoissonEncoder(0.8, 31)
+	bst := snn.NewBatchState(net, 8)
+	// First fill all 8 slots so stale state exists, then run a group of 3.
+	full := batchInputs(net, 8)
+	encsFull := make([]snn.Encoder, 8)
+	for b := range encsFull {
+		encsFull[b] = base.ForkSeed(100 + b)
+	}
+	bst.RunBlocked(full, encsFull, steps, 0, nil)
+	encs := make([]snn.Encoder, 3)
+	for b := range encs {
+		encs[b] = base.ForkSeed(b)
+	}
+	got := bst.RunBlocked(inputs[:3], encs, steps, 0, nil)
+	for b := 0; b < 3; b++ {
+		want := snn.NewState(net).Run(inputs[b], base.ForkSeed(b), steps)
+		if got[b].Prediction != want.Prediction {
+			t.Fatalf("image %d: prediction %d, want %d", b, got[b].Prediction, want.Prediction)
+		}
+		for c := range want.OutCounts {
+			if got[b].OutCounts[c] != want.OutCounts[c] {
+				t.Fatalf("image %d class %d: counts %d, want %d", b, c, got[b].OutCounts[c], want.OutCounts[c])
+			}
+		}
+	}
+}
+
+// RunBatch with Options.Batch must be bit-identical to the serial stepped
+// runner for every batch size, including batches that don't divide the input
+// count, and regardless of worker count.
+func TestRunBatchBatchMajorEquivalence(t *testing.T) {
+	net := convPoolFixture(t)
+	const steps, n = 16, 7
+	inputs := batchInputs(net, n)
+	base := snn.NewPoissonEncoder(0.8, 47)
+	enc := func(i int) snn.Encoder { return base.ForkSeed(i) }
+	want, err := snn.RunBatch(net, inputs, enc, steps, snn.Options{Workers: 1, Stepped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batchSizes {
+		for _, workers := range []int{1, 3} {
+			got, err := snn.RunBatch(net, inputs, enc, steps, snn.Options{Workers: workers, Batch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Prediction != want[i].Prediction || got[i].InputSpikes != want[i].InputSpikes {
+					t.Fatalf("batch=%d workers=%d image %d: prediction %d/%d, input spikes %d/%d",
+						batch, workers, i, got[i].Prediction, want[i].Prediction,
+						got[i].InputSpikes, want[i].InputSpikes)
+				}
+				for c := range want[i].OutCounts {
+					if got[i].OutCounts[c] != want[i].OutCounts[c] || got[i].FirstSpike[c] != want[i].FirstSpike[c] {
+						t.Fatalf("batch=%d workers=%d image %d class %d: counts %d/%d first %d/%d",
+							batch, workers, i, c, got[i].OutCounts[c], want[i].OutCounts[c],
+							got[i].FirstSpike[c], want[i].FirstSpike[c])
+					}
+				}
+			}
+		}
+	}
+}

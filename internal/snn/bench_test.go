@@ -97,6 +97,7 @@ func BenchmarkIntegrateDense(b *testing.B) {
 	v := tensor.NewVec(l.OutSize())
 	l.transposedW() // build the cache outside the timed loop
 	buf := make([]int32, 0, l.InSize())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = integrate(l, in, v, buf[:0])
@@ -125,9 +126,48 @@ func BenchmarkIntegrateConv(b *testing.B) {
 	v := tensor.NewVec(conv.OutSize())
 	conv.buildAdjacency()
 	buf := make([]int32, 0, conv.InSize())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = integrate(conv, in, v, buf[:0])
+	}
+}
+
+// The integration kernels must not allocate once caches and the scratch
+// buffer are warm — the buffer is reused across steps, never regrown.
+func TestIntegrateAllocFree(t *testing.T) {
+	net := benchMLP(t)
+	dense := net.Layers[0]
+	rng := rand.New(rand.NewSource(6))
+	in := bitvec.New(dense.InSize())
+	for i := 0; i < dense.InSize(); i++ {
+		if rng.Float64() < 0.15 {
+			in.Set(i)
+		}
+	}
+	v := tensor.NewVec(dense.OutSize())
+	dense.transposedW()
+	buf := make([]int32, 0, dense.InSize())
+	if allocs := testing.AllocsPerRun(10, func() {
+		buf = integrate(dense, in, v, buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("dense integrate allocates %.0f/op, want 0", allocs)
+	}
+	cnn := benchMnistCNN(t)
+	conv := cnn.Layers[0]
+	cin := bitvec.New(conv.InSize())
+	for i := 0; i < conv.InSize(); i++ {
+		if rng.Float64() < 0.15 {
+			cin.Set(i)
+		}
+	}
+	cv := tensor.NewVec(conv.OutSize())
+	conv.buildAdjacency()
+	cbuf := make([]int32, 0, conv.InSize())
+	if allocs := testing.AllocsPerRun(10, func() {
+		cbuf = integrate(conv, cin, cv, cbuf[:0])
+	}); allocs != 0 {
+		t.Fatalf("conv integrate allocates %.0f/op, want 0", allocs)
 	}
 }
 
@@ -277,5 +317,162 @@ func BenchmarkPoissonEncode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Encode(img, dst)
+	}
+}
+
+// benchMnistCNN rebuilds the mnist-cnn benchmark topology (conv 3x3x66 ->
+// pool 2 -> conv 3x3x8 -> pool 2 -> fc 86 -> fc 10) inline with balanced
+// thresholds, for the conv-panel kernel benchmarks. internal/bench imports
+// this package, so the shape is duplicated here like benchCifarMLP.
+func benchMnistCNN(tb testing.TB) *Network {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(50))
+	fill := func(w *tensor.Mat) float64 {
+		var sum float64
+		for i := range w.Data {
+			var v float64
+			if rng.Float64() < 0.7 {
+				v = rng.Float64() * 0.1
+			} else {
+				v = -rng.Float64() * 0.05
+			}
+			w.Data[i] = v
+			sum += v
+		}
+		return sum / float64(len(w.Data))
+	}
+	th := func(fanIn int, rateIn, meanW, rateOut float64) float64 {
+		t := float64(fanIn) * rateIn * meanW / rateOut
+		if t < 1e-3 {
+			t = 1e-3
+		}
+		return t
+	}
+	in := tensor.Shape3{H: 28, W: 28, C: 1}
+	g1 := tensor.ConvGeom{In: in, K: 3, Stride: 1, Pad: 1, OutC: 66}
+	w1 := tensor.NewMat(66, g1.FanIn())
+	m1 := fill(w1)
+	conv1, err := NewConv("conv1", g1, w1, th(g1.FanIn(), 0.12, m1, 0.15))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pool1, err := NewPool("pool1", conv1.Out, 2, 0.499)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g2 := tensor.ConvGeom{In: pool1.Out, K: 3, Stride: 1, Pad: 1, OutC: 8}
+	w2 := tensor.NewMat(8, g2.FanIn())
+	m2 := fill(w2)
+	conv2, err := NewConv("conv2", g2, w2, th(g2.FanIn(), 0.15, m2, 0.15))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pool2, err := NewPool("pool2", conv2.Out, 2, 0.499)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wf := tensor.NewMat(86, pool2.OutSize())
+	mf := fill(wf)
+	fc1, err := NewDense("fc1", pool2.OutSize(), 86, wf, th(pool2.OutSize(), 0.15, mf, 0.15))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wo := tensor.NewMat(10, 86)
+	mo := fill(wo)
+	fc2, err := NewDense("fc2", 86, 10, wo, th(86, 0.15, mo, 0.15))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	net, err := NewNetwork("mnist-cnn-bench", in, conv1, pool1, conv2, pool2, fc1, fc2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkRunBlockedMnistCNN measures one full 48-step classification of the
+// mnist-cnn topology through the blocked conv/pool panel kernels.
+func BenchmarkRunBlockedMnistCNN(b *testing.B) {
+	net := benchMnistCNN(b)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.RunBlocked(img, enc, 48, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.RunBlocked(img, enc, 48, nil)
+	}
+}
+
+// BenchmarkRunSteppedMnistCNN is the step-major reference for the conv-panel
+// speedup (bit-identical results; see blocked_test.go).
+func BenchmarkRunSteppedMnistCNN(b *testing.B) {
+	net := benchMnistCNN(b)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.Run(img, enc, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Run(img, enc, 48)
+	}
+}
+
+// BenchmarkRunBatchMajorMnistCNN measures one batch-major group (3 images x
+// 48 steps) of the mnist-cnn topology — one op covers the same work as three
+// BenchmarkRunBlockedMnistCNN ops with each layer's weights streamed once per
+// group instead of once per image.
+func BenchmarkRunBatchMajorMnistCNN(b *testing.B) {
+	net := benchMnistCNN(b)
+	const nb = 3
+	bst := NewBatchState(net, nb)
+	inputs := make([]tensor.Vec, nb)
+	encs := make([]Encoder, nb)
+	base := NewPoissonEncoder(0.8, 9)
+	for i := range inputs {
+		inputs[i] = benchImage(net.Input.Size())
+		encs[i] = base.ForkSeed(i)
+	}
+	bst.RunBlocked(inputs, encs, 48, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bst.RunBlocked(inputs, encs, 48, 0, nil)
+	}
+}
+
+// The blocked conv/pool panel kernels must be allocation-free on a warm
+// State: the flat/offsets spike buffers and fire bytes all live in reused
+// block scratch.
+func TestRunBlockedConvAllocFree(t *testing.T) {
+	net := benchMnistCNN(t)
+	st := NewState(net)
+	img := benchImage(net.Input.Size())
+	enc := NewPoissonEncoder(0.8, 9)
+	st.RunBlocked(img, enc, 48, nil)
+	allocs := testing.AllocsPerRun(3, func() { st.RunBlocked(img, enc, 48, nil) })
+	if allocs != 0 {
+		t.Fatalf("blocked CNN run allocates %.0f objects per classification on a warm State, want 0", allocs)
+	}
+}
+
+// Batch-major groups must also be allocation-free once warm.
+func TestBatchMajorAllocFree(t *testing.T) {
+	net := benchMnistCNN(t)
+	const nb = 3
+	bst := NewBatchState(net, nb)
+	inputs := make([]tensor.Vec, nb)
+	encs := make([]Encoder, nb)
+	base := NewPoissonEncoder(0.8, 9)
+	for i := range inputs {
+		inputs[i] = benchImage(net.Input.Size())
+		encs[i] = base.ForkSeed(i)
+	}
+	bst.RunBlocked(inputs, encs, 48, 0, nil)
+	allocs := testing.AllocsPerRun(3, func() { bst.RunBlocked(inputs, encs, 48, 0, nil) })
+	if allocs != 0 {
+		t.Fatalf("batch-major run allocates %.0f objects per group on a warm BatchState, want 0", allocs)
 	}
 }

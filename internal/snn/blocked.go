@@ -1,6 +1,8 @@
 package snn
 
 import (
+	"math/bits"
+
 	"resparc/internal/bitvec"
 	"resparc/internal/tensor"
 )
@@ -120,10 +122,8 @@ func (s *State) ensureBlock(k int) {
 			s.blockOut[li][i] = bitvec.New(l.OutSize())
 		}
 	}
-	s.blockIdx = make([][]int32, k)
-	for i := range s.blockIdx {
-		s.blockIdx[i] = []int32{}
-	}
+	s.blockOffs = make([]int32, k+1)
+	s.blockFires = make([]uint8, k)
 	s.stepView = make([]*bitvec.Bits, len(s.Net.Layers))
 }
 
@@ -139,23 +139,26 @@ func (s *State) runLayerBlock(li int, l *Layer, cur []*bitvec.Bits, kn int) {
 	switch l.Kind {
 	case DenseLayer:
 		// Dense layers flip to output-major order: collect the block's spike
-		// lists once, then walk each output neuron's weight row across every
-		// timestep of the block while the row sits in the innermost cache.
+		// lists once (concatenated into one flat buffer with per-step offsets),
+		// then walk each output neuron's weight row across every timestep of
+		// the block while the row sits in the innermost cache.
+		flat := s.blockFlat[:0]
+		offs := s.blockOffs
+		offs[0] = 0
 		for k := 0; k < kn; k++ {
-			s.blockIdx[k] = cur[k].AppendSet(s.blockIdx[k][:0])
+			flat = cur[k].AppendSet(flat)
+			offs[k+1] = int32(len(flat))
 		}
-		denseBlock(l, v, s.blockIdx[:kn], outR)
-	case ConvLayer, PoolLayer:
-		// Conv/pool stay input-major per step (output-major would forfeit
-		// the event-driven skip of silent inputs), but the layer-major sweep
-		// keeps this one layer's CSR adjacency hot for the whole block.
-		for k := 0; k < kn; k++ {
-			if l.Leak > 0 {
-				v.Scale(1 - l.Leak)
-			}
-			s.idx = integrate(l, cur[k], v, s.idx[:0])
-			fire(l, v, outR[k])
-		}
+		s.blockFlat = flat
+		denseBlock(l, v, flat, offs[:kn+1], s.blockFires[:kn], outR)
+	case ConvLayer:
+		// Conv flips to output-location-major order: per receptive field the
+		// block's spiking taps are collected once into the flat/offsets
+		// buffers, then each 8-channel panel integrates all kn steps with its
+		// accumulators in registers (blockPanel).
+		s.blockFlat = convBlock(l, v, cur[:kn], outR[:kn], s.blockFlat, s.blockOffs, s.blockFires[:kn])
+	case PoolLayer:
+		poolBlock(l, v, cur[:kn], outR[:kn])
 	default:
 		panic("snn: unknown layer kind")
 	}
@@ -172,7 +175,7 @@ func (s *State) runLayerBlock(li int, l *Layer, cur []*bitvec.Bits, kn int) {
 // 8-lane weight line into eight independent accumulators. Each neuron's
 // own operation order (the only order float rounding depends on) is
 // unchanged, so results stay bit-identical to the step-major runner.
-func denseBlock(l *Layer, v tensor.Vec, lists [][]int32, outR []*bitvec.Bits) {
+func denseBlock(l *Layer, v tensor.Vec, flat, offs []int32, fires []uint8, outR []*bitvec.Bits) {
 	w := l.W
 	cols := w.Cols
 	th := l.Threshold
@@ -181,6 +184,10 @@ func denseBlock(l *Layer, v tensor.Vec, lists [][]int32, outR []*bitvec.Bits) {
 	hard := l.HardReset
 	rows := w.Rows
 	pan := l.panelW()
+	canSkip := !leaky || th > 0 // see poolBlock on the leak/threshold-sign caveat
+	kn := len(fires)
+	useBP := !leaky && kn <= 64
+	stepmask := stepMask(offs)
 	var acc [panelLanes]float64
 	j := 0
 	for ; j+panelLanes <= rows; j += panelLanes {
@@ -188,18 +195,43 @@ func denseBlock(l *Layer, v tensor.Vec, lists [][]int32, outR []*bitvec.Bits) {
 		// the contiguous eight floats at panel[i*8 .. i*8+8].
 		panel := pan[(j/panelLanes)*cols*panelLanes : (j/panelLanes+1)*cols*panelLanes]
 		copy(acc[:], v[j:j+panelLanes])
-		for k, list := range lists {
-			if leaky {
-				for i := range acc {
-					acc[i] *= decay
-				}
+		if useBP {
+			// Fast path (no leak): a silent block with no lane at threshold
+			// is an exact no-op for this group; otherwise one blockPanel
+			// call integrates all kn steps with the accumulators pinned in
+			// registers and returns the fired-steps bitmask to commit.
+			if stepmask == 0 && !groupHot(&acc, th) {
+				continue
 			}
-			accumPanel(panel, list, &acc)
-			out := outR[k]
-			for i, p := range acc {
-				if p >= th {
-					out.Set(j + i)
-					acc[i] = resetPotential(p, th, hard)
+			fs := blockPanel(panel, flat, offs, fires, &acc, th, hard)
+			for ; fs != 0; fs &= fs - 1 {
+				k := bits.TrailingZeros64(fs)
+				outR[k].Or8(j, fires[k])
+			}
+		} else {
+			hot := groupHot(&acc, th)
+			for k := 0; k < kn; k++ {
+				list := flat[offs[k]:offs[k+1]]
+				if leaky {
+					for i := range acc {
+						acc[i] *= decay
+					}
+				}
+				if len(list) == 0 {
+					// Event-driven skip: with no input spikes every lane's
+					// adds are absent in the reference too, and if no lane
+					// sits at or above threshold (hot) none can fire — the
+					// step is an exact no-op for this group.
+					if !hot && canSkip {
+						continue
+					}
+				} else {
+					accumPanel(panel, list, &acc)
+				}
+				var mask uint8
+				mask, hot = fireScan(&acc, th, hard)
+				if mask != 0 {
+					outR[k].Or8(j, mask)
 				}
 			}
 		}
@@ -208,19 +240,408 @@ func denseBlock(l *Layer, v tensor.Vec, lists [][]int32, outR []*bitvec.Bits) {
 	for ; j < rows; j++ {
 		row := w.Data[j*cols : (j+1)*cols]
 		p := v[j]
-		for k, list := range lists {
-			if leaky {
-				p *= decay
+		if useBP {
+			for k := 0; k < kn; k++ {
+				if p < th {
+					rem := stepmask >> uint(k)
+					if rem == 0 {
+						break
+					}
+					k += bits.TrailingZeros64(rem)
+				}
+				for _, i := range flat[offs[k]:offs[k+1]] {
+					p += row[i]
+				}
+				if p >= th {
+					outR[k].Set(j)
+					p = resetPotential(p, th, hard)
+				}
 			}
-			for _, i := range list {
-				p += row[i]
-			}
-			if p >= th {
-				outR[k].Set(j)
-				p = resetPotential(p, th, hard)
+		} else {
+			for k := 0; k < kn; k++ {
+				list := flat[offs[k]:offs[k+1]]
+				if leaky {
+					p *= decay
+				}
+				if len(list) == 0 && p < th {
+					continue
+				}
+				for _, i := range list {
+					p += row[i]
+				}
+				if p >= th {
+					outR[k].Set(j)
+					p = resetPotential(p, th, hard)
+				}
 			}
 		}
 		v[j] = p
+	}
+}
+
+// stepMask summarizes which block steps carry input spikes as a bitmask (bit
+// k set when segment k of the offsets table is non-empty), so the scalar
+// loops of the no-leak fast path can jump over silent steps in O(1). Only
+// the low 64 segments are summarized — the fast path requires kn <= 64.
+func stepMask(offs []int32) uint64 {
+	var m uint64
+	for k := 0; k+1 < len(offs) && k < 64; k++ {
+		if offs[k+1] > offs[k] {
+			m |= 1 << uint(k)
+		}
+	}
+	return m
+}
+
+// fireScan applies one step's threshold/reset to an 8-lane accumulator
+// group, returning the fired-lane mask and whether any lane remains at or
+// above threshold (hot) after its reset.
+func fireScan(acc *[panelLanes]float64, th float64, hard bool) (mask uint8, hot bool) {
+	for i, p := range acc {
+		if p >= th {
+			mask |= 1 << uint(i)
+			p = resetPotential(p, th, hard)
+			acc[i] = p
+			if p >= th {
+				hot = true
+			}
+		}
+	}
+	return mask, hot
+}
+
+// groupHot reports whether any lane of a gathered accumulator group is at
+// or above threshold — i.e. could fire on a step without input spikes.
+func groupHot(acc *[panelLanes]float64, th float64) bool {
+	for _, p := range acc {
+		if p >= th {
+			return true
+		}
+	}
+	return false
+}
+
+// convBlock runs one conv layer over a block of timesteps in
+// output-location-major order. For each output location the spiking taps of
+// its receptive field are gathered once per step into kernel-index lists
+// (ascending; one AppendSetRange word walk per valid kernel row), then each
+// group of eight output channels replays the step sequence — leak,
+// accumPanel over the shared OutC x FanIn kernel panel, threshold, reset —
+// with its eight accumulators held in registers for the whole block.
+//
+// Bit-identity with the step-major runner: for a fixed output neuron the
+// maps (ky,kx,ic) -> input index and (ky,kx,ic) -> kernel index are both
+// strictly increasing over the valid (non-padding) taps, so ascending
+// kernel-index lists deliver each neuron's spike adds in exactly the
+// ascending-input-index order of the event-driven reference, and per-lane
+// accumPanel adds are individual IEEE additions (see DESIGN.md §13).
+func convBlock(l *Layer, v tensor.Vec, cur, outR []*bitvec.Bits, flat0, offs []int32, fires []uint8) []int32 {
+	g := l.Geom
+	plan := l.convPlan()
+	pan := l.panelW()
+	w := l.W
+	fanIn := w.Cols
+	outC := l.Out.C
+	outW := l.Out.W
+	inC, inW := g.In.C, g.In.W
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	groups := outC / panelLanes
+	kn := len(cur)
+	canSkip := !leaky || th > 0 // see poolBlock on the leak/threshold-sign caveat
+	useBP := !leaky && kn <= 64
+	var acc [panelLanes]float64
+	flat := flat0
+	for oy := 0; oy < l.Out.H; oy++ {
+		kyLo, kyHi := plan.kyLo[oy], plan.kyHi[oy]
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			kxLo, kxHi := plan.kxLo[ox], plan.kxHi[ox]
+			ix0 := ox*g.Stride - g.Pad
+			rowSpan := (kxHi - kxLo) * inC
+			var stepmask uint64
+			flat = flat[:0]
+			offs[0] = 0
+			for k := 0; k < kn; k++ {
+				in := cur[k]
+				start := int32(len(flat))
+				if rowSpan > 0 && rowSpan <= 64 {
+					// Narrow receptive-field rows (span <= one word) load as a
+					// single masked word instead of a word-walking
+					// AppendSetRange call — the common case for 3x3 kernels
+					// over few-channel inputs.
+					for ky := kyLo; ky < kyHi; ky++ {
+						rowBase := ((iy0+ky)*inW + ix0) * inC
+						lo := rowBase + kxLo*inC
+						// off maps input indices of this kernel row to kernel
+						// indices: kIdx = inIdx - rowBase + ky*K*inC.
+						off := int32(ky*g.K*inC) - int32(rowBase)
+						m := in.LoadBits(lo, rowSpan)
+						for m != 0 {
+							flat = append(flat, int32(lo+bits.TrailingZeros64(m))+off)
+							m &= m - 1
+						}
+					}
+				} else if rowSpan > 0 {
+					for ky := kyLo; ky < kyHi; ky++ {
+						rowBase := ((iy0+ky)*inW + ix0) * inC
+						off := int32(ky*g.K*inC) - int32(rowBase)
+						lo := rowBase + kxLo*inC
+						flat = in.AppendSetRange(lo, lo+rowSpan, off, flat)
+					}
+				}
+				if int32(len(flat)) != start {
+					stepmask |= 1 << uint(k&63)
+				}
+				offs[k+1] = int32(len(flat))
+			}
+			out0 := (oy*outW + ox) * outC
+			for gi := 0; gi < groups; gi++ {
+				panel := pan[gi*fanIn*panelLanes : (gi+1)*fanIn*panelLanes]
+				j := out0 + gi*panelLanes
+				copy(acc[:], v[j:j+panelLanes])
+				if useBP {
+					// One blockPanel call per (location, group); see denseBlock.
+					if stepmask == 0 && !groupHot(&acc, th) {
+						continue
+					}
+					fs := blockPanel(panel, flat, offs[:kn+1], fires, &acc, th, hard)
+					for ; fs != 0; fs &= fs - 1 {
+						k := bits.TrailingZeros64(fs)
+						outR[k].Or8(j, fires[k])
+					}
+				} else {
+					hot := groupHot(&acc, th)
+					for k := 0; k < kn; k++ {
+						list := flat[offs[k]:offs[k+1]]
+						if leaky {
+							for i := range acc {
+								acc[i] *= decay
+							}
+						}
+						if len(list) == 0 {
+							// Event-driven skip (an exact no-op in the
+							// reference; see denseBlock and poolBlock).
+							if !hot && canSkip {
+								continue
+							}
+						} else {
+							accumPanel(panel, list, &acc)
+						}
+						var mask uint8
+						mask, hot = fireScan(&acc, th, hard)
+						if mask != 0 {
+							outR[k].Or8(j, mask)
+						}
+					}
+				}
+				copy(v[j:j+panelLanes], acc[:])
+			}
+			for oc := groups * panelLanes; oc < outC; oc++ {
+				row := w.Data[oc*fanIn : (oc+1)*fanIn]
+				j := out0 + oc
+				p := v[j]
+				if useBP {
+					for k := 0; k < kn; k++ {
+						if p < th {
+							rem := stepmask >> uint(k)
+							if rem == 0 {
+								break
+							}
+							k += bits.TrailingZeros64(rem)
+						}
+						for _, t := range flat[offs[k]:offs[k+1]] {
+							p += row[t]
+						}
+						if p >= th {
+							outR[k].Set(j)
+							p = resetPotential(p, th, hard)
+						}
+					}
+				} else {
+					for k := 0; k < kn; k++ {
+						list := flat[offs[k]:offs[k+1]]
+						if leaky {
+							p *= decay
+						}
+						if len(list) == 0 && p < th {
+							continue
+						}
+						for _, t := range list {
+							p += row[t]
+						}
+						if p >= th {
+							outR[k].Set(j)
+							p = resetPotential(p, th, hard)
+						}
+					}
+				}
+				v[j] = p
+			}
+		}
+	}
+	return flat
+}
+
+// poolBlock runs one average-pooling layer over a block of timesteps in
+// output-location-major order. Pool windows never touch padding (Pad == 0,
+// Stride == K), every tap has the same fixed weight, and channels are
+// independent, so per location the kernel walks taps in (ky, kx) order —
+// ascending input index per channel — and uses Load8 to test eight
+// consecutive channels' spike bits per tap at once. Each set bit adds
+// PoolWeight as its own scalar IEEE addition (a popcount*weight multiply
+// would round differently), preserving bit-identity with the step-major
+// runner.
+func poolBlock(l *Layer, v tensor.Vec, cur, outR []*bitvec.Bits) {
+	g := l.Geom
+	c := l.Out.C
+	outW := l.Out.W
+	inW := g.In.W
+	pw := l.PoolWeight()
+	th := l.Threshold
+	decay := 1 - l.Leak
+	leaky := l.Leak > 0
+	hard := l.HardReset
+	kn := len(cur)
+	var acc [panelLanes]float64
+	// Per-tap mask scratch for one window, packed eight tap bytes per word so
+	// lane i's set-tap count is one masked popcount per word. The stack
+	// buffer covers every realistic pool (K <= 8); larger kernels spill to a
+	// heap slice once.
+	var wBuf [8]uint64
+	taps := g.K * g.K
+	nw := (taps + 7) / 8
+	wb := wBuf[:]
+	if nw > len(wBuf) {
+		wb = make([]uint64, nw)
+	}
+	// The silent-step skip relies on "no lane at threshold stays below it":
+	// exact when potentials are untouched, and under leak only guaranteed for
+	// positive thresholds (a negative potential decays toward zero and could
+	// cross a negative threshold).
+	canSkip := !leaky || th > 0
+	for oy := 0; oy < l.Out.H; oy++ {
+		iy0 := oy * g.Stride
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox * g.Stride
+			out0 := (oy*outW + ox) * c
+			i00 := (iy0*inW + ix0) * c
+			i10 := ((iy0+1)*inW + ix0) * c
+			oc := 0
+			for ; oc+panelLanes <= c; oc += panelLanes {
+				j := out0 + oc
+				copy(acc[:], v[j:j+panelLanes])
+				hot := groupHot(&acc, th)
+				if g.K == 2 {
+					// 2x2 windows (every Fig 10 pool) read four fixed tap
+					// bytes per step — the indices are loop-invariant.
+					t0, t1, t2, t3 := i00+oc, i00+c+oc, i10+oc, i10+c+oc
+					for k := 0; k < kn; k++ {
+						if leaky {
+							for i := range acc {
+								acc[i] *= decay
+							}
+						}
+						in := cur[k]
+						m0, m1, m2, m3 := in.Load8(t0), in.Load8(t1), in.Load8(t2), in.Load8(t3)
+						if m0|m1|m2|m3 == 0 {
+							if !hot && canSkip {
+								continue
+							}
+						} else {
+							// Every set tap adds the same pw, so a lane's
+							// result depends only on its set-tap count — the
+							// adds' order among taps cannot change the IEEE
+							// operation sequence. Walk all set bits of the
+							// packed word; bit position mod 8 is the lane.
+							m := uint32(m0) | uint32(m1)<<8 | uint32(m2)<<16 | uint32(m3)<<24
+							for m != 0 {
+								acc[bits.TrailingZeros32(m)&7] += pw
+								m &= m - 1
+							}
+						}
+						var mask uint8
+						mask, hot = fireScan(&acc, th, hard)
+						if mask != 0 {
+							outR[k].Or8(j, mask)
+						}
+					}
+					copy(v[j:j+panelLanes], acc[:])
+					continue
+				}
+				for k := 0; k < kn; k++ {
+					if leaky {
+						for i := range acc {
+							acc[i] *= decay
+						}
+					}
+					in := cur[k]
+					// Gather the window's eight-channel tap masks first; a
+					// silent window with no lane at threshold is an exact
+					// no-op step (decay, if any, already applied).
+					var mor uint8
+					for wi := 0; wi < nw; wi++ {
+						wb[wi] = 0
+					}
+					ti := 0
+					for ky := 0; ky < g.K; ky++ {
+						rowBase := ((iy0+ky)*inW + ix0) * c
+						for kx := 0; kx < g.K; kx++ {
+							m := in.Load8(rowBase + kx*c + oc)
+							wb[ti>>3] |= uint64(m) << uint((ti&7)*8)
+							ti++
+							mor |= m
+						}
+					}
+					if mor == 0 {
+						if !hot && canSkip {
+							continue
+						}
+					} else {
+						// Packed-word bit walk; see the 2x2 path above on why
+						// tap order cannot matter.
+						for wi := 0; wi < nw; wi++ {
+							m := wb[wi]
+							for m != 0 {
+								acc[bits.TrailingZeros64(m)&7] += pw
+								m &= m - 1
+							}
+						}
+					}
+					var mask uint8
+					mask, hot = fireScan(&acc, th, hard)
+					if mask != 0 {
+						outR[k].Or8(j, mask)
+					}
+				}
+				copy(v[j:j+panelLanes], acc[:])
+			}
+			for ; oc < c; oc++ {
+				j := out0 + oc
+				p := v[j]
+				for k := 0; k < kn; k++ {
+					if leaky {
+						p *= decay
+					}
+					in := cur[k]
+					for ky := 0; ky < g.K; ky++ {
+						rowBase := ((iy0+ky)*inW + ix0) * c
+						for kx := 0; kx < g.K; kx++ {
+							if in.Get(rowBase + kx*c + oc) {
+								p += pw
+							}
+						}
+					}
+					if p >= th {
+						outR[k].Set(j)
+						p = resetPotential(p, th, hard)
+					}
+				}
+				v[j] = p
+			}
+		}
 	}
 }
 

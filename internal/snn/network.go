@@ -81,7 +81,9 @@ type Layer struct {
 	wTOnce  sync.Once
 	wT      *tensor.Mat // dense W^T: one contiguous row per input neuron
 	panOnce sync.Once
-	pan     []float64 // dense W packed into 8-row panels (see panelW)
+	pan     []float64 // W packed into 8-row panels (see panelW)
+	cpOnce  sync.Once
+	cp      *convPlan // conv valid-tap ranges (see convPlan)
 }
 
 // InSize returns the flattened input length.
@@ -383,13 +385,20 @@ func (l *Layer) transposedW() *tensor.Mat {
 // their weights for one input side by side (8 float64 = one cache line).
 const panelLanes = 8
 
-// panelW returns the dense weight matrix packed into 8-row panels:
+// panelW returns the layer's weight matrix packed into 8-row panels:
 // pan[g*cols*8 + i*8 + lane] = W[8g+lane][i]. The blocked kernel reads the
 // eight weights of one input spike as a single contiguous cache line with
 // constant displacements instead of gathering from eight distant rows (which
 // costs eight slice headers and spills them off the register file). Only
 // full groups of eight rows are packed; the remainder rows (< 8) fall back
 // to the row-major W. Safe for concurrent first use.
+//
+// For dense layers the rows are output neurons and the columns input
+// neurons; for conv layers the same packing applies verbatim to the shared
+// OutC x FanIn kernel matrix — a panel groups 8 output channels and a
+// "column" is one kernel tap index, so one accumPanel call integrates a
+// spiking tap into 8 feature maps at once. Never called for pool layers
+// (W == nil).
 func (l *Layer) panelW() []float64 {
 	l.panOnce.Do(func() {
 		cols := l.W.Cols
@@ -406,6 +415,53 @@ func (l *Layer) panelW() []float64 {
 		}
 	})
 	return l.pan
+}
+
+// convPlan caches, per conv output row/column, the range of kernel
+// rows/columns whose taps land inside the input volume — everything outside
+// is zero padding and contributes nothing. With it, the conv block kernel
+// enumerates exactly the valid taps of a receptive field with no per-tap
+// bounds checks: for output row oy, ky ranges over [kyLo[oy], kyHi[oy]),
+// and likewise kx over [kxLo[ox], kxHi[ox]).
+type convPlan struct {
+	kyLo, kyHi []int
+	kxLo, kxHi []int
+}
+
+// convPlan returns the lazily built valid-tap plan of a conv layer. Safe
+// for concurrent first use.
+func (l *Layer) convPlan() *convPlan {
+	l.cpOnce.Do(l.initConvPlan)
+	return l.cp
+}
+
+func (l *Layer) initConvPlan() {
+	g := l.Geom
+	clampRange := func(o, in int) (int, int) {
+		lo, hi := 0, g.K
+		i0 := o*g.Stride - g.Pad
+		if i0 < 0 {
+			lo = -i0
+		}
+		if i0+g.K > in {
+			hi = in - i0
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+	p := &convPlan{
+		kyLo: make([]int, l.Out.H), kyHi: make([]int, l.Out.H),
+		kxLo: make([]int, l.Out.W), kxHi: make([]int, l.Out.W),
+	}
+	for oy := 0; oy < l.Out.H; oy++ {
+		p.kyLo[oy], p.kyHi[oy] = clampRange(oy, g.In.H)
+	}
+	for ox := 0; ox < l.Out.W; ox++ {
+		p.kxLo[ox], p.kxHi[ox] = clampRange(ox, g.In.W)
+	}
+	l.cp = p
 }
 
 // ActiveSynOps returns the number of synaptic accumulations an event-driven

@@ -32,11 +32,13 @@ type State struct {
 	first  []int
 
 	// Blocked-runner scratch (see blocked.go), sized on first use.
-	blockK   int
-	blockIn  []*bitvec.Bits   // input raster of the current block
-	blockOut [][]*bitvec.Bits // per layer, output raster of the current block
-	blockIdx [][]int32        // per block step, input spike-index lists
-	stepView []*bitvec.Bits   // per-step layer view for observer replay
+	blockK     int
+	blockIn    []*bitvec.Bits   // input raster of the current block
+	blockOut   [][]*bitvec.Bits // per layer, output raster of the current block
+	blockFlat  []int32          // concatenated per-step spike/tap index lists
+	blockOffs  []int32          // per-step segment bounds into blockFlat (blockK+1)
+	blockFires []uint8          // per-step fired-lane bytes of one panel group
+	stepView   []*bitvec.Bits   // per-step layer view for observer replay
 }
 
 // NewState allocates simulation state for the network.
