@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard|fleet]
 //	              [-quick] [-out FILE] [-workers N] [-batch B] [-json FILE]
 //	              [-blocked=false] [-check] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -30,7 +30,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard, fleet")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
@@ -293,6 +293,45 @@ func main() {
 		}
 		fmt.Fprintf(out, "shard results merged into %s\n", *jsonPath)
 	}
+	// The fleet-serving scenario is explicit-only. Like the shard sweep its
+	// rows are modeled (virtual-time discrete-event fleet, see
+	// internal/loadgen), so the same -seed reproduces them bit-identically
+	// and merging preserves the existing file's header.
+	if *fig == "fleet" {
+		entries, t, err := experiments.FigFleet(cfg)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		prev, err := perf.ReadBenchFile(*jsonPath)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if dt := fleetDeltaTable(prev.Entries, entries); dt != nil {
+			dt.Render(out)
+			fmt.Fprintln(out)
+		}
+		rep := perf.NewBenchReport(perf.MergeEntries(prev.Entries, entries))
+		if prev.Timestamp != "" {
+			rep.Timestamp = prev.Timestamp
+			rep.GitRevision = prev.GitRevision
+			rep.GoVersion = prev.GoVersion
+			rep.GOMAXPROCS = prev.GOMAXPROCS
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perf.WriteBenchJSON(f, rep); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "fleet results merged into %s\n", *jsonPath)
+	}
 	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
 	// benchmark 13 times); it also writes the machine-readable JSON. The
 	// output contains no timestamps or host state: the same -seed produces a
@@ -411,6 +450,29 @@ func benchDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
 		}
 		t.Add(e.Name, fmt.Sprintf("%.0f", old.NsPerOp), fmt.Sprintf("%.0f", e.NsPerOp),
 			fmt.Sprintf("%.2fx", perf.Speedup(old, e)))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
+}
+
+// fleetDeltaTable compares fresh fleet SLO rows against the previous
+// entries of the same name; nil when no previous fleet row overlaps. The
+// comparison is informational (warn-only): SLO attainment shifts with the
+// scenario, so CI reports the delta without failing on it.
+func fleetDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
+	t := report.NewTable("Fleet SLO delta vs previous BENCH_RESULTS.json",
+		"Row", "prev p99 ms", "new p99 ms", "prev attainment", "new attainment")
+	rows := 0
+	for _, e := range fresh {
+		old, ok := perf.FindEntry(prev, e.Name)
+		if !ok || !old.IsFleet() {
+			continue
+		}
+		t.Add(e.Name, fmt.Sprintf("%.1f", old.P99Ms), fmt.Sprintf("%.1f", e.P99Ms),
+			fmt.Sprintf("%.3f", old.SLOAttainment), fmt.Sprintf("%.3f", e.SLOAttainment))
 		rows++
 	}
 	if rows == 0 {

@@ -1,0 +1,138 @@
+// Command resparc-lb runs the fleet front tier: a load balancer that routes
+// POST /v1/classify over a set of resparc-serve replicas.
+//
+// Usage:
+//
+//	resparc-lb [-addr :8090] -replicas http://host1:8080,http://host2:8080
+//	           [-vnodes 64] [-poll 1s] [-max-inflight 256] [-batch-share 0.5]
+//	           [-tenant-rate 0] [-tenant-burst 0] [-retries 2]
+//	           [-default-backend resparc] [-shed-backend cmos]
+//
+// Routing is consistent hashing by model; replica health comes from polling
+// each replica's /readyz (liveness vs readiness split in resparc-serve).
+// When every replica's RESPARC circuits are open the balancer sheds
+// unpinned requests to the CMOS baseline backend instead of failing.
+//
+// Endpoints: POST /v1/classify, GET /v1/replicas, GET /metrics,
+// GET /healthz, GET /readyz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resparc/internal/lb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resparc-lb: ")
+
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required); name=url pairs also accepted")
+	vnodes := flag.Int("vnodes", lb.DefaultVNodes, "virtual nodes per replica on the consistent-hash ring")
+	poll := flag.Duration("poll", time.Second, "replica /readyz polling interval")
+	maxInFlight := flag.Int("max-inflight", 256, "fleet-wide concurrency budget (admission)")
+	batchShare := flag.Float64("batch-share", 0.5, "fraction of the budget the batch tier may hold")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant quota, requests/sec (0: unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant quota burst (0: same as -tenant-rate)")
+	retries := flag.Int("retries", 2, "max retries of upstream 429/503/504 answers")
+	defBackend := flag.String("default-backend", "resparc", "backend for requests that do not pin one")
+	shedBackend := flag.String("shed-backend", "cmos", "fallback backend when the default is out fleet-wide (empty disables shedding)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request upstream timeout")
+	flag.Parse()
+
+	members, err := parseReplicas(*replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lb.DefaultConfig(members)
+	cfg.VNodes = *vnodes
+	cfg.PollInterval = *poll
+	cfg.MaxInFlight = *maxInFlight
+	cfg.BatchShare = *batchShare
+	cfg.MaxRetries = *retries
+	cfg.DefaultBackend = *defBackend
+	cfg.ShedBackend = *shedBackend
+	cfg.Client = &http.Client{Timeout: *timeout}
+	if *tenantRate > 0 {
+		burst := *tenantBurst
+		if burst <= 0 {
+			burst = *tenantRate
+		}
+		cfg.TenantQuota = lb.Quota{Rate: *tenantRate, Burst: burst}
+	}
+	balancer, err := lb.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: balancer.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("balancing %d replica(s) on %s (default backend %s, shed to %s, poll %v)",
+		len(members), *addr, cfg.DefaultBackend, orNone(cfg.ShedBackend), cfg.PollInterval)
+	for _, r := range members {
+		log.Printf("  %-12s %s", r.Name, r.URL)
+	}
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	balancer.Close()
+	log.Print("stopped")
+}
+
+// parseReplicas accepts "url,url,..." (names derived from the hosts) or
+// "name=url,name=url,..." forms.
+func parseReplicas(s string) ([]lb.Replica, error) {
+	var out []lb.Replica
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, named := strings.Cut(part, "=")
+		if !named {
+			raw = part
+			name = ""
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("replica %q: want a base URL like http://host:8080", part)
+		}
+		if name == "" {
+			name = u.Host
+		}
+		out = append(out, lb.Replica{Name: name, URL: strings.TrimRight(raw, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no replicas: pass -replicas http://host1:8080,http://host2:8080")
+	}
+	return out, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(disabled)"
+	}
+	return s
+}

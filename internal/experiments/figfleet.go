@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"resparc/internal/lb"
+	"resparc/internal/loadgen"
+	"resparc/internal/perf"
+	"resparc/internal/report"
+)
+
+// FleetScenario is the modeled fleet the `-fig fleet` rows come from: three
+// replicas, a bursty diurnal trace, a mid-trace replica outage, and a
+// window during which every replica's RESPARC circuits are open (a
+// fleet-wide fault campaign) so the shed-to-CMOS policy is exercised. The
+// numbers are a pure function of the seed.
+type FleetScenario struct {
+	Trace loadgen.TraceConfig
+	Fleet loadgen.FleetConfig
+}
+
+// DefaultFleetScenario builds the committed scenario for the given seed.
+//
+// Service times are modeled on the committed serve-path measurements
+// (eval/mnist-mlp ~5 ms, eval/mnist-cnn ~23 ms per image on the RESPARC
+// simulator) with the CMOS baseline ~3x slower, the paper's
+// energy/latency ordering between the fabrics. The burst multiplies the
+// arrival rate 4x for a tenth of the trace; the batch tier's small
+// admission wait budget is what keeps the interactive tier's SLO
+// attainment ahead of batch's through it.
+func DefaultFleetScenario(seed int64) FleetScenario {
+	minute := time.Minute
+	return FleetScenario{
+		Trace: loadgen.TraceConfig{
+			Seed:             seed,
+			Duration:         10 * minute,
+			BaseRPS:          150,
+			DiurnalAmplitude: 0.4,
+			DiurnalPeriod:    10 * minute,
+			Bursts: []loadgen.Burst{
+				{From: 3 * minute, To: 4 * minute, Multiplier: 4},
+			},
+			Models: []loadgen.ModelMix{
+				{Model: "mnist-mlp", Weight: 3},
+				{Model: "mnist-cnn", Weight: 1},
+			},
+			Tenants:       4,
+			BatchFraction: 0.4,
+		},
+		Fleet: loadgen.FleetConfig{
+			Replicas: []loadgen.SimReplica{
+				// replica-b crashes for a minute; during minute 6-7 a
+				// fleet-wide fault campaign opens every RESPARC circuit, so
+				// the only way to answer is the CMOS baseline.
+				{Name: "replica-a", Slots: 6, OpenFrom: 6 * minute, OpenTo: 7 * minute},
+				{Name: "replica-b", Slots: 6, DownFrom: 8 * minute, DownTo: 9 * minute, OpenFrom: 6 * minute, OpenTo: 7 * minute},
+				{Name: "replica-c", Slots: 6, OpenFrom: 6 * minute, OpenTo: 7 * minute},
+			},
+			ServiceMs: map[string]float64{
+				"mnist-mlp/resparc": 5,
+				"mnist-mlp/cmos":    16,
+				"mnist-cnn/resparc": 23,
+				"mnist-cnn/cmos":    70,
+			},
+			JitterFrac: 0.2,
+			SLOTargetMs: map[lb.Tier]float64{
+				lb.TierInteractive: 150,
+				lb.TierBatch:       500,
+			},
+			MaxWaitMs: map[lb.Tier]float64{
+				lb.TierInteractive: 1000,
+				lb.TierBatch:       60,
+			},
+			Seed: seed,
+		},
+	}
+}
+
+// FigFleet runs the fleet scenario and returns one BenchEntry per
+// (model, tier) — latency quantiles and SLO attainment under the bursty
+// trace with a replica outage and a fleet-wide RESPARC outage. Entries are
+// modeled in virtual time (like FigShard's), so the same seed reproduces
+// them bit-identically; the live HTTP path is covered by the lb package's
+// race-enabled end-to-end tests.
+func FigFleet(cfg Config) ([]perf.BenchEntry, *report.Table, error) {
+	sc := DefaultFleetScenario(cfg.Seed)
+	events, err := loadgen.Generate(sc.Trace)
+	if err != nil {
+		return nil, nil, fmtErr("fleet", err)
+	}
+	result, err := loadgen.Simulate(sc.Fleet, events)
+	if err != nil {
+		return nil, nil, fmtErr("fleet", err)
+	}
+	t := report.NewTable("Fleet serving under bursty load (modeled)",
+		"Model", "Tier", "Offered", "OK", "Shed", "Rejected", "p50 ms", "p99 ms", "p999 ms", "SLO ms", "Attainment")
+	var entries []perf.BenchEntry
+	for _, s := range result.Summaries {
+		entries = append(entries, perf.BenchEntry{
+			Name:          fmt.Sprintf("fleet/%s/%s", s.Model, s.Tier),
+			NsPerOp:       s.MeanMs * 1e6,
+			ImagesPerSec:  rate(s.OK, result.Duration),
+			Iterations:    s.Count,
+			Workers:       len(sc.Fleet.Replicas),
+			P50Ms:         s.P50Ms,
+			P99Ms:         s.P99Ms,
+			P999Ms:        s.P999Ms,
+			SLOTargetMs:   s.SLOTargetMs,
+			SLOAttainment: s.Attainment,
+			Shed:          int64(s.Shed),
+			Errors:        int64(s.Rejected + s.Failed),
+		})
+		t.Add(s.Model, string(s.Tier),
+			fmt.Sprintf("%d", s.Count), fmt.Sprintf("%d", s.OK),
+			fmt.Sprintf("%d", s.Shed), fmt.Sprintf("%d", s.Rejected),
+			fmt.Sprintf("%.1f", s.P50Ms), fmt.Sprintf("%.1f", s.P99Ms),
+			fmt.Sprintf("%.1f", s.P999Ms), fmt.Sprintf("%.0f", s.SLOTargetMs),
+			fmt.Sprintf("%.3f", s.Attainment))
+	}
+	return entries, t, nil
+}
+
+// rate converts a served count over a virtual duration to per-second.
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

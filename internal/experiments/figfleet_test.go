@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The committed fleet scenario must be reproducible bit-for-bit (that is
+// what keeps BENCH_RESULTS.json byte-identical across same-seed reruns) and
+// must demonstrate the two fleet policies: interactive SLO attainment at or
+// above batch under the burst, and shed-to-CMOS during the fleet-wide
+// RESPARC outage.
+func TestFigFleetDeterministicAndTiered(t *testing.T) {
+	cfg := QuickConfig()
+	entries, _, err := FigFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := FigFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, again) {
+		t.Fatal("same seed produced different fleet entries")
+	}
+	if len(entries) == 0 {
+		t.Fatal("no fleet entries")
+	}
+
+	attainment := map[string]map[string]float64{} // model -> tier -> attainment
+	for _, e := range entries {
+		if !e.IsFleet() {
+			t.Fatalf("entry %s has no SLO target", e.Name)
+		}
+		parts := strings.Split(e.Name, "/")
+		if len(parts) != 3 || parts[0] != "fleet" {
+			t.Fatalf("entry name %q, want fleet/<model>/<tier>", e.Name)
+		}
+		if e.Shed == 0 {
+			t.Errorf("entry %s shed nothing; the RESPARC outage window should force CMOS traffic", e.Name)
+		}
+		if attainment[parts[1]] == nil {
+			attainment[parts[1]] = map[string]float64{}
+		}
+		attainment[parts[1]][parts[2]] = e.SLOAttainment
+	}
+	for model, tiers := range attainment {
+		inter, okI := tiers["interactive"]
+		batch, okB := tiers["batch"]
+		if !okI || !okB {
+			t.Fatalf("model %s missing a tier: %v", model, tiers)
+		}
+		if inter < batch {
+			t.Errorf("model %s: interactive attainment %.3f below batch %.3f; the tiered admission should protect interactive", model, inter, batch)
+		}
+		if inter < 0.9 {
+			t.Errorf("model %s: interactive attainment %.3f, want >= 0.9 in the committed scenario", model, inter)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package lb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tier is a request's priority class. Interactive traffic is user-facing
+// and protected first; batch traffic absorbs the degradation when the fleet
+// saturates.
+type Tier string
+
+const (
+	// TierInteractive is the user-facing tier (the default).
+	TierInteractive Tier = "interactive"
+	// TierBatch is the best-effort tier: it is capped to a share of the
+	// fleet's concurrency and rejected first under overload.
+	TierBatch Tier = "batch"
+)
+
+// ParseTier validates a wire-form tier name; empty selects interactive.
+func ParseTier(s string) (Tier, error) {
+	switch Tier(s) {
+	case "":
+		return TierInteractive, nil
+	case TierInteractive:
+		return TierInteractive, nil
+	case TierBatch:
+		return TierBatch, nil
+	}
+	return "", fmt.Errorf("lb: unknown priority tier %q (want %q or %q)", s, TierInteractive, TierBatch)
+}
+
+// Quota is a per-tenant token bucket: Rate tokens per second refill up to
+// Burst. A zero Rate disables quota enforcement.
+type Quota struct {
+	Rate  float64
+	Burst float64
+}
+
+// Decision is the admission verdict for one request.
+type Decision int
+
+const (
+	// AdmitOK: the request took an in-flight slot; Release it when done.
+	AdmitOK Decision = iota
+	// AdmitQuota: the tenant's token bucket is empty (HTTP 429).
+	AdmitQuota
+	// AdmitOverload: the tier's concurrency budget is exhausted (HTTP 503).
+	AdmitOverload
+)
+
+// Admission is the front tier's gate: a per-tenant token bucket on top of a
+// two-tier concurrency budget. Interactive requests may use the whole
+// budget; batch requests only a configured share of it, so a batch flood
+// can never starve interactive traffic, and under overload batch is the
+// tier that degrades.
+type Admission struct {
+	maxInFlight int
+	batchMax    int
+	quota       Quota
+	now         func() time.Time
+
+	mu       sync.Mutex
+	tenants  map[string]*bucket
+	inflight map[Tier]int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewAdmission builds the gate. maxInFlight <= 0 disables the concurrency
+// budget; batchShare in (0, 1] caps the batch tier to that fraction of it
+// (defaults to 0.5 when out of range). quota.Rate <= 0 disables quotas.
+func NewAdmission(maxInFlight int, batchShare float64, quota Quota, now func() time.Time) *Admission {
+	if batchShare <= 0 || batchShare > 1 {
+		batchShare = 0.5
+	}
+	if now == nil {
+		now = time.Now
+	}
+	batchMax := 0
+	if maxInFlight > 0 {
+		batchMax = int(batchShare * float64(maxInFlight))
+		if batchMax < 1 {
+			batchMax = 1
+		}
+	}
+	return &Admission{
+		maxInFlight: maxInFlight,
+		batchMax:    batchMax,
+		quota:       quota,
+		now:         now,
+		tenants:     make(map[string]*bucket),
+		inflight:    make(map[Tier]int),
+	}
+}
+
+// Admit charges the tenant's bucket and claims an in-flight slot for the
+// tier. On AdmitQuota, retryAfter is how long until the bucket refills one
+// token. The caller must Release exactly once per AdmitOK.
+func (a *Admission) Admit(tenant string, tier Tier) (d Decision, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.quota.Rate > 0 {
+		b, ok := a.tenants[tenant]
+		t := a.now()
+		if !ok {
+			b = &bucket{tokens: a.quota.Burst, last: t}
+			a.tenants[tenant] = b
+		}
+		b.tokens += t.Sub(b.last).Seconds() * a.quota.Rate
+		if b.tokens > a.quota.Burst {
+			b.tokens = a.quota.Burst
+		}
+		b.last = t
+		if b.tokens < 1 {
+			return AdmitQuota, time.Duration((1 - b.tokens) / a.quota.Rate * float64(time.Second))
+		}
+		b.tokens--
+	}
+	if a.maxInFlight > 0 {
+		total := a.inflight[TierInteractive] + a.inflight[TierBatch]
+		if total >= a.maxInFlight {
+			return AdmitOverload, 0
+		}
+		if tier == TierBatch && a.inflight[TierBatch] >= a.batchMax {
+			return AdmitOverload, 0
+		}
+	}
+	a.inflight[tier]++
+	return AdmitOK, 0
+}
+
+// Release frees the tier's in-flight slot claimed by an AdmitOK.
+func (a *Admission) Release(tier Tier) {
+	a.mu.Lock()
+	if a.inflight[tier] > 0 {
+		a.inflight[tier]--
+	}
+	a.mu.Unlock()
+}
+
+// InFlight reports the tier's current in-flight count (the /metrics queue
+// depth gauge).
+func (a *Admission) InFlight(tier Tier) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight[tier]
+}

@@ -1,0 +1,83 @@
+package lb
+
+import (
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTenantQuotaBucket(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(0, 0, Quota{Rate: 1, Burst: 2}, clock.now)
+
+	for i := 0; i < 2; i++ {
+		if d, _ := a.Admit("acme", TierInteractive); d != AdmitOK {
+			t.Fatalf("request %d within burst rejected with %v", i, d)
+		}
+	}
+	d, retry := a.Admit("acme", TierInteractive)
+	if d != AdmitQuota {
+		t.Fatalf("over-burst request admitted with %v, want AdmitQuota", d)
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v, want within (0, 1s]", retry)
+	}
+	// Another tenant has its own bucket.
+	if d, _ := a.Admit("globex", TierInteractive); d != AdmitOK {
+		t.Fatalf("fresh tenant rejected with %v", d)
+	}
+	// Refill at 1 token/sec: after 1.5 s one request fits again.
+	clock.advance(1500 * time.Millisecond)
+	if d, _ := a.Admit("acme", TierInteractive); d != AdmitOK {
+		t.Fatalf("post-refill request rejected with %v", d)
+	}
+	if d, _ := a.Admit("acme", TierInteractive); d != AdmitQuota {
+		t.Fatal("second post-refill request admitted, bucket should hold < 1 token")
+	}
+}
+
+func TestTieredConcurrencyBudget(t *testing.T) {
+	a := NewAdmission(4, 0.5, Quota{}, nil)
+
+	// Batch is capped at half the budget.
+	for i := 0; i < 2; i++ {
+		if d, _ := a.Admit("t", TierBatch); d != AdmitOK {
+			t.Fatalf("batch %d rejected with %v", i, d)
+		}
+	}
+	if d, _ := a.Admit("t", TierBatch); d != AdmitOverload {
+		t.Fatal("third batch admitted past the batch share")
+	}
+	// Interactive may use the rest of the budget.
+	for i := 0; i < 2; i++ {
+		if d, _ := a.Admit("t", TierInteractive); d != AdmitOK {
+			t.Fatalf("interactive %d rejected with %v", i, d)
+		}
+	}
+	if d, _ := a.Admit("t", TierInteractive); d != AdmitOverload {
+		t.Fatal("interactive admitted past the total budget")
+	}
+	if got := a.InFlight(TierBatch); got != 2 {
+		t.Fatalf("batch in-flight %d, want 2", got)
+	}
+	a.Release(TierBatch)
+	if d, _ := a.Admit("t", TierBatch); d != AdmitOK {
+		t.Fatal("batch rejected after a release freed its slot")
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	if tier, err := ParseTier(""); err != nil || tier != TierInteractive {
+		t.Fatalf("empty tier = (%v, %v), want interactive", tier, err)
+	}
+	if tier, err := ParseTier("batch"); err != nil || tier != TierBatch {
+		t.Fatalf("batch tier = (%v, %v)", tier, err)
+	}
+	if _, err := ParseTier("bulk"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package lb_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resparc/internal/lb"
+	"resparc/internal/loadgen"
+	"resparc/internal/serve"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// e2eNetwork builds a tiny dense SNN so the replicas are real serve.Servers
+// without the full benchmark build cost (mirrors the serve package's own
+// test fixture).
+func e2eNetwork(t *testing.T, name string, seed int64) *snn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(in, out int) *snn.Layer {
+		w := tensor.NewMat(out, in)
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64() * 0.3
+		}
+		l, err := snn.NewDense(fmt.Sprintf("d%dx%d", in, out), in, out, w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	net, err := snn.NewNetwork(name, tensor.Shape3{H: 1, W: 1, C: 24}, mk(24, 16), mk(16, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func e2eReplica(t *testing.T) *serve.Server {
+	t.Helper()
+	rcfg := serve.DefaultRegistryConfig()
+	rcfg.Steps = 10
+	rcfg.MCASize = 16
+	reg, err := serve.NewRegistry(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seeds on every replica: the fleet serves identical models.
+	if _, err := reg.AddNetwork(e2eNetwork(t, "tiny-alpha", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.AddNetwork(e2eNetwork(t, "tiny-beta", 23)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.DefaultConfig(reg)
+	cfg.MaxBatch = 8
+	cfg.MaxWait = time.Millisecond
+	cfg.QueueSize = 512
+	cfg.Workers = 2
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// chaosHandler fronts a replica and, once killed, aborts every connection
+// mid-flight — the closest an httptest server gets to a crashed process.
+type chaosHandler struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+func (c *chaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+// The fleet acceptance test: three live replicas behind the balancer, a
+// bursty two-model trace replayed open-loop, one replica crashing mid-run —
+// and not a single interactive request may be dropped.
+func TestFleetSurvivesReplicaCrashWithoutDroppingInteractive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e fleet test is not short")
+	}
+	const replicas = 3
+	chaos := make([]*chaosHandler, replicas)
+	members := make([]lb.Replica, replicas)
+	for i := 0; i < replicas; i++ {
+		chaos[i] = &chaosHandler{inner: e2eReplica(t).Handler()}
+		ts := httptest.NewServer(chaos[i])
+		t.Cleanup(ts.Close)
+		members[i] = lb.Replica{Name: fmt.Sprintf("replica-%d", i), URL: ts.URL}
+	}
+	cfg := lb.DefaultConfig(members)
+	cfg.PollInterval = 50 * time.Millisecond
+	cfg.MaxInFlight = 1024
+	cfg.MaxRetries = 3
+	cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	balancer, err := lb.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer balancer.Close()
+	front := httptest.NewServer(balancer.Handler())
+	defer front.Close()
+
+	events, err := loadgen.Generate(loadgen.TraceConfig{
+		Seed:             42,
+		Duration:         2 * time.Second,
+		BaseRPS:          120,
+		DiurnalAmplitude: 0.3,
+		DiurnalPeriod:    2 * time.Second,
+		Bursts:           []loadgen.Burst{{From: 500 * time.Millisecond, To: time.Second, Multiplier: 2}},
+		Models: []loadgen.ModelMix{
+			{Model: "tiny-alpha", Weight: 2},
+			{Model: "tiny-beta", Weight: 1},
+		},
+		Tenants:       3,
+		BatchFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := func(string) []float64 {
+		v := make([]float64, 24)
+		for i := range v {
+			v[i] = float64(i) / 24
+		}
+		return v
+	}
+
+	// Crash one replica mid-trace.
+	killer := time.AfterFunc(800*time.Millisecond, func() { chaos[2].dead.Store(true) })
+	defer killer.Stop()
+	outcomes, err := loadgen.Drive(context.Background(), loadgen.DriveConfig{
+		TargetURL: front.URL,
+		Client:    &http.Client{Timeout: 15 * time.Second},
+		Input:     input,
+	}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var interactive, batch, batchOK int
+	for _, o := range outcomes {
+		if o.Event.Tier == lb.TierInteractive {
+			interactive++
+			if o.Err != nil {
+				t.Errorf("interactive request dropped: %v (model %s at %v)", o.Err, o.Event.Model, o.Event.At)
+			} else if o.Status != http.StatusOK {
+				t.Errorf("interactive request answered %d (model %s at %v)", o.Status, o.Event.Model, o.Event.At)
+			}
+		} else {
+			batch++
+			// Batch may be rejected under pressure (429/503) but must never
+			// fail at the transport or with a 5xx other than 503/504.
+			if o.Err != nil {
+				t.Errorf("batch request dropped: %v", o.Err)
+			}
+			switch o.Status {
+			case http.StatusOK:
+				batchOK++
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			default:
+				t.Errorf("batch request answered %d", o.Status)
+			}
+		}
+	}
+	if interactive == 0 || batch == 0 {
+		t.Fatalf("trace produced %d interactive / %d batch events, want both tiers", interactive, batch)
+	}
+	if batchOK == 0 {
+		t.Fatal("no batch request succeeded at all")
+	}
+
+	// The survivors must have absorbed the dead replica's share (visible as
+	// failover routing decisions), and the balancer's health view must have
+	// caught the crash.
+	snap := balancer.Metrics().Snapshot()
+	if snap.Routing[lb.RouteFailover] == 0 {
+		t.Errorf("no failover decisions after the crash: %+v", snap.Routing)
+	}
+	// With two models both may hash to the same owner, so only demand that
+	// the survivors as a group absorbed traffic.
+	if snap.ReplicaRequests["replica-0"]+snap.ReplicaRequests["replica-1"] == 0 {
+		t.Errorf("survivors took no traffic: %+v", snap.ReplicaRequests)
+	}
+	balancer.PollNow()
+	var view struct {
+		Replicas []struct {
+			Name   string `json:"name"`
+			Health struct {
+				Reachable bool `json:"reachable"`
+			} `json:"health"`
+		} `json:"replicas"`
+	}
+	resp, err := http.Get(front.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range view.Replicas {
+		wantUp := r.Name != "replica-2"
+		if r.Health.Reachable != wantUp {
+			t.Errorf("replica %s reachable=%v after the crash, want %v", r.Name, r.Health.Reachable, wantUp)
+		}
+	}
+	if snap.Codes[http.StatusOK] == 0 {
+		t.Fatalf("no 200s recorded at the front tier: %+v", snap.Codes)
+	}
+	t.Logf("outcomes: %d interactive, %d batch (%d ok); per-replica %v; errors %v; routing %v",
+		interactive, batch, batchOK, snap.ReplicaRequests, snap.ReplicaErrors, snap.Routing)
+}

@@ -1,0 +1,151 @@
+package lb
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"resparc/internal/serve"
+)
+
+// ReplicaHealth is the balancer's view of one replica, fed by polling its
+// /readyz endpoint and by passive observation of proxy failures.
+type ReplicaHealth struct {
+	// Reachable is false after a failed poll or a transport error on a
+	// proxied request, until the next successful poll.
+	Reachable bool `json:"reachable"`
+	// Draining mirrors the replica's readiness status: it still answers
+	// in-flight work but wants no new requests.
+	Draining bool `json:"draining"`
+	// Breakers maps "model/backend" to the replica's circuit state
+	// ("closed", "open", "half-open") from the readiness body. A replica
+	// with one open circuit is still routable for its other pairs.
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// CheckedAt is when the view was last refreshed.
+	CheckedAt time.Time `json:"checked_at"`
+}
+
+// Usable reports whether the replica can take a request for the given
+// (model, backend) pair: it must be reachable, not draining, and the pair's
+// circuit must not be open. Half-open circuits stay usable — the replica
+// needs probe traffic to close them. Pairs the replica never reported are
+// usable too (the replica answers 404/400 itself if it truly cannot serve
+// them).
+func (h ReplicaHealth) Usable(model, backend string) bool {
+	if !h.Reachable || h.Draining {
+		return false
+	}
+	return h.Breakers[model+"/"+backend] != "open"
+}
+
+// healthTracker holds the fleet health view and refreshes it by polling
+// each replica's /readyz.
+type healthTracker struct {
+	client  *http.Client
+	now     func() time.Time
+	mu      sync.RWMutex
+	replica map[string]ReplicaHealth
+}
+
+func newHealthTracker(client *http.Client, now func() time.Time) *healthTracker {
+	return &healthTracker{client: client, now: now, replica: make(map[string]ReplicaHealth)}
+}
+
+// get returns the current view of a replica; an unknown replica is
+// unreachable (it has not been polled yet).
+func (t *healthTracker) get(name string) ReplicaHealth {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.replica[name]
+}
+
+// set replaces a replica's view (tests and the poller).
+func (t *healthTracker) set(name string, h ReplicaHealth) {
+	t.mu.Lock()
+	t.replica[name] = h
+	t.mu.Unlock()
+}
+
+// forget drops a removed replica's view.
+func (t *healthTracker) forget(name string) {
+	t.mu.Lock()
+	delete(t.replica, name)
+	t.mu.Unlock()
+}
+
+// markDown records a passive failure: a proxied request could not reach the
+// replica, so stop routing there immediately instead of waiting out the
+// poll interval.
+func (t *healthTracker) markDown(name string) {
+	t.mu.Lock()
+	h := t.replica[name]
+	h.Reachable = false
+	h.CheckedAt = t.now()
+	t.replica[name] = h
+	t.mu.Unlock()
+}
+
+// markBreakerOpen records a passive circuit_open answer for (model,
+// backend): the replica said no before the poller could, so remember it.
+func (t *healthTracker) markBreakerOpen(name, model, backend string) {
+	t.mu.Lock()
+	h := t.replica[name]
+	if h.Breakers == nil {
+		h.Breakers = make(map[string]string, 1)
+	}
+	h.Breakers[model+"/"+backend] = "open"
+	h.CheckedAt = t.now()
+	t.replica[name] = h
+	t.mu.Unlock()
+}
+
+// markDraining records a passive draining answer: the replica is shutting
+// down, stop routing new work there.
+func (t *healthTracker) markDraining(name string) {
+	t.mu.Lock()
+	h := t.replica[name]
+	h.Draining = true
+	h.CheckedAt = t.now()
+	t.replica[name] = h
+	t.mu.Unlock()
+}
+
+// snapshot copies the whole view for /v1/replicas and tests.
+func (t *healthTracker) snapshot() map[string]ReplicaHealth {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]ReplicaHealth, len(t.replica))
+	for k, v := range t.replica {
+		out[k] = v
+	}
+	return out
+}
+
+// poll refreshes one replica's view from its /readyz. Any HTTP status is a
+// successful poll (the body says what is wrong); only a transport failure
+// marks the replica unreachable.
+func (t *healthTracker) poll(r Replica) {
+	h := ReplicaHealth{CheckedAt: t.now()}
+	resp, err := t.client.Get(r.URL + "/readyz")
+	if err != nil {
+		t.set(r.Name, h)
+		return
+	}
+	defer resp.Body.Close()
+	var body serve.HealthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		// Reachable but unparseable: treat like a down replica rather than
+		// routing blind.
+		t.set(r.Name, h)
+		return
+	}
+	h.Reachable = true
+	h.Draining = body.Status == "draining"
+	h.Breakers = make(map[string]string, len(body.Backends))
+	for _, b := range body.Backends {
+		h.Breakers[b.Model+"/"+b.Backend] = b.State
+	}
+	t.set(r.Name, h)
+}

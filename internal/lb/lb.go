@@ -1,0 +1,590 @@
+// Package lb implements resparc-lb: the fleet front tier that routes
+// classification requests over multiple resparc-serve replicas.
+//
+// Routing is consistent hashing by model (Ring), so a model's traffic
+// keeps landing on the same replica — warm batcher queues, stable
+// micro-batch composition — and membership changes move only the keys of
+// the affected replica. Replica selection is health-aware: the balancer
+// polls each replica's /readyz and skips replicas that are down, draining,
+// or whose (model, backend) circuit breaker is open. Admission control
+// runs in front of routing: per-tenant token-bucket quotas and a two-tier
+// concurrency budget in which interactive traffic outranks batch.
+//
+// The degradation policy is fleet-wide: when no replica can serve a model
+// on the RESPARC backend (circuits open, replicas saturated), the request
+// is shed to the CMOS baseline backend instead of failing — the paper's
+// reconfigurable use of heterogeneous fabrics promoted to serving policy.
+// Upstream 429/503/504 answers are retried with bounded backoff that
+// respects Retry-After.
+package lb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"resparc/internal/serve"
+)
+
+// maxRequestBody mirrors the replica-side bound on /v1/classify bodies.
+const maxRequestBody = 8 << 20
+
+// Replica is one resparc-serve process behind the balancer.
+type Replica struct {
+	// Name identifies the replica on the ring and in metrics.
+	Name string `json:"name"`
+	// URL is the replica's base URL (e.g. http://10.0.0.7:8080).
+	URL string `json:"url"`
+}
+
+// Config configures a balancer.
+type Config struct {
+	// Replicas is the initial fleet membership; required (>= 1).
+	Replicas []Replica
+	// DefaultBackend answers requests that do not pin a backend
+	// (default "resparc").
+	DefaultBackend string
+	// ShedBackend is where unpinned requests go when no replica has the
+	// default backend available (default "cmos"; empty disables shedding).
+	ShedBackend string
+	// VNodes is the ring's virtual-node count per replica (<= 0:
+	// DefaultVNodes).
+	VNodes int
+	// PollInterval is the /readyz polling cadence (<= 0: 1 s).
+	PollInterval time.Duration
+	// Client performs polls and proxied requests (nil: 30 s timeout).
+	Client *http.Client
+	// MaxRetries bounds retries of upstream 429/503/504 answers (< 0
+	// disables; 0 selects the default 2).
+	MaxRetries int
+	// RetryBase is the exponential backoff base between retries
+	// (<= 0: 25 ms).
+	RetryBase time.Duration
+	// MaxRetryWait caps how long one retry may wait; an upstream
+	// Retry-After beyond the cap is relayed to the client instead of
+	// served by stalling (<= 0: 2 s).
+	MaxRetryWait time.Duration
+	// MaxInFlight is the fleet-wide concurrency budget (<= 0: 256).
+	MaxInFlight int
+	// BatchShare caps the batch tier to this fraction of MaxInFlight
+	// (out of (0, 1]: 0.5).
+	BatchShare float64
+	// TenantQuota is the per-tenant token bucket (zero Rate: unlimited).
+	TenantQuota Quota
+	// Now is the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+// DefaultConfig returns the balancer defaults over the given replicas.
+func DefaultConfig(replicas []Replica) Config {
+	return Config{
+		Replicas:       replicas,
+		DefaultBackend: string(serve.BackendRESPARC),
+		ShedBackend:    string(serve.BackendCMOS),
+		PollInterval:   time.Second,
+		MaxRetries:     2,
+		RetryBase:      25 * time.Millisecond,
+		MaxRetryWait:   2 * time.Second,
+		MaxInFlight:    256,
+		BatchShare:     0.5,
+	}
+}
+
+// LB is the balancer: ring + health view + admission gate + proxy.
+type LB struct {
+	cfg     Config
+	ring    *Ring
+	health  *healthTracker
+	adm     *Admission
+	metrics *Metrics
+	client  *http.Client
+	now     func() time.Time
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	replicas map[string]Replica
+	closed   bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a balancer, polls every replica once synchronously (so the
+// first request routes on real health, not optimism), and starts the
+// background poll loop.
+func New(cfg Config) (*LB, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("lb: no replicas")
+	}
+	if cfg.DefaultBackend == "" {
+		cfg.DefaultBackend = string(serve.BackendRESPARC)
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = 2 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	l := &LB{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodes),
+		health:   newHealthTracker(cfg.Client, cfg.Now),
+		adm:      NewAdmission(cfg.MaxInFlight, cfg.BatchShare, cfg.TenantQuota, cfg.Now),
+		metrics:  NewMetrics(),
+		client:   cfg.Client,
+		now:      cfg.Now,
+		mux:      http.NewServeMux(),
+		replicas: make(map[string]Replica),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	l.metrics.depth = l.adm.InFlight
+	for _, r := range cfg.Replicas {
+		if r.Name == "" || r.URL == "" {
+			return nil, fmt.Errorf("lb: replica needs a name and a URL: %+v", r)
+		}
+		if _, dup := l.replicas[r.Name]; dup {
+			return nil, fmt.Errorf("lb: duplicate replica %q", r.Name)
+		}
+		l.replicas[r.Name] = r
+		l.ring.Add(r.Name)
+	}
+	l.mux.HandleFunc("/v1/classify", l.handleClassify)
+	l.mux.HandleFunc("/v1/replicas", l.handleReplicas)
+	l.mux.Handle("/metrics", l.metrics)
+	l.mux.HandleFunc("/healthz", l.handleHealthz)
+	l.mux.HandleFunc("/readyz", l.handleReadyz)
+	l.PollNow()
+	go l.pollLoop()
+	return l, nil
+}
+
+// Handler returns the HTTP handler tree (mountable under httptest too).
+func (l *LB) Handler() http.Handler { return l.mux }
+
+// Metrics exposes the balancer's counters for tests and drivers.
+func (l *LB) Metrics() *Metrics { return l.metrics }
+
+// Close stops the background poller. In-flight proxied requests complete.
+func (l *LB) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.stop)
+	l.mu.Unlock()
+	<-l.done
+}
+
+// AddReplica joins a replica to the fleet and polls it immediately.
+func (l *LB) AddReplica(r Replica) error {
+	l.mu.Lock()
+	if _, dup := l.replicas[r.Name]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("lb: duplicate replica %q", r.Name)
+	}
+	l.replicas[r.Name] = r
+	l.mu.Unlock()
+	l.health.poll(r)
+	l.ring.Add(r.Name)
+	return nil
+}
+
+// RemoveReplica drains a replica out of the fleet: its keys move to their
+// next ring owners, everything else stays put.
+func (l *LB) RemoveReplica(name string) {
+	l.ring.Remove(name)
+	l.mu.Lock()
+	delete(l.replicas, name)
+	l.mu.Unlock()
+	l.health.forget(name)
+}
+
+// PollNow refreshes every replica's health view synchronously.
+func (l *LB) PollNow() {
+	l.mu.Lock()
+	replicas := make([]Replica, 0, len(l.replicas))
+	for _, r := range l.replicas {
+		replicas = append(replicas, r)
+	}
+	l.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, r := range replicas {
+		wg.Add(1)
+		go func(r Replica) {
+			defer wg.Done()
+			l.health.poll(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (l *LB) pollLoop() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.PollNow()
+		}
+	}
+}
+
+// Error codes of the balancer's JSON error envelope — same
+// {"error":{"code","message"}} shape the replicas use, so clients see one
+// error surface for the whole fleet.
+const (
+	ErrCodeQuotaExhausted = "quota_exhausted"
+	ErrCodeOverloaded     = "overloaded"
+	ErrCodeNoReplicas     = "no_replicas"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+func (l *LB) replyError(w http.ResponseWriter, start time.Time, code int, errCode, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: errCode, Message: fmt.Sprintf(format, args...)}})
+	l.metrics.Response(code, time.Since(start))
+}
+
+// Request headers carrying the admission attributes. They ride as headers
+// (not body fields) so the balancer can admit without trusting the body and
+// the replica wire format stays untouched.
+const (
+	// HeaderTenant names the quota bucket the request charges
+	// (empty: "default").
+	HeaderTenant = "X-Resparc-Tenant"
+	// HeaderPriority selects the tier: "interactive" (default) or "batch".
+	HeaderPriority = "X-Resparc-Priority"
+	// HeaderReplica is set on responses: which replica answered.
+	HeaderReplica = "X-Resparc-Replica"
+	// HeaderBackend is set on responses: the backend actually used (differs
+	// from the request when the balancer shed to the CMOS baseline).
+	HeaderBackend = "X-Resparc-Backend"
+)
+
+func (l *LB) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	l.metrics.Request()
+	if r.Method != http.MethodPost {
+		l.replyError(w, start, http.StatusMethodNotAllowed, serve.ErrCodeMethodNotAllowed, "POST required")
+		return
+	}
+	var req serve.ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		l.replyError(w, start, http.StatusBadRequest, serve.ErrCodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" {
+		l.replyError(w, start, http.StatusBadRequest, serve.ErrCodeBadRequest, "request names no model")
+		return
+	}
+	tier, err := ParseTier(r.Header.Get(HeaderPriority))
+	if err != nil {
+		l.replyError(w, start, http.StatusBadRequest, serve.ErrCodeBadRequest, "%v", err)
+		return
+	}
+	tenant := r.Header.Get(HeaderTenant)
+	if tenant == "" {
+		tenant = "default"
+	}
+	switch d, retryAfter := l.adm.Admit(tenant, tier); d {
+	case AdmitQuota:
+		l.metrics.Rejected(RejectQuota)
+		w.Header().Set("Retry-After", ceilSeconds(retryAfter))
+		l.replyError(w, start, http.StatusTooManyRequests, ErrCodeQuotaExhausted,
+			"tenant %q over quota, retry later", tenant)
+		return
+	case AdmitOverload:
+		l.metrics.Rejected(RejectOverload)
+		w.Header().Set("Retry-After", "1")
+		l.replyError(w, start, http.StatusServiceUnavailable, ErrCodeOverloaded,
+			"fleet at capacity for tier %q, retry later", tier)
+		return
+	}
+	defer l.adm.Release(tier)
+	l.route(w, r, start, &req, tier)
+}
+
+// upstream is one proxied answer.
+type upstream struct {
+	status     int
+	header     http.Header
+	body       []byte
+	replica    string
+	envelope   string // machine-readable error code, "" on success
+	retryAfter time.Duration
+}
+
+// route picks replicas, proxies, and applies the fleet policy: failover on
+// unreachable replicas, shed to the CMOS backend when the RESPARC tier is
+// out, bounded backoff-retry on 429/503/504.
+func (l *LB) route(w http.ResponseWriter, r *http.Request, start time.Time, req *serve.ClassifyRequest, tier Tier) {
+	backend := req.Backend
+	pinned := backend != ""
+	if !pinned {
+		backend = l.cfg.DefaultBackend
+	}
+	canShed := !pinned && l.cfg.ShedBackend != "" && backend != l.cfg.ShedBackend
+	shed := false
+	retries := 0
+	excluded := map[string]bool{}
+	var last *upstream
+	// Hard bound: every iteration either excludes a replica (at most the
+	// fleet size, twice — once per backend) or consumes a retry.
+	for attempt := 0; attempt < 2*len(l.ring.Members())+l.cfg.MaxRetries+2; attempt++ {
+		name, owner, ok := l.pick(req.Model, backend, excluded)
+		if !ok && canShed && !shed {
+			// The RESPARC tier is out fleet-wide (breakers open, replicas
+			// down): degrade to the CMOS baseline instead of failing.
+			shed = true
+			backend = l.cfg.ShedBackend
+			excluded = map[string]bool{}
+			l.metrics.Shed(tier)
+			l.metrics.Routing(RouteShed)
+			continue
+		}
+		if !ok {
+			if last != nil {
+				l.relay(w, start, last, shed)
+				return
+			}
+			l.replyError(w, start, http.StatusServiceUnavailable, ErrCodeNoReplicas,
+				"no replica can serve %s/%s right now", req.Model, backend)
+			return
+		}
+		if !shed {
+			if owner {
+				l.metrics.Routing(RouteHash)
+			} else {
+				l.metrics.Routing(RouteFailover)
+			}
+		}
+		up, err := l.forward(r, name, req, backend)
+		if err != nil {
+			// Transport failure: stop routing there now, not at the next
+			// poll, and fail over along the ring sequence.
+			l.health.markDown(name)
+			l.metrics.Proxied(name, true)
+			excluded[name] = true
+			continue
+		}
+		l.metrics.Proxied(name, up.status >= 500)
+		last = up
+		switch up.status {
+		case http.StatusServiceUnavailable:
+			switch up.envelope {
+			case serve.ErrCodeCircuitOpen:
+				// Remember the open circuit so requests stop hitting it
+				// before the next poll, and fail over / shed.
+				l.health.markBreakerOpen(name, req.Model, backend)
+				excluded[name] = true
+				continue
+			case serve.ErrCodeDraining:
+				l.health.markDraining(name)
+				excluded[name] = true
+				continue
+			}
+		case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+			// Replica-local congestion: backoff and retry below.
+		default:
+			l.relay(w, start, up, shed)
+			return
+		}
+		if retries >= l.cfg.MaxRetries {
+			l.relay(w, start, up, shed)
+			return
+		}
+		wait := l.cfg.RetryBase << retries
+		if up.retryAfter > wait {
+			wait = up.retryAfter
+		}
+		if wait > l.cfg.MaxRetryWait {
+			// The upstream asked for more patience than we will spend
+			// holding the connection; relay its answer (Retry-After intact)
+			// and let the client decide.
+			l.relay(w, start, up, shed)
+			return
+		}
+		retries++
+		l.metrics.Retry()
+		select {
+		case <-r.Context().Done():
+			l.relay(w, start, up, shed)
+			return
+		case <-time.After(wait):
+		}
+	}
+	if last != nil {
+		l.relay(w, start, last, shed)
+		return
+	}
+	l.replyError(w, start, http.StatusServiceUnavailable, ErrCodeNoReplicas,
+		"no replica answered for %s/%s", req.Model, backend)
+}
+
+// pick returns the first non-excluded replica in the model's ring sequence
+// that is usable for (model, backend), and whether it is the hash owner.
+func (l *LB) pick(model, backend string, excluded map[string]bool) (name string, owner bool, ok bool) {
+	for i, candidate := range l.ring.Sequence(model) {
+		if excluded[candidate] {
+			continue
+		}
+		if l.health.get(candidate).Usable(model, backend) {
+			return candidate, i == 0, true
+		}
+	}
+	return "", false, false
+}
+
+// forward proxies the request to one replica with the effective backend.
+func (l *LB) forward(r *http.Request, name string, req *serve.ClassifyRequest, backend string) (*upstream, error) {
+	l.mu.Lock()
+	replica, ok := l.replicas[name]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lb: replica %q left the fleet", name)
+	}
+	out := *req
+	out.Backend = backend
+	body, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, replica.URL+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	resp, err := l.client.Do(preq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return nil, err
+	}
+	up := &upstream{status: resp.StatusCode, header: resp.Header, body: raw, replica: name}
+	if resp.StatusCode != http.StatusOK {
+		var env errorResponse
+		if json.Unmarshal(raw, &env) == nil {
+			up.envelope = env.Error.Code
+		}
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		up.retryAfter = time.Duration(secs) * time.Second
+	}
+	return up, nil
+}
+
+// relay copies an upstream answer to the client, stamping which replica and
+// backend served it.
+func (l *LB) relay(w http.ResponseWriter, start time.Time, up *upstream, shed bool) {
+	if ct := up.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := up.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(HeaderReplica, up.replica)
+	if shed {
+		w.Header().Set(HeaderBackend, l.cfg.ShedBackend)
+	}
+	w.WriteHeader(up.status)
+	_, _ = w.Write(up.body)
+	l.metrics.Response(up.status, time.Since(start))
+}
+
+// handleReplicas lists the fleet membership and health view.
+func (l *LB) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Replica
+		Health ReplicaHealth `json:"health"`
+	}
+	l.mu.Lock()
+	entries := make([]entry, 0, len(l.replicas))
+	for _, r := range l.replicas {
+		entries = append(entries, entry{Replica: r, Health: l.health.get(r.Name)})
+	}
+	l.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Replicas []entry `json:"replicas"`
+	}{Replicas: entries})
+}
+
+// handleHealthz is the balancer's own liveness probe.
+func (l *LB) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz: the balancer is ready when at least one replica is
+// reachable and not draining.
+func (l *LB) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := false
+	for _, h := range l.health.snapshot() {
+		if h.Reachable && !h.Draining {
+			ready = true
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"status\":\"no_replicas\"}\n"))
+		return
+	}
+	_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
+}
+
+// ceilSeconds renders a wait as whole seconds, at least 1 (Retry-After).
+func ceilSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

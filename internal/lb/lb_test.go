@@ -1,0 +1,325 @@
+package lb_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resparc/internal/lb"
+	"resparc/internal/serve"
+)
+
+// stubReplica is a scripted replica: a fixed readiness body plus a
+// programmable classify answer, recording everything it is asked.
+type stubReplica struct {
+	mu     sync.Mutex
+	ready  serve.HealthResponse
+	code   int // readyz status
+	hits   []serve.ClassifyRequest
+	answer func(req serve.ClassifyRequest) (int, any)
+}
+
+func (s *stubReplica) setReady(code int, resp serve.HealthResponse) {
+	s.mu.Lock()
+	s.code, s.ready = code, resp
+	s.mu.Unlock()
+}
+
+func (s *stubReplica) requests() []serve.ClassifyRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]serve.ClassifyRequest(nil), s.hits...)
+}
+
+func (s *stubReplica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		code, body := s.code, s.ready
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.ClassifyRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		s.mu.Lock()
+		s.hits = append(s.hits, req)
+		answer := s.answer
+		s.mu.Unlock()
+		code, body := http.StatusOK, any(serve.ClassifyResponse{Model: req.Model, Backend: req.Backend})
+		if answer != nil {
+			code, body = answer(req)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	return mux
+}
+
+func readyBody(states map[string]string) serve.HealthResponse {
+	resp := serve.HealthResponse{Status: "ready"}
+	for pair, state := range states {
+		model, backend, _ := strings.Cut(pair, "/")
+		resp.Backends = append(resp.Backends, serve.BackendHealth{Model: model, Backend: backend, State: state})
+	}
+	return resp
+}
+
+// newStubFleet starts n scripted replicas and a balancer over them.
+func newStubFleet(t *testing.T, n int, cfg func(*lb.Config)) (*lb.LB, []*stubReplica) {
+	t.Helper()
+	stubs := make([]*stubReplica, n)
+	replicas := make([]lb.Replica, n)
+	for i := range stubs {
+		stubs[i] = &stubReplica{code: http.StatusOK, ready: readyBody(nil)}
+		ts := httptest.NewServer(stubs[i].handler())
+		t.Cleanup(ts.Close)
+		replicas[i] = lb.Replica{Name: fmt.Sprintf("replica-%d", i), URL: ts.URL}
+	}
+	c := lb.DefaultConfig(replicas)
+	c.PollInterval = time.Hour // tests poll explicitly via PollNow
+	if cfg != nil {
+		cfg(&c)
+	}
+	balancer, err := lb.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(balancer.Close)
+	return balancer, stubs
+}
+
+func classifyVia(t *testing.T, url, model, backend, tenant, tier string) (*http.Response, string) {
+	t.Helper()
+	body, err := json.Marshal(serve.ClassifyRequest{Model: model, Backend: backend, Input: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(lb.HeaderTenant, tenant)
+	}
+	if tier != "" {
+		req.Header.Set(lb.HeaderPriority, tier)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func errCode(t *testing.T, body string) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body %q is not the JSON envelope: %v", body, err)
+	}
+	return env.Error.Code
+}
+
+// A replica reporting not-ready must receive no traffic, and must start
+// receiving traffic again after it recovers and a poll observes it.
+func TestRoutingSkipsNotReadyReplicas(t *testing.T) {
+	balancer, stubs := newStubFleet(t, 2, nil)
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+
+	stubs[0].setReady(http.StatusServiceUnavailable, serve.HealthResponse{Status: "draining"})
+	balancer.PollNow()
+	for i := 0; i < 20; i++ {
+		resp, body := classifyVia(t, ts.URL, fmt.Sprintf("model-%d", i), "", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if n := len(stubs[0].requests()); n != 0 {
+		t.Fatalf("draining replica received %d requests, want 0", n)
+	}
+	if n := len(stubs[1].requests()); n != 20 {
+		t.Fatalf("healthy replica received %d requests, want all 20", n)
+	}
+
+	// Flap back to ready: after the next poll the replica serves its share.
+	stubs[0].setReady(http.StatusOK, readyBody(nil))
+	balancer.PollNow()
+	for i := 0; i < 20; i++ {
+		resp, body := classifyVia(t, ts.URL, fmt.Sprintf("model-%d", i), "", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-recovery request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if n := len(stubs[0].requests()); n == 0 {
+		t.Fatal("recovered replica still receives no traffic")
+	}
+}
+
+// Quota exhaustion must answer 429 with the uniform JSON error envelope and
+// a Retry-After hint, without touching other tenants.
+func TestQuotaExhaustionAnswers429(t *testing.T) {
+	balancer, _ := newStubFleet(t, 1, func(c *lb.Config) {
+		c.TenantQuota = lb.Quota{Rate: 0.001, Burst: 2}
+	})
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := classifyVia(t, ts.URL, "m", "", "acme", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("within-burst request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := classifyVia(t, ts.URL, "m", "", "acme", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if code := errCode(t, body); code != lb.ErrCodeQuotaExhausted {
+		t.Fatalf("error code %q, want %q", code, lb.ErrCodeQuotaExhausted)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	if resp, body := classifyVia(t, ts.URL, "m", "", "globex", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status %d (%s), want 200", resp.StatusCode, body)
+	}
+	snap := balancer.Metrics().Snapshot()
+	if snap.Rejected[lb.RejectQuota] == 0 {
+		t.Fatal("quota rejection not counted in metrics")
+	}
+}
+
+// When every replica's RESPARC circuits are open, unpinned requests must be
+// shed to the CMOS backend instead of failing; pinned requests must not be
+// rewritten.
+func TestShedsToCMOSWhenRESPARCOut(t *testing.T) {
+	balancer, stubs := newStubFleet(t, 3, nil)
+	for _, s := range stubs {
+		s.setReady(http.StatusServiceUnavailable, readyBody(map[string]string{
+			"tiny/resparc": "open",
+			"tiny/cmos":    "closed",
+		}))
+	}
+	balancer.PollNow()
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+
+	resp, body := classifyVia(t, ts.URL, "tiny", "", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shed request status %d (%s), want 200", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(lb.HeaderBackend); got != "cmos" {
+		t.Fatalf("%s header %q, want cmos", lb.HeaderBackend, got)
+	}
+	served := false
+	for _, s := range stubs {
+		for _, req := range s.requests() {
+			if req.Model == "tiny" && req.Backend == "cmos" {
+				served = true
+			}
+			if req.Backend == "resparc" {
+				t.Fatal("a replica with an open RESPARC circuit was asked for resparc")
+			}
+		}
+	}
+	if !served {
+		t.Fatal("no replica saw the shed cmos request")
+	}
+	snap := balancer.Metrics().Snapshot()
+	if snap.Shed[lb.TierInteractive] == 0 || snap.Routing[lb.RouteShed] == 0 {
+		t.Fatalf("shed not counted: %+v", snap)
+	}
+
+	// A client that pinned resparc explicitly keeps its choice and gets the
+	// honest failure.
+	resp, body = classifyVia(t, ts.URL, "tiny", "resparc", "", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pinned-resparc status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if code := errCode(t, body); code != lb.ErrCodeNoReplicas {
+		t.Fatalf("pinned-resparc error code %q, want %q", code, lb.ErrCodeNoReplicas)
+	}
+}
+
+// An upstream circuit_open answer the poller has not seen yet must trigger
+// passive failover: the balancer retries the same request on the CMOS
+// backend rather than relaying the 503.
+func TestPassiveCircuitOpenFallsBack(t *testing.T) {
+	balancer, stubs := newStubFleet(t, 1, nil)
+	stubs[0].answer = func(req serve.ClassifyRequest) (int, any) {
+		if req.Backend == "resparc" {
+			return http.StatusServiceUnavailable, map[string]any{
+				"error": map[string]string{"code": serve.ErrCodeCircuitOpen, "message": "open"},
+			}
+		}
+		return http.StatusOK, serve.ClassifyResponse{Model: req.Model, Backend: req.Backend}
+	}
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+
+	resp, body := classifyVia(t, ts.URL, "tiny", "", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want 200 via cmos fallback", resp.StatusCode, body)
+	}
+	hits := stubs[0].requests()
+	if len(hits) != 2 || hits[0].Backend != "resparc" || hits[1].Backend != "cmos" {
+		t.Fatalf("replica saw %+v, want resparc then cmos", hits)
+	}
+}
+
+// The balancer's /metrics must expose the documented metric families.
+func TestMetricsEndpoint(t *testing.T) {
+	balancer, _ := newStubFleet(t, 1, nil)
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+	if resp, _ := classifyVia(t, ts.URL, "m", "", "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatal("warm-up request failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, name := range []string{
+		"resparc_lb_requests_total",
+		"resparc_lb_responses_total",
+		"resparc_lb_replica_requests_total",
+		"resparc_lb_replica_errors_total",
+		"resparc_lb_routing_total",
+		"resparc_lb_shed_total",
+		"resparc_lb_admission_rejected_total",
+		"resparc_lb_retries_total",
+		"resparc_lb_queue_depth",
+		"resparc_lb_request_latency_seconds",
+		"resparc_lb_uptime_seconds",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+}

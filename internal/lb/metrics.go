@@ -1,0 +1,280 @@
+package lb
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the quantiles are
+// computed over. 4096 gives the p999 estimate ~4 tail samples to stand on.
+const latencyWindow = 4096
+
+// Routing decisions counted under resparc_lb_routing_total.
+const (
+	// RouteHash: the request went to its consistent-hash owner.
+	RouteHash = "hash"
+	// RouteFailover: the owner was not usable; a later replica in the ring
+	// sequence took the request.
+	RouteFailover = "failover"
+	// RouteShed: no replica had the RESPARC backend available; the request
+	// was shed to the CMOS baseline backend.
+	RouteShed = "shed-cmos"
+	// RouteRetry: a 429/503/504 answer triggered a backoff-and-retry.
+	RouteRetry = "retry"
+)
+
+// Rejection reasons counted under resparc_lb_admission_rejected_total.
+const (
+	RejectQuota    = "quota"
+	RejectOverload = "overload"
+)
+
+// Metrics collects the balancer's counters, exposed at /metrics in
+// Prometheus text form: totals by status code, per-replica request/error
+// counts, routing decisions, shed and rejection counts, per-tier in-flight
+// gauges and p50/p99/p999 latency over a sliding window.
+type Metrics struct {
+	start time.Time
+
+	mu         sync.Mutex
+	requests   int64
+	codes      map[int]int64
+	replicaReq map[string]int64
+	replicaErr map[string]int64
+	routing    map[string]int64
+	shed       map[Tier]int64
+	rejected   map[string]int64
+	retries    int64
+	latencies  []float64 // ring buffer, seconds
+	latNext    int
+	latCount   int
+
+	depth func(Tier) int // in-flight gauge, set by the LB
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		codes:      make(map[int]int64),
+		replicaReq: make(map[string]int64),
+		replicaErr: make(map[string]int64),
+		routing:    make(map[string]int64),
+		shed:       make(map[Tier]int64),
+		rejected:   make(map[string]int64),
+	}
+}
+
+// Request counts one accepted front-tier request.
+func (m *Metrics) Request() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+// Response counts one front-tier response by status code and records its
+// end-to-end latency.
+func (m *Metrics) Response(code int, latency time.Duration) {
+	m.mu.Lock()
+	m.codes[code]++
+	if m.latencies == nil {
+		m.latencies = make([]float64, latencyWindow)
+	}
+	m.latencies[m.latNext] = latency.Seconds()
+	m.latNext = (m.latNext + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+	m.mu.Unlock()
+}
+
+// Proxied counts one request forwarded to a replica, and whether it failed
+// (transport error or 5xx answer).
+func (m *Metrics) Proxied(replica string, failed bool) {
+	m.mu.Lock()
+	m.replicaReq[replica]++
+	if failed {
+		m.replicaErr[replica]++
+	}
+	m.mu.Unlock()
+}
+
+// Routing counts one routing decision (RouteHash, RouteFailover, ...).
+func (m *Metrics) Routing(decision string) {
+	m.mu.Lock()
+	m.routing[decision]++
+	m.mu.Unlock()
+}
+
+// Shed counts one request shed to the CMOS baseline backend.
+func (m *Metrics) Shed(tier Tier) {
+	m.mu.Lock()
+	m.shed[tier]++
+	m.mu.Unlock()
+}
+
+// Rejected counts one admission rejection (RejectQuota, RejectOverload).
+func (m *Metrics) Rejected(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// Retry counts one backoff-and-retry of an upstream 429/503/504.
+func (m *Metrics) Retry() {
+	m.mu.Lock()
+	m.retries++
+	m.routing[RouteRetry]++
+	m.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of the counters for tests and reports.
+type Snapshot struct {
+	Requests        int64
+	Codes           map[int]int64
+	ReplicaRequests map[string]int64
+	ReplicaErrors   map[string]int64
+	Routing         map[string]int64
+	Shed            map[Tier]int64
+	Rejected        map[string]int64
+	Retries         int64
+	P50, P99, P999  float64
+}
+
+// Snapshot returns the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests:        m.requests,
+		Codes:           copyMap(m.codes),
+		ReplicaRequests: copyMap(m.replicaReq),
+		ReplicaErrors:   copyMap(m.replicaErr),
+		Routing:         copyMap(m.routing),
+		Shed:            copyMap(m.shed),
+		Rejected:        copyMap(m.rejected),
+		Retries:         m.retries,
+	}
+	s.P50, s.P99, s.P999 = m.quantilesLocked()
+	return s
+}
+
+func copyMap[K comparable, V any](in map[K]V) map[K]V {
+	out := make(map[K]V, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// quantilesLocked computes p50/p99/p999 over the latency window
+// (nearest-rank).
+func (m *Metrics) quantilesLocked() (p50, p99, p999 float64) {
+	if m.latCount == 0 {
+		return 0, 0, 0
+	}
+	window := append([]float64(nil), m.latencies[:m.latCount]...)
+	sort.Float64s(window)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(window))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(window) {
+			i = len(window) - 1
+		}
+		return window[i]
+	}
+	return rank(0.50), rank(0.99), rank(0.999)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ServeHTTP renders the Prometheus text exposition.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := m.Snapshot()
+	m.mu.Lock()
+	depth := m.depth
+	uptime := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP resparc_lb_requests_total Front-tier classification requests accepted for routing.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_requests_total counter\n")
+	fmt.Fprintf(w, "resparc_lb_requests_total %d\n", s.Requests)
+	fmt.Fprintf(w, "# HELP resparc_lb_responses_total Front-tier responses by HTTP status code.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_responses_total counter\n")
+	codes := make([]int, 0, len(s.Codes))
+	for c := range s.Codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "resparc_lb_responses_total{code=%q} %d\n", strconv.Itoa(c), s.Codes[c])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_replica_requests_total Requests proxied to each replica.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_replica_requests_total counter\n")
+	for _, name := range sortedKeys(s.ReplicaRequests) {
+		fmt.Fprintf(w, "resparc_lb_replica_requests_total{replica=%q} %d\n", name, s.ReplicaRequests[name])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_replica_errors_total Proxied requests that failed per replica (transport error or 5xx).\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_replica_errors_total counter\n")
+	for _, name := range sortedKeys(s.ReplicaErrors) {
+		fmt.Fprintf(w, "resparc_lb_replica_errors_total{replica=%q} %d\n", name, s.ReplicaErrors[name])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_routing_total Routing decisions (hash owner, failover, shed-cmos, retry).\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_routing_total counter\n")
+	for _, d := range sortedKeys(s.Routing) {
+		fmt.Fprintf(w, "resparc_lb_routing_total{decision=%q} %d\n", d, s.Routing[d])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_shed_total Requests shed to the CMOS baseline backend, by tier.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_shed_total counter\n")
+	shedTiers := make([]string, 0, len(s.Shed))
+	for tier := range s.Shed {
+		shedTiers = append(shedTiers, string(tier))
+	}
+	sort.Strings(shedTiers)
+	for _, tier := range shedTiers {
+		fmt.Fprintf(w, "resparc_lb_shed_total{tier=%q} %d\n", tier, s.Shed[Tier(tier)])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_admission_rejected_total Requests rejected at admission (quota, overload).\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_admission_rejected_total counter\n")
+	for _, reason := range sortedKeys(s.Rejected) {
+		fmt.Fprintf(w, "resparc_lb_admission_rejected_total{reason=%q} %d\n", reason, s.Rejected[reason])
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_retries_total Upstream 429/503/504 answers retried with backoff.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_retries_total counter\n")
+	fmt.Fprintf(w, "resparc_lb_retries_total %d\n", s.Retries)
+	fmt.Fprintf(w, "# HELP resparc_lb_queue_depth In-flight (admitted, unanswered) requests per tier.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_queue_depth gauge\n")
+	for _, tier := range []Tier{TierInteractive, TierBatch} {
+		d := 0
+		if depth != nil {
+			d = depth(tier)
+		}
+		fmt.Fprintf(w, "resparc_lb_queue_depth{tier=%q} %d\n", string(tier), d)
+	}
+	fmt.Fprintf(w, "# HELP resparc_lb_request_latency_seconds End-to-end latency quantiles over the last %d requests.\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE resparc_lb_request_latency_seconds gauge\n")
+	fmt.Fprintf(w, "resparc_lb_request_latency_seconds{quantile=\"0.5\"} %g\n", s.P50)
+	fmt.Fprintf(w, "resparc_lb_request_latency_seconds{quantile=\"0.99\"} %g\n", s.P99)
+	fmt.Fprintf(w, "resparc_lb_request_latency_seconds{quantile=\"0.999\"} %g\n", s.P999)
+	fmt.Fprintf(w, "# HELP resparc_lb_uptime_seconds Seconds since the balancer started.\n")
+	fmt.Fprintf(w, "# TYPE resparc_lb_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "resparc_lb_uptime_seconds %g\n", uptime)
+}

@@ -1,0 +1,138 @@
+package lb
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the number of virtual points each replica occupies on the
+// hash ring. More points smooth the load split at the cost of a larger
+// lookup table; 64 keeps the per-replica share within a few percent of even
+// for fleets of up to a few hundred replicas.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica names. Requests hash by model
+// (every request for a model lands on the same replica while the membership
+// holds, keeping that replica's caches and batcher queues warm for it), and
+// membership changes move only the keys that mapped to the affected
+// replica — the property that lets the fleet add or drain replicas without
+// reshuffling every model's traffic.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// replica (<= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hash64 is FNV-1a with a murmur-style avalanche finalizer. Raw FNV-1a
+// hashes of near-identical strings ("replica-0#17" vs "replica-0#18")
+// differ only in their low bytes and cluster on the ring, defeating the
+// virtual-node spread; the finalizer diffuses every input bit across the
+// whole word.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a replica's virtual points. Adding an existing member is a
+// no-op.
+func (r *Ring) Add(replica string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[replica] {
+		return
+	}
+	r.members[replica] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(replica + "#" + strconv.Itoa(i)), replica: replica})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a replica's virtual points. Removing a non-member is a
+// no-op.
+func (r *Ring) Remove(replica string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[replica] {
+		return
+	}
+	delete(r.members, replica)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.replica != replica {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the replica names currently on the ring, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the replica owning the key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns every distinct replica in ring order starting from the
+// key's point: the first entry is the key's owner, the rest are the
+// fallback order a health-aware router walks when the owner is not usable.
+// The order is a pure function of (key, membership) — two balancers with
+// the same view route identically.
+func (r *Ring) Sequence(key string) []string {
+	h := hash64(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.members))
+	out := make([]string, 0, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

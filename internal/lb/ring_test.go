@@ -1,0 +1,137 @@
+package lb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d", i)
+	}
+	return keys
+}
+
+// Adding a replica must move only the keys the new replica takes over, and
+// removing it must restore the exact previous assignment — the property
+// that makes fleet membership changes cheap.
+func TestRingStabilityUnderAddRemove(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	keys := ringKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+
+	r.Add("replica-new")
+	moved := 0
+	for _, k := range keys {
+		owner := r.Lookup(k)
+		if owner != before[k] {
+			if owner != "replica-new" {
+				t.Fatalf("key %q moved from %q to %q, not to the new replica", k, before[k], owner)
+			}
+			moved++
+		}
+	}
+	// The new replica should take about 1/6 of the keys; allow generous
+	// slack but catch a full reshuffle.
+	if moved == 0 || moved > len(keys)/3 {
+		t.Fatalf("adding a replica moved %d/%d keys, want about %d", moved, len(keys), len(keys)/6)
+	}
+
+	r.Remove("replica-new")
+	for _, k := range keys {
+		if owner := r.Lookup(k); owner != before[k] {
+			t.Fatalf("after remove, key %q owned by %q, want %q restored", k, owner, before[k])
+		}
+	}
+
+	// Removing an original member moves only the keys it owned.
+	r.Remove("replica-2")
+	for _, k := range keys {
+		owner := r.Lookup(k)
+		if before[k] == "replica-2" {
+			if owner == "replica-2" {
+				t.Fatalf("key %q still owned by the removed replica", k)
+			}
+		} else if owner != before[k] {
+			t.Fatalf("key %q moved from %q to %q though its owner stayed", k, before[k], owner)
+		}
+	}
+}
+
+func TestRingSequenceDeterministicAndComplete(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		r.Add("a")
+		r.Add("c")
+		r.Add("b")
+		return r
+	}
+	r1, r2 := build(), build()
+	for _, k := range ringKeys(50) {
+		s1, s2 := r1.Sequence(k), r2.Sequence(k)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("sequence for %q differs between identical rings: %v vs %v", k, s1, s2)
+		}
+		if len(s1) != 3 {
+			t.Fatalf("sequence for %q covers %d replicas, want 3: %v", k, len(s1), s1)
+		}
+		seen := map[string]bool{}
+		for _, name := range s1 {
+			if seen[name] {
+				t.Fatalf("sequence for %q repeats %q: %v", k, name, s1)
+			}
+			seen[name] = true
+		}
+		if s1[0] != r1.Lookup(k) {
+			t.Fatalf("sequence head %q != owner %q", s1[0], r1.Lookup(k))
+		}
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := r.Sequence("anything"); got != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", got)
+	}
+	r.Add("a")
+	r.Add("a")
+	if got := len(r.Members()); got != 1 {
+		t.Fatalf("double add leaves %d members, want 1", got)
+	}
+	r.Remove("missing")
+	if got := len(r.Members()); got != 1 {
+		t.Fatalf("removing a non-member leaves %d members, want 1", got)
+	}
+}
+
+// The load split across replicas should be within a small factor of even —
+// that is what the virtual nodes buy.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	replicas := 4
+	for i := 0; i < replicas; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	want := len(keys) / replicas
+	for name, got := range counts {
+		if got < want/3 || got > want*3 {
+			t.Fatalf("replica %s owns %d/%d keys, want within 3x of %d", name, got, len(keys), want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"resparc/internal/lb"
+	"resparc/internal/serve"
+)
+
+// DriveConfig parameterizes a live replay of a trace against a running
+// fleet (the balancer's /v1/classify).
+type DriveConfig struct {
+	// TargetURL is the balancer's base URL.
+	TargetURL string
+	// Client performs the requests (nil: 30 s timeout).
+	Client *http.Client
+	// Input supplies the model's input vector; required.
+	Input func(model string) []float64
+	// TimeScale compresses (< 1) or stretches (> 1) the trace clock; a
+	// 10 s trace at TimeScale 0.01 replays in ~100 ms (<= 0 selects 1).
+	TimeScale float64
+}
+
+// Outcome is one replayed event's result.
+type Outcome struct {
+	Event Event
+	// Status is the HTTP status (0 on transport error).
+	Status int
+	// Latency is the end-to-end request latency (wall clock).
+	Latency time.Duration
+	// Backend is the X-Resparc-Backend response header: set when the
+	// balancer shed the request to the baseline backend.
+	Backend string
+	// Replica is the X-Resparc-Replica response header.
+	Replica string
+	// Err is the transport error, if any.
+	Err error
+}
+
+// Drive replays the trace open-loop: each event fires at its trace offset
+// (scaled by TimeScale) regardless of how the fleet is keeping up, so
+// queueing shows up as latency, not as a slower trace. Returns one outcome
+// per event, in trace order.
+func Drive(ctx context.Context, cfg DriveConfig, events []Event) ([]Outcome, error) {
+	if cfg.TargetURL == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	if cfg.Input == nil {
+		return nil, fmt.Errorf("loadgen: no input source")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	outcomes := make([]Outcome, len(events))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, ev := range events {
+		at := time.Duration(float64(ev.At) * scale)
+		select {
+		case <-ctx.Done():
+			return outcomes[:i], ctx.Err()
+		case <-time.After(time.Until(start.Add(at))):
+		}
+		wg.Add(1)
+		go func(i int, ev Event) {
+			defer wg.Done()
+			outcomes[i] = shoot(ctx, client, cfg, ev)
+		}(i, ev)
+	}
+	wg.Wait()
+	return outcomes, nil
+}
+
+// shoot fires one event and records its outcome.
+func shoot(ctx context.Context, client *http.Client, cfg DriveConfig, ev Event) Outcome {
+	out := Outcome{Event: ev}
+	body, err := json.Marshal(serve.ClassifyRequest{
+		Model: ev.Model,
+		Input: cfg.Input(ev.Model),
+		Seed:  ev.Seed,
+	})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.TargetURL+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(lb.HeaderTenant, ev.Tenant)
+	req.Header.Set(lb.HeaderPriority, string(ev.Tier))
+	begin := time.Now()
+	resp, err := client.Do(req)
+	out.Latency = time.Since(begin)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	out.Status = resp.StatusCode
+	out.Backend = resp.Header.Get(lb.HeaderBackend)
+	out.Replica = resp.Header.Get(lb.HeaderReplica)
+	return out
+}
+
+// Report aggregates live outcomes per (model, tier), same shape as the
+// simulator's summaries so tests and tools can treat both alike.
+func Report(outcomes []Outcome, sloTargetMs map[lb.Tier]float64) []TierSummary {
+	aggs := make(map[simKey]*simAgg)
+	for _, o := range outcomes {
+		key := simKey{model: o.Event.Model, tier: o.Event.Tier}
+		agg := aggs[key]
+		if agg == nil {
+			agg = &simAgg{}
+			aggs[key] = agg
+		}
+		agg.count++
+		switch {
+		case o.Err != nil || o.Status == 0:
+			agg.failed++
+		case o.Status == http.StatusOK:
+			agg.ok++
+			if o.Backend != "" {
+				agg.shed++
+			}
+			ms := float64(o.Latency) / float64(time.Millisecond)
+			agg.latencies = append(agg.latencies, ms)
+			if ms <= sloTargetMs[o.Event.Tier] {
+				agg.inSLO++
+			}
+		case o.Status == http.StatusTooManyRequests || o.Status == http.StatusServiceUnavailable:
+			agg.rejected++
+		default:
+			agg.failed++
+		}
+	}
+	keys := make([]simKey, 0, len(aggs))
+	for k := range aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].tier < keys[j].tier
+	})
+	summaries := make([]TierSummary, 0, len(keys))
+	for _, k := range keys {
+		agg := aggs[k]
+		s := TierSummary{
+			Model:       k.model,
+			Tier:        k.tier,
+			Count:       agg.count,
+			OK:          agg.ok,
+			Shed:        agg.shed,
+			Rejected:    agg.rejected,
+			Failed:      agg.failed,
+			SLOTargetMs: sloTargetMs[k.tier],
+		}
+		if len(agg.latencies) > 0 {
+			sorted := append([]float64(nil), agg.latencies...)
+			sort.Float64s(sorted)
+			s.P50Ms = quantile(sorted, 0.50)
+			s.P99Ms = quantile(sorted, 0.99)
+			s.P999Ms = quantile(sorted, 0.999)
+			sum := 0.0
+			for _, l := range sorted {
+				sum += l
+			}
+			s.MeanMs = sum / float64(len(sorted))
+		}
+		if agg.count > 0 {
+			s.Attainment = float64(agg.inSLO) / float64(agg.count)
+		}
+		summaries = append(summaries, s)
+	}
+	return summaries
+}

@@ -1,0 +1,282 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"resparc/internal/lb"
+)
+
+// FleetSim is a virtual-time discrete-event model of the serving fleet. It
+// routes a generated trace exactly the way resparc-lb does — consistent
+// hashing by model, health-aware failover, shed to the CMOS baseline when
+// the RESPARC tier is out, tiered admission — but against modeled replicas
+// with deterministic service times, so the resulting latency and SLO rows
+// are a pure function of the seed. The live HTTP path (real replicas, real
+// sockets) is exercised by the -race end-to-end tests; this model is what
+// backs the reproducible `resparc-bench -fig fleet` rows.
+
+// SimReplica models one replica: a number of parallel service slots plus
+// optional outage and breaker-open windows in trace time.
+type SimReplica struct {
+	Name string
+	// Slots is the replica's service parallelism (batcher workers).
+	Slots int
+	// DownFrom/DownTo is a window during which the replica is unreachable
+	// (crash or drain); zero-zero means always up.
+	DownFrom, DownTo time.Duration
+	// OpenFrom/OpenTo is a window during which the replica's RESPARC
+	// circuits are open (fault campaign tripped the breakers); the replica
+	// still serves CMOS. Zero-zero means never open.
+	OpenFrom, OpenTo time.Duration
+}
+
+func (r SimReplica) up(t time.Duration) bool {
+	if r.DownTo > r.DownFrom && t >= r.DownFrom && t < r.DownTo {
+		return false
+	}
+	return true
+}
+
+func (r SimReplica) resparcOpen(t time.Duration) bool {
+	return r.OpenTo > r.OpenFrom && t >= r.OpenFrom && t < r.OpenTo
+}
+
+// FleetConfig parameterizes a fleet simulation.
+type FleetConfig struct {
+	Replicas []SimReplica
+	// ServiceMs maps "model/backend" to the mean service time in
+	// milliseconds. Every (model, backend) a trace can route to must be
+	// present.
+	ServiceMs map[string]float64
+	// JitterFrac adds a deterministic ±fraction of service-time noise
+	// drawn from the seeded stream (0 disables).
+	JitterFrac float64
+	// SLOTargetMs is each tier's latency objective.
+	SLOTargetMs map[lb.Tier]float64
+	// MaxWaitMs is each tier's admission wait budget: an arrival whose
+	// queueing delay would exceed it is rejected (503). Giving batch a
+	// smaller budget than interactive is how the fleet protects the
+	// interactive tier under bursts.
+	MaxWaitMs map[lb.Tier]float64
+	// Seed drives the service-time jitter stream.
+	Seed int64
+}
+
+// TierSummary aggregates one (model, tier)'s outcomes over a simulation.
+type TierSummary struct {
+	Model string  `json:"model"`
+	Tier  lb.Tier `json:"tier"`
+	// Count is the offered load; OK the requests served; Shed the subset
+	// of OK served by the CMOS baseline; Rejected the admission rejects;
+	// Failed the arrivals no replica could serve.
+	Count    int `json:"count"`
+	OK       int `json:"ok"`
+	Shed     int `json:"shed"`
+	Rejected int `json:"rejected"`
+	Failed   int `json:"failed"`
+	// P50/P99/P999 are latency quantiles over served requests, ms.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	// SLOTargetMs is the tier's objective; Attainment is the fraction of
+	// ALL arrivals (rejected and failed included) answered within it.
+	SLOTargetMs float64 `json:"slo_target_ms"`
+	Attainment  float64 `json:"slo_attainment"`
+	// MeanMs is the mean served latency, ms.
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// SimResult is a finished simulation.
+type SimResult struct {
+	// Summaries is sorted by (model, tier).
+	Summaries []TierSummary
+	// Duration is the virtual time from first arrival to last completion.
+	Duration time.Duration
+}
+
+// Summary returns the (model, tier) row, if present.
+func (r SimResult) Summary(model string, tier lb.Tier) (TierSummary, bool) {
+	for _, s := range r.Summaries {
+		if s.Model == model && s.Tier == tier {
+			return s, true
+		}
+	}
+	return TierSummary{}, false
+}
+
+type simKey struct {
+	model string
+	tier  lb.Tier
+}
+
+type simAgg struct {
+	count, ok, shed, rejected, failed int
+	inSLO                             int
+	latencies                         []float64 // ms
+}
+
+// Simulate routes the trace through the modeled fleet and aggregates
+// latency and SLO outcomes per (model, tier).
+func Simulate(cfg FleetConfig, events []Event) (SimResult, error) {
+	if len(cfg.Replicas) == 0 {
+		return SimResult{}, fmt.Errorf("loadgen: fleet has no replicas")
+	}
+	ring := lb.NewRing(0)
+	replicas := make(map[string]SimReplica, len(cfg.Replicas))
+	slots := make(map[string][]time.Duration, len(cfg.Replicas))
+	for _, r := range cfg.Replicas {
+		if r.Slots <= 0 {
+			return SimResult{}, fmt.Errorf("loadgen: replica %q has no slots", r.Name)
+		}
+		if _, dup := replicas[r.Name]; dup {
+			return SimResult{}, fmt.Errorf("loadgen: duplicate replica %q", r.Name)
+		}
+		replicas[r.Name] = r
+		slots[r.Name] = make([]time.Duration, r.Slots)
+		ring.Add(r.Name)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	aggs := make(map[simKey]*simAgg)
+	var end time.Duration
+	for _, ev := range events {
+		key := simKey{model: ev.Model, tier: ev.Tier}
+		agg := aggs[key]
+		if agg == nil {
+			agg = &simAgg{}
+			aggs[key] = agg
+		}
+		agg.count++
+		// Consume the jitter draw unconditionally so one rejected request
+		// does not shift every later request's service time.
+		jitter := 1.0
+		if cfg.JitterFrac > 0 {
+			jitter = 1 + cfg.JitterFrac*(2*rng.Float64()-1)
+		}
+
+		// Route the way resparc-lb does: walk the model's ring sequence for
+		// a replica with RESPARC available; if the whole fleet's RESPARC
+		// tier is out, shed to CMOS on the sequence.
+		backend := "resparc"
+		replica := ""
+		for _, name := range ring.Sequence(ev.Model) {
+			r := replicas[name]
+			if r.up(ev.At) && !r.resparcOpen(ev.At) {
+				replica = name
+				break
+			}
+		}
+		shed := false
+		if replica == "" {
+			backend = "cmos"
+			shed = true
+			for _, name := range ring.Sequence(ev.Model) {
+				if replicas[name].up(ev.At) {
+					replica = name
+					break
+				}
+			}
+		}
+		if replica == "" {
+			agg.failed++
+			continue
+		}
+		serviceMs, ok := cfg.ServiceMs[ev.Model+"/"+backend]
+		if !ok {
+			return SimResult{}, fmt.Errorf("loadgen: no service time for %s/%s", ev.Model, backend)
+		}
+		service := time.Duration(serviceMs * jitter * float64(time.Millisecond))
+
+		// Earliest free slot on the replica; arrivals are time-ordered so a
+		// slot's free time only moves forward.
+		lane := slots[replica]
+		best := 0
+		for i := range lane {
+			if lane[i] < lane[best] {
+				best = i
+			}
+		}
+		start := ev.At
+		if lane[best] > start {
+			start = lane[best]
+		}
+		waitMs := float64(start-ev.At) / float64(time.Millisecond)
+		if budget, ok := cfg.MaxWaitMs[ev.Tier]; ok && waitMs > budget {
+			agg.rejected++
+			continue
+		}
+		finish := start + service
+		lane[best] = finish
+		if finish > end {
+			end = finish
+		}
+		latencyMs := float64(finish-ev.At) / float64(time.Millisecond)
+		agg.ok++
+		if shed {
+			agg.shed++
+		}
+		agg.latencies = append(agg.latencies, latencyMs)
+		if latencyMs <= cfg.SLOTargetMs[ev.Tier] {
+			agg.inSLO++
+		}
+	}
+
+	keys := make([]simKey, 0, len(aggs))
+	for k := range aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].tier < keys[j].tier
+	})
+	result := SimResult{Duration: end}
+	for _, k := range keys {
+		agg := aggs[k]
+		s := TierSummary{
+			Model:       k.model,
+			Tier:        k.tier,
+			Count:       agg.count,
+			OK:          agg.ok,
+			Shed:        agg.shed,
+			Rejected:    agg.rejected,
+			Failed:      agg.failed,
+			SLOTargetMs: cfg.SLOTargetMs[k.tier],
+		}
+		if len(agg.latencies) > 0 {
+			sorted := append([]float64(nil), agg.latencies...)
+			sort.Float64s(sorted)
+			s.P50Ms = quantile(sorted, 0.50)
+			s.P99Ms = quantile(sorted, 0.99)
+			s.P999Ms = quantile(sorted, 0.999)
+			sum := 0.0
+			for _, l := range sorted {
+				sum += l
+			}
+			s.MeanMs = sum / float64(len(sorted))
+		}
+		if agg.count > 0 {
+			s.Attainment = float64(agg.inSLO) / float64(agg.count)
+		}
+		result.Summaries = append(result.Summaries, s)
+	}
+	return result, nil
+}
+
+// quantile is the nearest-rank quantile of a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

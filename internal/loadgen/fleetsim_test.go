@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"resparc/internal/lb"
+)
+
+func msEvents(model string, tier lb.Tier, atMs ...int) []Event {
+	events := make([]Event, len(atMs))
+	for i, at := range atMs {
+		events[i] = Event{At: time.Duration(at) * time.Millisecond, Model: model, Tenant: "t", Tier: tier}
+	}
+	return events
+}
+
+func oneReplicaFleet(slots int) FleetConfig {
+	return FleetConfig{
+		Replicas:    []SimReplica{{Name: "r0", Slots: slots}},
+		ServiceMs:   map[string]float64{"m/resparc": 10, "m/cmos": 30},
+		SLOTargetMs: map[lb.Tier]float64{lb.TierInteractive: 50, lb.TierBatch: 200},
+	}
+}
+
+func TestSimulateSlotQueueing(t *testing.T) {
+	// One slot, three arrivals at t=0: they serialize at 10 ms each.
+	res, err := Simulate(oneReplicaFleet(1), msEvents("m", lb.TierInteractive, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := res.Summary("m", lb.TierInteractive)
+	if !ok || s.OK != 3 {
+		t.Fatalf("summary %+v, want 3 served", s)
+	}
+	if s.P50Ms < 15 || s.P50Ms > 25 {
+		t.Fatalf("p50 %.1f ms, want ~20 (second request queued behind the first)", s.P50Ms)
+	}
+	// With three slots nothing queues.
+	res, err = Simulate(oneReplicaFleet(3), msEvents("m", lb.TierInteractive, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ = res.Summary("m", lb.TierInteractive)
+	if s.P999Ms > 15 {
+		t.Fatalf("p999 %.1f ms with free slots, want ~10", s.P999Ms)
+	}
+	if s.Attainment != 1 {
+		t.Fatalf("attainment %.2f, want 1", s.Attainment)
+	}
+}
+
+func TestSimulateShedsToCMOSWhenBreakersOpen(t *testing.T) {
+	cfg := oneReplicaFleet(2)
+	cfg.Replicas[0].OpenFrom = 0
+	cfg.Replicas[0].OpenTo = time.Second
+	res, err := Simulate(cfg, msEvents("m", lb.TierInteractive, 0, 100, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Summary("m", lb.TierInteractive)
+	if s.OK != 3 {
+		t.Fatalf("served %d, want all 3", s.OK)
+	}
+	// The two arrivals inside the open window ride CMOS; the later one is
+	// back on RESPARC.
+	if s.Shed != 2 {
+		t.Fatalf("shed %d, want 2", s.Shed)
+	}
+}
+
+func TestSimulateCountsFailuresWhenFleetDown(t *testing.T) {
+	cfg := oneReplicaFleet(2)
+	cfg.Replicas[0].DownFrom = 0
+	cfg.Replicas[0].DownTo = time.Second
+	res, err := Simulate(cfg, msEvents("m", lb.TierInteractive, 100, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Summary("m", lb.TierInteractive)
+	if s.Failed != 1 || s.OK != 1 {
+		t.Fatalf("summary %+v, want 1 failed (outage) and 1 served", s)
+	}
+}
+
+func TestSimulateWaitBudgetRejects(t *testing.T) {
+	cfg := oneReplicaFleet(1)
+	cfg.MaxWaitMs = map[lb.Tier]float64{lb.TierBatch: 5}
+	// Two batch arrivals at t=0: the second would wait 10 ms > 5 ms budget.
+	res, err := Simulate(cfg, msEvents("m", lb.TierBatch, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Summary("m", lb.TierBatch)
+	if s.OK != 1 || s.Rejected != 1 {
+		t.Fatalf("summary %+v, want 1 served + 1 rejected", s)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	trace := testTrace()
+	events, err := Generate(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := FleetConfig{
+		Replicas: []SimReplica{
+			{Name: "a", Slots: 2},
+			{Name: "b", Slots: 2, DownFrom: 10 * time.Second, DownTo: 20 * time.Second},
+		},
+		ServiceMs: map[string]float64{
+			"alpha/resparc": 5, "alpha/cmos": 15,
+			"beta/resparc": 10, "beta/cmos": 30,
+		},
+		JitterFrac:  0.2,
+		SLOTargetMs: map[lb.Tier]float64{lb.TierInteractive: 100, lb.TierBatch: 400},
+		MaxWaitMs:   map[lb.Tier]float64{lb.TierInteractive: 500, lb.TierBatch: 50},
+		Seed:        7,
+	}
+	r1, err := Simulate(fleet, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(fleet, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("same inputs simulated to different results")
+	}
+	for _, s := range r1.Summaries {
+		if s.Count != s.OK+s.Rejected+s.Failed {
+			t.Fatalf("summary %+v does not reconcile", s)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(FleetConfig{}, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	cfg := oneReplicaFleet(0)
+	if _, err := Simulate(cfg, nil); err == nil {
+		t.Fatal("zero-slot replica accepted")
+	}
+	cfg = oneReplicaFleet(1)
+	cfg.ServiceMs = map[string]float64{}
+	if _, err := Simulate(cfg, msEvents("m", lb.TierInteractive, 0)); err == nil {
+		t.Fatal("missing service time accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package loadgen generates and replays open-loop request traces against
+// the resparc fleet.
+//
+// Open-loop means arrivals follow the trace clock, not the fleet's response
+// times: a slow fleet does not slow the offered load down, so queueing
+// delay shows up in the measured latencies instead of silently vanishing
+// (the coordinated-omission trap of closed-loop drivers). Traces are a pure
+// function of their seed: the same TraceConfig and seed produce the same
+// event sequence byte for byte, which is what lets fleet benchmark rows be
+// reproduced exactly.
+//
+// The arrival process is a non-homogeneous Poisson process sampled by
+// thinning: a diurnal sinusoid models the daily load swing, and configured
+// burst windows multiply the rate to model flash crowds. Each event carries
+// the model it targets, the tenant it bills to, and its priority tier.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"resparc/internal/lb"
+)
+
+// Event is one request arrival in a trace.
+type Event struct {
+	// At is the arrival offset from the trace start.
+	At time.Duration
+	// Model is the model the request targets.
+	Model string
+	// Tenant is the quota bucket the request bills to.
+	Tenant string
+	// Tier is the request's priority class.
+	Tier lb.Tier
+	// Seed rides into the ClassifyRequest for deterministic replicas.
+	Seed int64
+}
+
+// ModelMix is one model's share of the trace traffic.
+type ModelMix struct {
+	Model string
+	// Weight is the model's relative share (any positive scale).
+	Weight float64
+}
+
+// Burst is a window during which the arrival rate is multiplied — a flash
+// crowd on top of the diurnal baseline.
+type Burst struct {
+	From, To time.Duration
+	// Multiplier scales the arrival rate inside the window (> 1).
+	Multiplier float64
+}
+
+// TraceConfig parameterizes a generated trace.
+type TraceConfig struct {
+	// Seed makes the trace reproducible; the same seed yields the same
+	// events.
+	Seed int64
+	// Duration is the trace length in trace time.
+	Duration time.Duration
+	// BaseRPS is the mean arrival rate before diurnal/burst modulation.
+	BaseRPS float64
+	// DiurnalAmplitude in [0, 1) scales the sinusoidal swing around
+	// BaseRPS (0 disables it).
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the sinusoid's period (<= 0 disables the sinusoid).
+	DiurnalPeriod time.Duration
+	// Bursts are the flash-crowd windows.
+	Bursts []Burst
+	// Models is the traffic mix; required (>= 1 entry, positive weights).
+	Models []ModelMix
+	// Tenants is how many synthetic tenants ("tenant-0"...) share the
+	// trace (<= 0 selects 1).
+	Tenants int
+	// BatchFraction in [0, 1] is the share of events on the batch tier.
+	BatchFraction float64
+}
+
+// Rate returns the instantaneous arrival rate at trace offset t, in
+// requests per second.
+func (c TraceConfig) Rate(t time.Duration) float64 {
+	rate := c.BaseRPS
+	if c.DiurnalPeriod > 0 && c.DiurnalAmplitude > 0 {
+		phase := 2 * math.Pi * float64(t) / float64(c.DiurnalPeriod)
+		rate *= 1 + c.DiurnalAmplitude*math.Sin(phase)
+	}
+	for _, b := range c.Bursts {
+		if t >= b.From && t < b.To && b.Multiplier > 0 {
+			rate *= b.Multiplier
+		}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// maxRate bounds Rate over the whole trace (the thinning envelope).
+func (c TraceConfig) maxRate() float64 {
+	peak := c.BaseRPS * (1 + math.Abs(c.DiurnalAmplitude))
+	burst := 1.0
+	for _, b := range c.Bursts {
+		if b.Multiplier > burst {
+			burst = b.Multiplier
+		}
+	}
+	return peak * burst
+}
+
+// Generate samples the trace. The result is sorted by arrival time and is a
+// deterministic function of the config (including Seed).
+func Generate(c TraceConfig) ([]Event, error) {
+	if c.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive trace duration %s", c.Duration)
+	}
+	if c.BaseRPS <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive base rate %g", c.BaseRPS)
+	}
+	if len(c.Models) == 0 {
+		return nil, fmt.Errorf("loadgen: empty model mix")
+	}
+	total := 0.0
+	for _, m := range c.Models {
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: model %q has non-positive weight %g", m.Model, m.Weight)
+		}
+		total += m.Weight
+	}
+	if c.BatchFraction < 0 || c.BatchFraction > 1 {
+		return nil, fmt.Errorf("loadgen: batch fraction %g outside [0, 1]", c.BatchFraction)
+	}
+	tenants := c.Tenants
+	if tenants <= 0 {
+		tenants = 1
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	envelope := c.maxRate()
+	var events []Event
+	// Thinning: draw homogeneous-Poisson arrivals at the envelope rate and
+	// keep each with probability rate(t)/envelope.
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() / envelope * float64(time.Second))
+		if t >= c.Duration {
+			break
+		}
+		if rng.Float64()*envelope > c.Rate(t) {
+			continue
+		}
+		pick := rng.Float64() * total
+		model := c.Models[len(c.Models)-1].Model
+		for _, m := range c.Models {
+			if pick < m.Weight {
+				model = m.Model
+				break
+			}
+			pick -= m.Weight
+		}
+		tier := lb.TierInteractive
+		if rng.Float64() < c.BatchFraction {
+			tier = lb.TierBatch
+		}
+		events = append(events, Event{
+			At:     t,
+			Model:  model,
+			Tenant: fmt.Sprintf("tenant-%d", rng.Intn(tenants)),
+			Tier:   tier,
+			Seed:   rng.Int63(),
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"resparc/internal/lb"
+)
+
+func testTrace() TraceConfig {
+	return TraceConfig{
+		Seed:             7,
+		Duration:         time.Minute,
+		BaseRPS:          100,
+		DiurnalAmplitude: 0.4,
+		DiurnalPeriod:    time.Minute,
+		Bursts:           []Burst{{From: 20 * time.Second, To: 30 * time.Second, Multiplier: 3}},
+		Models:           []ModelMix{{Model: "alpha", Weight: 3}, {Model: "beta", Weight: 1}},
+		Tenants:          4,
+		BatchFraction:    0.25,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different traces")
+	}
+	cfg := testTrace()
+	cfg.Seed = 8
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) && reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	events, err := Generate(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].At < events[j].At }) {
+		t.Fatal("trace not sorted by arrival time")
+	}
+	counts := map[string]int{}
+	batch := 0
+	for _, ev := range events {
+		if ev.At < 0 || ev.At >= time.Minute {
+			t.Fatalf("event at %v outside the trace", ev.At)
+		}
+		if ev.Model != "alpha" && ev.Model != "beta" {
+			t.Fatalf("unknown model %q", ev.Model)
+		}
+		if !strings.HasPrefix(ev.Tenant, "tenant-") {
+			t.Fatalf("unexpected tenant %q", ev.Tenant)
+		}
+		if ev.Tier != lb.TierInteractive && ev.Tier != lb.TierBatch {
+			t.Fatalf("unexpected tier %q", ev.Tier)
+		}
+		counts[ev.Model]++
+		if ev.Tier == lb.TierBatch {
+			batch++
+		}
+	}
+	// 3:1 model mix and 25% batch share, loosely.
+	if counts["alpha"] < counts["beta"] {
+		t.Fatalf("model mix inverted: %v", counts)
+	}
+	frac := float64(batch) / float64(len(events))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("batch fraction %.2f, want near 0.25", frac)
+	}
+}
+
+// The burst window must be visibly denser than a same-width quiet window.
+func TestGenerateBurstDensity(t *testing.T) {
+	events, err := Generate(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inWindow := func(from, to time.Duration) int {
+		n := 0
+		for _, ev := range events {
+			if ev.At >= from && ev.At < to {
+				n++
+			}
+		}
+		return n
+	}
+	burst := inWindow(20*time.Second, 30*time.Second)
+	quiet := inWindow(40*time.Second, 50*time.Second)
+	if burst < 2*quiet {
+		t.Fatalf("burst window has %d events vs %d quiet, want at least 2x", burst, quiet)
+	}
+}
+
+func TestRateModulation(t *testing.T) {
+	cfg := testTrace()
+	// Peak of the sinusoid is at a quarter period.
+	peak := cfg.Rate(15 * time.Second)
+	trough := cfg.Rate(45 * time.Second)
+	if peak <= cfg.BaseRPS || trough >= cfg.BaseRPS {
+		t.Fatalf("diurnal modulation missing: peak %.1f, trough %.1f around base %.1f", peak, trough, cfg.BaseRPS)
+	}
+	inBurst := cfg.Rate(25 * time.Second)
+	outBurst := cfg.Rate(35 * time.Second)
+	if inBurst < 2*outBurst {
+		t.Fatalf("burst rate %.1f not well above post-burst %.1f", inBurst, outBurst)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{},
+		{Duration: time.Second},
+		{Duration: time.Second, BaseRPS: 10},
+		{Duration: time.Second, BaseRPS: 10, Models: []ModelMix{{Model: "a", Weight: -1}}},
+		{Duration: time.Second, BaseRPS: 10, Models: []ModelMix{{Model: "a", Weight: 1}}, BatchFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}

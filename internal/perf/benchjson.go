@@ -12,13 +12,19 @@ import (
 )
 
 // BenchSchemaVersion is the current BENCH_RESULTS.json schema. Version 2
-// added the schema_version and git_revision stamps; version 1 documents
-// (no schema_version field) decode as version 1.
-const BenchSchemaVersion = 2
+// added the schema_version and git_revision stamps; version 3 added the
+// fleet serving fields (latency quantiles, SLO attainment, shed/error
+// counts); version 1 documents (no schema_version field) decode as
+// version 1.
+const BenchSchemaVersion = 3
 
 // BenchEntry is one benchmark measurement in machine-readable form — the
 // unit of BENCH_RESULTS.json, which tracks the repo's performance
 // trajectory across PRs.
+//
+// The fleet serving rows (-fig fleet) additionally carry latency quantiles
+// and SLO attainment; those fields stay zero (and are omitted from the
+// JSON) on ordinary throughput rows.
 type BenchEntry struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
@@ -27,7 +33,22 @@ type BenchEntry struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	Iterations   int     `json:"iterations"`
 	Workers      int     `json:"workers,omitempty"`
+
+	// Fleet serving fields (schema v3). Latencies are virtual milliseconds
+	// from the modeled fleet simulation, so the same seed reproduces them
+	// byte-identically.
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
+	P999Ms        float64 `json:"p999_ms,omitempty"`
+	SLOTargetMs   float64 `json:"slo_target_ms,omitempty"`
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
+	Shed          int64   `json:"shed,omitempty"`
+	Errors        int64   `json:"errors,omitempty"`
 }
+
+// IsFleet reports whether the entry is a fleet serving row (carries an SLO
+// target), so tools can diff the SLO columns only where they exist.
+func (e BenchEntry) IsFleet() bool { return e.SLOTargetMs > 0 }
 
 // BenchReport is the top-level BENCH_RESULTS.json document. Every report is
 // self-describing: schema version, measurement timestamp and the git

@@ -10,6 +10,8 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	entries := []BenchEntry{
 		{Name: "eval/mnist-mlp/serial", NsPerOp: 1e6, ImagesPerSec: 3000, Iterations: 10, Workers: 1},
 		{Name: "eval/mnist-mlp/parallel", NsPerOp: 2e5, ImagesPerSec: 15000, Iterations: 50, Workers: 8},
+		{Name: "fleet/mnist-mlp/interactive", NsPerOp: 4.2e6, ImagesPerSec: 410, Iterations: 1200, Workers: 3,
+			P50Ms: 3.1, P99Ms: 22.4, P999Ms: 48.9, SLOTargetMs: 50, SLOAttainment: 0.991, Shed: 17, Errors: 3},
 	}
 	rep := NewBenchReport(entries)
 	if rep.SchemaVersion != BenchSchemaVersion {
@@ -30,8 +32,25 @@ func TestBenchReportRoundTrip(t *testing.T) {
 		got.GitRevision != rep.GitRevision || len(got.Entries) != len(rep.Entries) {
 		t.Fatalf("round trip changed report: %+v vs %+v", got, rep)
 	}
-	if got.Entries[0] != rep.Entries[0] || got.Entries[1] != rep.Entries[1] {
+	if got.Entries[0] != rep.Entries[0] || got.Entries[1] != rep.Entries[1] || got.Entries[2] != rep.Entries[2] {
 		t.Fatalf("round trip changed entries: %+v", got.Entries)
+	}
+	if !got.Entries[2].IsFleet() || got.Entries[0].IsFleet() {
+		t.Fatalf("IsFleet misclassified entries: %+v", got.Entries)
+	}
+}
+
+// A version-2 document (pre fleet fields) still loads; the fleet fields
+// simply decode to zero.
+func TestReadBenchJSONVersion2(t *testing.T) {
+	v2 := `{"schema_version":2,"go_version":"go1.24","gomaxprocs":8,"timestamp":"2026-01-01T00:00:00Z",` +
+		`"benchmarks":[{"name":"x","ns_per_op":5,"allocs_per_op":0,"bytes_per_op":0,"iterations":1}]}`
+	rep, err := ReadBenchJSON(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 2 || len(rep.Entries) != 1 || rep.Entries[0].IsFleet() {
+		t.Fatalf("v2 document misread: %+v", rep)
 	}
 }
 

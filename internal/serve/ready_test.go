@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"resparc/internal/fault"
+)
+
+// The liveness/readiness split: a replica whose RESPARC circuit opens keeps
+// answering /healthz 200 (the process is fine) but reports /readyz 503 with
+// the per-(model, backend) breaker states in the body, so a load balancer
+// stops routing to it *before* requests fail — and can see that the CMOS
+// backend is still usable.
+func TestReadinessFollowsBreakerState(t *testing.T) {
+	reg := testRegistry(t)
+	model, _ := reg.Get("tiny-mlp")
+	cfg := DefaultConfig(reg)
+	cfg.MaxWait = time.Millisecond
+	cfg.BreakerThreshold = 1
+	cfg.BreakerCooldown = time.Minute // hold the circuit open for the whole test
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	status := func(path string) (int, HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		var h HealthResponse
+		getJSON(t, ts.URL+path, &h)
+		return resp.StatusCode, h
+	}
+
+	// Healthy: both probes 200, readiness says "ready".
+	if code, h := status("/healthz"); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz %d %q, want 200 ok", code, h.Status)
+	}
+	if code, h := status("/readyz"); code != http.StatusOK || h.Status != "ready" {
+		t.Fatalf("readyz %d %q, want 200 ready", code, h.Status)
+	}
+
+	// Open the RESPARC circuit with one failing request.
+	model.Chip.SetFaults(fault.Campaign{DeadMPEs: []int{0}})
+	defer model.Chip.ClearFaults()
+	resp, _, _ := postClassify(t, ts.URL, ClassifyRequest{
+		Model: "tiny-mlp", Backend: "resparc", Input: testInput(model.Net.Input.Size(), 1),
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing request: status %d, want 500", resp.StatusCode)
+	}
+
+	// Liveness is unaffected; readiness goes 503 and the body pins the
+	// blame on (tiny-mlp, resparc) while cmos stays closed.
+	if code, h := status("/healthz"); code != http.StatusOK || h.Status != "degraded" {
+		t.Fatalf("healthz %d %q after breaker open, want 200 degraded", code, h.Status)
+	}
+	code, h := status("/readyz")
+	if code != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("readyz %d %q after breaker open, want 503 degraded", code, h.Status)
+	}
+	states := map[string]string{}
+	for _, b := range h.Backends {
+		states[b.Model+"/"+b.Backend] = b.State
+	}
+	if states["tiny-mlp/resparc"] != "open" {
+		t.Fatalf("readyz body: tiny-mlp/resparc %q, want open (%v)", states["tiny-mlp/resparc"], states)
+	}
+	if states["tiny-mlp/cmos"] != "closed" {
+		t.Fatalf("readyz body: tiny-mlp/cmos %q, want closed (%v)", states["tiny-mlp/cmos"], states)
+	}
+}
+
+// Retry-After values carry jitter: repeated renders of the same backoff
+// spread over [base, 1.5*base] seconds instead of synchronizing every
+// rejected client on the same retry instant.
+func TestRetryAfterJitter(t *testing.T) {
+	const base = 10 * time.Second
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		s := retryAfterSeconds(base)
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("retry-after %q is not an integer", s)
+		}
+		if secs < 10 || secs > 15 {
+			t.Fatalf("retry-after %d outside [10, 15] for a 10s backoff", secs)
+		}
+		seen[secs] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("200 renders produced only %v — jitter missing", seen)
+	}
+	// Sub-second backoffs still render at least 1 second.
+	if s := retryAfterSeconds(10 * time.Millisecond); s == "0" {
+		t.Fatalf("retry-after %q, want >= 1", s)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -165,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.Handle("/metrics", s.metrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
 }
 
@@ -383,44 +385,48 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}{Models: infos})
 }
 
-// BackendHealth is one circuit's state in the /healthz report.
+// BackendHealth is one circuit's state in the /healthz and /readyz reports.
 type BackendHealth struct {
 	Model   string `json:"model"`
 	Backend string `json:"backend"`
 	State   string `json:"state"`
 }
 
-// HealthResponse is the /healthz wire form. Status is "ok" when every
-// circuit is closed, "degraded" when any is open or half-open (the server
-// still answers what it can), and "draining" during shutdown.
+// HealthResponse is the /healthz and /readyz wire form. Status is "ok"
+// (or "ready") when every circuit is closed, "degraded" when any is open or
+// half-open (the server still answers what it can), and "draining" during
+// shutdown.
 type HealthResponse struct {
 	Status   string          `json:"status"`
 	Backends []BackendHealth `json:"backends"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// health assembles the shared liveness/readiness body: the per-(model,
+// backend) circuit states plus whether any circuit is open and whether the
+// server is draining.
+func (s *Server) health() (resp HealthResponse, anyOpen, draining bool) {
 	s.mu.Lock()
-	draining := s.closed
+	draining = s.closed
 	s.mu.Unlock()
-	resp := HealthResponse{Status: "ok"}
+	resp = HealthResponse{Status: "ok"}
 	for _, m := range s.cfg.Registry.Models() {
 		for _, backend := range m.Backends() {
 			state := s.breakers[batcherKey(m.Name, Backend(backend))].State()
 			if state != BreakerClosed {
 				resp.Status = "degraded"
 			}
+			if state == BreakerOpen {
+				anyOpen = true
+			}
 			resp.Backends = append(resp.Backends, BackendHealth{
 				Model: m.Name, Backend: backend, State: state.String(),
 			})
 		}
 	}
-	code := http.StatusOK
-	if draining {
-		// Load balancers should stop routing here; in-flight work still
-		// completes (Close drains the batchers).
-		resp.Status = "draining"
-		code = http.StatusServiceUnavailable
-	}
+	return resp, anyOpen, draining
+}
+
+func writeHealth(w http.ResponseWriter, code int, resp HealthResponse) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -428,12 +434,72 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(resp)
 }
 
+// handleHealthz is liveness: 200 as long as the process can answer at all,
+// including through a drain (in-flight work is still completing, so killing
+// the process now would lose it). Orchestrators restart on liveness
+// failures; load balancers should watch /readyz instead.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp, _, draining := s.health()
+	if draining {
+		resp.Status = "draining"
+	}
+	writeHealth(w, http.StatusOK, resp)
+}
+
+// handleReadyz is readiness: 503 while draining or while any (model,
+// backend) circuit is open, so a load balancer stops routing here before
+// requests start failing. The body carries the per-(model, backend) breaker
+// states either way — a balancer that parses it can keep routing the pairs
+// that are still healthy (e.g. the CMOS baseline while the RESPARC circuit
+// recovers) instead of dropping the whole replica.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp, anyOpen, draining := s.health()
+	code := http.StatusOK
+	switch {
+	case draining:
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case anyOpen:
+		code = http.StatusServiceUnavailable
+	default:
+		resp.Status = "ready"
+	}
+	writeHealth(w, code, resp)
+}
+
 // retryAfterSeconds renders a backoff as a whole-second Retry-After value,
-// at least 1.
+// at least 1, with up to 50% random jitter added on top. The jitter
+// staggers the retries of clients (and load-balancer replicas) that were
+// all rejected by the same opening circuit — without it they would all
+// come back in the same second and re-stampede a barely recovered backend.
 func retryAfterSeconds(d time.Duration) string {
+	d += time.Duration(retryJitter.Int64N(int64(d)/2 + 1))
 	secs := int(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// retryJitter is the shared jitter source for Retry-After values. The lock
+// keeps it safe under concurrent 503s; the seed does not matter (jitter
+// only needs to differ between concurrent clients, not reproduce).
+var retryJitter = newLockedRand(time.Now().UnixNano())
+
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int64N(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
 }

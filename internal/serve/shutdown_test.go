@@ -111,9 +111,9 @@ func TestShutdownMidStreamDrainsInFlight(t *testing.T) {
 	}
 	t.Logf("drained mid-stream: %d completed, %d rejected with 503", ok200, drained503)
 
-	// After Close: new requests are 503, /healthz advertises draining with
-	// a 503 so load balancers stop routing here, and every response the
-	// server gave is accounted for.
+	// After Close: new requests are 503. Liveness stays true through the
+	// drain (the process is healthy, killing it would lose in-flight work)
+	// while readiness goes 503 so load balancers stop routing here.
 	resp, _, body := postClassify(t, ts.URL, ClassifyRequest{
 		Model: "tiny-mlp", Input: inputs[0], Seed: 1,
 	})
@@ -125,13 +125,26 @@ func TestShutdownMidStreamDrainsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: status %d, want 200 (liveness holds through drain)", hresp.StatusCode)
 	}
 	var health HealthResponse
 	getJSON(t, ts.URL+"/healthz", &health)
 	if health.Status != "draining" {
 		t.Fatalf("healthz status %q, want draining", health.Status)
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", rresp.StatusCode)
+	}
+	var ready HealthResponse
+	getJSON(t, ts.URL+"/readyz", &ready)
+	if ready.Status != "draining" {
+		t.Fatalf("readyz status %q, want draining", ready.Status)
 	}
 	snap := srv.Metrics().Snapshot()
 	var total int64

@@ -22,3 +22,10 @@ if [ "${ALLOW_BENCH_REGRESS:-0}" = "1" ]; then
 fi
 
 go run ./cmd/resparc-bench -fig bench "${check[@]}" "$@"
+
+# Fleet SLO rows (fleet/<model>/<tier>): modeled in virtual time, so the
+# same -seed reproduces them bit-identically. The delta table against the
+# previous rows is informational for now — attainment shifts when the
+# committed scenario changes, so it warns rather than fails.
+echo "== fleet SLO rows (delta is warn-only)"
+go run ./cmd/resparc-bench -fig fleet "$@"

@@ -32,7 +32,9 @@ go test -race \
     ./internal/mapping/ \
     ./internal/serve/ \
     ./internal/sim/ \
-    ./internal/shard/
+    ./internal/shard/ \
+    ./internal/lb/ \
+    ./internal/loadgen/
 
 # The sim.Backend contract is the seam every consumer (serve, experiments,
 # cmd tools) programs against; an accidental signature change must show up as
