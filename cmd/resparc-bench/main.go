@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard|fleet]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard|fleet|event]
 //	              [-quick] [-out FILE] [-workers N] [-batch B] [-json FILE]
 //	              [-blocked=false] [-check] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -30,7 +30,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard, fleet")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard, fleet, event")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
@@ -332,6 +332,46 @@ func main() {
 		}
 		fmt.Fprintf(out, "fleet results merged into %s\n", *jsonPath)
 	}
+	// The event-engine comparison is explicit-only (it simulates every
+	// benchmark under both accounting paths and times the simulator itself
+	// with testing.Benchmark). Its modeled rows (event/latency, event/shard,
+	// event/noc) are pure functions of the -seed; only the event/walltime rows
+	// carry real time. Merging preserves the existing file's header.
+	if *fig == "event" {
+		entries, t, err := experiments.FigEvent(cfg)
+		if err != nil {
+			log.Fatalf("event: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		prev, err := perf.ReadBenchFile(*jsonPath)
+		if err != nil {
+			log.Fatalf("event: %v", err)
+		}
+		if dt := eventDeltaTable(prev.Entries, entries); dt != nil {
+			dt.Render(out)
+			fmt.Fprintln(out)
+		}
+		rep := perf.NewBenchReport(perf.MergeEntries(prev.Entries, entries))
+		if prev.Timestamp != "" {
+			rep.Timestamp = prev.Timestamp
+			rep.GitRevision = prev.GitRevision
+			rep.GoVersion = prev.GoVersion
+			rep.GOMAXPROCS = prev.GOMAXPROCS
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perf.WriteBenchJSON(f, rep); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "event results merged into %s\n", *jsonPath)
+	}
 	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
 	// benchmark 13 times); it also writes the machine-readable JSON. The
 	// output contains no timestamps or host state: the same -seed produces a
@@ -450,6 +490,29 @@ func benchDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
 		}
 		t.Add(e.Name, fmt.Sprintf("%.0f", old.NsPerOp), fmt.Sprintf("%.0f", e.NsPerOp),
 			fmt.Sprintf("%.2fx", perf.Speedup(old, e)))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
+}
+
+// eventDeltaTable compares fresh event-engine rows against the previous
+// entries of the same name; nil when no previous event row overlaps. The
+// comparison is informational (warn-only): modeled cycles shift only when the
+// model changes, which is exactly what the delta surfaces.
+func eventDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
+	t := report.NewTable("Event-engine delta vs previous BENCH_RESULTS.json",
+		"Row", "prev cycles", "new cycles", "prev wait", "new wait")
+	rows := 0
+	for _, e := range fresh {
+		old, ok := perf.FindEntry(prev, e.Name)
+		if !ok || old.ModelCycles == 0 {
+			continue
+		}
+		t.Add(e.Name, fmt.Sprintf("%d", old.ModelCycles), fmt.Sprintf("%d", e.ModelCycles),
+			fmt.Sprintf("%d", old.WaitCycles), fmt.Sprintf("%d", e.WaitCycles))
 		rows++
 	}
 	if rows == 0 {

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	resparc-noc [-dim 4] [-packets 72] [-pattern neighbor|random|hotspot|all] [-seed 1]
+//	resparc-noc [-dim 4] [-packets 72] [-pattern neighbor|random|hotspot|all]
+//	            [-engine stepped|event] [-queuecap N] [-sweep] [-seed 1]
+//
+// -engine event runs the discrete-event fabric: one flit per switch per
+// cycle out of bounded input FIFOs with credit-based backpressure, so
+// congestion (and the Wait column) emerges from the flow control instead of
+// the stepped model's unbounded queues. -sweep additionally ramps the
+// offered load and reports how delivered cycles-per-packet degrade per
+// pattern — flat for neighbor traffic, super-linear at the hotspot.
 package main
 
 import (
@@ -25,15 +33,22 @@ func main() {
 	dim := flag.Int("dim", 4, "NeuroCell mPE grid dimension (4 = the Fig 8 cell)")
 	packets := flag.Int("packets", 72, "spike packets injected at cycle 0")
 	pattern := flag.String("pattern", "all", "traffic pattern: neighbor, random, hotspot, all")
+	engine := flag.String("engine", "stepped", "fabric engine: stepped (unbounded queues) or event (bounded FIFOs, backpressure)")
+	queueCap := flag.Int("queuecap", 0, "event engine: per-switch input-FIFO depth (<= 0: neurocell.DefaultQueueCap)")
+	sweep := flag.Bool("sweep", false, "ramp offered load and report delivered cycles per pattern (event engine)")
 	seed := flag.Int64("seed", 1, "PRNG seed for random traffic")
 	flag.Parse()
+	if *engine != "stepped" && *engine != "event" {
+		log.Fatalf("unknown engine %q (want stepped or event)", *engine)
+	}
 
 	sw, err := neurocell.NewSwitchNet(*dim)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mpes := *dim * *dim
-	rng := rand.New(rand.NewSource(*seed))
+	// Each generator draws from a fresh PRNG so a pattern's traffic depends
+	// only on (-seed, packet count), not on which patterns ran before it.
 	gen := map[string]func(int) []neurocell.Transfer{
 		"neighbor": func(n int) []neurocell.Transfer {
 			out := make([]neurocell.Transfer, n)
@@ -44,6 +59,7 @@ func main() {
 			return out
 		},
 		"random": func(n int) []neurocell.Transfer {
+			rng := rand.New(rand.NewSource(*seed))
 			out := make([]neurocell.Transfer, n)
 			for i := range out {
 				out[i] = neurocell.Transfer{SrcMPE: rng.Intn(mpes), DstMPE: rng.Intn(mpes)}
@@ -58,6 +74,12 @@ func main() {
 			return out
 		},
 	}
+	simulate := func(tr []neurocell.Transfer) (neurocell.SwitchStats, error) {
+		if *engine == "event" {
+			return sw.SimulateEvent(tr, neurocell.EventOptions{QueueCap: *queueCap})
+		}
+		return sw.Simulate(tr)
+	}
 	names := []string{"neighbor", "random", "hotspot"}
 	if *pattern != "all" {
 		if _, ok := gen[*pattern]; !ok {
@@ -66,22 +88,51 @@ func main() {
 		names = []string{*pattern}
 	}
 
-	fmt.Printf("%dx%d NeuroCell, %d switches, %d packets\n\n", *dim, *dim, sw.Switches(), *packets)
+	fmt.Printf("%dx%d NeuroCell, %d switches, %d packets, %s engine\n\n",
+		*dim, *dim, sw.Switches(), *packets, *engine)
 	t := report.NewTable("switch-fabric simulation",
-		"Pattern", "Ideal cycles", "Simulated", "Slowdown", "Hops", "Max queue")
+		"Pattern", "Ideal cycles", "Simulated", "Slowdown", "Hops", "Max queue", "Wait")
 	for _, name := range names {
-		st, err := sw.Simulate(gen[name](*packets))
+		st, err := simulate(gen[name](*packets))
 		if err != nil {
 			log.Fatal(err)
 		}
 		ideal := sw.IdealCycles(*packets)
 		t.Add(name, fmt.Sprintf("%d", ideal), fmt.Sprintf("%d", st.Cycles),
 			report.F(float64(st.Cycles)/float64(ideal)),
-			fmt.Sprintf("%d", st.Hops), fmt.Sprintf("%d", st.MaxQueue))
+			fmt.Sprintf("%d", st.Hops), fmt.Sprintf("%d", st.MaxQueue),
+			fmt.Sprintf("%d", st.WaitCycles))
 	}
 	t.Render(os.Stdout)
+
+	if *sweep {
+		// Offered load ramp: inject multiples of the cell's port count and
+		// watch cycles-per-packet. Uniform traffic stays near flat; the
+		// hotspot's single ejection port serializes, so its curve bends.
+		fmt.Println()
+		loads := []int{mpes / 2, mpes, 2 * mpes, 4 * mpes, 8 * mpes}
+		st := report.NewTable("congestion sweep (offered load vs delivered cycles)",
+			"Pattern", "Packets", "Ideal", "Cycles", "Cyc/pkt", "Wait")
+		for _, name := range names {
+			for _, n := range loads {
+				s, err := simulate(gen[name](n))
+				if err != nil {
+					log.Fatal(err)
+				}
+				st.Add(name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", sw.IdealCycles(n)),
+					fmt.Sprintf("%d", s.Cycles),
+					report.F(float64(s.Cycles)/float64(n)),
+					fmt.Sprintf("%d", s.WaitCycles))
+			}
+		}
+		st.Render(os.Stdout)
+	}
+
 	fmt.Println("\nload balance (forwards per switch, last pattern):")
-	st, _ := sw.Simulate(gen[names[len(names)-1]](*packets))
+	st, err := simulate(gen[names[len(names)-1]](*packets))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, f := range st.Forwards {
 		fmt.Printf("  switch %d: %d\n", i, f)
 	}

@@ -1,6 +1,7 @@
 package cmosbase
 
 import (
+	"reflect"
 	"testing"
 
 	"resparc/internal/sim"
@@ -64,11 +65,11 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range inputs {
-		if one[i] != many[i] || oneReps[i].Predicted != manyReps[i].Predicted {
+		if !reflect.DeepEqual(one[i], many[i]) || oneReps[i].Predicted != manyReps[i].Predicted {
 			t.Fatalf("image %d diverged across worker counts", i)
 		}
 		refRes, refRep := b.Classify(inputs[i], factory(i))
-		if one[i] != refRes || oneReps[i].Predicted != refRep.Predicted {
+		if !reflect.DeepEqual(one[i], refRes) || oneReps[i].Predicted != refRep.Predicted {
 			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
 		}
 	}
@@ -144,7 +145,7 @@ func TestClassifyEachBatchMajorEquivalence(t *testing.T) {
 						t.Fatal(err)
 					}
 					for i := range inputs {
-						if got[i] != ref[i] {
+						if !reflect.DeepEqual(got[i], ref[i]) {
 							t.Fatalf("batch=%d workers=%d image %d: result %+v, want %+v",
 								batch, workers, i, got[i], ref[i])
 						}

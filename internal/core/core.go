@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"resparc/internal/bitvec"
@@ -57,6 +58,15 @@ type Options struct {
 	// BlockSize overrides the temporal block length of the blocked runner
 	// (<= 0 selects snn.DefaultBlockSize). Ignored when Stepped is set.
 	BlockSize int
+	// EventEngine selects the discrete-event accounting path (see event.go):
+	// energies, predictions and event counters are bit-identical to the
+	// stepped accounting, but its cost scales with spike count instead of
+	// timesteps x mapped inputs, and Counters.Cycles/Latency come from a
+	// pipelined (Fig 7a) event simulation instead of serially summing every
+	// stage. Not to be confused with EventDriven, which is the paper's §3.2
+	// zero-check gating (a property of the modeled hardware, not of the
+	// simulator).
+	EventEngine bool
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -122,8 +132,22 @@ type Report struct {
 	// BusCycles is the portion of Cycles spent on the shared global bus;
 	// bus phases of different stages cannot overlap.
 	BusCycles int
-	// Breakdown splits the total cycles by pipeline phase.
+	// Breakdown splits the total cycles by pipeline phase. Under the event
+	// engine the phases still sum the per-stage durations (identical to the
+	// stepped path), while Counts.Cycles is the smaller pipelined makespan —
+	// the difference is the overlap the pipeline wins.
 	Breakdown CycleBreakdown
+	// LayerSpikes counts output spikes per (local) layer over the run — the
+	// sparsity record behind perf.Result's occupancy stats.
+	LayerSpikes []int
+	// Stages holds the per-(timestep, layer) stage durations recorded by the
+	// event engine (nil under stepped accounting), indexed [step][local
+	// layer]. internal/shard feeds the concatenated grids of its shards to
+	// one global pipeline simulation.
+	Stages [][]StageDur
+	// BusWait is the total cycles stages spent queued for the shared global
+	// bus in the pipelined event simulation (zero under stepped accounting).
+	BusWait int64
 	// TraceError records the first trace-write failure, if tracing was
 	// enabled (the simulation itself is unaffected).
 	TraceError error
@@ -167,6 +191,11 @@ type Chip struct {
 	// faults holds the installed fault campaign (see faults.go); atomic so
 	// the serving layer can inject/clear while classifications are running.
 	faults atomic.Pointer[faultState]
+	// plans caches the event-engine layer plans (see event.go), built once
+	// on first use; fault campaigns never mutate the mapping, so the cache
+	// holds for the chip's lifetime.
+	plansOnce sync.Once
+	plans     []layerPlan
 }
 
 // New validates and prepares a chip for the mapped network.
@@ -229,20 +258,32 @@ type observer struct {
 	cnt         Counters
 	layerE      []perf.RESPARCEnergy // per local layer
 	layerCycles []int                // per local layer
+	layerSpikes []int                // per local layer
 	busCycles   int
 	breakdown   CycleBreakdown
 	scratch     [][]int32 // per local layer: active-MCA count per group
 	traceErr    error
+	// ev, when non-nil, selects the event-engine accounting path (event.go).
+	ev *eventState
 }
 
 func newObserver(c *Chip, lo, hi int) observer {
+	return newObserverOpt(c, lo, hi, false)
+}
+
+func newObserverOpt(c *Chip, lo, hi int, eventEngine bool) observer {
 	n := hi - lo
-	return observer{
+	o := observer{
 		chip: c, lo: lo, hi: hi,
 		layerE:      make([]perf.RESPARCEnergy, n),
 		layerCycles: make([]int, n),
+		layerSpikes: make([]int, n),
 		scratch:     make([][]int32, n),
 	}
+	if eventEngine {
+		o.ev = newEventState(c, lo, hi)
+	}
+	return o
 }
 
 func (o *observer) groupScratch(j, groups int) []int32 {
@@ -262,15 +303,25 @@ func (o *observer) reset() {
 	for i := range o.layerCycles {
 		o.layerCycles[i] = 0
 	}
+	for i := range o.layerSpikes {
+		o.layerSpikes[i] = 0
+	}
 	o.busCycles = 0
 	o.breakdown = CycleBreakdown{}
 	o.traceErr = nil
+	if o.ev != nil {
+		o.ev.reset()
+	}
 }
 
 // ObserveStep implements snn.Observer: it charges one timestep's events.
 // layers holds the spike vectors of the observed range only (local indices);
 // input is the spike vector feeding the range's first layer.
 func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bits) {
+	if o.ev != nil {
+		o.observeEvent(step, input, layers)
+		return
+	}
 	c := o.chip
 	p := c.Opt.Params
 	w := c.Opt.PacketWidth
@@ -419,6 +470,7 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 		out := layers[j]
 		spikes := out.Count()
 		o.cnt.Spikes += spikes
+		o.layerSpikes[j] += spikes
 		le.Neuron += float64(spikes) * p.NeuronSpike
 		// Every spike is handled by the peripherals: oBUFF write, tBUFF
 		// target lookup, packet assembly.
@@ -438,34 +490,53 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 
 		// Optional trace: per-(step, layer) deltas.
 		if c.Opt.Trace != nil {
-			dc := o.cnt
-			de := le.Total() - prevE.Total()
-			err := c.Opt.Trace.Write(trace.Event{
-				Step: step, Layer: gi, Name: lm.Layer.Name,
-				InputSpikes:  cur.Count(),
-				OutputSpikes: out.Count(),
-				Packets:      dc.PacketsDelivered - prevCnt.PacketsDelivered,
-				Suppressed:   dc.PacketsSuppressed - prevCnt.PacketsSuppressed,
-				BusWords:     dc.BusWords - prevCnt.BusWords,
-				Activations:  dc.MCAActivations - prevCnt.MCAActivations,
-				RowsDriven:   dc.RowsDriven - prevCnt.RowsDriven,
-				EnergyJ:      de,
-			})
-			if err != nil && o.traceErr == nil {
-				o.traceErr = err
-			}
+			o.writeTrace(step, gi, cur, out, prevCnt, prevE)
 		}
 		cur = out
 	}
 }
 
-// report reduces the accumulated accounting to a result/report pair.
+// writeTrace emits one per-(step, layer) trace event from the accounting
+// deltas since the snapshot; shared by the stepped and event paths.
+func (o *observer) writeTrace(step, gi int, cur, out *bitvec.Bits, prevCnt Counters, prevE perf.RESPARCEnergy) {
+	c := o.chip
+	lm := &c.Map.Layers[gi]
+	le := &o.layerE[gi-o.lo]
+	dc := o.cnt
+	de := le.Total() - prevE.Total()
+	err := c.Opt.Trace.Write(trace.Event{
+		Step: step, Layer: gi, Name: lm.Layer.Name,
+		InputSpikes:  cur.Count(),
+		OutputSpikes: out.Count(),
+		Packets:      dc.PacketsDelivered - prevCnt.PacketsDelivered,
+		Suppressed:   dc.PacketsSuppressed - prevCnt.PacketsSuppressed,
+		BusWords:     dc.BusWords - prevCnt.BusWords,
+		Activations:  dc.MCAActivations - prevCnt.MCAActivations,
+		RowsDriven:   dc.RowsDriven - prevCnt.RowsDriven,
+		EnergyJ:      de,
+	})
+	if err != nil && o.traceErr == nil {
+		o.traceErr = err
+	}
+}
+
+// report reduces the accumulated accounting to a result/report pair. Under
+// the event engine, Cycles/Latency are the pipelined makespan from the
+// discrete-event simulation of the recorded stage grid; everything else is
+// bit-identical to the stepped accounting.
 func (o *observer) report(predicted, steps int) (perf.Result, Report) {
 	e := perf.SumRESPARC(o.layerE)
+	var stages [][]StageDur
+	var busWait int64
+	if o.ev != nil {
+		stages = o.ev.stages[:o.ev.nsteps]
+		o.cnt.Cycles = int(PipelineMakespan(stages, &busWait))
+	}
 	lat := float64(o.cnt.Cycles) * o.chip.Opt.Params.NCCycle()
 	rep := Report{
 		Energy: e, Latency: lat, Counts: o.cnt, Predicted: predicted,
 		LayerCycles: o.layerCycles, LayerEnergies: o.layerE,
+		LayerSpikes: o.layerSpikes, Stages: stages, BusWait: busWait,
 		BusCycles: o.busCycles, Breakdown: o.breakdown, TraceError: o.traceErr,
 	}
 	res := perf.Result{
@@ -475,7 +546,26 @@ func (o *observer) report(predicted, steps int) (perf.Result, Report) {
 		Latency: lat,
 		Steps:   steps,
 	}
+	res.SpikesPerStep, res.LayerOccupancy = o.sparsity(steps)
 	return res, rep
+}
+
+// sparsity reduces the per-layer spike counts to the perf.Result stats:
+// average output spikes per timestep over the observed range, and each
+// layer's occupancy (fraction of its neurons spiking per timestep).
+func (o *observer) sparsity(steps int) (float64, []float64) {
+	if steps <= 0 {
+		return 0, nil
+	}
+	total := 0
+	occ := make([]float64, o.hi-o.lo)
+	for j := range o.layerSpikes {
+		total += o.layerSpikes[j]
+		if n := o.chip.Net.Layers[o.lo+j].OutSize(); n > 0 {
+			occ[j] = float64(o.layerSpikes[j]) / (float64(steps) * float64(n))
+		}
+	}
+	return float64(total) / float64(steps), occ
 }
 
 // Accountant charges the chip's event/energy accounting for a contiguous
@@ -489,12 +579,20 @@ type Accountant struct {
 	obs observer
 }
 
-// NewAccountant returns an accountant for global layers [lo, hi).
+// NewAccountant returns an accountant for global layers [lo, hi), using the
+// chip's configured accounting path (Options.EventEngine).
 func (c *Chip) NewAccountant(lo, hi int) (*Accountant, error) {
+	return c.NewAccountantOpt(lo, hi, c.Opt.EventEngine)
+}
+
+// NewAccountantOpt is NewAccountant with an explicit accounting-path choice,
+// so callers honoring a per-call sim.Options.EventEngine override (the shard
+// executor) can select the event engine on a chip configured without it.
+func (c *Chip) NewAccountantOpt(lo, hi int, eventEngine bool) (*Accountant, error) {
 	if lo < 0 || hi > len(c.Net.Layers) || lo >= hi {
 		return nil, fmt.Errorf("core: accountant range [%d,%d) of %d layers", lo, hi, len(c.Net.Layers))
 	}
-	return &Accountant{obs: newObserver(c, lo, hi)}, nil
+	return &Accountant{obs: newObserverOpt(c, lo, hi, eventEngine)}, nil
 }
 
 // ObserveStep implements snn.Observer; layers holds the range's spike
@@ -514,13 +612,21 @@ func (a *Accountant) Report(predicted, steps int) (perf.Result, Report) {
 	res, rep := a.obs.report(predicted, steps)
 	rep.LayerCycles = append([]int(nil), rep.LayerCycles...)
 	rep.LayerEnergies = append([]perf.RESPARCEnergy(nil), rep.LayerEnergies...)
+	rep.LayerSpikes = append([]int(nil), rep.LayerSpikes...)
+	if rep.Stages != nil {
+		st := make([][]StageDur, len(rep.Stages))
+		for i, row := range rep.Stages {
+			st[i] = append([]StageDur(nil), row...)
+		}
+		rep.Stages = st
+	}
 	return res, rep
 }
 
 // classifyOne runs one classification on a caller-owned state (reused
 // across a worker's batch share) under the given per-call options.
 func (c *Chip) classifyOne(st *snn.State, intensity tensor.Vec, enc snn.Encoder, opt sim.Options) (perf.Result, Report, int) {
-	obs := newObserver(c, 0, len(c.Net.Layers))
+	obs := newObserverOpt(c, 0, len(c.Net.Layers), c.Opt.EventEngine || opt.EventEngine)
 	if opt.EarlyExit {
 		steps, predicted := sim.EarlyExitRun(st, intensity, enc, c.Opt.Steps, &obs)
 		res, rep := obs.report(predicted, steps)
@@ -550,7 +656,7 @@ func (c *Chip) classifyGroup(bst *snn.BatchState, inputs []tensor.Vec, encs []sn
 	obs := make([]snn.Observer, nb)
 	cobs := make([]*observer, nb)
 	for i := range obs {
-		o := newObserver(c, 0, len(c.Net.Layers))
+		o := newObserverOpt(c, 0, len(c.Net.Layers), c.Opt.EventEngine || opt.EventEngine)
 		cobs[i] = &o
 		obs[i] = &o
 	}
@@ -643,13 +749,18 @@ func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 		total.Latency += rep.Latency
 		total.Counts = addCounters(total.Counts, rep.Counts)
 		total.BusCycles += rep.BusCycles
+		total.BusWait += rep.BusWait
 		total.Breakdown = addBreakdown(total.Breakdown, rep.Breakdown)
 		if total.LayerCycles == nil {
 			total.LayerCycles = make([]int, len(rep.LayerCycles))
 			total.LayerEnergies = make([]perf.RESPARCEnergy, len(rep.LayerEnergies))
+			total.LayerSpikes = make([]int, len(rep.LayerSpikes))
 		}
 		for li, cyc := range rep.LayerCycles {
 			total.LayerCycles[li] += cyc
+		}
+		for li, sp := range rep.LayerSpikes {
+			total.LayerSpikes[li] += sp
 		}
 		for li, le := range rep.LayerEnergies {
 			total.LayerEnergies[li].Neuron += le.Neuron
@@ -668,9 +779,11 @@ func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 		Latency:       total.Latency / n,
 		Counts:        total.Counts,
 		BusCycles:     total.BusCycles,
+		BusWait:       total.BusWait,
 		Breakdown:     total.Breakdown,
 		LayerCycles:   total.LayerCycles,
 		LayerEnergies: total.LayerEnergies,
+		LayerSpikes:   total.LayerSpikes,
 		Predicted:     -1,
 	}
 	res := perf.Result{
@@ -680,7 +793,25 @@ func (c *Chip) reduceReports(reps []Report) (perf.Result, Report) {
 		Latency: avg.Latency,
 		Steps:   c.Opt.Steps,
 	}
+	res.SpikesPerStep, res.LayerOccupancy = batchSparsity(c, total.LayerSpikes, len(reps), c.Opt.Steps)
 	return res, avg
+}
+
+// batchSparsity reduces batch-summed per-layer spike counts to the per-image
+// average sparsity stats.
+func batchSparsity(c *Chip, layerSpikes []int, images, steps int) (float64, []float64) {
+	if images <= 0 || steps <= 0 {
+		return 0, nil
+	}
+	total := 0
+	occ := make([]float64, len(layerSpikes))
+	for li, sp := range layerSpikes {
+		total += sp
+		if n := c.Net.Layers[li].OutSize(); n > 0 {
+			occ[li] = float64(sp) / (float64(images) * float64(steps) * float64(n))
+		}
+	}
+	return float64(total) / (float64(images) * float64(steps)), occ
 }
 
 // wordOccupancy returns, per width-bit aligned word of the spike vector,

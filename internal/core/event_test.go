@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"resparc/internal/sim"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// classifyBoth runs the same (network, input, encoder seed) through the
+// stepped and the event-engine accounting paths and returns both reports.
+func classifyBoth(t *testing.T, net *snn.Network, size, steps int, seed int64) (perfStepped, perfEvent Report, resStepped, resEvent tensor.Vec) {
+	t.Helper()
+	m := mapped(t, net, size)
+	opt := DefaultOptions()
+	opt.Steps = steps
+
+	intensity := tensor.NewVec(net.Input.Size())
+	rng := rand.New(rand.NewSource(seed))
+	for i := range intensity {
+		intensity[i] = rng.Float64()
+	}
+
+	chipS, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, repS := chipS.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, seed))
+
+	opt.EventEngine = true
+	chipE, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, repE := chipE.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, seed))
+
+	return repS, repE, tensor.Vec{rs.Energy, float64(rs.Steps)}, tensor.Vec{re.Energy, float64(re.Steps)}
+}
+
+// TestEventSteppedBitIdentical is the tentpole invariant: the event-engine
+// accounting path must reproduce the stepped observer's predictions,
+// energies and event counters bit for bit — only Cycles (and the latency
+// derived from it) may differ, and only downward (pipelining overlaps
+// stages; it never adds work).
+func TestEventSteppedBitIdentical(t *testing.T) {
+	nets := map[string]*snn.Network{"mlp": smallMLP(t, 1), "cnn": smallCNN(t, 2)}
+	for name, net := range nets {
+		for _, size := range []int{8, 16, 64} {
+			repS, repE, resS, resE := classifyBoth(t, net, size, 25, 7)
+			if repS.Predicted != repE.Predicted {
+				t.Fatalf("%s/%d: predicted %d (stepped) vs %d (event)", name, size, repS.Predicted, repE.Predicted)
+			}
+			if repS.Energy != repE.Energy {
+				t.Fatalf("%s/%d: energy %+v vs %+v not bit-identical", name, size, repS.Energy, repE.Energy)
+			}
+			if !reflect.DeepEqual(repS.LayerEnergies, repE.LayerEnergies) {
+				t.Fatalf("%s/%d: per-layer energies diverged", name, size)
+			}
+			if !reflect.DeepEqual(resS, resE) {
+				t.Fatalf("%s/%d: result energy/steps diverged: %v vs %v", name, size, resS, resE)
+			}
+			// Counters: everything but Cycles must match exactly.
+			cs, ce := repS.Counts, repE.Counts
+			cs.Cycles, ce.Cycles = 0, 0
+			if cs != ce {
+				t.Fatalf("%s/%d: counters diverged (beyond Cycles): %+v vs %+v", name, size, cs, ce)
+			}
+			if !reflect.DeepEqual(repS.LayerCycles, repE.LayerCycles) {
+				t.Fatalf("%s/%d: per-layer cycle sums diverged: %v vs %v", name, size, repS.LayerCycles, repE.LayerCycles)
+			}
+			if repS.BusCycles != repE.BusCycles || repS.Breakdown != repE.Breakdown {
+				t.Fatalf("%s/%d: phase sums diverged: bus %d vs %d, breakdown %+v vs %+v",
+					name, size, repS.BusCycles, repE.BusCycles, repS.Breakdown, repE.Breakdown)
+			}
+			if !reflect.DeepEqual(repS.LayerSpikes, repE.LayerSpikes) {
+				t.Fatalf("%s/%d: spike counts diverged: %v vs %v", name, size, repS.LayerSpikes, repE.LayerSpikes)
+			}
+			// The pipelined makespan must beat (or match) the serial sum and
+			// respect its structural lower bounds.
+			if repE.Counts.Cycles > repS.Counts.Cycles {
+				t.Fatalf("%s/%d: event cycles %d exceed stepped %d", name, size, repE.Counts.Cycles, repS.Counts.Cycles)
+			}
+			lower := repE.BusCycles
+			for _, lc := range repE.LayerCycles {
+				if lc > lower {
+					lower = lc
+				}
+			}
+			if repE.Counts.Cycles < lower {
+				t.Fatalf("%s/%d: event cycles %d below structural bound %d", name, size, repE.Counts.Cycles, lower)
+			}
+			if repE.Stages == nil || repS.Stages != nil {
+				t.Fatalf("%s/%d: stage grids: event nil=%v stepped nil=%v", name, size, repE.Stages == nil, repS.Stages == nil)
+			}
+		}
+	}
+}
+
+// TestEventEngineViaOptions: the per-call sim.Options toggle selects the
+// event path on a chip constructed without it, and the batch runners return
+// the same pipelined cycles as the serial path.
+func TestEventEngineViaOptions(t *testing.T) {
+	net := smallMLP(t, 4)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 20
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]tensor.Vec, 6)
+	rng := rand.New(rand.NewSource(9))
+	for i := range inputs {
+		inputs[i] = tensor.NewVec(net.Input.Size())
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()
+		}
+	}
+	factory := func(i int) snn.Encoder { return snn.NewPoissonEncoder(0.8, int64(i)) }
+
+	ref, refReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		got, gotReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: workers, EventEngine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range inputs {
+			rd := refReps[i].Detail.(Report)
+			gd := gotReps[i].Detail.(Report)
+			if gotReps[i].Predicted != refReps[i].Predicted || gd.Energy != rd.Energy {
+				t.Fatalf("workers=%d image %d: prediction/energy diverged from stepped", workers, i)
+			}
+			if gd.Counts.Cycles > rd.Counts.Cycles {
+				t.Fatalf("workers=%d image %d: event cycles %d exceed stepped %d",
+					workers, i, gd.Counts.Cycles, rd.Counts.Cycles)
+			}
+			if got[i].Latency > ref[i].Latency {
+				t.Fatalf("workers=%d image %d: event latency above stepped", workers, i)
+			}
+			if got[i].SpikesPerStep <= 0 || len(got[i].LayerOccupancy) != len(net.Layers) {
+				t.Fatalf("workers=%d image %d: sparsity stats missing: %+v", workers, i, got[i])
+			}
+		}
+	}
+	// Determinism across repeated event-mode runs.
+	a, aReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: 2, EventEngine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bReps, err := chip.ClassifyEach(inputs, factory, sim.Options{Workers: 4, EventEngine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if !reflect.DeepEqual(a[i], b[i]) || aReps[i].Predicted != bReps[i].Predicted {
+			t.Fatalf("image %d: event-mode results vary across worker counts", i)
+		}
+	}
+}
+
+// TestSparsityStats: the stepped path records the same spike-sparsity stats
+// as the event path, and they are internally consistent.
+func TestSparsityStats(t *testing.T) {
+	net := smallMLP(t, 5)
+	m := mapped(t, net, 16)
+	opt := DefaultOptions()
+	opt.Steps = 30
+	chip, err := New(net, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensity := tensor.NewVec(net.Input.Size())
+	rng := rand.New(rand.NewSource(6))
+	for i := range intensity {
+		intensity[i] = rng.Float64()
+	}
+	res, rep := chip.ClassifyDetailed(intensity, snn.NewPoissonEncoder(0.8, 2))
+	var spikes int
+	for _, s := range rep.LayerSpikes {
+		spikes += s
+	}
+	want := float64(spikes) / float64(opt.Steps)
+	if res.SpikesPerStep != want {
+		t.Fatalf("SpikesPerStep = %v, want %v", res.SpikesPerStep, want)
+	}
+	if len(res.LayerOccupancy) != len(net.Layers) {
+		t.Fatalf("LayerOccupancy has %d entries, want %d", len(res.LayerOccupancy), len(net.Layers))
+	}
+	for j, occ := range res.LayerOccupancy {
+		wantOcc := float64(rep.LayerSpikes[j]) / float64(opt.Steps*net.Layers[j].OutSize())
+		if occ != wantOcc {
+			t.Fatalf("layer %d occupancy = %v, want %v", j, occ, wantOcc)
+		}
+		if occ < 0 || occ > 1 {
+			t.Fatalf("layer %d occupancy %v out of [0,1]", j, occ)
+		}
+	}
+}

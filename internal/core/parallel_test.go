@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"resparc/internal/sim"
@@ -187,7 +188,7 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range inputs {
-		if one[i] != many[i] {
+		if !reflect.DeepEqual(one[i], many[i]) {
 			t.Fatalf("image %d result diverged across worker counts: %+v vs %+v", i, one[i], many[i])
 		}
 		oneDet := oneReps[i].Detail.(Report)
@@ -197,7 +198,7 @@ func TestClassifyEachMatchesSerialReference(t *testing.T) {
 		}
 		// Serial single-image reference, bit for bit.
 		refRes, refRep := chip.Classify(inputs[i], factory(i))
-		if one[i] != refRes || oneReps[i].Predicted != refRep.Predicted {
+		if !reflect.DeepEqual(one[i], refRes) || oneReps[i].Predicted != refRep.Predicted {
 			t.Fatalf("image %d diverged from Classify: %+v vs %+v", i, one[i], refRes)
 		}
 	}
@@ -239,7 +240,7 @@ func TestClassifyEachBatchMajorEquivalence(t *testing.T) {
 						t.Fatal(err)
 					}
 					for i := range inputs {
-						if got[i] != ref[i] {
+						if !reflect.DeepEqual(got[i], ref[i]) {
 							t.Fatalf("batch=%d workers=%d image %d: result %+v, want %+v",
 								batch, workers, i, got[i], ref[i])
 						}
@@ -265,7 +266,7 @@ func TestClassifyEachBatchMajorEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range inputs {
-				if st[i] != ref[i] {
+				if !reflect.DeepEqual(st[i], ref[i]) {
 					t.Fatalf("stepped+batch image %d diverged", i)
 				}
 			}

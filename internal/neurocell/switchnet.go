@@ -38,12 +38,13 @@ type flit struct {
 
 // SwitchStats summarizes one traffic simulation.
 type SwitchStats struct {
-	Cycles    int   // cycles until every packet was delivered
-	Delivered int   // packets delivered
-	Dropped   int   // packets lost to dead switches
-	Hops      int   // total switch-to-switch + switch-to-mPE hops
-	MaxQueue  int   // deepest input queue observed
-	Forwards  []int // per-switch forward counts (load balance)
+	Cycles     int   // cycles until every packet was delivered
+	Delivered  int   // packets delivered
+	Dropped    int   // packets lost to dead switches
+	Hops       int   // total switch-to-switch + switch-to-mPE hops
+	MaxQueue   int   // deepest input queue observed
+	WaitCycles int   // cycles heads spent blocked on full downstream FIFOs (event engine only)
+	Forwards   []int // per-switch forward counts (load balance)
 }
 
 // Transfer is one spike-packet movement between two mPEs of the NeuroCell
@@ -145,9 +146,22 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 		n.queues[src] = append(n.queues[src], flit{dst: int(dec.SW), dstMPE: int(dec.MPE)})
 	}
 	pending := len(transfers) - n.stats.Dropped
+	return n.drain(pending, 64*len(transfers)+64)
+}
+
+// drain runs the snapshot-heads loop over the pre-filled queues until the
+// pending flits are delivered or dropped. It detects stalls two ways: a
+// cycle in which no switch forwarded anything while flits remain pending
+// (a hard deadlock — e.g. work queued behind a dead switch, whose decoder
+// never forwards), and a watchdog bound on total cycles (a livelock
+// backstop). Both return a *DeadlockError naming the stuck switches, with
+// the partial stats accumulated so far.
+func (n *SwitchNet) drain(pending, watchdog int) (SwitchStats, error) {
 	for cycle := 0; pending > 0; cycle++ {
-		if cycle > 64*len(transfers)+64 {
-			return SwitchStats{}, fmt.Errorf("neurocell: switch simulation did not converge")
+		if cycle > watchdog {
+			return n.stats, &DeadlockError{
+				Cycle: int64(cycle), Pending: pending, Stuck: n.stuckSwitches(),
+			}
 		}
 		n.stats.Cycles = cycle + 1
 		// Snapshot heads; each switch forwards one flit per cycle.
@@ -157,7 +171,15 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 			done bool
 		}
 		var moves []move
+		progressed := false
 		for s := range n.queues {
+			if n.switchDead(s) {
+				// A dead switch's decoder forwards nothing; flits queued
+				// there (only reachable by direct queue manipulation — the
+				// injection and routing paths drop before enqueueing) stay
+				// put until the stall detector below fires.
+				continue
+			}
 			if len(n.queues[s]) > n.stats.MaxQueue {
 				n.stats.MaxQueue = len(n.queues[s])
 			}
@@ -168,6 +190,7 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 			n.queues[s] = n.queues[s][1:]
 			n.stats.Forwards[s]++
 			n.stats.Hops++
+			progressed = true
 			if f.dst == s {
 				// Egress to the destination mPE.
 				moves = append(moves, move{done: true})
@@ -183,6 +206,11 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 			}
 			moves = append(moves, move{to: next, f: f})
 		}
+		if !progressed {
+			return n.stats, &DeadlockError{
+				Cycle: int64(cycle), Pending: pending, Stuck: n.stuckSwitches(),
+			}
+		}
 		for _, m := range moves {
 			if m.done {
 				n.stats.Delivered++
@@ -193,6 +221,17 @@ func (n *SwitchNet) Simulate(transfers []Transfer) (SwitchStats, error) {
 		}
 	}
 	return n.stats, nil
+}
+
+// stuckSwitches lists the switches still holding flits.
+func (n *SwitchNet) stuckSwitches() []int {
+	var stuck []int
+	for s := range n.queues {
+		if len(n.queues[s]) > 0 {
+			stuck = append(stuck, s)
+		}
+	}
+	return stuck
 }
 
 // IdealCycles is the contention-free bound the architecture model uses:

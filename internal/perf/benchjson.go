@@ -14,9 +14,10 @@ import (
 // BenchSchemaVersion is the current BENCH_RESULTS.json schema. Version 2
 // added the schema_version and git_revision stamps; version 3 added the
 // fleet serving fields (latency quantiles, SLO attainment, shed/error
-// counts); version 1 documents (no schema_version field) decode as
-// version 1.
-const BenchSchemaVersion = 3
+// counts); version 4 added the event-engine fields (modeled cycles, queuing
+// waits, spike sparsity); version 1 documents (no schema_version field)
+// decode as version 1.
+const BenchSchemaVersion = 4
 
 // BenchEntry is one benchmark measurement in machine-readable form — the
 // unit of BENCH_RESULTS.json, which tracks the repo's performance
@@ -44,6 +45,16 @@ type BenchEntry struct {
 	SLOAttainment float64 `json:"slo_attainment,omitempty"`
 	Shed          int64   `json:"shed,omitempty"`
 	Errors        int64   `json:"errors,omitempty"`
+
+	// Event-engine fields (schema v4), written by -fig event. ModelCycles is
+	// the modeled cycle count (pipeline makespan, or NoC delivery span for
+	// event/noc rows), WaitCycles the queuing it contains (bus/link/fabric
+	// backpressure), and SpikesPerStep the average output-spike count per
+	// timestep — the sparsity that makes event-driven simulation pay. All are
+	// modeled quantities: the same seed reproduces them bit-identically.
+	ModelCycles   int64   `json:"model_cycles,omitempty"`
+	WaitCycles    int64   `json:"wait_cycles,omitempty"`
+	SpikesPerStep float64 `json:"spikes_per_step,omitempty"`
 }
 
 // IsFleet reports whether the entry is a fleet serving row (carries an SLO

@@ -53,6 +53,14 @@ type Result struct {
 	Energy  float64 `json:"energy_j"`  // joules per classification
 	Latency float64 `json:"latency_s"` // seconds per classification
 	Steps   int     `json:"steps"`     // SNN timesteps simulated
+
+	// Spike-sparsity stats (RESPARC simulations only; zero for backends
+	// that don't record them). They document why event-driven simulation
+	// and the §3.2 zero-check win: most neurons are silent most timesteps.
+	SpikesPerStep float64 `json:"spikes_per_step,omitempty"` // avg output spikes per timestep, all layers
+	// LayerOccupancy is each layer's average fraction of neurons spiking
+	// per timestep, in layer order.
+	LayerOccupancy []float64 `json:"layer_occupancy,omitempty"`
 }
 
 // Throughput returns classifications per second.

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -263,7 +264,7 @@ func TestSameRequestSameAnswer(t *testing.T) {
 	}
 	_, again, _ := postClassify(t, ts.URL, req)
 	wg.Wait()
-	if first.Prediction != again.Prediction || first.Perf != again.Perf {
+	if first.Prediction != again.Prediction || !reflect.DeepEqual(first.Perf, again.Perf) {
 		t.Fatalf("same request diverged: %+v vs %+v", first, again)
 	}
 }
@@ -448,7 +449,7 @@ func TestSimBatchMatchesPerImage(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range inputs {
-				if got[i] != ref[i] || preds[i] != refPreds[i] {
+				if !reflect.DeepEqual(got[i], ref[i]) || preds[i] != refPreds[i] {
 					t.Fatalf("%s batch=%d request %d: %+v pred %d, want %+v pred %d",
 						backend, batch, i, got[i], preds[i], ref[i], refPreds[i])
 				}

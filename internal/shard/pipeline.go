@@ -14,10 +14,11 @@ import (
 
 // token is one in-flight image moving down the shard pipeline.
 type token struct {
-	idx    int
-	raster []*bitvec.Bits // boundary spikes feeding the next stage
-	parts  []core.Report  // per-shard accounting, filled stage by stage
-	hops   []LinkStats    // per-boundary link accounting
+	idx      int
+	raster   []*bitvec.Bits // boundary spikes feeding the next stage
+	parts    []core.Report  // per-shard accounting, filled stage by stage
+	hops     []LinkStats    // per-boundary link accounting
+	hopSteps [][]int64      // per-boundary per-timestep cycles (event engine)
 }
 
 // ClassifyEach implements sim.Backend with pipeline parallelism: one
@@ -56,6 +57,7 @@ func (m *Multi) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt si
 		return m.classifyEachGrouped(inputs, enc, opt)
 	}
 	S := len(m.ranges)
+	evt := m.chip.Opt.EventEngine || opt.EventEngine
 	ress := make([]perf.Result, len(inputs))
 	reps := make([]sim.Report, len(inputs))
 	// chans[s] connects stage s to stage s+1; small buffers decouple stage
@@ -70,7 +72,7 @@ func (m *Multi) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt si
 		go func(s int) {
 			defer wg.Done()
 			st := snn.NewState(m.subnets[s])
-			acct, err := m.chip.NewAccountant(m.ranges[s].Lo, m.ranges[s].Hi)
+			acct, err := m.chip.NewAccountantOpt(m.ranges[s].Lo, m.ranges[s].Hi, evt)
 			if err != nil {
 				panic("shard: " + err.Error()) // ranges are validated at New
 			}
@@ -88,17 +90,18 @@ func (m *Multi) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt si
 				rep, run := m.runStage(s, st, acct, intensity, e, tok.raster, out, opt)
 				tok.parts[s] = rep
 				if s < S-1 {
-					tok.hops[s] = m.linkCost(out)
+					tok.hops[s], tok.hopSteps[s] = m.linkCost(out, evt)
 					tok.raster = out
 					chans[s] <- tok
 				} else {
 					tok.raster = nil
-					ress[tok.idx], reps[tok.idx] = m.finish(tok.parts, tok.hops, run.Prediction)
+					ress[tok.idx], reps[tok.idx] = m.finish(tok.parts, tok.hops, tok.hopSteps, run.Prediction)
 				}
 			}
 			if s == 0 {
 				for idx := range inputs {
-					process(&token{idx: idx, parts: make([]core.Report, S), hops: make([]LinkStats, S-1)})
+					process(&token{idx: idx, parts: make([]core.Report, S),
+						hops: make([]LinkStats, S-1), hopSteps: make([][]int64, S-1)})
 				}
 			} else {
 				for tok := range chans[s-1] {
@@ -117,10 +120,11 @@ func (m *Multi) ClassifyEach(inputs []tensor.Vec, enc sim.EncoderFactory, opt si
 // groupToken is one in-flight group of images moving down the batch-major
 // shard pipeline.
 type groupToken struct {
-	lo, n   int
-	rasters [][]*bitvec.Bits // per image: boundary spikes feeding the next stage
-	parts   [][]core.Report  // per image, per shard
-	hops    [][]LinkStats    // per image, per boundary link
+	lo, n    int
+	rasters  [][]*bitvec.Bits // per image: boundary spikes feeding the next stage
+	parts    [][]core.Report  // per image, per shard
+	hops     [][]LinkStats    // per image, per boundary link
+	hopSteps [][][]int64      // per image, per boundary per-timestep cycles
 }
 
 // classifyEachGrouped is the batch-major pipeline: tokens carry contiguous
@@ -132,6 +136,7 @@ type groupToken struct {
 // accounting are bit-identical to the per-image pipeline for any group size.
 func (m *Multi) classifyEachGrouped(inputs []tensor.Vec, enc sim.EncoderFactory, opt sim.Options) ([]perf.Result, []sim.Report, error) {
 	S := len(m.ranges)
+	evt := m.chip.Opt.EventEngine || opt.EventEngine
 	gb := opt.Batch
 	if gb > len(inputs) {
 		gb = len(inputs)
@@ -150,7 +155,7 @@ func (m *Multi) classifyEachGrouped(inputs []tensor.Vec, enc sim.EncoderFactory,
 			bst := snn.NewBatchState(m.subnets[s], gb)
 			accts := make([]*core.Accountant, gb)
 			for i := range accts {
-				a, err := m.chip.NewAccountant(m.ranges[s].Lo, m.ranges[s].Hi)
+				a, err := m.chip.NewAccountantOpt(m.ranges[s].Lo, m.ranges[s].Hi, evt)
 				if err != nil {
 					panic("shard: " + err.Error()) // ranges are validated at New
 				}
@@ -190,9 +195,9 @@ func (m *Multi) classifyEachGrouped(inputs []tensor.Vec, enc sim.EncoderFactory,
 					_, rep := accts[i].Report(runs[i].Prediction, steps)
 					tok.parts[i][s] = rep
 					if s < S-1 {
-						tok.hops[i][s] = m.linkCost(outs[i])
+						tok.hops[i][s], tok.hopSteps[i][s] = m.linkCost(outs[i], evt)
 					} else {
-						ress[tok.lo+i], reps[tok.lo+i] = m.finish(tok.parts[i], tok.hops[i], runs[i].Prediction)
+						ress[tok.lo+i], reps[tok.lo+i] = m.finish(tok.parts[i], tok.hops[i], tok.hopSteps[i], runs[i].Prediction)
 					}
 				}
 				if s < S-1 {
@@ -206,11 +211,12 @@ func (m *Multi) classifyEachGrouped(inputs []tensor.Vec, enc sim.EncoderFactory,
 					if len(inputs)-lo < n {
 						n = len(inputs) - lo
 					}
-					tok := &groupToken{lo: lo, n: n,
-						parts: make([][]core.Report, n), hops: make([][]LinkStats, n)}
+					tok := &groupToken{lo: lo, n: n, parts: make([][]core.Report, n),
+						hops: make([][]LinkStats, n), hopSteps: make([][][]int64, n)}
 					for i := 0; i < n; i++ {
 						tok.parts[i] = make([]core.Report, S)
 						tok.hops[i] = make([]LinkStats, S-1)
+						tok.hopSteps[i] = make([][]int64, S-1)
 					}
 					process(tok)
 				}
@@ -255,12 +261,17 @@ func (m *Multi) ClassifyBatch(inputs []tensor.Vec, enc sim.EncoderFactory, opt s
 		total.Counts = addCounters(total.Counts, d.Chip.Counts)
 		total.BusCycles += d.Chip.BusCycles
 		total.Breakdown = addBreakdown(total.Breakdown, d.Chip.Breakdown)
+		total.BusWait += d.Chip.BusWait
 		if total.LayerCycles == nil {
 			total.LayerCycles = make([]int, len(d.Chip.LayerCycles))
 			total.LayerEnergies = make([]perf.RESPARCEnergy, len(d.Chip.LayerEnergies))
+			total.LayerSpikes = make([]int, len(d.Chip.LayerSpikes))
 		}
 		for li, cyc := range d.Chip.LayerCycles {
 			total.LayerCycles[li] += cyc
+		}
+		for li, sp := range d.Chip.LayerSpikes {
+			total.LayerSpikes[li] += sp
 		}
 		for li, le := range d.Chip.LayerEnergies {
 			total.LayerEnergies[li].Neuron += le.Neuron
@@ -283,8 +294,10 @@ func (m *Multi) ClassifyBatch(inputs []tensor.Vec, enc sim.EncoderFactory, opt s
 		Counts:        total.Counts,
 		BusCycles:     total.BusCycles,
 		Breakdown:     total.Breakdown,
+		BusWait:       total.BusWait,
 		LayerCycles:   total.LayerCycles,
 		LayerEnergies: total.LayerEnergies,
+		LayerSpikes:   total.LayerSpikes,
 		Predicted:     -1,
 	}
 	rep := Report{
@@ -298,5 +311,6 @@ func (m *Multi) ClassifyBatch(inputs []tensor.Vec, enc sim.EncoderFactory, opt s
 		Latency: latency / n,
 		Steps:   m.chip.Opt.Steps,
 	}
+	res.SpikesPerStep, res.LayerOccupancy = m.sparsity(total.LayerSpikes, len(sreps), m.chip.Opt.Steps)
 	return res, sim.Report{Predicted: -1, Steps: m.chip.Opt.Steps, Detail: rep}, nil
 }

@@ -47,6 +47,11 @@ type LinkParams struct {
 	FlitsPerCycle int
 	// SyncCycles is the per-timestep handshake overhead of the hop.
 	SyncCycles int
+	// RecvBuf bounds the receiving pad's raster buffer (in timesteps) under
+	// the event engine: the hop holds at most RecvBuf delivered-but-unconsumed
+	// rasters, so a slow downstream shard backpressures the sender (<= 0
+	// selects one slot). Ignored by the stepped closed-form accounting.
+	RecvBuf int
 }
 
 // DefaultLinkParams derives a hop model from the chip's energy parameters:
@@ -62,6 +67,7 @@ func DefaultLinkParams(p energy.Params) LinkParams {
 		ZeroCheck:     p.ZeroCheck,
 		FlitsPerCycle: 4,
 		SyncCycles:    2,
+		RecvBuf:       2,
 	}
 }
 
@@ -72,6 +78,10 @@ type LinkStats struct {
 	FlitsSuppressed int
 	Cycles          int
 	EnergyJ         float64
+	// WaitCycles is the time rasters sat at the sender pad after being ready
+	// — channel serialization plus receive-buffer backpressure. Only the
+	// event engine models flow control; it is zero under stepped accounting.
+	WaitCycles int
 }
 
 func addLink(a, b LinkStats) LinkStats {
@@ -79,6 +89,7 @@ func addLink(a, b LinkStats) LinkStats {
 	a.FlitsSuppressed += b.FlitsSuppressed
 	a.Cycles += b.Cycles
 	a.EnergyJ += b.EnergyJ
+	a.WaitCycles += b.WaitCycles
 	return a
 }
 
@@ -280,22 +291,33 @@ func (r Report) ImagesPerSec() float64 {
 }
 
 // linkCost charges one boundary's raster (all timesteps) to the hop model.
-func (m *Multi) linkCost(raster []*bitvec.Bits) LinkStats {
+// When perStep is true (event engine) it additionally returns each
+// timestep's transfer occupancy in cycles — the hop durations the global
+// pipeline DES serializes.
+func (m *Multi) linkCost(raster []*bitvec.Bits, perStep bool) (LinkStats, []int64) {
 	lp := m.cfg.Link
 	fpc := lp.FlitsPerCycle
 	if fpc < 1 {
 		fpc = 1
 	}
 	var st LinkStats
+	var steps []int64
+	if perStep {
+		steps = make([]int64, 0, len(raster))
+	}
 	for _, bits := range raster {
 		zero, total := bits.ZeroPackets(lp.FlitWidth)
 		sent := total - zero
 		st.FlitsSent += sent
 		st.FlitsSuppressed += zero
 		st.EnergyJ += float64(total)*lp.ZeroCheck + float64(sent)*lp.FlitEnergy
-		st.Cycles += lp.SyncCycles + (sent+fpc-1)/fpc
+		cyc := lp.SyncCycles + (sent+fpc-1)/fpc
+		st.Cycles += cyc
+		if perStep {
+			steps = append(steps, int64(cyc))
+		}
 	}
-	return st
+	return st, steps
 }
 
 // newRaster allocates the boundary raster between shard s and s+1: one spike
@@ -369,10 +391,33 @@ func (m *Multi) runStage(s int, st *snn.State, acct *core.Accountant, intensity 
 // through the same perf.SumRESPARC as the single-chip observer, so Chip is
 // bit-identical to a single-chip run; the link cost rides on top of the
 // returned perf.Result.
-func (m *Multi) finish(parts []core.Report, hops []LinkStats, predicted int) (perf.Result, sim.Report) {
+//
+// Under the event engine (the parts carry stage grids) the merged Cycles and
+// Latency come from one global pipeline DES over every shard's stages plus
+// the serialized, credit-limited inter-chip hops — link time overlaps
+// computation instead of being added on top, and each hop's WaitCycles
+// records the backpressure it suffered.
+func (m *Multi) finish(parts []core.Report, hops []LinkStats, hopSteps [][]int64, predicted int) (perf.Result, sim.Report) {
 	chip := m.mergeChip(parts)
 	chip.Predicted = predicted
 	ncc := m.chip.Opt.Params.NCCycle()
+	steps := m.chip.Opt.Steps
+	linkSeconds := 0.0
+	if len(parts) > 0 && parts[len(parts)-1].Stages != nil {
+		makespan, lw, busWait := eventMakespan(parts, hopSteps, m.cfg.Link.RecvBuf)
+		for h := range lw {
+			hops[h].WaitCycles = int(lw[h])
+		}
+		chip.Counts.Cycles = int(makespan)
+		chip.BusWait = busWait
+		chip.Latency = float64(makespan) * ncc
+	} else {
+		var cyc int
+		for _, h := range hops {
+			cyc += h.Cycles
+		}
+		linkSeconds = float64(cyc) * ncc
+	}
 	var link LinkStats
 	interval := 0.0
 	for _, h := range hops {
@@ -383,7 +428,6 @@ func (m *Multi) finish(parts []core.Report, hops []LinkStats, predicted int) (pe
 			interval = s
 		}
 	}
-	linkSeconds := float64(link.Cycles) * ncc
 	for _, p := range parts {
 		if p.Latency > interval {
 			interval = p.Latency
@@ -398,9 +442,27 @@ func (m *Multi) finish(parts []core.Report, hops []LinkStats, predicted int) (pe
 		Network: m.chip.Net.Name,
 		Energy:  chip.Energy.Total() + link.EnergyJ,
 		Latency: chip.Latency + linkSeconds,
-		Steps:   m.chip.Opt.Steps,
+		Steps:   steps,
 	}
-	return res, sim.Report{Predicted: predicted, Steps: m.chip.Opt.Steps, Detail: rep}
+	res.SpikesPerStep, res.LayerOccupancy = m.sparsity(chip.LayerSpikes, 1, steps)
+	return res, sim.Report{Predicted: predicted, Steps: steps, Detail: rep}
+}
+
+// sparsity mirrors the single-chip observer's spike-sparsity reduction over
+// the merged per-layer spike counts (images > 1 averages a batch).
+func (m *Multi) sparsity(layerSpikes []int, images, steps int) (float64, []float64) {
+	if images <= 0 || steps <= 0 || len(layerSpikes) == 0 {
+		return 0, nil
+	}
+	total := 0
+	occ := make([]float64, len(layerSpikes))
+	for li, sp := range layerSpikes {
+		total += sp
+		if n := m.chip.Net.Layers[li].OutSize(); n > 0 {
+			occ[li] = float64(sp) / (float64(images) * float64(steps) * float64(n))
+		}
+	}
+	return float64(total) / (float64(images) * float64(steps)), occ
 }
 
 // mergeChip concatenates the shards' accounting slices in global layer
@@ -413,6 +475,7 @@ func (m *Multi) mergeChip(parts []core.Report) core.Report {
 		out.Breakdown = addBreakdown(out.Breakdown, p.Breakdown)
 		out.LayerCycles = append(out.LayerCycles, p.LayerCycles...)
 		out.LayerEnergies = append(out.LayerEnergies, p.LayerEnergies...)
+		out.LayerSpikes = append(out.LayerSpikes, p.LayerSpikes...)
 		if p.TraceError != nil && out.TraceError == nil {
 			out.TraceError = p.TraceError
 		}
@@ -449,8 +512,10 @@ func addBreakdown(a, b core.CycleBreakdown) core.CycleBreakdown {
 // sequence (the pipeline only pays off on a stream — see ClassifyEach).
 func (m *Multi) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, sim.Report) {
 	S := len(m.ranges)
+	evt := m.chip.Opt.EventEngine
 	parts := make([]core.Report, S)
 	hops := make([]LinkStats, S-1)
+	hopSteps := make([][]int64, S-1)
 	var run snn.RunResult
 	var in []*bitvec.Bits
 	for s := 0; s < S; s++ {
@@ -465,9 +530,9 @@ func (m *Multi) Classify(intensity tensor.Vec, enc snn.Encoder) (perf.Result, si
 		}
 		parts[s], run = m.runStage(s, st, acct, intensity, enc, in, out, sim.Options{})
 		if s < S-1 {
-			hops[s] = m.linkCost(out)
+			hops[s], hopSteps[s] = m.linkCost(out, evt)
 		}
 		in = out
 	}
-	return m.finish(parts, hops, run.Prediction)
+	return m.finish(parts, hops, hopSteps, run.Prediction)
 }

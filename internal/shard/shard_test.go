@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestPipelineMatchesSequential(t *testing.T) {
 	}
 	for i := range inputs {
 		seqRes, seqSRep := multi.Classify(inputs[i], factoryFor(9)(i))
-		if ress[i] != seqRes {
+		if !reflect.DeepEqual(ress[i], seqRes) {
 			t.Fatalf("image %d: pipeline %+v, sequential %+v", i, ress[i], seqRes)
 		}
 		seqRep := seqSRep.Detail.(Report)
@@ -323,7 +324,7 @@ func TestPipelineBatchMajorMatchesPerImage(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range inputs {
-			if got[i] != ress[i] {
+			if !reflect.DeepEqual(got[i], ress[i]) {
 				t.Fatalf("batch=%d image %d: result %+v, want %+v", batch, i, got[i], ress[i])
 			}
 			gd := gotReps[i].Detail.(Report)

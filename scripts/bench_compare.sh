@@ -29,3 +29,10 @@ go run ./cmd/resparc-bench -fig bench "${check[@]}" "$@"
 # committed scenario changes, so it warns rather than fails.
 echo "== fleet SLO rows (delta is warn-only)"
 go run ./cmd/resparc-bench -fig fleet "$@"
+
+# Event-engine rows (event/latency, event/walltime, event/shard, event/noc):
+# the modeled cycle rows are pure functions of the -seed; the walltime rows
+# measure the simulator itself. Cycle deltas only move when the timing model
+# changes, so the table is warn-only — reviewers eyeball it in the PR.
+echo "== event-engine rows (delta is warn-only)"
+go run ./cmd/resparc-bench -fig event "$@"

@@ -26,6 +26,8 @@ echo "== go test -race (concurrent paths)"
 go test -race \
     ./internal/parallel/ \
     ./internal/snn/ \
+    ./internal/event/ \
+    ./internal/neurocell/ \
     ./internal/core/ \
     ./internal/cmosbase/ \
     ./internal/fault/ \
