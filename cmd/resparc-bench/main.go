@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,19 +23,20 @@ import (
 
 	"resparc/internal/experiments"
 	"resparc/internal/perf"
+	"resparc/internal/repair"
 	"resparc/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, shard, fleet, event")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, lifetime, shard, fleet, event")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (<= 0: one per CPU); results are identical for any value")
 	jsonPath := flag.String("json", "BENCH_RESULTS.json", "where -fig bench writes its machine-readable results")
-	faultJSON := flag.String("faultjson", "FAULT_RESULTS.json", "where -fig faults writes its machine-readable results")
+	faultJSON := flag.String("faultjson", "FAULT_RESULTS.json", "where -fig faults and -fig lifetime merge their machine-readable results")
 	blocked := flag.Bool("blocked", true, "use the blocked layer-major SNN runner (bit-identical; -blocked=false selects the step-major reference)")
 	blockSize := flag.Int("blocksize", 0, "temporal block length of the blocked runner (<= 0: snn.DefaultBlockSize)")
 	batch := flag.Int("batch", 0, "batch-major group size inside the simulators (<= 1: per-image evaluation; bit-identical)")
@@ -373,9 +373,10 @@ func main() {
 		fmt.Fprintf(out, "event results merged into %s\n", *jsonPath)
 	}
 	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
-	// benchmark 13 times); it also writes the machine-readable JSON. The
-	// output contains no timestamps or host state: the same -seed produces a
-	// byte-identical file.
+	// benchmark 13 times); it merges its rows into the machine-readable
+	// FAULT_RESULTS.json header-preservingly. The rows contain no timestamps
+	// or host state: the same -seed reproduces a committed file
+	// byte-identically.
 	if *fig == "faults" {
 		fc := experiments.DefaultFaultsConfig()
 		if *quick {
@@ -394,15 +395,37 @@ func main() {
 		}
 		t.Render(out)
 		fmt.Fprintln(out)
-		blob, err := json.MarshalIndent(r, "", "  ")
+		fresh := experiments.NewFaultReport()
+		fresh.Faults = r
+		mergeFaultJSON(*faultJSON, fresh)
+		fmt.Fprintf(out, "fault sweep merged into %s\n", *faultJSON)
+	}
+	// The accuracy-over-lifetime campaign (-fig lifetime) ages every
+	// benchmark to end of life under the self-healing policies and merges
+	// its rows into the same FAULT_RESULTS.json.
+	if *fig == "lifetime" {
+		lc := experiments.DefaultLifetimeConfig()
+		if *quick {
+			lc = experiments.QuickLifetimeConfig()
+		}
+		lc.Seed = *seed
+		lc.Workers = *workers
+		lc.Stepped = !*blocked
+		lc.BlockSize = *blockSize
+		r, t, err := experiments.FigLifetime(lc)
 		if err != nil {
-			log.Fatalf("faults: %v", err)
+			log.Fatalf("lifetime: %v", err)
 		}
-		blob = append(blob, '\n')
-		if err := os.WriteFile(*faultJSON, blob, 0o644); err != nil {
-			log.Fatalf("faults: %v", err)
+		t.Render(out)
+		fmt.Fprintln(out)
+		if rt := lifetimeRecoveryTable(r); rt != nil {
+			rt.Render(out)
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintf(out, "fault sweep written to %s\n", *faultJSON)
+		fresh := experiments.NewFaultReport()
+		fresh.Lifetime = r
+		mergeFaultJSON(*faultJSON, fresh)
+		fmt.Fprintf(out, "lifetime campaign merged into %s\n", *faultJSON)
 	}
 	// Calibration sensitivity is explicit-only too (21 paired simulations).
 	if *fig == "sensitivity" {
@@ -490,6 +513,55 @@ func benchDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
 		}
 		t.Add(e.Name, fmt.Sprintf("%.0f", old.NsPerOp), fmt.Sprintf("%.0f", e.NsPerOp),
 			fmt.Sprintf("%.2fx", perf.Speedup(old, e)))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
+}
+
+// mergeFaultJSON merges a fresh fault/lifetime report into the results file
+// header-preservingly and writes it back.
+func mergeFaultJSON(path string, fresh experiments.FaultReport) {
+	prev, err := experiments.ReadFaultFile(path)
+	if err != nil {
+		log.Fatalf("fault JSON: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.WriteFaultJSON(f, experiments.MergeFaultReports(prev, fresh)); err != nil {
+		f.Close()
+		log.Fatalf("fault JSON: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// lifetimeRecoveryTable summarizes, per benchmark, the agreement the
+// no-repair baseline loses by end of life and the fraction each repair
+// policy recovers; nil when no benchmark lost anything.
+func lifetimeRecoveryTable(r *experiments.LifetimeResult) *report.Table {
+	t := report.NewTable("Lifetime recovery (fraction of EOL agreement loss recovered)",
+		"Benchmark", "Lost", "Refresh", "Full")
+	seen := map[string]bool{}
+	rows := 0
+	for _, p := range r.Points {
+		if seen[p.Bench] {
+			continue
+		}
+		seen[p.Bench] = true
+		lost, fullFrac, ok := r.RecoveredAt(p.Bench, repair.PolicyFull.String())
+		if !ok {
+			t.Add(p.Bench, "0.000", "-", "-")
+			continue
+		}
+		_, refreshFrac, _ := r.RecoveredAt(p.Bench, repair.PolicyRefresh.String())
+		t.Add(p.Bench, fmt.Sprintf("%.3f", lost),
+			fmt.Sprintf("%.0f%%", 100*refreshFrac), fmt.Sprintf("%.0f%%", 100*fullFrac))
 		rows++
 	}
 	if rows == 0 {

@@ -9,8 +9,18 @@
 //	              [-max-wait 2ms] [-queue 64] [-workers 0] [-sim-batch 0]
 //	              [-models mnist-mlp,...] [-model-files a.gob,...]
 //	              [-steps 48] [-seed 1] [-mca-size 64] [-blocked=false] [-pprof]
+//	              [-repair full] [-repair-interval 30s] [-fault-seed 1]
+//	              [-eol 1e6] [-wear-fraction 0.002] [-drift-sigma 0.12]
+//	              [-age-per-inference 1]
 //
 // Endpoints: POST /v1/classify, GET /v1/models, GET /metrics, GET /healthz.
+//
+// -repair enables self-healing serving: every model's crossbars age with
+// the served inference count under a seeded lifetime fault model, and a
+// background scheduler probes them with canary inputs and climbs the
+// repair ladder (program-verify refresh, delta-rule tuning, spare
+// remapping) when degradation shows. During a pass the replica answers
+// "repairing" on /readyz so a balancer routes around the repair window.
 //
 // -load runs the self-benchmark instead of listening: it measures serial
 // single-image throughput as the reference, then fires concurrent requests
@@ -36,7 +46,9 @@ import (
 	"syscall"
 	"time"
 
+	"resparc/internal/fault"
 	"resparc/internal/perf"
+	"resparc/internal/repair"
 	"resparc/internal/serve"
 	"resparc/internal/tensor"
 )
@@ -61,6 +73,14 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expiry answers 504")
 	brThreshold := flag.Int("breaker-threshold", 3, "consecutive batch failures that open a (model, backend) circuit")
 	brCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit answers 503 + Retry-After before probing")
+	repairPolicy := flag.String("repair", "", "enable self-healing with this policy: none (age only), refresh, or full (empty: lifetime aging and repair off; serving is bit-identical to earlier builds)")
+	repairInterval := flag.Duration("repair-interval", 30*time.Second, "cadence of background repair passes; each pass quiesces its model (readyz answers \"repairing\")")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the lifetime fault campaign (drift, wear, fabrication defects)")
+	eol := flag.Float64("eol", 1e6, "end-of-life inference count of the lifetime model")
+	wearFraction := flag.Float64("wear-fraction", 0.002, "per-device probability of a wear-out stuck-at failure by EOL")
+	driftSigma := flag.Float64("drift-sigma", 0.12, "lognormal conductance drift scale (grows with inference count)")
+	driftTau := flag.Float64("drift-tau", 3e5, "inference count where drift starts accumulating (sigma grows per decade past it)")
+	agePerInference := flag.Float64("age-per-inference", 1, "deployment age per served crossbar inference; raise for accelerated aging")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (opt-in)")
 	load := flag.Bool("load", false, "run the self-benchmark instead of listening")
 	loadImages := flag.Int("load-images", 64, "images per measurement in -load mode")
@@ -119,6 +139,27 @@ func main() {
 	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *repairPolicy != "" {
+		pol, err := repair.ParsePolicy(*repairPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		camp := fault.NewCampaign(*faultSeed, rcfg.Tech)
+		camp.DriftSigma = *driftSigma
+		camp.DriftTau = *driftTau
+		err = srv.StartRepair(serve.RepairConfig{
+			Life:            fault.Lifetime{Camp: camp, EOL: *eol, WearFraction: *wearFraction},
+			Policy:          pol,
+			Interval:        *repairInterval,
+			AgePerInference: *agePerInference,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("self-healing on: policy %s, interval %v, EOL %g, wear %g, drift sigma %g",
+			pol, *repairInterval, *eol, *wearFraction, *driftSigma)
 	}
 
 	if *load {

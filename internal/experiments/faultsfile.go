@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"resparc/internal/perf"
+)
+
+// FAULT_RESULTS.json carrier. Version 1 was the bare FaultsResult the fault
+// sweep used to write (no schema_version, no header); version 2 wraps the
+// document in a self-describing report — schema version, Go version,
+// timestamp and git revision, like BENCH_RESULTS.json — with one section
+// per campaign kind, so the one-shot fault sweep and the lifetime campaigns
+// share a single results file.
+const FaultSchemaVersion = 2
+
+// FaultReport is the top-level FAULT_RESULTS.json document.
+type FaultReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	Timestamp     string `json:"timestamp"`
+	GitRevision   string `json:"git_revision,omitempty"`
+	// Faults is the one-shot fabrication sweep (-fig faults); Lifetime is
+	// the aging campaign (-fig lifetime). Either may be absent.
+	Faults   *FaultsResult   `json:"faults,omitempty"`
+	Lifetime *LifetimeResult `json:"lifetime,omitempty"`
+}
+
+// NewFaultReport stamps an empty report with the schema version and the
+// runtime environment.
+func NewFaultReport() FaultReport {
+	return FaultReport{
+		SchemaVersion: FaultSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GitRevision:   perf.GitRevision(),
+	}
+}
+
+// WriteFaultJSON writes the report as indented JSON.
+func WriteFaultJSON(w io.Writer, r FaultReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: writing fault JSON: %w", err)
+	}
+	return nil
+}
+
+// ReadFaultJSON decodes a report. Version-1 documents — the bare
+// FaultsResult with no schema_version field — are accepted and normalized
+// into a version-1 report carrying the sweep as its Faults section.
+// Versions newer than FaultSchemaVersion are rejected.
+func ReadFaultJSON(r io.Reader) (FaultReport, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return FaultReport{}, fmt.Errorf("experiments: reading fault JSON: %w", err)
+	}
+	var rep FaultReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return FaultReport{}, fmt.Errorf("experiments: reading fault JSON: %w", err)
+	}
+	if rep.SchemaVersion == 0 {
+		var legacy FaultsResult
+		if err := json.Unmarshal(blob, &legacy); err != nil || len(legacy.Points) == 0 {
+			return FaultReport{}, fmt.Errorf("experiments: fault JSON is neither a v%d report nor a legacy sweep", FaultSchemaVersion)
+		}
+		return FaultReport{SchemaVersion: 1, Faults: &legacy}, nil
+	}
+	if rep.SchemaVersion > FaultSchemaVersion {
+		return FaultReport{}, fmt.Errorf("experiments: fault JSON schema %d newer than supported %d", rep.SchemaVersion, FaultSchemaVersion)
+	}
+	return rep, nil
+}
+
+// ReadFaultFile loads FAULT_RESULTS.json from disk. A missing file is not an
+// error: it returns an empty current-schema report, so callers can merge
+// fresh campaigns into whatever history exists.
+func ReadFaultFile(path string) (FaultReport, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return FaultReport{SchemaVersion: FaultSchemaVersion}, nil
+	}
+	if err != nil {
+		return FaultReport{}, fmt.Errorf("experiments: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadFaultJSON(f)
+}
+
+// MergeFaultReports overlays a fresh report onto the existing one,
+// header-preservingly: sections the fresh run produced replace or row-merge
+// into their predecessors, sections it did not touch survive, and when the
+// previous report already carries environment stamps those are kept — so
+// re-running a campaign with the same seed over a committed file reproduces
+// it byte-identically.
+func MergeFaultReports(prev, fresh FaultReport) FaultReport {
+	out := fresh
+	out.SchemaVersion = FaultSchemaVersion
+	out.Faults = mergeFaultsResults(prev.Faults, fresh.Faults)
+	out.Lifetime = mergeLifetimeResults(prev.Lifetime, fresh.Lifetime)
+	if prev.Timestamp != "" {
+		out.Timestamp = prev.Timestamp
+		out.GitRevision = prev.GitRevision
+		out.GoVersion = prev.GoVersion
+	}
+	return out
+}
+
+// mergeFaultsResults row-merges a fresh sweep into the previous one: points
+// with a matching (bench, stuck, age, remap) key are replaced in place, new
+// keys append in order, and the sweep parameters come from the fresh run.
+func mergeFaultsResults(prev, fresh *FaultsResult) *FaultsResult {
+	if fresh == nil {
+		return prev
+	}
+	if prev == nil {
+		return fresh
+	}
+	out := *fresh
+	type key struct {
+		bench      string
+		stuck, age float64
+		remap      bool
+	}
+	keyOf := func(p FaultPoint) key { return key{p.Bench, p.StuckFraction, p.DriftAge, p.Remap} }
+	out.Points = append([]FaultPoint(nil), prev.Points...)
+	index := make(map[key]int, len(out.Points))
+	for i, p := range out.Points {
+		index[keyOf(p)] = i
+	}
+	for _, p := range fresh.Points {
+		if i, ok := index[keyOf(p)]; ok {
+			out.Points[i] = p
+		} else {
+			index[keyOf(p)] = len(out.Points)
+			out.Points = append(out.Points, p)
+		}
+	}
+	return &out
+}
+
+// mergeLifetimeResults row-merges a fresh lifetime campaign into the
+// previous one on the (bench, policy, age) key.
+func mergeLifetimeResults(prev, fresh *LifetimeResult) *LifetimeResult {
+	if fresh == nil {
+		return prev
+	}
+	if prev == nil {
+		return fresh
+	}
+	out := *fresh
+	type key struct {
+		bench, policy string
+		age           float64
+	}
+	keyOf := func(p LifetimePoint) key { return key{p.Bench, p.Policy, p.Age} }
+	out.Points = append([]LifetimePoint(nil), prev.Points...)
+	index := make(map[key]int, len(out.Points))
+	for i, p := range out.Points {
+		index[keyOf(p)] = i
+	}
+	for _, p := range fresh.Points {
+		if i, ok := index[keyOf(p)]; ok {
+			out.Points[i] = p
+		} else {
+			index[keyOf(p)] = len(out.Points)
+			out.Points = append(out.Points, p)
+		}
+	}
+	return &out
+}

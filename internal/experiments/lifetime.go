@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resparc/internal/bench"
+	"resparc/internal/fault"
+	"resparc/internal/mapping"
+	"resparc/internal/repair"
+	"resparc/internal/report"
+)
+
+// Accuracy-over-lifetime campaign (-fig lifetime): every benchmark ages from
+// fabrication to end of life under a seeded fault.Lifetime — conductance
+// drift growing with the inference count, wear-out stuck-at failures
+// accumulating on top of the fabrication defects — and the self-healing
+// policies compete on the canary-agreement trajectory. PolicyNone is the
+// baseline decay (bit-identical to the one-shot fault sweep's network at
+// every age), PolicyRefresh is scheduled program-verify maintenance, and
+// PolicyFull climbs the whole repair ladder. Everything is a pure function
+// of the seed: same seed, byte-identical rows.
+
+// LifetimeConfig parameterizes the campaign.
+type LifetimeConfig struct {
+	Config
+	// Policies competed at every checkpoint (default: none, refresh, full).
+	Policies []repair.Policy
+	// Checkpoints are the measurement ages as fractions of EOL, ascending,
+	// starting at 0 (the fabrication anchor).
+	Checkpoints []float64
+	// EOL is the end-of-life inference count; WearFraction the per-device
+	// wear-out failure probability by EOL.
+	EOL          float64
+	WearFraction float64
+	// DriftSigma scales the lognormal conductance drift; DriftTau is the
+	// inference count where it starts accumulating (fault.Campaign.DriftTau).
+	// The committed campaign pushes tau well past the first checkpoint so
+	// the checkpoints sample the decay, not the saturated end state.
+	DriftSigma float64
+	DriftTau   float64
+	// SpareMPEs and MaxBadTaps parameterize the repair ladder's remap
+	// escalation tier.
+	SpareMPEs  int
+	MaxBadTaps int
+	// Benches overrides the benchmark set (nil: all six Fig 10 networks).
+	Benches []bench.Benchmark
+}
+
+// DefaultLifetimeConfig is the committed campaign: all six benchmarks aged
+// to a million inferences with a 0.2% end-of-life wear-out rate and a drift
+// onset (tau) at 30% of EOL, so sigma keeps growing across every checkpoint
+// and the no-repair agreement decays monotonically instead of bouncing
+// around a saturated broken state.
+func DefaultLifetimeConfig() LifetimeConfig {
+	c := LifetimeConfig{
+		Config:       DefaultConfig(),
+		Policies:     []repair.Policy{repair.PolicyNone, repair.PolicyRefresh, repair.PolicyFull},
+		Checkpoints:  []float64{0, 0.25, 0.5, 1},
+		EOL:          1e6,
+		WearFraction: 0.002,
+		DriftSigma:   0.12,
+		DriftTau:     3e5,
+		SpareMPEs:    8,
+		MaxBadTaps:   24,
+	}
+	c.Samples = 40
+	return c
+}
+
+// QuickLifetimeConfig reduces fidelity for tests and smoke runs (full
+// timestep count for the same reason as QuickFaultsConfig).
+func QuickLifetimeConfig() LifetimeConfig {
+	c := DefaultLifetimeConfig()
+	c.Samples = 12
+	c.Checkpoints = []float64{0, 1}
+	c.Benches = bench.MLPs()
+	return c
+}
+
+// LifetimePoint is one (benchmark, policy, age) measurement, taken after
+// the policy's repair pass at that checkpoint.
+type LifetimePoint struct {
+	Bench  string  `json:"bench"`
+	Policy string  `json:"policy"`
+	Age    float64 `json:"age"`
+	// Agreement is the canary agreement against the clean quantized
+	// reference's predictions.
+	Agreement float64 `json:"agreement"`
+	// Detection snapshot after the repair pass.
+	Scanned    int    `json:"scanned"`
+	OutOfTol   int    `json:"out_of_tol"`
+	BadTaps    int    `json:"bad_taps"`
+	DeadAllocs int    `json:"dead_allocs,omitempty"`
+	Severity   string `json:"severity"`
+	// Repair activity at this checkpoint.
+	Refreshed   int  `json:"refreshed,omitempty"`
+	DeltaAllocs int  `json:"delta_allocs,omitempty"`
+	Moves       int  `json:"moves,omitempty"`
+	Escalated   bool `json:"escalated,omitempty"`
+}
+
+// LifetimeResult is the machine-readable campaign output.
+type LifetimeResult struct {
+	Seed         int64           `json:"seed"`
+	MCASize      int             `json:"mca_size"`
+	Steps        int             `json:"steps"`
+	Samples      int             `json:"samples"`
+	EOL          float64         `json:"eol"`
+	WearFraction float64         `json:"wear_fraction"`
+	DriftSigma   float64         `json:"drift_sigma"`
+	DriftTau     float64         `json:"drift_tau,omitempty"`
+	MaxBadTaps   int             `json:"max_bad_taps"`
+	Points       []LifetimePoint `json:"points"`
+}
+
+// point finds one row.
+func (r *LifetimeResult) point(benchName, policy string, age float64) *LifetimePoint {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Bench == benchName && p.Policy == policy && p.Age == age {
+			return p
+		}
+	}
+	return nil
+}
+
+// maxAge returns the campaign's last checkpoint age for a benchmark.
+func (r *LifetimeResult) maxAge(benchName string) (float64, bool) {
+	found := false
+	age := 0.0
+	for _, p := range r.Points {
+		if p.Bench == benchName && p.Age >= age {
+			age, found = p.Age, true
+		}
+	}
+	return age, found
+}
+
+// RecoveredAt returns, for one benchmark, the agreement the no-repair
+// baseline loses by end of life and the fraction of that loss the given
+// policy recovers at the same age. ok is false when the campaign has no
+// such rows or nothing was lost.
+func (r *LifetimeResult) RecoveredAt(benchName, policy string) (lost, frac float64, ok bool) {
+	eol, found := r.maxAge(benchName)
+	if !found {
+		return 0, 0, false
+	}
+	base := r.point(benchName, repair.PolicyNone.String(), 0)
+	worn := r.point(benchName, repair.PolicyNone.String(), eol)
+	healed := r.point(benchName, policy, eol)
+	if base == nil || worn == nil || healed == nil {
+		return 0, 0, false
+	}
+	lost = base.Agreement - worn.Agreement
+	if lost <= 0 {
+		return 0, 0, false
+	}
+	return lost, (healed.Agreement - worn.Agreement) / lost, true
+}
+
+// NoRepairMonotone reports whether the benchmark's no-repair agreement
+// trajectory is non-increasing — the decay the monotone wear model and
+// stable per-epoch drift directions guarantee in weight space should show
+// up in accuracy too.
+func (r *LifetimeResult) NoRepairMonotone(benchName string) bool {
+	prev := -1.0
+	first := true
+	for _, p := range r.Points { // rows are appended in checkpoint order
+		if p.Bench != benchName || p.Policy != repair.PolicyNone.String() {
+			continue
+		}
+		if !first && p.Agreement > prev {
+			return false
+		}
+		prev, first = p.Agreement, false
+	}
+	return !first
+}
+
+// FigLifetime runs the campaign.
+func FigLifetime(cfg LifetimeConfig) (*LifetimeResult, *report.Table, error) {
+	benches := cfg.Benches
+	if benches == nil {
+		benches = bench.All()
+	}
+	if len(cfg.Checkpoints) == 0 || cfg.Checkpoints[0] != 0 {
+		return nil, nil, fmtErr("lifetime", fmt.Errorf("checkpoints must start at 0"))
+	}
+	res := &LifetimeResult{
+		Seed:         cfg.Seed,
+		MCASize:      cfg.MCASize,
+		Steps:        cfg.Steps,
+		Samples:      cfg.Samples,
+		EOL:          cfg.EOL,
+		WearFraction: cfg.WearFraction,
+		DriftSigma:   cfg.DriftSigma,
+		DriftTau:     cfg.DriftTau,
+		MaxBadTaps:   cfg.MaxBadTaps,
+	}
+	for _, b := range benches {
+		if err := runLifetimeBench(b, cfg, res); err != nil {
+			return nil, nil, fmtErr("lifetime", err)
+		}
+	}
+	t := report.NewTable("Accuracy over lifetime (agreement vs clean quantized reference)",
+		"Benchmark", "Policy", "Age", "Agreement", "Severity", "Bad taps", "Refreshed", "Delta", "Moves")
+	for _, p := range res.Points {
+		t.Add(p.Bench, p.Policy, fmt.Sprintf("%g", p.Age),
+			fmt.Sprintf("%.3f", p.Agreement), p.Severity, fmt.Sprintf("%d", p.BadTaps),
+			fmt.Sprintf("%d", p.Refreshed), fmt.Sprintf("%d", p.DeltaAllocs), fmt.Sprintf("%d", p.Moves))
+	}
+	return res, t, nil
+}
+
+func runLifetimeBench(b bench.Benchmark, cfg LifetimeConfig, res *LifetimeResult) error {
+	rcfg := repair.DefaultConfig()
+	rcfg.Detect.Workers = cfg.Workers
+	rcfg.SpareMPEs = cfg.SpareMPEs
+	rcfg.MaxBadTaps = cfg.MaxBadTaps
+	for _, pol := range cfg.Policies {
+		// Fresh network, mapping and deployment per policy: repair mutates
+		// weights and placements in place.
+		net, err := b.Build(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		m, err := mapping.Map(net, cfg.mapConfig(cfg.MCASize))
+		if err != nil {
+			return err
+		}
+		camp := fault.NewCampaign(cfg.Seed, cfg.Tech)
+		camp.DriftSigma = cfg.DriftSigma
+		camp.DriftTau = cfg.DriftTau
+		lt := fault.Lifetime{Camp: camp, EOL: cfg.EOL, WearFraction: cfg.WearFraction}
+		d, err := repair.NewDeployment(net, m, lt)
+		if err != nil {
+			return err
+		}
+		inputs, err := inputsFor(b, net, cfg.Config)
+		if err != nil {
+			return err
+		}
+		dt, err := repair.NewDetector(d, rcfg.Detect, inputs, cfg.encoders(), cfg.Steps)
+		if err != nil {
+			return err
+		}
+		for _, f := range cfg.Checkpoints {
+			age := f * cfg.EOL
+			if err := d.AdvanceTo(age); err != nil {
+				return err
+			}
+			out, err := repair.RunOnce(d, dt, pol, rcfg)
+			if err != nil {
+				return err
+			}
+			res.Points = append(res.Points, LifetimePoint{
+				Bench:       b.Name,
+				Policy:      pol.String(),
+				Age:         age,
+				Agreement:   out.After.Agreement,
+				Scanned:     out.After.Scanned,
+				OutOfTol:    out.After.OutOfTol,
+				BadTaps:     out.After.BadTaps,
+				DeadAllocs:  out.After.DeadAllocs,
+				Severity:    out.After.Severity.String(),
+				Refreshed:   out.Refreshed,
+				DeltaAllocs: out.DeltaAllocs,
+				Moves:       out.Moves,
+				Escalated:   out.Escalated,
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"resparc/internal/bench"
+	"resparc/internal/fault"
+	"resparc/internal/mapping"
+	"resparc/internal/repair"
+)
+
+func quickLifetime(t *testing.T, benchNames ...string) LifetimeConfig {
+	t.Helper()
+	cfg := QuickLifetimeConfig()
+	cfg.Workers = 4
+	cfg.Benches = nil
+	for _, name := range benchNames {
+		b, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Benches = append(cfg.Benches, b)
+	}
+	return cfg
+}
+
+// The campaign is a pure function of the seed: two runs produce byte-identical
+// JSON, the no-repair trajectory decays monotonically, and the full policy
+// recovers at least as much agreement as refresh alone.
+func TestFigLifetimeDeterministicAndRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifetime campaign in -short")
+	}
+	cfg := quickLifetime(t, "svhn-mlp", "cifar-mlp")
+	r1, _, err := FigLifetime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := FigLifetime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different lifetime campaigns")
+	}
+	measured := 0
+	for _, b := range cfg.Benches {
+		if !r1.NoRepairMonotone(b.Name) {
+			t.Errorf("%s: no-repair agreement not monotone: %+v", b.Name, r1.Points)
+		}
+		lost, fullFrac, ok := r1.RecoveredAt(b.Name, repair.PolicyFull.String())
+		if !ok {
+			// A benchmark robust enough to lose nothing by EOL has nothing
+			// to recover — fine, as long as some benchmark shows signal.
+			t.Logf("%s: no agreement lost by EOL at quick fidelity", b.Name)
+			continue
+		}
+		measured++
+		_, refreshFrac, _ := r1.RecoveredAt(b.Name, repair.PolicyRefresh.String())
+		t.Logf("%s: lost %.3f, refresh recovers %.0f%%, full recovers %.0f%%",
+			b.Name, lost, 100*refreshFrac, 100*fullFrac)
+		if fullFrac < refreshFrac {
+			t.Errorf("%s: full policy (%.2f) recovers less than refresh alone (%.2f)", b.Name, fullFrac, refreshFrac)
+		}
+		if fullFrac < 0.8 {
+			t.Errorf("%s: full policy recovers only %.0f%% of the lost agreement", b.Name, 100*fullFrac)
+		}
+	}
+	if measured == 0 {
+		t.Error("no benchmark lost agreement by EOL — campaign too gentle to measure repair")
+	}
+}
+
+// With wear disabled and repair off, a deployment aged to the sweep's drift
+// age computes bit-identical weights to the one-shot faulted network — the
+// lifetime machinery is a strict superset of today's behavior.
+func TestNoRepairMatchesOneShotSweep(t *testing.T) {
+	b, err := bench.ByName("mnist-mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFaultsConfig()
+	camp := fault.NewCampaign(cfg.Seed, cfg.Tech)
+	camp.DriftSigma = cfg.DriftSigma
+	const age = 1e5
+
+	net, err := b.Build(cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Map(net, cfg.mapConfig(cfg.MCASize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repair.NewDeployment(net, m, fault.Lifetime{Camp: camp, EOL: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AdvanceTo(age); err != nil {
+		t.Fatal(err)
+	}
+
+	net2, err := b.Build(cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := mapping.Map(net2, cfg.mapConfig(cfg.MCASize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := faultedNetworkOn(net2, m2, camp, age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, l := range d.Net.Layers {
+		if l.W == nil {
+			continue
+		}
+		for i := range l.W.Data {
+			if l.W.Data[i] != want.Layers[li].W.Data[i] {
+				t.Fatalf("layer %d weight %d: deployment %v, one-shot sweep %v",
+					li, i, l.W.Data[i], want.Layers[li].W.Data[i])
+			}
+		}
+	}
+}
+
+// FAULT_RESULTS.json round-trip: v2 reports survive read/write, legacy bare
+// sweeps are accepted as version 1, and the merge preserves the previous
+// header while row-merging both sections.
+func TestFaultReportReadMerge(t *testing.T) {
+	legacy := `{"seed":42,"mca_size":64,"steps":48,"samples":40,"drift_sigma":0.1,"max_bad_taps":24,
+		"points":[{"bench":"mnist-mlp","stuck_fraction":0,"drift_age":0,"drift_sigma":0,"dead_mpes":0,
+		"remap":false,"agreement":1,"faulty":0,"moves":0,"spares_used":0,"degraded":0,
+		"residual_bad_taps":0,"est_accuracy_loss":0}]}`
+	rep, err := ReadFaultJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 1 || rep.Faults == nil || rep.Faults.Seed != 42 || len(rep.Faults.Points) != 1 {
+		t.Fatalf("legacy sweep misread: %+v", rep)
+	}
+
+	prev := NewFaultReport()
+	prev.Timestamp = "2026-01-01T00:00:00Z"
+	prev.GitRevision = "abc1234"
+	prev.Faults = rep.Faults
+	prev.Lifetime = &LifetimeResult{Seed: 42, Points: []LifetimePoint{
+		{Bench: "mnist-mlp", Policy: "none", Age: 0, Agreement: 1},
+		{Bench: "mnist-mlp", Policy: "none", Age: 1e6, Agreement: 0.8},
+	}}
+
+	fresh := NewFaultReport()
+	fresh.Lifetime = &LifetimeResult{Seed: 42, Points: []LifetimePoint{
+		{Bench: "mnist-mlp", Policy: "none", Age: 1e6, Agreement: 0.75}, // re-measured
+		{Bench: "mnist-mlp", Policy: "full", Age: 1e6, Agreement: 0.95}, // new row
+	}}
+	merged := MergeFaultReports(prev, fresh)
+	if merged.Timestamp != prev.Timestamp || merged.GitRevision != prev.GitRevision {
+		t.Fatalf("merge lost the previous header: %+v", merged)
+	}
+	if merged.SchemaVersion != FaultSchemaVersion {
+		t.Fatalf("merge kept stale schema version %d", merged.SchemaVersion)
+	}
+	if !reflect.DeepEqual(merged.Faults, prev.Faults) {
+		t.Fatal("untouched faults section changed in merge")
+	}
+	lp := merged.Lifetime.Points
+	if len(lp) != 3 || lp[1].Agreement != 0.75 || lp[2].Policy != "full" {
+		t.Fatalf("lifetime rows merged wrong: %+v", lp)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFaultJSON(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFaultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, merged) {
+		t.Fatalf("round trip changed the report:\n%+v\n%+v", back, merged)
+	}
+
+	if _, err := ReadFaultJSON(strings.NewReader(`{"schema_version":99}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadFaultJSON(strings.NewReader(`{"hello":"world"}`)); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

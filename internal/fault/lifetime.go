@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Lifetime extends a fabrication Campaign with in-service aging: wear-out
+// stuck-at failures that accumulate over the deployment's inference count,
+// on top of the campaign's fabrication defects and its drift model
+// (DriftSigmaAt already grows with elapsed inferences).
+//
+// Determinism contract: like the Campaign it wraps, every wear failure is a
+// pure function of (campaign seed, physical slot) — each failing device's
+// identity, rail and birth age come from a dedicated per-slot sub-seed
+// stream, so the same seed reproduces the same aging history everywhere.
+// The failure set is monotone in age: a device stuck at age a is stuck at
+// every age ≥ a, which is what makes a no-repair accuracy trajectory decay
+// monotonically instead of re-rolling its faults at every checkpoint.
+type Lifetime struct {
+	// Camp supplies fabrication defects, the drift model and the seed.
+	Camp Campaign
+	// EOL is the end-of-life inference count: wear-out failures are spread
+	// uniformly over (0, EOL].
+	EOL float64
+	// WearFraction is the per-device probability of a wear-out stuck-at
+	// failure by EOL.
+	WearFraction float64
+}
+
+// streamWear keys the wear-out failure draws; streamEpoch mixes a refresh
+// epoch into the drift stream so a program-verify refresh restarts drift
+// with fresh (but still seeded) per-device directions.
+const (
+	streamWear  uint64 = 0xd6e8feb86659fd93
+	streamEpoch uint64 = 0xa5a3568c1fb3a27d
+)
+
+// Validate rejects physically meaningless lifetime parameters.
+func (lt Lifetime) Validate() error {
+	if lt.WearFraction < 0 || lt.WearFraction >= 1 {
+		return fmt.Errorf("fault: wear fraction %v outside [0, 1)", lt.WearFraction)
+	}
+	if lt.WearFraction > 0 && lt.EOL <= 0 {
+		return fmt.Errorf("fault: wear fraction %v needs a positive EOL", lt.WearFraction)
+	}
+	return nil
+}
+
+// WearCell is one wear-out failure: the device, the rail it fails to, and
+// the inference count at which it fails.
+type WearCell struct {
+	StuckCell
+	Birth float64
+}
+
+// WearSchedule returns the slot's complete wear-out failure schedule — every
+// device that fails by EOL, in the same canonical order as
+// Campaign.StuckCells (positive plane row-major, then negative), each with
+// its birth age. Like StuckCells it walks the device sequence with geometric
+// skips, so cost is proportional to the failure count, not the array size.
+func (lt Lifetime) WearSchedule(id SlotID, rows, cols int) []WearCell {
+	p := lt.WearFraction
+	if p <= 0 || lt.EOL <= 0 || rows <= 0 || cols <= 0 {
+		return nil
+	}
+	n := 2 * rows * cols
+	rng := lt.Camp.slotRng(streamWear, id)
+	var out []WearCell
+	logq := math.Log1p(-p)
+	for i := -1; ; {
+		gap := int(math.Log1p(-rng.Float64()) / logq)
+		if gap < 0 { // overflow guard for U ~ 1
+			break
+		}
+		i += 1 + gap
+		if i >= n {
+			break
+		}
+		// Fixed draw order per failing device: rail first, then birth age.
+		cell := lt.Camp.stuckAt(i, rows, cols, rng)
+		out = append(out, WearCell{StuckCell: cell, Birth: rng.Float64() * lt.EOL})
+	}
+	return out
+}
+
+// WearCells returns the wear-out failures already born at the given age, in
+// canonical order. Monotone: the result at age a is a prefix-filtered subset
+// of the result at any age ≥ a.
+func (lt Lifetime) WearCells(id SlotID, rows, cols int, age float64) []StuckCell {
+	sched := lt.WearSchedule(id, rows, cols)
+	var out []StuckCell
+	for _, w := range sched {
+		if w.Birth <= age {
+			out = append(out, w.StuckCell)
+		}
+	}
+	return out
+}
+
+// CellMapAt materializes the slot's full per-device fault map at the given
+// age: wear-out failures born by then, overlaid by fabrication defects
+// (which take precedence on the rare device carrying both).
+func (lt Lifetime) CellMapAt(id SlotID, rows, cols int, age float64) *CellMap {
+	m := NewCellMap(rows, cols)
+	for _, s := range lt.WearCells(id, rows, cols, age) {
+		m.Set(s.R, s.C, s.Plane, s.State)
+	}
+	for _, s := range lt.Camp.StuckCells(id, rows, cols) {
+		m.Set(s.R, s.C, s.Plane, s.State)
+	}
+	return m
+}
+
+// DriftRngEpoch returns the slot's drift stream for the given refresh
+// epoch. Epoch 0 is identical to DriftRng — existing one-shot campaigns are
+// unchanged — and each program-verify refresh of a slot advances its epoch,
+// giving the re-programmed devices a fresh deterministic drift direction.
+func (c Campaign) DriftRngEpoch(id SlotID, epoch int) *rand.Rand {
+	stream := streamDrift
+	if epoch != 0 {
+		stream ^= splitmix64(streamEpoch ^ uint64(epoch))
+	}
+	return c.slotRng(stream, id)
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+)
+
+func testLifetime(seed int64) Lifetime {
+	return Lifetime{
+		Camp:         Campaign{Seed: seed, StuckFraction: 0.002, StuckHighShare: 0.5, DriftSigma: 0.1},
+		EOL:          1e6,
+		WearFraction: 0.01,
+	}
+}
+
+// Same seed must reproduce the exact same wear schedule; a different seed
+// must produce a different one.
+func TestWearScheduleDeterministic(t *testing.T) {
+	lt := testLifetime(7)
+	id := SlotID{MPE: 3, Slot: 1}
+	a := lt.WearSchedule(id, 64, 64)
+	b := lt.WearSchedule(id, 64, 64)
+	if len(a) == 0 {
+		t.Fatal("expected wear failures at 1% of 8192 devices")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other := testLifetime(8).WearSchedule(id, 64, 64)
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical wear schedules")
+	}
+}
+
+// The failure set must be monotone in age: every cell stuck at age a is
+// stuck at every age >= a, and the count grows toward the full schedule.
+func TestWearCellsMonotone(t *testing.T) {
+	lt := testLifetime(42)
+	id := SlotID{MPE: 0, Slot: 2}
+	ages := []float64{0, 1e4, 1e5, 5e5, 1e6}
+	var prev map[StuckCell]bool
+	prevCount := -1
+	for _, age := range ages {
+		cells := lt.WearCells(id, 64, 64, age)
+		if len(cells) < prevCount {
+			t.Fatalf("failure count shrank at age %g: %d -> %d", age, prevCount, len(cells))
+		}
+		cur := make(map[StuckCell]bool, len(cells))
+		for _, s := range cells {
+			cur[s] = true
+		}
+		for s := range prev {
+			if !cur[s] {
+				t.Fatalf("cell %+v healed between ages (at %g)", s, age)
+			}
+		}
+		prev, prevCount = cur, len(cells)
+	}
+	full := lt.WearSchedule(id, 64, 64)
+	if prevCount != len(full) {
+		t.Fatalf("at EOL %d cells stuck, schedule has %d", prevCount, len(full))
+	}
+	if lt.WearCells(id, 64, 64, 0) != nil {
+		t.Fatal("cells stuck at age 0: births must be positive")
+	}
+}
+
+// CellMapAt must overlay wear on fabrication with fabrication precedence,
+// and equal the fabrication-only CellMap at age 0.
+func TestCellMapAt(t *testing.T) {
+	lt := testLifetime(11)
+	id := SlotID{MPE: 1, Slot: 0}
+	fab := lt.Camp.CellMap(id, 64, 64)
+	at0 := lt.CellMapAt(id, 64, 64, 0)
+	if !fab.Equal(at0) {
+		t.Fatal("age-0 cell map differs from fabrication map")
+	}
+	eol := lt.CellMapAt(id, 64, 64, lt.EOL)
+	if eol.StuckCount() < fab.StuckCount() {
+		t.Fatal("EOL map has fewer stuck devices than fabrication")
+	}
+	// Every fabrication defect keeps its state at EOL (precedence).
+	for _, s := range lt.Camp.StuckCells(id, 64, 64) {
+		if got := eol.At(s.R, s.C, s.Plane); got != s.State {
+			t.Fatalf("fabrication defect %+v overridden to %v at EOL", s, got)
+		}
+	}
+}
+
+// Epoch 0 must be bit-compatible with the original drift stream (existing
+// campaigns are unchanged); later epochs must differ from it and from each
+// other, while remaining deterministic.
+func TestDriftRngEpoch(t *testing.T) {
+	c := Campaign{Seed: 5, DriftSigma: 0.1}
+	id := SlotID{MPE: 2, Slot: 3}
+	draw := func(rng interface{ NormFloat64() float64 }) [4]float64 {
+		var out [4]float64
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+	if draw(c.DriftRngEpoch(id, 0)) != draw(c.DriftRng(id)) {
+		t.Fatal("epoch 0 drift stream differs from DriftRng")
+	}
+	e1, e1b := draw(c.DriftRngEpoch(id, 1)), draw(c.DriftRngEpoch(id, 1))
+	if e1 != e1b {
+		t.Fatal("epoch 1 drift stream not deterministic")
+	}
+	if e1 == draw(c.DriftRng(id)) || e1 == draw(c.DriftRngEpoch(id, 2)) {
+		t.Fatal("refresh epochs must decorrelate the drift stream")
+	}
+}
+
+func TestLifetimeValidate(t *testing.T) {
+	if err := (Lifetime{WearFraction: -0.1}).Validate(); err == nil {
+		t.Fatal("negative wear fraction accepted")
+	}
+	if err := (Lifetime{WearFraction: 0.5}).Validate(); err == nil {
+		t.Fatal("wear without EOL accepted")
+	}
+	if err := testLifetime(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

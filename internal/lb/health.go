@@ -19,6 +19,11 @@ type ReplicaHealth struct {
 	// Draining mirrors the replica's readiness status: it still answers
 	// in-flight work but wants no new requests.
 	Draining bool `json:"draining"`
+	// Repairing mirrors a "repairing" readiness status: the replica is
+	// running a self-healing pass over its crossbars (new requests would
+	// queue behind the repair write lock), so route to siblings until the
+	// next poll sees the window close.
+	Repairing bool `json:"repairing,omitempty"`
 	// Breakers maps "model/backend" to the replica's circuit state
 	// ("closed", "open", "half-open") from the readiness body. A replica
 	// with one open circuit is still routable for its other pairs.
@@ -34,7 +39,7 @@ type ReplicaHealth struct {
 // usable too (the replica answers 404/400 itself if it truly cannot serve
 // them).
 func (h ReplicaHealth) Usable(model, backend string) bool {
-	if !h.Reachable || h.Draining {
+	if !h.Reachable || h.Draining || h.Repairing {
 		return false
 	}
 	return h.Breakers[model+"/"+backend] != "open"
@@ -143,6 +148,7 @@ func (t *healthTracker) poll(r Replica) {
 	}
 	h.Reachable = true
 	h.Draining = body.Status == "draining"
+	h.Repairing = body.Status == "repairing"
 	h.Breakers = make(map[string]string, len(body.Backends))
 	for _, b := range body.Backends {
 		h.Breakers[b.Model+"/"+b.Backend] = b.State

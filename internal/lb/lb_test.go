@@ -323,3 +323,40 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// A replica mid-repair (readyz 503 "repairing") must receive no traffic —
+// its model write lock would queue every request — and must resume its
+// share once a poll sees the repair window close.
+func TestRoutingSkipsRepairingReplicas(t *testing.T) {
+	balancer, stubs := newStubFleet(t, 2, nil)
+	ts := httptest.NewServer(balancer.Handler())
+	defer ts.Close()
+
+	stubs[0].setReady(http.StatusServiceUnavailable, serve.HealthResponse{Status: "repairing"})
+	balancer.PollNow()
+	for i := 0; i < 20; i++ {
+		resp, body := classifyVia(t, ts.URL, fmt.Sprintf("model-%d", i), "", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if n := len(stubs[0].requests()); n != 0 {
+		t.Fatalf("repairing replica received %d requests, want 0", n)
+	}
+	if n := len(stubs[1].requests()); n != 20 {
+		t.Fatalf("healthy replica received %d requests, want all 20", n)
+	}
+
+	// Repair window closes: the next poll restores the replica's share.
+	stubs[0].setReady(http.StatusOK, readyBody(nil))
+	balancer.PollNow()
+	for i := 0; i < 20; i++ {
+		resp, body := classifyVia(t, ts.URL, fmt.Sprintf("model-%d", i), "", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-repair request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if n := len(stubs[0].requests()); n == 0 {
+		t.Fatal("repaired replica still receives no traffic")
+	}
+}

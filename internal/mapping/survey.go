@@ -12,12 +12,21 @@ import (
 // not change the programmed weight and is discounted, mirroring
 // xbar.BenignStuck.
 
-// SurveyCampaign inspects every allocation's physical crossbar under the
-// campaign and reports the unhealthy ones: allocations on dead mPEs/slots,
-// and allocations with damaging stuck devices inside their used region.
-// Healthy allocations are omitted. The result is deterministic (placement
-// order) and feeds RemapFaulty directly.
-func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
+// DeadFunc reports whether a physical slot is unusable.
+type DeadFunc func(fault.SlotID) bool
+
+// CellsFunc enumerates a slot's stuck devices for a rows x cols crossbar —
+// fault.Campaign.StuckCells for a one-shot fabrication campaign, or a
+// lifetime model's fabrication + wear union at some age.
+type CellsFunc func(id fault.SlotID, rows, cols int) []fault.StuckCell
+
+// SurveyCells inspects every allocation's physical crossbar against an
+// arbitrary fault source and reports the unhealthy ones: allocations on
+// dead slots, and allocations with damaging stuck devices inside their used
+// region. Healthy allocations are omitted. The result is deterministic
+// (placement order) and feeds RemapFaulty directly. dead may be nil (no
+// kill switches).
+func (m *Mapping) SurveyCells(dead DeadFunc, cells CellsFunc) []MCAHealth {
 	var out []MCAHealth
 	for li := range m.Layers {
 		lm := &m.Layers[li]
@@ -25,12 +34,12 @@ func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
 			a := &lm.MCAs[ai]
 			id := fault.SlotID{MPE: a.MPE, Slot: a.Slot}
 			h := MCAHealth{Layer: li, Index: ai}
-			if camp.SlotDead(id) {
+			if dead != nil && dead(id) {
 				h.Dead = true
 				out = append(out, h)
 				continue
 			}
-			h.BadTaps = damagingTaps(camp, lm.Layer, a, id, m.Cfg.MCASize)
+			h.BadTaps = damagingTaps(cells(id, m.Cfg.MCASize, m.Cfg.MCASize), lm.Layer, a)
 			if h.BadTaps > 0 {
 				out = append(out, h)
 			}
@@ -39,12 +48,17 @@ func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
 	return out
 }
 
-// CampaignScreen builds a RemapConfig.Screen that accepts a spare slot for
-// an allocation only when the slot is alive and carries at most maxBadTaps
+// SurveyCampaign is SurveyCells over a one-shot fabrication campaign.
+func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
+	return m.SurveyCells(camp.SlotDead, camp.StuckCells)
+}
+
+// ScreenCells builds a RemapConfig.Screen that accepts a spare slot for an
+// allocation only when the slot is alive and carries at most maxBadTaps
 // damaging stuck devices over the allocation's used region — the
-// configuration-time program-verify screen, evaluated against the campaign
-// instead of hardware.
-func (m *Mapping) CampaignScreen(camp fault.Campaign, maxBadTaps int) func(fault.SlotID, *MCA) bool {
+// configuration-time program-verify screen, evaluated against an arbitrary
+// fault source instead of hardware.
+func (m *Mapping) ScreenCells(dead DeadFunc, cells CellsFunc, maxBadTaps int) func(fault.SlotID, *MCA) bool {
 	// The screen callback only receives the allocation, so recover its
 	// layer through the placement tables once up front.
 	layerOf := make(map[*MCA]*snn.Layer)
@@ -55,22 +69,27 @@ func (m *Mapping) CampaignScreen(camp fault.Campaign, maxBadTaps int) func(fault
 		}
 	}
 	return func(id fault.SlotID, a *MCA) bool {
-		if camp.SlotDead(id) {
+		if dead != nil && dead(id) {
 			return false
 		}
 		l, ok := layerOf[a]
 		if !ok {
 			return false
 		}
-		return damagingTaps(camp, l, a, id, m.Cfg.MCASize) <= maxBadTaps
+		return damagingTaps(cells(id, m.Cfg.MCASize, m.Cfg.MCASize), l, a) <= maxBadTaps
 	}
 }
 
-// damagingTaps counts the campaign's stuck devices that land on a used,
-// non-benign cross-point of the allocation when placed on the given slot.
-func damagingTaps(camp fault.Campaign, l *snn.Layer, a *MCA, id fault.SlotID, size int) int {
+// CampaignScreen is ScreenCells over a one-shot fabrication campaign.
+func (m *Mapping) CampaignScreen(camp fault.Campaign, maxBadTaps int) func(fault.SlotID, *MCA) bool {
+	return m.ScreenCells(camp.SlotDead, camp.StuckCells, maxBadTaps)
+}
+
+// damagingTaps counts the stuck devices that land on a used, non-benign
+// cross-point of the allocation when placed on the surveyed slot.
+func damagingTaps(stuck []fault.StuckCell, l *snn.Layer, a *MCA) int {
 	bad := 0
-	for _, sc := range camp.StuckCells(id, size, size) {
+	for _, sc := range stuck {
 		if sc.R >= len(a.Inputs) || sc.C >= len(a.Outputs) {
 			continue
 		}

@@ -1,0 +1,49 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+
+	"resparc/internal/fault"
+)
+
+// SurveyCells/ScreenCells over a campaign's own dead/cells functions must
+// agree exactly with the campaign-specialized wrappers, and a wear source
+// layered on top must only grow the reported damage.
+func TestSurveyCellsMatchesCampaign(t *testing.T) {
+	m := remapMapping(t)
+	camp := fault.Campaign{Seed: 21, StuckFraction: 0.01, StuckHighShare: 0.5}
+
+	direct := m.SurveyCampaign(camp)
+	viaCells := m.SurveyCells(camp.SlotDead, camp.StuckCells)
+	if !reflect.DeepEqual(direct, viaCells) {
+		t.Fatalf("SurveyCells %+v differs from SurveyCampaign %+v", viaCells, direct)
+	}
+	if len(direct) == 0 {
+		t.Fatal("expected some unhealthy allocations at 1% stuck")
+	}
+
+	lt := fault.Lifetime{Camp: camp, EOL: 1e6, WearFraction: 0.02}
+	aged := m.SurveyCells(camp.SlotDead, func(id fault.SlotID, rows, cols int) []fault.StuckCell {
+		return append(lt.WearCells(id, rows, cols, lt.EOL), camp.StuckCells(id, rows, cols)...)
+	})
+	total := func(hs []MCAHealth) int {
+		n := 0
+		for _, h := range hs {
+			n += h.BadTaps
+		}
+		return n
+	}
+	if total(aged) <= total(direct) {
+		t.Fatalf("EOL wear did not add damage: %d vs %d bad taps", total(aged), total(direct))
+	}
+
+	// Screen equivalence on a spare slot: same accept/reject decision.
+	a := &m.Layers[0].MCAs[0]
+	spare := fault.SlotID{MPE: m.MPEs + 1, Slot: 0}
+	s1 := m.CampaignScreen(camp, 4)(spare, a)
+	s2 := m.ScreenCells(camp.SlotDead, camp.StuckCells, 4)(spare, a)
+	if s1 != s2 {
+		t.Fatalf("screen decisions differ: %v vs %v", s1, s2)
+	}
+}

@@ -278,6 +278,17 @@ func (s *MCASlot) Verify(cfg xbar.VerifyConfig) (xbar.VerifyReport, error) {
 	return rep, err
 }
 
+// Scan runs a read-only verify scan of the slot's physical crossbar against
+// its logical weight block — the sampled degradation probe of the lifetime
+// repair loop. No write pulses are issued; tol <= 0 selects half a
+// quantization step. Error in Ideal mode.
+func (s *MCASlot) Scan(tol float64) (xbar.ScanReport, error) {
+	if s.Mode != Physical {
+		return xbar.ScanReport{}, fmt.Errorf("mpe: scan needs a physical crossbar")
+	}
+	return s.xb.ScanVerify(s.weights, tol)
+}
+
 // reprogram rewrites the logical weight block into the crossbar, through fn
 // when given (e.g. the verify loop) or plain Program otherwise.
 func (s *MCASlot) reprogram(fn func(*xbar.Crossbar) error) error {

@@ -1,0 +1,37 @@
+package mpe
+
+import (
+	"testing"
+
+	"resparc/internal/fault"
+)
+
+// A freshly programmed slot scans clean; installing a stuck-at map degrades
+// the scan without any reprogram (the scan is the detection probe, not the
+// repair). Ideal mode has no devices to scan.
+func TestSlotScan(t *testing.T) {
+	s := faultSlot(t, Physical)
+	clean, err := s.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded() {
+		t.Fatalf("fresh slot scans degraded: %v", clean)
+	}
+	m := fault.NewCellMap(8, 8)
+	m.Set(1, 2, fault.Pos, fault.StuckHigh)
+	if err := s.SetFaults(m); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Degraded() {
+		t.Fatalf("stuck-high slot scans clean: %v", bad)
+	}
+
+	if _, err := faultSlot(t, Ideal).Scan(0); err == nil {
+		t.Fatal("ideal-mode scan accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package repair
+
+import "fmt"
+
+// Policy selects how much of the repair ladder a deployment may climb.
+type Policy int
+
+const (
+	// PolicyNone never repairs — the deployment just ages. The baseline
+	// lifetime campaigns and today's repair-disabled behavior.
+	PolicyNone Policy = iota
+	// PolicyRefresh stops after program-verify refresh: drifted cells are
+	// rewritten, broken hardware is left to degrade the network.
+	PolicyRefresh
+	// PolicyFull climbs the whole ladder: refresh, then delta-rule
+	// fine-tuning around stuck devices, then spare remapping when a
+	// crossbar is beyond tuning.
+	PolicyFull
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyRefresh:
+		return "refresh"
+	case PolicyFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy reads a policy name as written by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none":
+		return PolicyNone, nil
+	case "refresh":
+		return PolicyRefresh, nil
+	case "full":
+		return PolicyFull, nil
+	}
+	return 0, fmt.Errorf("repair: unknown policy %q (none, refresh, full)", s)
+}
+
+// Config bundles the knobs of a full repair pass.
+type Config struct {
+	Detect DetectConfig
+	Delta  DeltaConfig
+	// SpareMPEs and MaxBadTaps parameterize remap escalation.
+	SpareMPEs  int
+	MaxBadTaps int
+}
+
+// DefaultConfig returns the repair settings the campaigns use.
+func DefaultConfig() Config {
+	return Config{
+		Detect:     DefaultDetectConfig(),
+		Delta:      DefaultDeltaConfig(),
+		SpareMPEs:  4,
+		MaxBadTaps: 8,
+	}
+}
+
+// Outcome reports one repair pass: the detection that triggered it, the
+// detection after the last tier that ran, and what each tier did.
+type Outcome struct {
+	Before, After Detection
+	// Refreshed counts slots rewritten by the refresh tier.
+	Refreshed int
+	// DeltaAllocs counts allocations the delta tier tuned.
+	DeltaAllocs int
+	// Escalated is set when the remap tier ran; Moves counts its
+	// relocations to spares.
+	Escalated bool
+	Moves     int
+}
+
+// Repaired reports whether the pass did any physical work.
+func (o Outcome) Repaired() bool { return o.Refreshed > 0 || o.DeltaAllocs > 0 || o.Moves > 0 }
+
+// RunOnce probes the deployment and climbs the repair ladder as far as the
+// policy allows, re-probing between tiers and stopping as soon as a probe
+// comes back below Damaged. The detector's canaries double as the delta
+// rule's calibration set. Mutates the deployment; callers own quiescence.
+func RunOnce(d *Deployment, dt *Detector, pol Policy, cfg Config) (Outcome, error) {
+	before, err := dt.Probe()
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Before: before, After: before}
+	if pol == PolicyNone || !before.Degraded() {
+		return out, nil
+	}
+
+	// Tier 1: program-verify refresh. Rewrites every drifted cell back to
+	// its target and restarts the drift clocks.
+	out.Refreshed = d.RefreshAll()
+	cur, err := dt.Probe()
+	if err != nil {
+		return out, err
+	}
+	out.After = cur
+	if pol == PolicyRefresh || cur.Severity < Damaged {
+		return out, nil
+	}
+
+	// Tier 2: delta-rule fine-tuning of the damaged crossbars on the
+	// calibration set, compensating around stuck devices.
+	cal, err := d.calibrate(dt.Canaries(), dt.enc, dt.steps)
+	if err != nil {
+		return out, err
+	}
+	out.DeltaAllocs = d.DeltaRepair(d.Survey(), cal, cfg.Delta)
+	cur, err = dt.Probe()
+	if err != nil {
+		return out, err
+	}
+	out.After = cur
+	if cur.Severity < Damaged {
+		return out, nil
+	}
+
+	// Tier 3: escalate to spare remapping, then re-tune what remains —
+	// relocated allocations are freshly programmed, the survivors may still
+	// carry compensable damage.
+	rep, err := d.Escalate(cfg.SpareMPEs, cfg.MaxBadTaps)
+	if err != nil {
+		return out, err
+	}
+	out.Escalated = true
+	out.Moves = len(rep.Moves)
+	if cal2, err := d.calibrate(dt.Canaries(), dt.enc, dt.steps); err == nil {
+		out.DeltaAllocs += d.DeltaRepair(d.Survey(), cal2, cfg.Delta)
+	}
+	cur, err = dt.Probe()
+	if err != nil {
+		return out, err
+	}
+	out.After = cur
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/fault"
+	"resparc/internal/mapping"
+	"resparc/internal/snn"
+	"resparc/internal/tensor"
+)
+
+// Small two-layer dense network mapped onto 16x16 crossbars — big enough to
+// tile several MCAs per layer, small enough to age and repair quickly.
+func fixtureNet(t *testing.T) *snn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	randMat := func(rows, cols int) *tensor.Mat {
+		m := tensor.NewMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64() - 0.5
+		}
+		return m
+	}
+	l1, err := snn.NewDense("h", 48, 24, randMat(24, 48), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := snn.NewDense("out", 24, 10, randMat(10, 24), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := snn.NewNetwork("fixture", tensor.Shape3{H: 1, W: 1, C: 48}, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func fixtureDeployment(t *testing.T, lt fault.Lifetime) *Deployment {
+	t.Helper()
+	net := fixtureNet(t)
+	cfg := mapping.DefaultConfig()
+	cfg.MCASize = 16
+	m, err := mapping.Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(net, m, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func canaries(n, size int) []tensor.Vec {
+	rng := rand.New(rand.NewSource(77))
+	out := make([]tensor.Vec, n)
+	for i := range out {
+		v := make(tensor.Vec, size)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func canaryEnc(i int) snn.Encoder { return snn.NewPoissonEncoder(0.9, 99).ForkSeed(i) }
+
+const canarySteps = 24
+
+func fixtureDetector(t *testing.T, d *Deployment, cfg DetectConfig) *Detector {
+	t.Helper()
+	dt, err := NewDetector(d, cfg, canaries(24, 48), canaryEnc, canarySteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+func netWeights(net *snn.Network) []float64 {
+	var out []float64
+	for _, l := range net.Layers {
+		if l.W != nil {
+			out = append(out, l.W.Data...)
+		}
+	}
+	return out
+}
+
+// driftLife is a drift-only lifetime: no fabrication defects, no wear.
+func driftLife(sigma float64) fault.Lifetime {
+	return fault.Lifetime{Camp: fault.Campaign{Seed: 5, DriftSigma: sigma}, EOL: 1e6}
+}
+
+// wearLife adds wear-out stuck-at failures on top of mild drift.
+func wearLife(wear float64) fault.Lifetime {
+	return fault.Lifetime{
+		Camp:         fault.Campaign{Seed: 5, DriftSigma: 0.15, StuckHighShare: 0.5},
+		EOL:          1e6,
+		WearFraction: wear,
+	}
+}
+
+// Two deployments with the same seed must age bit-identically, checkpoint by
+// checkpoint — the property that makes lifetime campaigns reproducible.
+func TestDeploymentDeterministic(t *testing.T) {
+	a := fixtureDeployment(t, wearLife(0.02))
+	b := fixtureDeployment(t, wearLife(0.02))
+	for _, age := range []float64{0, 1e4, 3e5, 1e6} {
+		if err := a.AdvanceTo(age); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AdvanceTo(age); err != nil {
+			t.Fatal(err)
+		}
+		wa, wb := netWeights(a.Net), netWeights(b.Net)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("age %g: weight %d differs: %v vs %v", age, i, wa[i], wb[i])
+			}
+		}
+	}
+	if err := a.AdvanceTo(1e3); err == nil {
+		t.Fatal("rejuvenation accepted")
+	}
+}
+
+// A fresh deployment matches the clean reference exactly (quantization is
+// shared); aging drifts weights out of program-verify tolerance with the
+// out-of-tolerance count growing monotonically; a refresh rewrites every
+// drifted cell so the deployment scans clean again.
+func TestAgingDriftAndRefresh(t *testing.T) {
+	d := fixtureDeployment(t, driftLife(0.3))
+	dt := fixtureDetector(t, d, DefaultDetectConfig())
+
+	det, err := dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Severity != Healthy || det.OutOfTol != 0 || det.Agreement != 1 {
+		t.Fatalf("fresh deployment not healthy: %+v", det)
+	}
+
+	prev := 0
+	for _, age := range []float64{1e4, 1e5, 1e6} {
+		if err := d.AdvanceTo(age); err != nil {
+			t.Fatal(err)
+		}
+		det, err = dt.Probe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.OutOfTol < prev {
+			t.Fatalf("age %g: out-of-tol shrank %d -> %d without repair", age, prev, det.OutOfTol)
+		}
+		prev = det.OutOfTol
+	}
+	if prev == 0 {
+		t.Fatal("EOL drift never left program-verify tolerance")
+	}
+	if det.Severity == Healthy {
+		t.Fatalf("EOL deployment graded healthy: %+v", det)
+	}
+
+	if n := d.RefreshAll(); n == 0 {
+		t.Fatal("refresh touched no slots")
+	}
+	det, err = dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.OutOfTol != 0 || det.Severity != Healthy || det.Agreement != 1 {
+		t.Fatalf("refreshed deployment still degraded: %+v", det)
+	}
+
+	// Drift resumes after the refresh — on a fresh epoch, from the refresh
+	// age — so the deployment is not frozen, just repaired.
+	if err := d.AdvanceTo(2e6); err != nil {
+		t.Fatal(err)
+	}
+	det, err = dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.OutOfTol == 0 {
+		t.Fatal("post-refresh aging produced no drift")
+	}
+}
+
+// Refresh cannot fix broken hardware: wear-out stuck devices survive the
+// rewrite and keep the deployment's bad-tap count.
+func TestRefreshKeepsStuckDamage(t *testing.T) {
+	d := fixtureDeployment(t, wearLife(0.05))
+	dt := fixtureDetector(t, d, DefaultDetectConfig())
+	if err := d.AdvanceTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	before, err := dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.BadTaps == 0 {
+		t.Fatal("EOL wear produced no damaging taps")
+	}
+	d.RefreshAll()
+	after, err := dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact count can shift a little — benign-stuck classification is
+	// judged against deployed weight signs, which the refresh cleans up —
+	// but the broken devices themselves persist.
+	if after.BadTaps == 0 {
+		t.Fatalf("refresh cleared bad taps %d -> 0", before.BadTaps)
+	}
+	if after.OutOfTol >= before.OutOfTol {
+		t.Fatalf("refresh did not reduce out-of-tol cells: %d -> %d", before.OutOfTol, after.OutOfTol)
+	}
+}
+
+// The full ladder recovers at least as much canary agreement as refresh
+// alone on a worn-out deployment, and its delta tier actually runs. The
+// parallel canary classification runs under -race in CI.
+func TestFullPolicyBeatsRefreshOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Detect.AgreementFloor = 2 // force the ladder to climb every tier
+	cfg.Detect.CriticalFloor = 0
+	cfg.Detect.Workers = 4
+
+	agreements := make(map[Policy]float64)
+	outcomes := make(map[Policy]Outcome)
+	for _, pol := range []Policy{PolicyNone, PolicyRefresh, PolicyFull} {
+		d := fixtureDeployment(t, wearLife(0.08))
+		dt := fixtureDetector(t, d, cfg.Detect)
+		if err := d.AdvanceTo(1e6); err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunOnce(d, dt, pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[pol] = out
+		agree, err := d.Agreement(canaries(24, 48), canaryEnc, canarySteps, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreements[pol] = agree
+	}
+	if outcomes[PolicyNone].Repaired() {
+		t.Fatalf("no-repair policy did work: %+v", outcomes[PolicyNone])
+	}
+	if outcomes[PolicyRefresh].Refreshed == 0 || outcomes[PolicyRefresh].DeltaAllocs != 0 {
+		t.Fatalf("refresh policy ran wrong tiers: %+v", outcomes[PolicyRefresh])
+	}
+	if outcomes[PolicyFull].DeltaAllocs == 0 {
+		t.Fatalf("full policy never delta-tuned: %+v", outcomes[PolicyFull])
+	}
+	if agreements[PolicyRefresh] < agreements[PolicyNone] {
+		t.Fatalf("refresh hurt agreement: %v < %v", agreements[PolicyRefresh], agreements[PolicyNone])
+	}
+	if agreements[PolicyFull] < agreements[PolicyRefresh] {
+		t.Fatalf("full ladder under refresh-only: %v < %v", agreements[PolicyFull], agreements[PolicyRefresh])
+	}
+}
+
+// Dead slots grade critical and only escalation clears them: the remap tier
+// moves their allocations to screened spares and the deployment recovers.
+func TestEscalateClearsDeadSlots(t *testing.T) {
+	lt := driftLife(0.1)
+	lt.Camp.DeadMPEs = []int{0}
+	d := fixtureDeployment(t, lt)
+	dt := fixtureDetector(t, d, DefaultDetectConfig())
+
+	before, err := dt.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Severity != Critical || before.DeadAllocs == 0 {
+		t.Fatalf("dead mPE not graded critical: %+v", before)
+	}
+
+	out, err := RunOnce(d, dt, PolicyFull, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Escalated || out.Moves == 0 {
+		t.Fatalf("ladder never escalated: %+v", out)
+	}
+	if out.After.DeadAllocs != 0 {
+		t.Fatalf("dead allocations survive escalation: %+v", out.After)
+	}
+	if out.After.Severity == Critical {
+		t.Fatalf("still critical after escalation: %+v", out.After)
+	}
+}

@@ -33,6 +33,7 @@ type Metrics struct {
 
 	queues   []queueGauge
 	breakers []breakerGauge
+	repairs  []func() RepairStatus
 }
 
 type queueGauge struct {
@@ -116,6 +117,13 @@ func (m *Metrics) RegisterQueue(model, backend string, depth func() int) {
 func (m *Metrics) RegisterBreaker(model, backend string, state func() BreakerState) {
 	m.mu.Lock()
 	m.breakers = append(m.breakers, breakerGauge{model: model, backend: backend, state: state})
+	m.mu.Unlock()
+}
+
+// RegisterRepair adds one model's self-healing status to the exposition.
+func (m *Metrics) RegisterRepair(status func() RepairStatus) {
+	m.mu.Lock()
+	m.repairs = append(m.repairs, status)
 	m.mu.Unlock()
 }
 
@@ -207,8 +215,13 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ips := m.imagesPerSecLocked()
 	queues := append([]queueGauge(nil), m.queues...)
 	breakers := append([]breakerGauge(nil), m.breakers...)
+	repairFns := append([]func() RepairStatus(nil), m.repairs...)
 	uptime := time.Since(m.start).Seconds()
 	m.mu.Unlock()
+	repairs := make([]RepairStatus, len(repairFns))
+	for i, fn := range repairFns {
+		repairs[i] = fn()
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP resparc_serve_requests_total Classification requests accepted for processing.\n")
@@ -254,4 +267,55 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP resparc_serve_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE resparc_serve_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "resparc_serve_uptime_seconds %g\n", uptime)
+	if len(repairs) > 0 {
+		writeRepairMetrics(w, repairs)
+	}
+}
+
+// writeRepairMetrics renders the self-healing exposition: per-model pass
+// and activity counters from the deployment's repair.Stats, plus the age
+// and last-probe gauges the dashboards alert on.
+func writeRepairMetrics(w http.ResponseWriter, repairs []RepairStatus) {
+	counter := func(name, help string, value func(RepairStatus) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		for _, st := range repairs {
+			fmt.Fprintf(w, "%s{model=%q,policy=%q} %d\n", name, st.Model, st.Policy, value(st))
+		}
+	}
+	counter("resparc_repair_passes_total", "Completed repair passes.",
+		func(st RepairStatus) int64 { return st.Passes })
+	counter("resparc_repair_errors_total", "Repair passes that failed.",
+		func(st RepairStatus) int64 { return st.Errors })
+	counter("resparc_repair_probes_total", "Detector probes run (canary classification plus scan).",
+		func(st RepairStatus) int64 { return int64(st.Stats.Probes) })
+	counter("resparc_repair_refreshed_slots_total", "Slots rewritten by program-verify refresh.",
+		func(st RepairStatus) int64 { return int64(st.Stats.Refreshes) })
+	counter("resparc_repair_cells_rewritten_total", "Cross-points rewritten by refreshes.",
+		func(st RepairStatus) int64 { return int64(st.Stats.CellsRewritten) })
+	counter("resparc_repair_delta_allocs_total", "Allocations delta-rule tuned.",
+		func(st RepairStatus) int64 { return int64(st.Stats.DeltaAllocs) })
+	counter("resparc_repair_moves_total", "Allocations remapped to spare MPEs.",
+		func(st RepairStatus) int64 { return int64(st.Stats.Moves) })
+	counter("resparc_repair_escalations_total", "Remap escalations triggered.",
+		func(st RepairStatus) int64 { return int64(st.Stats.Escalations) })
+	fmt.Fprintf(w, "# HELP resparc_repair_age_inferences Deployment age in inferences after the last pass.\n")
+	fmt.Fprintf(w, "# TYPE resparc_repair_age_inferences gauge\n")
+	for _, st := range repairs {
+		fmt.Fprintf(w, "resparc_repair_age_inferences{model=%q,policy=%q} %g\n", st.Model, st.Policy, st.Age)
+	}
+	fmt.Fprintf(w, "# HELP resparc_repair_agreement Canary agreement of the last pass's final probe.\n")
+	fmt.Fprintf(w, "# TYPE resparc_repair_agreement gauge\n")
+	for _, st := range repairs {
+		fmt.Fprintf(w, "resparc_repair_agreement{model=%q,policy=%q} %g\n", st.Model, st.Policy, st.LastAgreement)
+	}
+	fmt.Fprintf(w, "# HELP resparc_repair_active Whether a repair pass currently holds the model write lock.\n")
+	fmt.Fprintf(w, "# TYPE resparc_repair_active gauge\n")
+	for _, st := range repairs {
+		active := 0
+		if st.Repairing {
+			active = 1
+		}
+		fmt.Fprintf(w, "resparc_repair_active{model=%q,policy=%q} %d\n", st.Model, st.Policy, active)
+	}
 }

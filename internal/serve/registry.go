@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"resparc/internal/bench"
 	"resparc/internal/cmosbase"
@@ -83,6 +84,15 @@ type Model struct {
 	// so listings are stable.
 	backends map[string]sim.Backend
 	order    []string
+
+	// mu is the repair quiescence lock: classification holds the read
+	// side, a repair pass (which rewrites the network's weights in place)
+	// holds the write side. Uncontended when repair is off.
+	mu sync.RWMutex
+	// served counts crossbar inferences classified through this model —
+	// the deployment age clock when repair is enabled. CMOS requests are
+	// excluded: digital SRAM does not wear the crossbars.
+	served atomic.Int64
 }
 
 // addBackend registers a backend under its own Name.
@@ -96,9 +106,14 @@ func (m *Model) addBackend(b sim.Backend) {
 
 // Backend resolves a wire-form backend name.
 func (m *Model) Backend(name string) (sim.Backend, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	b, ok := m.backends[name]
 	return b, ok
 }
+
+// Served returns how many crossbar inferences the model has classified.
+func (m *Model) Served() int64 { return m.served.Load() }
 
 // Backends lists the model's backend names in registration order.
 func (m *Model) Backends() []string {
@@ -116,7 +131,13 @@ func (m *Model) Backends() []string {
 // per image. Every backend is driven through the one sim.Backend interface;
 // the model never special-cases a backend type.
 func (m *Model) ClassifyEach(backend Backend, inputs []tensor.Vec, seeds []int64, workers, batch int) ([]perf.Result, []int, error) {
-	bk, ok := m.Backend(string(backend))
+	// The read lock spans the whole evaluation: a repair pass (write side)
+	// rewrites the network's weights in place and must see no batch in
+	// flight. Nested locking is avoided — the backend lookup happens under
+	// this same acquisition, not through Backend().
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bk, ok := m.backends[string(backend)]
 	if !ok {
 		return nil, nil, fmt.Errorf("serve: unknown backend %q", backend)
 	}
@@ -124,6 +145,9 @@ func (m *Model) ClassifyEach(backend Backend, inputs []tensor.Vec, seeds []int64
 	ress, reps, err := bk.ClassifyEach(inputs, enc, sim.Options{Workers: workers, Batch: batch})
 	if err != nil {
 		return nil, nil, err
+	}
+	if backend != BackendCMOS {
+		m.served.Add(int64(len(inputs)))
 	}
 	preds := make([]int, len(reps))
 	for i, r := range reps {

@@ -103,6 +103,11 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// Self-healing scheduler state (see StartRepair).
+	repairers  []*Repairer
+	repairStop chan struct{}
+	repairWG   sync.WaitGroup
 }
 
 // New builds a server over the registry's models. Batchers are created
@@ -196,8 +201,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close drains every batcher: admission stops (submissions return
 // ErrClosed), in-flight and queued batches complete, and every admitted
-// request receives its response before Close returns.
+// request receives its response before Close returns. The repair scheduler
+// stops first so draining batches never contend with a repair pass.
 func (s *Server) Close() {
+	s.StopRepair()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -402,12 +409,19 @@ type HealthResponse struct {
 }
 
 // health assembles the shared liveness/readiness body: the per-(model,
-// backend) circuit states plus whether any circuit is open and whether the
-// server is draining.
-func (s *Server) health() (resp HealthResponse, anyOpen, draining bool) {
+// backend) circuit states plus whether any circuit is open, whether the
+// server is draining, and whether a repair pass holds a model write lock.
+func (s *Server) health() (resp HealthResponse, anyOpen, draining, repairing bool) {
 	s.mu.Lock()
 	draining = s.closed
+	repairers := s.repairers
 	s.mu.Unlock()
+	for _, r := range repairers {
+		if r.Repairing() {
+			repairing = true
+			break
+		}
+	}
 	resp = HealthResponse{Status: "ok"}
 	for _, m := range s.cfg.Registry.Models() {
 		for _, backend := range m.Backends() {
@@ -423,7 +437,7 @@ func (s *Server) health() (resp HealthResponse, anyOpen, draining bool) {
 			})
 		}
 	}
-	return resp, anyOpen, draining
+	return resp, anyOpen, draining, repairing
 }
 
 func writeHealth(w http.ResponseWriter, code int, resp HealthResponse) {
@@ -439,25 +453,30 @@ func writeHealth(w http.ResponseWriter, code int, resp HealthResponse) {
 // the process now would lose it). Orchestrators restart on liveness
 // failures; load balancers should watch /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	resp, _, draining := s.health()
+	resp, _, draining, _ := s.health()
 	if draining {
 		resp.Status = "draining"
 	}
 	writeHealth(w, http.StatusOK, resp)
 }
 
-// handleReadyz is readiness: 503 while draining or while any (model,
-// backend) circuit is open, so a load balancer stops routing here before
-// requests start failing. The body carries the per-(model, backend) breaker
-// states either way — a balancer that parses it can keep routing the pairs
-// that are still healthy (e.g. the CMOS baseline while the RESPARC circuit
-// recovers) instead of dropping the whole replica.
+// handleReadyz is readiness: 503 while draining, while a repair pass holds
+// a model write lock ("repairing" — requests would queue behind the lock,
+// so a balancer should route to siblings until the window closes), or while
+// any (model, backend) circuit is open, so a load balancer stops routing
+// here before requests start failing. The body carries the per-(model,
+// backend) breaker states either way — a balancer that parses it can keep
+// routing the pairs that are still healthy (e.g. the CMOS baseline while
+// the RESPARC circuit recovers) instead of dropping the whole replica.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	resp, anyOpen, draining := s.health()
+	resp, anyOpen, draining, repairing := s.health()
 	code := http.StatusOK
 	switch {
 	case draining:
 		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case repairing:
+		resp.Status = "repairing"
 		code = http.StatusServiceUnavailable
 	case anyOpen:
 		code = http.StatusServiceUnavailable

@@ -13,7 +13,7 @@ package snn
 import (
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"resparc/internal/bitvec"
 	"resparc/internal/tensor"
@@ -71,19 +71,19 @@ type Layer struct {
 	// variant used by some trained-from-scratch SNNs.
 	HardReset bool
 
-	// Lazily built simulation caches. Weight matrices are never mutated
-	// after layer construction in this codebase (conversion and
-	// quantization build fresh layers), so the caches cannot go stale; the
-	// sync.Once guards make concurrent first use from parallel evaluation
-	// workers safe.
-	adjOnce sync.Once
-	adj     *adjacency // input->output adjacency for event-driven sim
-	wTOnce  sync.Once
-	wT      *tensor.Mat // dense W^T: one contiguous row per input neuron
-	panOnce sync.Once
-	pan     []float64 // W packed into 8-row panels (see panelW)
-	cpOnce  sync.Once
-	cp      *convPlan // conv valid-tap ranges (see convPlan)
+	// Lazily built simulation caches behind atomic pointers, so the hot
+	// path stays lock-free and concurrent first use from parallel
+	// evaluation workers is safe. Each cached layout is a pure function of
+	// W (and the fixed geometry), so a duplicate concurrent build is
+	// benign: every builder produces bit-identical content and the last
+	// Store wins. Code that mutates W after construction — fault
+	// injection, in-place repair — must call InvalidateWeightCaches so the
+	// weight-derived layouts (adj, wT, pan) are rebuilt; cp depends only
+	// on geometry and survives weight mutation.
+	adj atomic.Pointer[adjacency]  // input->output adjacency for event-driven sim
+	wT  atomic.Pointer[tensor.Mat] // dense W^T: one contiguous row per input neuron
+	pan atomic.Pointer[panelCache] // W packed into 8-row panels (see panelW)
+	cp  atomic.Pointer[convPlan]   // conv valid-tap ranges (see convPlan)
 }
 
 // InSize returns the flattened input length.
@@ -316,11 +316,15 @@ type adjacency struct {
 // layers get a flat CSR built from the shared ConvGeom walker. Safe for
 // concurrent first use.
 func (l *Layer) buildAdjacency() *adjacency {
-	l.adjOnce.Do(l.initAdjacency)
-	return l.adj
+	if a := l.adj.Load(); a != nil {
+		return a
+	}
+	a := l.makeAdjacency()
+	l.adj.Store(a)
+	return a
 }
 
-func (l *Layer) initAdjacency() {
+func (l *Layer) makeAdjacency() *adjacency {
 	// Pool layers connect same-channel only; the geometry walker enumerates
 	// every channel combination, so filter the cross-channel taps out.
 	keep := func(outIdx, inIdx int) bool {
@@ -368,7 +372,7 @@ func (l *Layer) initAdjacency() {
 		}
 		cursor[inIdx] = p + 1
 	})
-	l.adj = adj
+	return adj
 }
 
 // transposedW returns the lazily built W^T of a dense layer: row i holds the
@@ -376,9 +380,17 @@ func (l *Layer) initAdjacency() {
 // the event-driven dense integration from a stride-Cols column walk into a
 // streaming row accumulation per input spike. Safe for concurrent first use.
 func (l *Layer) transposedW() *tensor.Mat {
-	l.wTOnce.Do(func() { l.wT = l.W.Transpose() })
-	return l.wT
+	if t := l.wT.Load(); t != nil {
+		return t
+	}
+	t := l.W.Transpose()
+	l.wT.Store(t)
+	return t
 }
+
+// panelCache wraps the packed panel slice so it can live behind an
+// atomic.Pointer (a slice header is not directly atomically storable).
+type panelCache struct{ w []float64 }
 
 // panelLanes is the row-group width of the packed panel layout: the blocked
 // dense kernel advances this many output neurons per spike, and packing puts
@@ -400,21 +412,48 @@ const panelLanes = 8
 // spiking tap into 8 feature maps at once. Never called for pool layers
 // (W == nil).
 func (l *Layer) panelW() []float64 {
-	l.panOnce.Do(func() {
-		cols := l.W.Cols
-		groups := l.W.Rows / panelLanes
-		l.pan = make([]float64, groups*cols*panelLanes)
-		for g := 0; g < groups; g++ {
-			block := l.pan[g*cols*panelLanes:]
-			for lane := 0; lane < panelLanes; lane++ {
-				row := l.W.Row((g*panelLanes + lane))
-				for i, x := range row {
-					block[i*panelLanes+lane] = x
-				}
+	if p := l.pan.Load(); p != nil {
+		return p.w
+	}
+	cols := l.W.Cols
+	groups := l.W.Rows / panelLanes
+	pan := make([]float64, groups*cols*panelLanes)
+	for g := 0; g < groups; g++ {
+		block := pan[g*cols*panelLanes:]
+		for lane := 0; lane < panelLanes; lane++ {
+			row := l.W.Row((g*panelLanes + lane))
+			for i, x := range row {
+				block[i*panelLanes+lane] = x
 			}
 		}
-	})
-	return l.pan
+	}
+	l.pan.Store(&panelCache{w: pan})
+	return pan
+}
+
+// InvalidateWeightCaches drops the layer's weight-derived simulation
+// layouts (event adjacency, transposed weights, packed panels) so the next
+// integration rebuilds them from the current W. It must be called after any
+// in-place mutation of W — fault injection or crossbar repair — or stepped,
+// blocked and batch-major evaluation keep reading the stale layouts. The
+// conv tap plan depends only on geometry and is deliberately kept.
+//
+// The caller is responsible for quiescence: invalidate while no evaluation
+// over this layer is in flight (the serving integration takes the model's
+// repair write-lock for exactly this reason). Concurrent rebuilds after the
+// invalidation are safe.
+func (l *Layer) InvalidateWeightCaches() {
+	l.adj.Store(nil)
+	l.wT.Store(nil)
+	l.pan.Store(nil)
+}
+
+// InvalidateWeightCaches invalidates the weight-derived caches of every
+// layer. See Layer.InvalidateWeightCaches.
+func (n *Network) InvalidateWeightCaches() {
+	for _, l := range n.Layers {
+		l.InvalidateWeightCaches()
+	}
 }
 
 // convPlan caches, per conv output row/column, the range of kernel
@@ -431,11 +470,15 @@ type convPlan struct {
 // convPlan returns the lazily built valid-tap plan of a conv layer. Safe
 // for concurrent first use.
 func (l *Layer) convPlan() *convPlan {
-	l.cpOnce.Do(l.initConvPlan)
-	return l.cp
+	if p := l.cp.Load(); p != nil {
+		return p
+	}
+	p := l.makeConvPlan()
+	l.cp.Store(p)
+	return p
 }
 
-func (l *Layer) initConvPlan() {
+func (l *Layer) makeConvPlan() *convPlan {
 	g := l.Geom
 	clampRange := func(o, in int) (int, int) {
 		lo, hi := 0, g.K
@@ -461,7 +504,7 @@ func (l *Layer) initConvPlan() {
 	for ox := 0; ox < l.Out.W; ox++ {
 		p.kxLo[ox], p.kxHi[ox] = clampRange(ox, g.In.W)
 	}
-	l.cp = p
+	return p
 }
 
 // ActiveSynOps returns the number of synaptic accumulations an event-driven

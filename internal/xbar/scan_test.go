@@ -1,0 +1,71 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"resparc/internal/device"
+	"resparc/internal/tensor"
+)
+
+// A freshly programmed, undrifted crossbar must scan clean; perturbing the
+// conductances must surface out-of-tolerance cells without changing the
+// device state (the scan is read-only).
+func TestScanVerify(t *testing.T) {
+	tech := device.AgSi
+	w := randomWeights(24, 3)
+	x, err := New(24, 24, tech, w.MaxAbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.ProgramMatrix(w); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := x.ScanVerify(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Cells != 24*24 {
+		t.Fatalf("scanned %d cells, want %d", clean.Cells, 24*24)
+	}
+	if clean.Degraded() || clean.MaxErr != 0 {
+		t.Fatalf("clean crossbar scans degraded: %v", clean)
+	}
+
+	x.Perturb(Config{Variation: true}, rand.New(rand.NewSource(9)))
+	before := make([]float64, 0, 24*24)
+	for r := 0; r < 24; r++ {
+		for c := 0; c < 24; c++ {
+			before = append(before, x.Weight(r, c))
+		}
+	}
+	drifted, err := x.ScanVerify(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted.Degraded() {
+		t.Fatalf("perturbed crossbar scans clean: %v", drifted)
+	}
+	if drifted.MeanAbsErr <= 0 || drifted.MaxErr < drifted.MeanAbsErr {
+		t.Fatalf("implausible error stats: %v", drifted)
+	}
+	i := 0
+	for r := 0; r < 24; r++ {
+		for c := 0; c < 24; c++ {
+			if x.Weight(r, c) != before[i] {
+				t.Fatal("scan mutated device state")
+			}
+			i++
+		}
+	}
+}
+
+func TestScanVerifySizeMismatch(t *testing.T) {
+	x, err := New(8, 8, device.AgSi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ScanVerify(tensor.NewMat(9, 9), 0); err == nil {
+		t.Fatal("oversized target accepted")
+	}
+}

@@ -104,6 +104,60 @@ func (x *Crossbar) ProgramVerify(w *tensor.Mat, cfg VerifyConfig) (VerifyReport,
 	return rep, nil
 }
 
+// ScanReport summarizes one read-only verify scan: how far the stored
+// weights have wandered from their programmed targets. It is the detection
+// half of program-verify — the lifetime repair loop scans sampled crossbars
+// to decide whether a refresh is due, without disturbing the devices.
+type ScanReport struct {
+	Cells      int     // cross-points compared
+	OutOfTol   int     // cells whose |readback - target| exceeds tolerance
+	MaxErr     float64 // worst absolute weight error seen
+	MeanAbsErr float64 // mean absolute weight error over all cells
+}
+
+// Degraded reports whether any scanned cell was out of tolerance.
+func (r ScanReport) Degraded() bool { return r.OutOfTol > 0 }
+
+func (r ScanReport) String() string {
+	return fmt.Sprintf("scan: %d cells, %d out of tolerance, max err %.4g, mean err %.4g",
+		r.Cells, r.OutOfTol, r.MaxErr, r.MeanAbsErr)
+}
+
+// ScanVerify reads the crossbar back against the target weights w (at most
+// Rows x Cols, compared in the top-left corner) without issuing any write
+// pulses. Targets are quantized to the level grid exactly as ProgramVerify
+// programs them, so a freshly verified, undrifted array scans clean; drift
+// and stuck-at damage show up as out-of-tolerance cells. tol <= 0 selects
+// half a quantization step, the same default as VerifyConfig.
+func (x *Crossbar) ScanVerify(w *tensor.Mat, tol float64) (ScanReport, error) {
+	if w.Rows > x.Rows || w.Cols > x.Cols {
+		return ScanReport{}, fmt.Errorf("xbar: matrix %dx%d exceeds crossbar %dx%d", w.Rows, w.Cols, x.Rows, x.Cols)
+	}
+	if tol <= 0 {
+		tol = 0.5 * x.mapper.WMax / float64(x.Tech.Levels-1)
+	}
+	var rep ScanReport
+	var sum float64
+	for r := 0; r < w.Rows; r++ {
+		for c := 0; c < w.Cols; c++ {
+			target := x.mapper.Weight(x.mapper.Map(w.At(r, c)))
+			err := math.Abs(x.Weight(r, c) - target)
+			rep.Cells++
+			sum += err
+			if err > tol {
+				rep.OutOfTol++
+			}
+			if err > rep.MaxErr {
+				rep.MaxErr = err
+			}
+		}
+	}
+	if rep.Cells > 0 {
+		rep.MeanAbsErr = sum / float64(rep.Cells)
+	}
+	return rep, nil
+}
+
 // BenignStuck reports whether a stuck device at (r, c, plane) is harmless
 // for target weight w: a stuck-low device on the plane that would rest at
 // GMin anyway reads back exactly on target. Used by the mapping layer to

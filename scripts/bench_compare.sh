@@ -36,3 +36,12 @@ go run ./cmd/resparc-bench -fig fleet "$@"
 # changes, so the table is warn-only — reviewers eyeball it in the PR.
 echo "== event-engine rows (delta is warn-only)"
 go run ./cmd/resparc-bench -fig event "$@"
+
+# Lifetime self-healing recovery (FAULT_RESULTS.json "lifetime" section):
+# the campaign is a pure function of the -seed, and the recovery table shows
+# how much of the end-of-life agreement loss each repair policy wins back.
+# Warn-only for the same reason as the fleet rows — the numbers only move
+# when the repair ladder or the committed campaign parameters change, and a
+# reviewer should eyeball the delta rather than have CI guess a threshold.
+echo "== lifetime repair recovery (delta is warn-only)"
+go run ./cmd/resparc-bench -fig lifetime "$@"

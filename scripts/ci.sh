@@ -32,6 +32,7 @@ go test -race \
     ./internal/cmosbase/ \
     ./internal/fault/ \
     ./internal/mapping/ \
+    ./internal/repair/ \
     ./internal/serve/ \
     ./internal/sim/ \
     ./internal/shard/ \
