@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard|fleet|event]
+//	resparc-bench [-fig all|8|9|10|11|12|13|14a|14b|ablations|checklist|bench|shard|fleet|event|mapper]
 //	              [-quick] [-out FILE] [-workers N] [-batch B] [-json FILE]
 //	              [-blocked=false] [-check] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -30,7 +30,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("resparc-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, lifetime, shard, fleet, event")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 8, 9, 10, 11, 12, 13, 14a, 14b, ablations, checklist, sensitivity, bench, faults, lifetime, shard, fleet, event, mapper")
 	quick := flag.Bool("quick", false, "reduced fidelity (fewer steps/samples) for smoke runs")
 	seed := flag.Int64("seed", 1, "experiment seed; same seed, same results (byte-identical JSON for -fig faults)")
 	outPath := flag.String("out", "", "also write the output to this file")
@@ -372,6 +372,47 @@ func main() {
 		}
 		fmt.Fprintf(out, "event results merged into %s\n", *jsonPath)
 	}
+	// The mapper-quality comparison is explicit-only (it anneals and
+	// re-simulates every benchmark twice). Its rows are pure functions of the
+	// -seed: the placements are deterministic and the measured energy/EDP come
+	// from the modeled accountant, not wall-clock. Merging preserves the
+	// existing file's header, so same-seed reruns keep BENCH_RESULTS.json
+	// byte-identical.
+	if *fig == "mapper" {
+		entries, t, err := experiments.FigMapper(cfg)
+		if err != nil {
+			log.Fatalf("mapper: %v", err)
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+		prev, err := perf.ReadBenchFile(*jsonPath)
+		if err != nil {
+			log.Fatalf("mapper: %v", err)
+		}
+		if dt := mapperDeltaTable(prev.Entries, entries); dt != nil {
+			dt.Render(out)
+			fmt.Fprintln(out)
+		}
+		rep := perf.NewBenchReport(perf.MergeEntries(prev.Entries, entries))
+		if prev.Timestamp != "" {
+			rep.Timestamp = prev.Timestamp
+			rep.GitRevision = prev.GitRevision
+			rep.GoVersion = prev.GoVersion
+			rep.GOMAXPROCS = prev.GOMAXPROCS
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perf.WriteBenchJSON(f, rep); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "mapper results merged into %s\n", *jsonPath)
+	}
 	// The accuracy-under-fault sweep is explicit-only (it re-simulates every
 	// benchmark 13 times); it merges its rows into the machine-readable
 	// FAULT_RESULTS.json header-preservingly. The rows contain no timestamps
@@ -585,6 +626,29 @@ func eventDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
 		}
 		t.Add(e.Name, fmt.Sprintf("%d", old.ModelCycles), fmt.Sprintf("%d", e.ModelCycles),
 			fmt.Sprintf("%d", old.WaitCycles), fmt.Sprintf("%d", e.WaitCycles))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
+}
+
+// mapperDeltaTable compares fresh mapper-quality rows against the previous
+// entries of the same name; nil when no previous mapper row overlaps. The
+// comparison is informational (warn-only): EDP shifts when the cost model or
+// the annealer changes, which is exactly what the delta surfaces.
+func mapperDeltaTable(prev, fresh []perf.BenchEntry) *report.Table {
+	t := report.NewTable("Mapper-quality delta vs previous BENCH_RESULTS.json",
+		"Row", "prev EDP", "new EDP", "prev energy J", "new energy J")
+	rows := 0
+	for _, e := range fresh {
+		old, ok := perf.FindEntry(prev, e.Name)
+		if !ok || old.Objective == 0 {
+			continue
+		}
+		t.Add(e.Name, report.Sci(old.Objective), report.Sci(e.Objective),
+			report.Sci(old.EnergyJ), report.Sci(e.EnergyJ))
 		rows++
 	}
 	if rows == 0 {

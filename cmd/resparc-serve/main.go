@@ -8,6 +8,7 @@
 //	resparc-serve [-addr :8080] [-backend resparc|cmos] [-max-batch 8]
 //	              [-max-wait 2ms] [-queue 64] [-workers 0] [-sim-batch 0]
 //	              [-models mnist-mlp,...] [-model-files a.gob,...]
+//	              [-placement plan.json,...]
 //	              [-steps 48] [-seed 1] [-mca-size 64] [-blocked=false] [-pprof]
 //	              [-repair full] [-repair-interval 30s] [-fault-seed 1]
 //	              [-eol 1e6] [-wear-fraction 0.002] [-drift-sigma 0.12]
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"resparc/internal/fault"
+	"resparc/internal/mapping"
 	"resparc/internal/perf"
 	"resparc/internal/repair"
 	"resparc/internal/serve"
@@ -66,6 +68,7 @@ func main() {
 	simBatch := flag.Int("sim-batch", 0, "batch-major group size inside the simulator (<= 1: per-image evaluation; bit-identical)")
 	models := flag.String("models", "", "comma-separated Fig 10 benchmark names to serve (empty: all six)")
 	modelFiles := flag.String("model-files", "", "comma-separated snn.WriteNetwork files to serve in addition to -models")
+	placements := flag.String("placement", "", "comma-separated resparc-map placement files; a served network matching a placement's network name is realized from the artifact (per-layer MCA sizes, alignment, shard cuts)")
 	steps := flag.Int("steps", 0, "SNN timesteps per classification (0: the paper default)")
 	seed := flag.Int64("seed", 0, "base encoder seed (0: the paper default)")
 	mcaSize := flag.Int("mca-size", 0, "crossbar dimension for the RESPARC mapping (0: the paper default)")
@@ -104,6 +107,20 @@ func main() {
 		rcfg.MCASize = *mcaSize
 	}
 	rcfg.Stepped = !*blocked
+	for _, path := range splitList(*placements) {
+		p, err := mapping.ReadPlacementFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rcfg.Placements == nil {
+			rcfg.Placements = make(map[string]*mapping.Placement)
+		}
+		if prev := rcfg.Placements[p.Network]; prev != nil {
+			log.Fatalf("placement %s: network %q already has a placement", path, p.Network)
+		}
+		rcfg.Placements[p.Network] = p
+		log.Printf("placement %s: %s via %s mapper, sizes %v", path, p.Network, p.Mapper, p.Sizes())
+	}
 	reg, err := serve.NewRegistry(rcfg)
 	if err != nil {
 		log.Fatal(err)

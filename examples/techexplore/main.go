@@ -15,7 +15,6 @@ import (
 	"resparc/internal/bench"
 	"resparc/internal/bitvec"
 	"resparc/internal/device"
-	"resparc/internal/experiments"
 	"resparc/internal/mapping"
 	"resparc/internal/report"
 	"resparc/internal/tensor"
@@ -50,37 +49,45 @@ func main() {
 	t1.Render(os.Stdout)
 	fmt.Println()
 
-	// Part 2: per-technology optimal MCA size under its reliability cap.
-	cfg := experiments.DefaultConfig()
-	cfg.Steps = 24
-	cfg.Samples = 1
+	// Part 2: per-technology optimal MCA size under its reliability cap,
+	// searched by the Mapper API over the cost model's modeled energy:
+	// BestUniform sweeps one size for the whole network, Annealed mixes
+	// sizes per layer (heterogeneous crossbars).
 	sizes := []int{32, 64, 128, 256}
-	t2 := report.NewTable("technology-aware optimal MCA size",
-		"Benchmark", "Technology", "Max size", "Best size", "Energy (J)")
+	t2 := report.NewTable("technology-aware optimal MCA size (modeled energy)",
+		"Benchmark", "Technology", "Max size", "Best uniform", "Energy (J)", "Annealed sizes")
 	for _, name := range []string{"mnist-mlp", "mnist-cnn"} {
 		b, err := bench.ByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
+		net, err := b.Build(1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, tech := range device.All() {
-			cfgT := cfg
-			cfgT.Tech = tech
-			best, cost, err := mapping.BestMCASize(sizes, tech, func(size int) (float64, error) {
-				res, _, _, err := experiments.RunRESPARC(b, size, cfgT, true, 0)
-				if err != nil {
-					return 0, err
-				}
-				return res.Energy, nil
-			})
+			mc := mapping.DefaultConfig()
+			mc.MCASize = min(64, tech.MaxSize)
+			mc.Tech = tech
+			cons := mapping.DefaultConstraints(mc)
+			cons.Sizes = sizes
+			uni, err := mapping.BestUniform(net, cons)
 			if err != nil {
 				log.Fatal(err)
 			}
-			t2.Add(name, tech.Name, fmt.Sprintf("%d", tech.MaxSize), fmt.Sprintf("%d", best), report.Sci(cost))
+			ann, err := (mapping.Annealed{Seed: 1, Iters: 120, Chains: 2}).Plan(net, cons)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t2.Add(name, tech.Name, fmt.Sprintf("%d", tech.MaxSize),
+				fmt.Sprintf("%d", uni.Layers[0].MCASize), report.Sci(uni.Cost.EnergyJ),
+				fmt.Sprintf("%v", ann.Sizes()))
 		}
 	}
 	t2.Render(os.Stdout)
 	fmt.Println("\nMLPs want the largest array the technology permits; CNNs prefer")
 	fmt.Println("an intermediate size — and a technology capped below that size")
-	fmt.Println("(Spintronic) must settle for its maximum. This is the mapping")
-	fmt.Println("flexibility RESPARC's reconfigurable hierarchy provides.")
+	fmt.Println("(Spintronic) must settle for its maximum. The annealed column")
+	fmt.Println("shows the per-layer mix a single uniform size cannot express —")
+	fmt.Println("the mapping flexibility RESPARC's reconfigurable hierarchy provides.")
 }

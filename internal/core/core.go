@@ -441,7 +441,7 @@ func (o *observer) ObserveStep(step int, input *bitvec.Bits, layers []*bitvec.Bi
 			if len(ins) > 0 {
 				usedPerRow = float64(mca.Taps) / float64(len(ins))
 			}
-			idlePerRow := float64(c.Map.Cfg.MCASize) - usedPerRow
+			idlePerRow := float64(c.Map.LayerSize(gi)) - usedPerRow
 			if p.GateIdleColumns {
 				idlePerRow = 0
 			}

@@ -102,7 +102,7 @@ func (c *Chip) eventPlans() []layerPlan {
 				if len(mca.Inputs) > 0 {
 					usedPerRow = float64(mca.Taps) / float64(len(mca.Inputs))
 				}
-				idlePerRow := float64(c.Map.Cfg.MCASize) - usedPerRow
+				idlePerRow := float64(c.Map.LayerSize(li)) - usedPerRow
 				if p.GateIdleColumns {
 					idlePerRow = 0
 				}

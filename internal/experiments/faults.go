@@ -304,10 +304,10 @@ func deadMPEPick(seed int64, mpes int, frac float64) []int {
 // quantization, stuck state and drift; taps on dead slots vanish. The zero
 // campaign at age 0 yields the clean quantized reference.
 func faultedNetworkOn(net *snn.Network, m *mapping.Mapping, camp fault.Campaign, age float64) (*snn.Network, error) {
-	size := m.Cfg.MCASize
 	sigma := camp.DriftSigmaAt(age)
 	layers := make([]*snn.Layer, 0, len(net.Layers))
 	for li, l := range net.Layers {
+		size := m.LayerSize(li)
 		switch l.Kind {
 		case snn.DenseLayer:
 			mapper, err := quant.NewMapper(m.Cfg.Tech, l.W.MaxAbs())

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"resparc/internal/bench"
+	"resparc/internal/core"
+	"resparc/internal/mapping"
+	"resparc/internal/sim"
+)
+
+// A greedy placement artifact must realize the exact mapping the legacy
+// direct path builds: identical predictions AND identical energy accounting
+// on every benchmark. This is the contract that lets resparc-serve and the
+// shard pipeline consume artifacts without re-deriving layouts.
+func TestGreedyArtifactMatchesDirectPath(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 8
+	for _, b := range bench.All() {
+		net, err := b.Build(cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := mapping.DefaultConstraints(cfg.mapConfig(cfg.MCASize))
+		cons.Steps = 4
+		p, err := (mapping.Greedy{}).Plan(net, cons)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		viaArtifact, err := p.Apply(net)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		direct, err := mapping.Map(net, cfg.mapConfig(cfg.MCASize))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !reflect.DeepEqual(viaArtifact.Layers, direct.Layers) {
+			t.Fatalf("%s: artifact realizes a different layout than the direct path", b.Name)
+		}
+
+		inputs, err := inputsFor(b, net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(m *mapping.Mapping) ([]int, []float64) {
+			copt := core.DefaultOptions()
+			copt.Params = cfg.Params
+			copt.Steps = cfg.Steps
+			chip, err := core.New(net, m, copt)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			ress, reps, err := chip.ClassifyEach(inputs, cfg.encoders(), sim.Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			preds := make([]int, len(reps))
+			energies := make([]float64, len(ress))
+			for i := range reps {
+				preds[i] = reps[i].Predicted
+				energies[i] = ress[i].Energy
+			}
+			return preds, energies
+		}
+		gotP, gotE := run(viaArtifact)
+		wantP, wantE := run(direct)
+		if !reflect.DeepEqual(gotP, wantP) {
+			t.Fatalf("%s: predictions via artifact %v != direct %v", b.Name, gotP, wantP)
+		}
+		if !reflect.DeepEqual(gotE, wantE) {
+			t.Fatalf("%s: energies via artifact %v != direct %v", b.Name, gotE, wantE)
+		}
+	}
+}
+
+// FigMapper's rows come in greedy/annealed pairs for every benchmark, carry
+// the v5 quality fields, and are deterministic for a fixed seed.
+func TestFigMapperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneals six benchmarks")
+	}
+	cfg := testConfig()
+	cfg.Steps = 8
+	entries, tab, err := FigMapper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil {
+		t.Fatal("no table")
+	}
+	if want := 2 * len(bench.All()); len(entries) != want {
+		t.Fatalf("%d entries, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		if e.EnergyJ <= 0 || e.Objective <= 0 || e.NsPerOp <= 0 {
+			t.Fatalf("degenerate row %+v", e)
+		}
+	}
+}

@@ -34,3 +34,37 @@ func ExampleMap() {
 	// Output:
 	// 4 MCAs, 2 groups, mux degree 2, utilization 100%
 }
+
+// The Mapper API plans a placement artifact instead of mapping directly:
+// Greedy reproduces the uniform baseline, Annealed searches per-layer sizes
+// and alignment. The Placement round-trips through JSON and Apply realizes
+// it into the exact Mapping the simulator consumes.
+func ExampleMapper() {
+	w := tensor.NewMat(128, 128)
+	layer, err := snn.NewDense("fc", 128, 128, w, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := snn.NewNetwork("example", tensor.Shape3{H: 1, W: 1, C: 128}, layer)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cons := mapping.DefaultConstraints(mapping.DefaultConfig())
+	cons.Steps = 4
+	p, err := (mapping.Greedy{}).Plan(net, cons)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := p.Apply(net)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s placement: layer size %d, %d MCAs, %d mPEs\n",
+		p.Mapper, p.Layers[0].MCASize, m.MCAs, m.MPEs)
+	// Output:
+	// greedy placement: layer size 64, 4 MCAs, 1 mPEs
+}

@@ -29,8 +29,23 @@ func (m *Mapping) Floorplan(maxNCs int) string {
 		truncated = true
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "floorplan: %d NeuroCell(s), %d mPEs, %d MCAs (MCA size %d)\n",
-		m.NCs, m.MPEs, m.MCAs, m.Cfg.MCASize)
+	lo, hi := m.Cfg.MCASize, m.Cfg.MCASize
+	for li := range m.Layers {
+		if n := m.LayerSize(li); li == 0 {
+			lo, hi = n, n
+		} else if n < lo {
+			lo = n
+		} else if n > hi {
+			hi = n
+		}
+	}
+	if lo == hi {
+		fmt.Fprintf(&sb, "floorplan: %d NeuroCell(s), %d mPEs, %d MCAs (MCA size %d)\n",
+			m.NCs, m.MPEs, m.MCAs, lo)
+	} else {
+		fmt.Fprintf(&sb, "floorplan: %d NeuroCell(s), %d mPEs, %d MCAs (MCA sizes %d-%d)\n",
+			m.NCs, m.MPEs, m.MCAs, lo, hi)
+	}
 	for nc := 0; nc < ncs; nc++ {
 		fmt.Fprintf(&sb, "NC %d:\n", nc)
 		for y := 0; y < dim; y++ {

@@ -106,7 +106,12 @@ func (m *MCA) Utilization(size int) float64 {
 // LayerMapping is the allocation of one SNN layer.
 type LayerMapping struct {
 	Layer *snn.Layer
-	MCAs  []MCA
+	// MCASize is this layer's crossbar dimension. Map sets it uniformly
+	// from Config.MCASize; mappings realized from a heterogeneous Placement
+	// carry a different size per layer. Zero (hand-constructed mappings
+	// predating the field) falls back to the config via Mapping.LayerSize.
+	MCASize int
+	MCAs    []MCA
 	// Groups is the number of output groups; MuxDegree is the maximum
 	// number of MCAs feeding one group (the time-multiplexing degree).
 	Groups    int
@@ -136,8 +141,20 @@ type Mapping struct {
 // Map places the network onto the hierarchy. Layers are allocated in order;
 // MCAs pack densely into mPEs (4 per mPE) and mPEs into NeuroCells, with
 // every layer starting on a fresh mPE (a layer's neurons live with its
-// MCAs).
+// MCAs). Every layer uses the uniform cfg.MCASize; heterogeneous per-layer
+// sizes come from a Placement (see Mapper and Placement.Apply).
 func Map(net *snn.Network, cfg Config) (*Mapping, error) {
+	return mapLayers(net, cfg, nil, nil)
+}
+
+// mapLayers is the generalized placement core behind Map and
+// Placement.Apply: sizes[li], when non-zero, overrides cfg.MCASize for
+// layer li (heterogeneous crossbars), and ncAlign[li] starts layer li on a
+// fresh NeuroCell boundary instead of merely a fresh mPE — the placement
+// knob that decides whether consecutive layers share a NeuroCell (and so
+// whether their traffic rides the switch networks or the global bus, see
+// TransportOf). Nil slices reproduce Map exactly.
+func mapLayers(net *snn.Network, cfg Config, sizes []int, ncAlign []bool) (*Mapping, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -147,24 +164,21 @@ func Map(net *snn.Network, cfg Config) (*Mapping, error) {
 	m := &Mapping{Net: net, Cfg: cfg}
 	mpeCursor := 0
 	for li, l := range net.Layers {
-		var lm LayerMapping
-		var err error
-		switch l.Kind {
-		case snn.DenseLayer:
-			if cfg.SparseDenseMaxFill > 0 && denseFill(l) <= cfg.SparseDenseMaxFill {
-				lm = packUnits(li, denseUnits(l), cfg)
-			} else {
-				lm = mapDense(li, l, cfg)
-			}
-		case snn.ConvLayer, snn.PoolLayer:
-			lm, err = mapSparse(li, l, cfg)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("mapping: layer %d unknown kind", li)
+		n := cfg.MCASize
+		if li < len(sizes) && sizes[li] > 0 {
+			n = sizes[li]
 		}
-		lm.Layer = l
+		if n < 2 || n > cfg.Tech.MaxSize {
+			return nil, fmt.Errorf("mapping: layer %d MCA size %d outside [2,%d] for %s",
+				li, n, cfg.Tech.MaxSize, cfg.Tech.Name)
+		}
+		lm, err := layerMappingFor(li, l, cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		if li < len(ncAlign) && ncAlign[li] && mpeCursor%cfg.MPEsPerNC != 0 {
+			mpeCursor += cfg.MPEsPerNC - mpeCursor%cfg.MPEsPerNC
+		}
 		// Pack this layer's MCAs into mPEs starting at a fresh mPE.
 		lm.MPEFirst = mpeCursor
 		for i := range lm.MCAs {
@@ -182,7 +196,7 @@ func Map(net *snn.Network, cfg Config) (*Mapping, error) {
 		for i := range lm.MCAs {
 			taps += lm.MCAs[i].Taps
 		}
-		lm.Utilization = float64(taps) / float64(cfg.MCASize*cfg.MCASize*len(lm.MCAs))
+		lm.Utilization = float64(taps) / float64(n*n*len(lm.MCAs))
 		m.Layers = append(m.Layers, lm)
 	}
 	m.MPEs = mpeCursor
@@ -193,11 +207,50 @@ func Map(net *snn.Network, cfg Config) (*Mapping, error) {
 	return m, nil
 }
 
+// layerMappingFor maps one layer onto size-n crossbars, position-free (no
+// mPE/NC assignment yet). Within-layer packing is independent of where the
+// layer lands: every layer starts on a fresh mPE, so MCA i always occupies
+// relative mPE i/MCAsPerMPE — the property the mapper's cost model exploits
+// to cache per-(layer, size) statistics.
+func layerMappingFor(li int, l *snn.Layer, cfg Config, n int) (LayerMapping, error) {
+	var lm LayerMapping
+	var err error
+	switch l.Kind {
+	case snn.DenseLayer:
+		if cfg.SparseDenseMaxFill > 0 && denseFill(l) <= cfg.SparseDenseMaxFill {
+			lm = packUnits(li, denseUnits(l), cfg, n)
+		} else {
+			lm = mapDense(li, l, n)
+		}
+	case snn.ConvLayer, snn.PoolLayer:
+		lm, err = mapSparse(li, l, cfg, n)
+		if err != nil {
+			return LayerMapping{}, err
+		}
+	default:
+		return LayerMapping{}, fmt.Errorf("mapping: layer %d unknown kind", li)
+	}
+	lm.Layer = l
+	lm.MCASize = n
+	return lm, nil
+}
+
+// LayerSize returns layer li's crossbar dimension: the per-layer size when
+// the mapping carries one, the uniform Config.MCASize otherwise. Consumers
+// that model or build physical arrays (core, neurocell, repair, fault
+// surveys) must size per layer through this instead of reaching into
+// Cfg.MCASize, or heterogeneous placements would mis-model the hardware.
+func (m *Mapping) LayerSize(li int) int {
+	if s := m.Layers[li].MCASize; s > 0 {
+		return s
+	}
+	return m.Cfg.MCASize
+}
+
 // mapDense tiles the Out x In connectivity matrix with N x N blocks
 // (Fig 5b). Row blocks of one column stripe share an output group and are
 // time-multiplexed onto its neurons.
-func mapDense(li int, l *snn.Layer, cfg Config) LayerMapping {
-	n := cfg.MCASize
+func mapDense(li int, l *snn.Layer, n int) LayerMapping {
 	in, out := l.InSize(), l.OutSize()
 	colBlocks := (out + n - 1) / n
 	rowBlocks := (in + n - 1) / n
@@ -235,12 +288,12 @@ type unit struct {
 }
 
 // mapSparse packs convolution/pool outputs into MCAs with input sharing.
-func mapSparse(li int, l *snn.Layer, cfg Config) (LayerMapping, error) {
+func mapSparse(li int, l *snn.Layer, cfg Config, n int) (LayerMapping, error) {
 	units, err := unitsOf(l)
 	if err != nil {
 		return LayerMapping{}, fmt.Errorf("mapping: layer %d: %w", li, err)
 	}
-	return packUnits(li, units, cfg), nil
+	return packUnits(li, units, cfg, n), nil
 }
 
 // denseFill returns the non-zero weight fraction of a dense layer.
@@ -277,8 +330,7 @@ func denseUnits(l *snn.Layer) []unit {
 // block while the union of their inputs fits the rows and their outputs fit
 // the columns. When a single unit exceeds the array, its inputs split
 // across time-multiplexed row chunks (one group per column chunk).
-func packUnits(li int, units []unit, cfg Config) LayerMapping {
-	n := cfg.MCASize
+func packUnits(li int, units []unit, cfg Config, n int) LayerMapping {
 	lm := LayerMapping{}
 	group := 0
 	i := 0
@@ -432,19 +484,21 @@ func rangeSlice(a, b int) []int32 {
 	return out
 }
 
-// TotalUtilization returns taps / capacity over the whole mapping.
+// TotalUtilization returns taps / capacity over the whole mapping, sized
+// per layer (uniform mappings reduce to the classic taps / (arrays * N²)).
 func (m *Mapping) TotalUtilization() float64 {
-	taps, arrays := 0, 0
+	taps, capacity := 0, 0
 	for i := range m.Layers {
 		for j := range m.Layers[i].MCAs {
 			taps += m.Layers[i].MCAs[j].Taps
 		}
-		arrays += len(m.Layers[i].MCAs)
+		n := m.LayerSize(i)
+		capacity += len(m.Layers[i].MCAs) * n * n
 	}
-	if arrays == 0 {
+	if capacity == 0 {
 		return 0
 	}
-	return float64(taps) / float64(arrays*m.Cfg.MCASize*m.Cfg.MCASize)
+	return float64(taps) / float64(capacity)
 }
 
 // Transport is the path a layer's input spikes take (Fig 7).
@@ -513,10 +567,10 @@ func (m *Mapping) CrossNC(li int) bool { return m.TransportOf(li) == Bus }
 // Returns nil for a well-formed mapping; Map always produces one, so this
 // is chiefly a guard for hand-constructed or mutated mappings.
 func (m *Mapping) Validate() error {
-	n := m.Cfg.MCASize
 	prevMPE := -1
 	for li := range m.Layers {
 		lm := &m.Layers[li]
+		n := m.LayerSize(li)
 		if lm.MPEFirst <= prevMPE {
 			return fmt.Errorf("mapping: layer %d placement overlaps the previous layer", li)
 		}
@@ -600,8 +654,14 @@ func (lm *LayerMapping) Switches(cfg Config) int {
 
 // BestMCASize returns the crossbar size (among candidates permitted by the
 // technology) minimizing the given cost function — the technology-aware
-// mapping of contribution 3. cost is typically energy-per-classification
-// from the architecture simulator.
+// mapping of contribution 3 with a caller-supplied cost (typically
+// energy-per-classification from the full architecture simulator).
+//
+// Deprecated: this is the single-knob, uniform-size special case of the
+// Mapper API. New code should plan through a Mapper — Greedy with
+// Constraints.Sizes = []int{size} prices one uniform size with the built-in
+// cost model, and BestUniform sweeps the candidate sizes the way this
+// function does, returning a full Placement instead of a bare size.
 func BestMCASize(candidates []int, tech device.Technology, cost func(size int) (float64, error)) (int, float64, error) {
 	best, bestCost := 0, 0.0
 	found := false

@@ -30,6 +30,7 @@ func (m *Mapping) SurveyCells(dead DeadFunc, cells CellsFunc) []MCAHealth {
 	var out []MCAHealth
 	for li := range m.Layers {
 		lm := &m.Layers[li]
+		n := m.LayerSize(li)
 		for ai := range lm.MCAs {
 			a := &lm.MCAs[ai]
 			id := fault.SlotID{MPE: a.MPE, Slot: a.Slot}
@@ -39,7 +40,7 @@ func (m *Mapping) SurveyCells(dead DeadFunc, cells CellsFunc) []MCAHealth {
 				out = append(out, h)
 				continue
 			}
-			h.BadTaps = damagingTaps(cells(id, m.Cfg.MCASize, m.Cfg.MCASize), lm.Layer, a)
+			h.BadTaps = damagingTaps(cells(id, n, n), lm.Layer, a)
 			if h.BadTaps > 0 {
 				out = append(out, h)
 			}
@@ -60,12 +61,16 @@ func (m *Mapping) SurveyCampaign(camp fault.Campaign) []MCAHealth {
 // fault source instead of hardware.
 func (m *Mapping) ScreenCells(dead DeadFunc, cells CellsFunc, maxBadTaps int) func(fault.SlotID, *MCA) bool {
 	// The screen callback only receives the allocation, so recover its
-	// layer through the placement tables once up front.
+	// layer (and the layer's crossbar size) through the placement tables
+	// once up front.
 	layerOf := make(map[*MCA]*snn.Layer)
+	sizeOf := make(map[*MCA]int)
 	for li := range m.Layers {
 		lm := &m.Layers[li]
+		n := m.LayerSize(li)
 		for ai := range lm.MCAs {
 			layerOf[&lm.MCAs[ai]] = lm.Layer
+			sizeOf[&lm.MCAs[ai]] = n
 		}
 	}
 	return func(id fault.SlotID, a *MCA) bool {
@@ -76,7 +81,8 @@ func (m *Mapping) ScreenCells(dead DeadFunc, cells CellsFunc, maxBadTaps int) fu
 		if !ok {
 			return false
 		}
-		return damagingTaps(cells(id, m.Cfg.MCASize, m.Cfg.MCASize), l, a) <= maxBadTaps
+		n := sizeOf[a]
+		return damagingTaps(cells(id, n, n), l, a) <= maxBadTaps
 	}
 }
 

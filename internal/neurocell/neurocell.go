@@ -107,6 +107,7 @@ func New(net *snn.Network, m *mapping.Mapping, mode mpe.Mode, xcfg xbar.Config) 
 	}
 	for li := range m.Layers {
 		lm := &m.Layers[li]
+		size := m.LayerSize(li)
 		sl := simLayer{layer: lm.Layer, lm: lm, outBuf: bitvec.New(lm.Layer.OutSize())}
 		// wmax for physical programming: full-scale weight of the layer.
 		wmax := 1.0
@@ -121,12 +122,12 @@ func New(net *snn.Network, m *mapping.Mapping, mode mpe.Mode, xcfg xbar.Config) 
 			var xb *xbar.Crossbar
 			if mode == mpe.Physical {
 				var err error
-				xb, err = xbar.New(m.Cfg.MCASize, m.Cfg.MCASize, m.Cfg.Tech, wmax)
+				xb, err = xbar.New(size, size, m.Cfg.Tech, wmax)
 				if err != nil {
 					return nil, err
 				}
 			}
-			slot, err := mpe.NewSlot(lm.Layer, alloc, m.Cfg.MCASize, mode, xb)
+			slot, err := mpe.NewSlot(lm.Layer, alloc, size, mode, xb)
 			if err != nil {
 				return nil, err
 			}

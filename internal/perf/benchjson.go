@@ -15,9 +15,10 @@ import (
 // added the schema_version and git_revision stamps; version 3 added the
 // fleet serving fields (latency quantiles, SLO attainment, shed/error
 // counts); version 4 added the event-engine fields (modeled cycles, queuing
-// waits, spike sparsity); version 1 documents (no schema_version field)
-// decode as version 1.
-const BenchSchemaVersion = 4
+// waits, spike sparsity); version 5 added the mapper-quality fields (modeled
+// energy and placement objective, written by -fig mapper); version 1
+// documents (no schema_version field) decode as version 1.
+const BenchSchemaVersion = 5
 
 // BenchEntry is one benchmark measurement in machine-readable form — the
 // unit of BENCH_RESULTS.json, which tracks the repo's performance
@@ -55,6 +56,13 @@ type BenchEntry struct {
 	ModelCycles   int64   `json:"model_cycles,omitempty"`
 	WaitCycles    int64   `json:"wait_cycles,omitempty"`
 	SpikesPerStep float64 `json:"spikes_per_step,omitempty"`
+
+	// Mapper-quality fields (schema v5), written by -fig mapper. EnergyJ is
+	// the measured energy per classification under the placement, Objective
+	// the energy-delay product (J·s) the mapper minimized a weighted proxy
+	// of. Deterministic for a fixed seed.
+	EnergyJ   float64 `json:"energy_j,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
 }
 
 // IsFleet reports whether the entry is a fleet serving row (carries an SLO

@@ -261,8 +261,8 @@ func (d *Deployment) Escalate(spareMPEs, maxBadTaps int) (*mapping.RemapReport, 
 // exactly what the sweep's faulted network computes at drift age A.
 // Callers hold d.mu.
 func (d *Deployment) apply() {
-	size := d.Map.Cfg.MCASize
 	for li, l := range d.Net.Layers {
+		size := d.Map.LayerSize(li)
 		switch l.Kind {
 		case snn.DenseLayer:
 			tgt := d.targets[li]

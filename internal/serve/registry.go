@@ -53,6 +53,13 @@ type RegistryConfig struct {
 	// (internal/shard) per model under its own name ("resparc-x4"); the
 	// shard count is clamped to the model's layer count.
 	Shards int
+	// Placements maps a network name to an optimized mapping.Placement
+	// (resparc-map plan / resparc-serve -placement). A registered network
+	// with an entry here is realized from the artifact — per-layer MCA
+	// sizes, NeuroCell alignment, and (when the artifact carries cuts) the
+	// shard partition — instead of the uniform MCASize mapping. Networks
+	// without an entry keep the legacy path.
+	Placements map[string]*mapping.Placement
 }
 
 // DefaultRegistryConfig mirrors the paper's evaluation configuration
@@ -78,6 +85,9 @@ type Model struct {
 	Chip *core.Chip
 	Base *cmosbase.Baseline
 	Map  *mapping.Mapping
+	// Placement is the artifact the mapping was realized from (nil for the
+	// legacy uniform path).
+	Placement *mapping.Placement
 
 	enc *snn.PoissonEncoder // base encoder; request streams fork from it
 	// backends maps wire name -> sim.Backend; order preserves registration
@@ -173,6 +183,12 @@ type ModelInfo struct {
 	Utilization float64  `json:"utilization"`
 	CMOSWeightB int      `json:"cmos_weight_memory_bytes"`
 	Backends    []string `json:"backends"`
+	// Mapper and MCASizes describe the placement artifact the model was
+	// realized from ("greedy", "annealed"); absent on the legacy uniform
+	// path. MCASizes lists the per-layer crossbar sizes, which may be
+	// heterogeneous.
+	Mapper   string `json:"mapper,omitempty"`
+	MCASizes []int  `json:"mca_sizes,omitempty"`
 	// Health maps backend name to its circuit state ("closed", "open",
 	// "half-open"); filled by the server, absent in a bare registry listing.
 	Health map[string]string `json:"health,omitempty"`
@@ -180,7 +196,7 @@ type ModelInfo struct {
 
 // Info summarizes the model for the registry listing.
 func (m *Model) Info() ModelInfo {
-	return ModelInfo{
+	info := ModelInfo{
 		Name:        m.Name,
 		Layers:      len(m.Net.Layers),
 		Neurons:     m.Net.HiddenNeurons(),
@@ -196,6 +212,11 @@ func (m *Model) Info() ModelInfo {
 		CMOSWeightB: m.Base.WeightMemoryBytes(),
 		Backends:    m.Backends(),
 	}
+	if m.Placement != nil {
+		info.Mapper = m.Placement.Mapper
+		info.MCASizes = m.Placement.Sizes()
+	}
+	return info
 }
 
 // Registry holds the servable models. It is populated at startup and
@@ -224,14 +245,25 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 func (r *Registry) Config() RegistryConfig { return r.cfg }
 
 // AddNetwork converts and maps a network under its own name and registers
-// the resulting model.
+// the resulting model. A placement registered for the network's name
+// (RegistryConfig.Placements) is applied instead of the uniform mapping.
 func (r *Registry) AddNetwork(net *snn.Network) (*Model, error) {
-	mc := mapping.DefaultConfig()
-	mc.MCASize = r.cfg.MCASize
-	mc.Tech = r.cfg.Tech
-	m, err := mapping.Map(net, mc)
-	if err != nil {
-		return nil, fmt.Errorf("serve: mapping %q: %w", net.Name, err)
+	var m *mapping.Mapping
+	var err error
+	pl := r.cfg.Placements[net.Name]
+	if pl != nil {
+		m, err = pl.Apply(net)
+		if err != nil {
+			return nil, fmt.Errorf("serve: applying placement for %q: %w", net.Name, err)
+		}
+	} else {
+		mc := mapping.DefaultConfig()
+		mc.MCASize = r.cfg.MCASize
+		mc.Tech = r.cfg.Tech
+		m, err = mapping.Map(net, mc)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mapping %q: %w", net.Name, err)
+		}
 	}
 	copt := core.DefaultOptions()
 	copt.Params = r.cfg.Params
@@ -250,12 +282,19 @@ func (r *Registry) AddNetwork(net *snn.Network) (*Model, error) {
 		return nil, fmt.Errorf("serve: preparing baseline for %q: %w", net.Name, err)
 	}
 	model := &Model{
-		Name: net.Name, Net: net, Chip: chip, Base: base, Map: m,
+		Name: net.Name, Net: net, Chip: chip, Base: base, Map: m, Placement: pl,
 		enc: snn.NewPoissonEncoder(r.cfg.MaxProb, r.cfg.Seed),
 	}
 	model.addBackend(chip)
 	model.addBackend(base)
-	if r.cfg.Shards > 1 {
+	if pl != nil && len(pl.ShardCuts) > 0 {
+		// The artifact's cut points define the partition.
+		multi, err := shard.New(chip, shard.Config{Cuts: pl.ShardCuts})
+		if err != nil {
+			return nil, fmt.Errorf("serve: sharding %q from placement: %w", net.Name, err)
+		}
+		model.addBackend(multi)
+	} else if r.cfg.Shards > 1 {
 		multi, err := shard.New(chip, shard.Config{Shards: r.cfg.Shards})
 		if err != nil {
 			return nil, fmt.Errorf("serve: sharding %q: %w", net.Name, err)

@@ -97,6 +97,11 @@ func addLink(a, b LinkStats) LinkStats {
 type Config struct {
 	// Shards is the chip count (clamped to the layer count).
 	Shards int
+	// Cuts, when non-empty, overrides the balanced partitioner with explicit
+	// cut points (ascending layer indices where a new chip begins, exclusive
+	// of 0) — typically the ShardCuts of an optimized mapping.Placement.
+	// Shards is ignored; the chip count is len(Cuts)+1.
+	Cuts []int
 	// MaxMPEsPerChip, when positive, is the per-chip capacity: the
 	// partitioner fails if the balanced cut would place more mPEs than this
 	// on any one chip.
@@ -133,7 +138,7 @@ func New(chip *core.Chip, cfg Config) (*Multi, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("shard: nil chip")
 	}
-	if cfg.Shards < 1 {
+	if cfg.Shards < 1 && len(cfg.Cuts) == 0 {
 		return nil, fmt.Errorf("shard: %d shards", cfg.Shards)
 	}
 	layers := chip.Net.Layers
@@ -152,7 +157,20 @@ func New(chip *core.Chip, cfg Config) (*Multi, error) {
 		lm := &chip.Map.Layers[li]
 		costs[li] = lm.MPELast - lm.MPEFirst + 1
 	}
-	ranges := partition(costs, n)
+	var ranges []Range
+	if len(cfg.Cuts) > 0 {
+		prev := 0
+		for _, c := range cfg.Cuts {
+			if c <= prev || c >= len(layers) {
+				return nil, fmt.Errorf("shard: cuts %v not strictly ascending in (0,%d)", cfg.Cuts, len(layers))
+			}
+			ranges = append(ranges, Range{Lo: prev, Hi: c})
+			prev = c
+		}
+		ranges = append(ranges, Range{Lo: prev, Hi: len(layers)})
+	} else {
+		ranges = partition(costs, n)
+	}
 	if cfg.MaxMPEsPerChip > 0 {
 		for _, r := range ranges {
 			mpes := 0

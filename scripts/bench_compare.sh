@@ -45,3 +45,10 @@ go run ./cmd/resparc-bench -fig event "$@"
 # reviewer should eyeball the delta rather than have CI guess a threshold.
 echo "== lifetime repair recovery (delta is warn-only)"
 go run ./cmd/resparc-bench -fig lifetime "$@"
+
+# Mapper-quality rows (mapper/<bench>/<greedy|annealed>): placements and the
+# energy/EDP measurements are pure functions of the -seed. The delta table is
+# warn-only — EDP moves when the cost model or the annealer changes, and the
+# greedy-vs-annealed gap in the main table is the number a reviewer checks.
+echo "== mapper-quality rows (delta is warn-only)"
+go run ./cmd/resparc-bench -fig mapper "$@"

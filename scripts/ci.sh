@@ -51,6 +51,18 @@ if ! diff -u scripts/sim_api_surface.golden /tmp/sim_api_surface.txt; then
     exit 1
 fi
 
+# The mapping.Mapper/Placement contract is the other pinned seam: the
+# Placement JSON artifact is consumed by core, shard, serve and resparc-map,
+# so its Go surface (and by extension the schema's shape) is golden-checked
+# the same way.
+echo "== API surface check (internal/mapping)"
+go doc -all resparc/internal/mapping > /tmp/mapping_api_surface.txt
+if ! diff -u scripts/mapping_api_surface.golden /tmp/mapping_api_surface.txt; then
+    echo "internal/mapping API surface changed; review the diff and refresh with:" >&2
+    echo "  go doc -all resparc/internal/mapping > scripts/mapping_api_surface.golden" >&2
+    exit 1
+fi
+
 echo "== fuzz smoke (FuzzFaultMap, 5s)"
 go test -run Fuzz -fuzz=FuzzFaultMap -fuzztime=5s ./internal/fault/
 
